@@ -1,0 +1,59 @@
+//! Criterion micro-benchmark: raw BSP engine superstep throughput with a
+//! minimal message-heavy vertex program, as a function of worker count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use predict_bsp::{BspConfig, BspEngine, ClusterCostConfig, ComputeContext, VertexProgram};
+use predict_graph::generators::{generate_rmat, RmatConfig};
+use predict_graph::{CsrGraph, VertexId};
+
+/// Floods every edge with one 8-byte message for a fixed number of supersteps.
+struct Flood {
+    rounds: usize,
+}
+
+impl VertexProgram for Flood {
+    type VertexValue = u64;
+    type Message = u64;
+
+    fn name(&self) -> &'static str {
+        "flood"
+    }
+
+    fn init_vertex(&self, _v: VertexId, _g: &CsrGraph) -> u64 {
+        0
+    }
+
+    fn compute(&self, ctx: &mut ComputeContext<'_, u64, u64>, messages: &[u64]) {
+        *ctx.value += messages.len() as u64;
+        if ctx.superstep < self.rounds {
+            let v = ctx.vertex as u64;
+            ctx.send_to_all_neighbors(v);
+        }
+        ctx.vote_to_halt();
+    }
+
+    fn message_size_bytes(&self, _m: &u64) -> u64 {
+        8
+    }
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let graph = generate_rmat(&RmatConfig::new(12, 8).with_seed(5));
+    let mut group = c.benchmark_group("bsp_engine_flood_5_rounds");
+    group.sample_size(10);
+    for workers in [1usize, 4, 16] {
+        let engine = BspEngine::new(
+            BspConfig::with_workers(workers).with_cost(ClusterCostConfig::noiseless()),
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &graph, |b, graph| {
+            b.iter(|| {
+                let result = engine.run(graph, &Flood { rounds: 5 });
+                std::hint::black_box(result.profile.num_iterations())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

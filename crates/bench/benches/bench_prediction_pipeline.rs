@@ -1,0 +1,35 @@
+//! Criterion micro-benchmark: the full PREDIcT pipeline (sample, transform,
+//! sample run, cost model training, extrapolation) for PageRank on a
+//! small-scale dataset analog.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use predict_algorithms::PageRankWorkload;
+use predict_bsp::{BspConfig, BspEngine};
+use predict_core::{HistoryStore, Predictor, PredictorConfig};
+use predict_graph::datasets::{Dataset, DatasetConfig, DatasetScale};
+use predict_sampling::BiasedRandomJump;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let engine = BspEngine::new(BspConfig::with_workers(8));
+    let sampler = BiasedRandomJump::default();
+    let history = HistoryStore::new();
+
+    let mut group = c.benchmark_group("prediction_pipeline_pagerank");
+    group.sample_size(10);
+    for ratio in [0.05f64, 0.1, 0.2] {
+        let graph = DatasetConfig::new(Dataset::Wikipedia, DatasetScale::Small).generate();
+        let workload = PageRankWorkload::with_epsilon(0.001, graph.num_vertices());
+        let predictor =
+            Predictor::new(&engine, &sampler, PredictorConfig::single_ratio(ratio));
+        group.bench_with_input(BenchmarkId::from_parameter(ratio), &graph, |b, graph| {
+            b.iter(|| {
+                let p = predictor.predict(&workload, graph, &history, "Wiki").unwrap();
+                std::hint::black_box(p.predicted_superstep_ms)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

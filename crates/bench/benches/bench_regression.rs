@@ -1,0 +1,48 @@
+//! Criterion micro-benchmark: cost model training (regression + forward
+//! feature selection) as a function of the number of training observations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use predict_bsp::WorkerCounters;
+use predict_core::{CostModel, CostModelConfig, FeatureSet, IterationObservation};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn observations(n: usize) -> Vec<IterationObservation> {
+    let mut rng = StdRng::seed_from_u64(11);
+    (0..n)
+        .map(|i| {
+            let active = rng.gen_range(100u64..10_000);
+            let remote_bytes = rng.gen_range(10_000u64..1_000_000);
+            let counters = WorkerCounters {
+                active_vertices: active,
+                total_vertices: active * 2,
+                local_messages: active,
+                remote_messages: remote_bytes / 64,
+                local_message_bytes: remote_bytes / 8,
+                remote_message_bytes: remote_bytes,
+            };
+            IterationObservation {
+                superstep: i,
+                features: FeatureSet::from_counters(&counters),
+                wall_time_ms: 10.0 + 0.0003 * remote_bytes as f64 + 0.001 * active as f64,
+            }
+        })
+        .collect()
+}
+
+fn bench_cost_model_training(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cost_model_training");
+    for n in [20usize, 100, 500] {
+        let obs = observations(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &obs, |b, obs| {
+            b.iter(|| {
+                let model = CostModel::train(obs, &CostModelConfig::default()).unwrap();
+                std::hint::black_box(model.r_squared())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cost_model_training);
+criterion_main!(benches);

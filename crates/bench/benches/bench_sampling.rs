@@ -1,0 +1,31 @@
+//! Criterion micro-benchmark: sampling techniques at a 10% ratio.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use predict_graph::generators::{generate_rmat, RmatConfig};
+use predict_sampling::{BiasedRandomJump, ForestFire, Mhrw, RandomJump, RandomNode, Sampler};
+
+fn bench_samplers(c: &mut Criterion) {
+    let graph = generate_rmat(&RmatConfig::new(13, 8).with_seed(3));
+    let brj = BiasedRandomJump::default();
+    let rj = RandomJump::default();
+    let mhrw = Mhrw::default();
+    let ff = ForestFire::default();
+    let rn = RandomNode;
+    let samplers: [(&str, &dyn Sampler); 5] =
+        [("BRJ", &brj), ("RJ", &rj), ("MHRW", &mhrw), ("FF", &ff), ("RN", &rn)];
+
+    let mut group = c.benchmark_group("sampling_10pct");
+    group.sample_size(20);
+    for (name, sampler) in samplers {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &graph, |b, graph| {
+            b.iter(|| {
+                let sample = sampler.sample(graph, 0.1, 7);
+                std::hint::black_box(sample.graph.num_edges())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_samplers);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Figure 8: relative error of the predicted runtime for top-k ranking.
+//!
+//! Same protocol as Figure 7 (sample-runs-only versus history-augmented cost
+//! model training), applied to the top-k ranking workload whose per-iteration
+//! runtime varies with the number of messages sent.
+
+use predict_algorithms::{TopKParams, TopKWorkload};
+use predict_bench::{
+    pct, prediction_sweep, HistoryMode, PredictionPoint, ResultTable, EXPERIMENT_SEED,
+    PAPER_SAMPLING_RATIOS,
+};
+use predict_core::PredictorConfig;
+use predict_graph::datasets::Dataset;
+use predict_sampling::BiasedRandomJump;
+
+fn sweep(history: HistoryMode) -> Vec<PredictionPoint> {
+    let sampler = BiasedRandomJump::default();
+    let datasets = [Dataset::LiveJournal, Dataset::Wikipedia, Dataset::Uk2002];
+    prediction_sweep(
+        &datasets,
+        &PAPER_SAMPLING_RATIOS,
+        &sampler,
+        history,
+        &|_g| Box::new(TopKWorkload::new(TopKParams::new(5, 0.001), 0.01)),
+        &|ratio| {
+            PredictorConfig {
+                sampling_ratio: ratio,
+                training_ratios: vec![0.05, 0.1, 0.15, 0.2],
+                ..PredictorConfig::default()
+            }
+            .with_seed(EXPERIMENT_SEED)
+        },
+    )
+}
+
+fn main() {
+    let without_history = sweep(HistoryMode::SampleRunsOnly);
+    let with_history = sweep(HistoryMode::WithHistory);
+
+    let mut table = ResultTable::new(
+        "Figure 8: predicting runtime for top-k ranking (a: sample runs, b: + history)",
+        &[
+            "training",
+            "dataset",
+            "ratio",
+            "pred ms",
+            "actual ms",
+            "runtime error",
+            "R^2 (train)",
+        ],
+    );
+    for (label, points) in [("sample-only", &without_history), ("with-history", &with_history)] {
+        for p in points {
+            table.push_row(vec![
+                label.to_string(),
+                p.dataset.clone(),
+                format!("{:.2}", p.ratio),
+                format!("{:.0}", p.predicted_runtime_ms),
+                format!("{:.0}", p.actual_runtime_ms),
+                pct(p.runtime_error),
+                format!("{:.3}", p.cost_model_r_squared),
+            ]);
+        }
+    }
+    let payload = serde_json::json!({
+        "sample_only": without_history,
+        "with_history": with_history,
+    });
+    table.emit("fig8_topk_runtime", &payload);
+}

@@ -1,0 +1,363 @@
+//! Shared harness for the experiment binaries that regenerate every table and
+//! figure of the paper.
+//!
+//! Each binary in `src/bin/` reproduces one table or figure (see DESIGN.md's
+//! experiment index). They all follow the same protocol, which this library
+//! factors out:
+//!
+//! 1. build the dataset analogs (Table 2) at the scale selected by the
+//!    `PREDICT_SCALE` environment variable (`small`, `default` or `large`);
+//! 2. execute the **actual run** of the workload once per dataset;
+//! 3. sweep sampling ratios, producing one PREDIcT prediction per point;
+//! 4. report the paper's metrics (signed relative errors, R², overhead
+//!    ratios) as a plain-text table on stdout and as JSON under
+//!    `target/experiments/`.
+
+use predict_algorithms::{Workload, WorkloadRun};
+use predict_bsp::{BspConfig, BspEngine};
+use predict_core::{
+    observations_from_profile, HistoryStore, Prediction, Predictor, PredictorConfig,
+    WorkerSelection,
+};
+use predict_graph::datasets::{Dataset, DatasetConfig, DatasetScale};
+use predict_graph::CsrGraph;
+use predict_sampling::Sampler;
+use serde::Serialize;
+use std::path::PathBuf;
+
+/// Sampling ratios swept by the paper's figures (x-axis of Figures 4–9).
+pub const PAPER_SAMPLING_RATIOS: [f64; 6] = [0.01, 0.05, 0.1, 0.15, 0.2, 0.25];
+
+/// Seed used by every experiment binary so results are reproducible.
+pub const EXPERIMENT_SEED: u64 = 0xE9;
+
+/// Scale selected through the `PREDICT_SCALE` environment variable
+/// (`small` / `default` / `large`), defaulting to [`DatasetScale::Default`].
+pub fn experiment_scale() -> DatasetScale {
+    match std::env::var("PREDICT_SCALE").unwrap_or_default().to_lowercase().as_str() {
+        "small" => DatasetScale::Small,
+        "large" => DatasetScale::Large,
+        _ => DatasetScale::Default,
+    }
+}
+
+/// The BSP engine configuration shared by all experiments: 8 workers and the
+/// default (hidden) simulated cluster cost model.
+pub fn experiment_engine() -> BspEngine {
+    BspEngine::new(BspConfig::with_workers(8))
+}
+
+/// Loads one dataset analog at the experiment scale.
+pub fn load_dataset(dataset: Dataset, scale: DatasetScale) -> CsrGraph {
+    DatasetConfig::new(dataset, scale).generate()
+}
+
+/// Whether an experiment trains its cost model on sample runs only or also on
+/// historical actual runs of the other datasets (the (a)/(b) variants of
+/// Figures 7 and 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HistoryMode {
+    /// Train on sample runs only.
+    SampleRunsOnly,
+    /// Additionally train on the actual runs of every other dataset.
+    WithHistory,
+}
+
+/// One prediction data point of a sweep: everything the figures plot.
+#[derive(Debug, Clone, Serialize)]
+pub struct PredictionPoint {
+    /// Dataset prefix (LJ / Wiki / TW / UK).
+    pub dataset: String,
+    /// Sampling ratio of the sample run used for extrapolation.
+    pub ratio: f64,
+    /// Predicted number of iterations.
+    pub predicted_iterations: usize,
+    /// Iterations of the actual run.
+    pub actual_iterations: usize,
+    /// Signed relative error of the iteration prediction.
+    pub iteration_error: f64,
+    /// Predicted superstep-phase runtime (simulated ms).
+    pub predicted_runtime_ms: f64,
+    /// Actual superstep-phase runtime (simulated ms).
+    pub actual_runtime_ms: f64,
+    /// Signed relative error of the runtime prediction.
+    pub runtime_error: f64,
+    /// Signed relative error of the remote-message-bytes prediction.
+    pub remote_bytes_error: f64,
+    /// R² of the trained cost model on its training data.
+    pub cost_model_r_squared: f64,
+    /// R² of the trained cost model evaluated on the actual run's iterations.
+    pub cost_model_r_squared_on_actual: f64,
+    /// Simulated end-to-end runtime of the sample run.
+    pub sample_total_ms: f64,
+    /// Simulated end-to-end runtime of the actual run.
+    pub actual_total_ms: f64,
+}
+
+impl PredictionPoint {
+    fn from_prediction(
+        dataset: Dataset,
+        ratio: f64,
+        prediction: &Prediction,
+        actual: &WorkloadRun,
+    ) -> Self {
+        let actual_superstep_ms = actual.profile.superstep_phase_ms();
+        let actual_remote_bytes: f64 = actual
+            .profile
+            .per_superstep_totals()
+            .iter()
+            .map(|t| t.remote_message_bytes as f64)
+            .sum();
+        let actual_obs =
+            observations_from_profile(&actual.profile, WorkerSelection::SlowestWorker);
+        Self {
+            dataset: dataset.prefix().to_string(),
+            ratio,
+            predicted_iterations: prediction.predicted_iterations,
+            actual_iterations: actual.iterations(),
+            iteration_error: predict_core::signed_relative_error(
+                prediction.predicted_iterations as f64,
+                actual.iterations() as f64,
+            ),
+            predicted_runtime_ms: prediction.predicted_superstep_ms,
+            actual_runtime_ms: actual_superstep_ms,
+            runtime_error: predict_core::signed_relative_error(
+                prediction.predicted_superstep_ms,
+                actual_superstep_ms,
+            ),
+            remote_bytes_error: predict_core::signed_relative_error(
+                prediction.predicted_remote_message_bytes,
+                actual_remote_bytes,
+            ),
+            cost_model_r_squared: prediction.cost_model.r_squared(),
+            cost_model_r_squared_on_actual: prediction.cost_model.r_squared_on(&actual_obs),
+            sample_total_ms: prediction.sample_run_total_ms,
+            actual_total_ms: actual.profile.total_ms(),
+        }
+    }
+}
+
+/// Runs a full prediction sweep: for every dataset, execute the actual run
+/// once, then produce one PREDIcT prediction per sampling ratio.
+///
+/// `make_workload` builds the workload for a given graph (the threshold of
+/// PageRank-style workloads depends on the graph size); `make_config` builds
+/// the predictor configuration for a given sampling ratio.
+pub fn prediction_sweep(
+    datasets: &[Dataset],
+    ratios: &[f64],
+    sampler: &dyn Sampler,
+    history_mode: HistoryMode,
+    make_workload: &dyn Fn(&CsrGraph) -> Box<dyn Workload>,
+    make_config: &dyn Fn(f64) -> PredictorConfig,
+) -> Vec<PredictionPoint> {
+    let scale = experiment_scale();
+    let engine = experiment_engine();
+
+    // Actual runs, executed once per dataset.
+    let mut graphs = Vec::new();
+    let mut actual_runs = Vec::new();
+    for &dataset in datasets {
+        let graph = load_dataset(dataset, scale);
+        let workload = make_workload(&graph);
+        eprintln!("[actual run] {} on {}", workload.name(), dataset.prefix());
+        let run = workload.run(&engine, &graph);
+        graphs.push(graph);
+        actual_runs.push(run);
+    }
+
+    let mut points = Vec::new();
+    for (i, &dataset) in datasets.iter().enumerate() {
+        let graph = &graphs[i];
+        let workload = make_workload(graph);
+
+        // History: the actual runs of every *other* dataset.
+        let mut history = HistoryStore::new();
+        if history_mode == HistoryMode::WithHistory {
+            for (j, &other) in datasets.iter().enumerate() {
+                if i != j {
+                    history.record(workload.name(), other.prefix(), actual_runs[j].profile.clone());
+                }
+            }
+        }
+
+        for &ratio in ratios {
+            let config = make_config(ratio);
+            let predictor = Predictor::new(&engine, sampler, config);
+            eprintln!(
+                "[prediction] {} on {} at ratio {:.2}",
+                workload.name(),
+                dataset.prefix(),
+                ratio
+            );
+            match predictor.predict(workload.as_ref(), graph, &history, dataset.prefix()) {
+                Ok(prediction) => points.push(PredictionPoint::from_prediction(
+                    dataset,
+                    ratio,
+                    &prediction,
+                    &actual_runs[i],
+                )),
+                Err(e) => eprintln!(
+                    "[prediction] skipped {} at ratio {ratio}: {e}",
+                    dataset.prefix()
+                ),
+            }
+        }
+    }
+    points
+}
+
+/// A plain-text result table printed by every experiment binary.
+#[derive(Debug, Clone, Serialize)]
+pub struct ResultTable {
+    /// Title of the experiment (e.g. "Figure 4: ...").
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Rows of formatted cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl ResultTable {
+    /// Creates an empty table.
+    pub fn new(title: &str, columns: &[&str]) -> Self {
+        Self {
+            title: title.to_string(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row of cells.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Renders the table as aligned plain text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("\n== {} ==\n", self.title));
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+            .collect();
+        out.push_str(&header.join("  "));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        out.push('\n');
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>width$}", c, width = widths.get(i).copied().unwrap_or(8)))
+                .collect();
+            out.push_str(&cells.join("  "));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the table to stdout and saves it (plus `points`, when provided)
+    /// as JSON under `target/experiments/<name>.json`.
+    pub fn emit<T: Serialize>(&self, name: &str, points: &T) {
+        println!("{}", self.render());
+        let dir = output_dir();
+        if std::fs::create_dir_all(&dir).is_ok() {
+            #[derive(Serialize)]
+            struct Payload<'a, T> {
+                table: &'a ResultTable,
+                points: &'a T,
+            }
+            let path = dir.join(format!("{name}.json"));
+            match serde_json::to_string_pretty(&Payload { table: self, points }) {
+                Ok(json) => {
+                    if let Err(e) = std::fs::write(&path, json) {
+                        eprintln!("could not write {}: {e}", path.display());
+                    } else {
+                        eprintln!("[saved] {}", path.display());
+                    }
+                }
+                Err(e) => eprintln!("could not serialize results: {e}"),
+            }
+        }
+    }
+}
+
+/// Directory experiment JSON output is written to.
+pub fn output_dir() -> PathBuf {
+    PathBuf::from("target").join("experiments")
+}
+
+/// Formats a signed relative error as a percentage string.
+pub fn pct(value: f64) -> String {
+    if value.is_finite() {
+        format!("{:+.1}%", value * 100.0)
+    } else {
+        "inf".to_string()
+    }
+}
+
+/// Formats milliseconds with one decimal.
+pub fn ms(value: f64) -> String {
+    format!("{value:.1}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use predict_algorithms::PageRankWorkload;
+    use predict_sampling::BiasedRandomJump;
+
+    #[test]
+    fn result_table_renders_and_aligns() {
+        let mut t = ResultTable::new("Test", &["dataset", "error"]);
+        t.push_row(vec!["Wiki".into(), "+10.0%".into()]);
+        t.push_row(vec!["UK".into(), "-3.2%".into()]);
+        let rendered = t.render();
+        assert!(rendered.contains("Test"));
+        assert!(rendered.contains("Wiki"));
+        assert!(rendered.contains("-3.2%"));
+    }
+
+    #[test]
+    fn pct_and_ms_format() {
+        assert_eq!(pct(0.123), "+12.3%");
+        assert_eq!(pct(-0.05), "-5.0%");
+        assert_eq!(pct(f64::INFINITY), "inf");
+        assert_eq!(ms(12.34), "12.3");
+    }
+
+    #[test]
+    fn small_scale_sweep_produces_points() {
+        // A minimal end-to-end exercise of the sweep machinery at Small scale
+        // with a single dataset and ratio, so the harness itself is covered by
+        // `cargo test`.
+        std::env::set_var("PREDICT_SCALE", "small");
+        let sampler = BiasedRandomJump::default();
+        let points = prediction_sweep(
+            &[Dataset::Wikipedia],
+            &[0.1],
+            &sampler,
+            HistoryMode::SampleRunsOnly,
+            &|g| Box::new(PageRankWorkload::with_epsilon(0.01, g.num_vertices())),
+            &|ratio| PredictorConfig::single_ratio(ratio).with_seed(EXPERIMENT_SEED),
+        );
+        std::env::remove_var("PREDICT_SCALE");
+        assert_eq!(points.len(), 1);
+        let p = &points[0];
+        assert_eq!(p.dataset, "Wiki");
+        assert!(p.predicted_iterations > 0);
+        assert!(p.actual_iterations > 0);
+        assert!(p.predicted_runtime_ms > 0.0);
+    }
+}

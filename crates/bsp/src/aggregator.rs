@@ -1,0 +1,168 @@
+//! Global aggregators.
+//!
+//! The iterative algorithms the paper targets all use a *global* convergence
+//! condition — an aggregate computed over the whole graph each superstep
+//! (average PageRank delta, ratio of updated semi-clusters, ratio of active
+//! vertices). In Giraph/Pregel, vertices contribute values to named
+//! aggregators during a superstep; the master combines them and makes the
+//! combined value available in the next superstep and to the termination
+//! check. [`Aggregates`] implements the sum-aggregator flavour all paper
+//! algorithms need, plus min/max variants for completeness.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// How contributions to a named aggregator are combined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AggregatorKind {
+    /// Contributions are summed (the common case: counts, delta sums).
+    Sum,
+    /// The minimum contribution is kept.
+    Min,
+    /// The maximum contribution is kept.
+    Max,
+}
+
+/// A set of named global aggregators for a single superstep.
+///
+/// Keys are kept in a `BTreeMap` so iteration order — and therefore any
+/// floating-point accumulation — is deterministic regardless of the order in
+/// which workers report their partial aggregates.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Aggregates {
+    values: BTreeMap<String, (AggregatorKind, f64)>,
+}
+
+impl Aggregates {
+    /// Creates an empty aggregate set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `value` to the sum-aggregator `name` (creating it if needed).
+    pub fn add(&mut self, name: &str, value: f64) {
+        self.combine(name, AggregatorKind::Sum, value);
+    }
+
+    /// Contributes `value` to the aggregator `name` with the given combine
+    /// rule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the aggregator already exists with a different kind — mixing
+    /// kinds under one name is always a programming error.
+    pub fn combine(&mut self, name: &str, kind: AggregatorKind, value: f64) {
+        match self.values.get_mut(name) {
+            None => {
+                self.values.insert(name.to_string(), (kind, value));
+            }
+            Some((existing_kind, acc)) => {
+                assert_eq!(
+                    *existing_kind, kind,
+                    "aggregator '{name}' used with conflicting kinds"
+                );
+                match kind {
+                    AggregatorKind::Sum => *acc += value,
+                    AggregatorKind::Min => *acc = acc.min(value),
+                    AggregatorKind::Max => *acc = acc.max(value),
+                }
+            }
+        }
+    }
+
+    /// Value of aggregator `name`, or `default` if no vertex contributed.
+    pub fn get_or(&self, name: &str, default: f64) -> f64 {
+        self.values.get(name).map(|(_, v)| *v).unwrap_or(default)
+    }
+
+    /// Value of aggregator `name`, or `None` if no vertex contributed.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.values.get(name).map(|(_, v)| *v)
+    }
+
+    /// True when no aggregator received any contribution.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Merges another aggregate set into this one (used by the master to
+    /// combine per-worker partial aggregates; merge order does not change the
+    /// result for min/max and only reorders floating-point sums within one
+    /// worker boundary, which the engine keeps deterministic by merging in
+    /// worker-index order).
+    pub fn merge(&mut self, other: &Aggregates) {
+        for (name, (kind, value)) in &other.values {
+            self.combine(name, *kind, *value);
+        }
+    }
+
+    /// Iterates over `(name, value)` pairs in lexicographic name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.values.iter().map(|(k, (_, v))| (k.as_str(), *v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_sums_contributions() {
+        let mut a = Aggregates::new();
+        a.add("delta", 1.5);
+        a.add("delta", 2.5);
+        assert_eq!(a.get("delta"), Some(4.0));
+        assert_eq!(a.get_or("missing", 7.0), 7.0);
+    }
+
+    #[test]
+    fn min_and_max_aggregators() {
+        let mut a = Aggregates::new();
+        a.combine("lo", AggregatorKind::Min, 3.0);
+        a.combine("lo", AggregatorKind::Min, -1.0);
+        a.combine("hi", AggregatorKind::Max, 3.0);
+        a.combine("hi", AggregatorKind::Max, 10.0);
+        assert_eq!(a.get("lo"), Some(-1.0));
+        assert_eq!(a.get("hi"), Some(10.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "conflicting kinds")]
+    fn conflicting_kinds_panic() {
+        let mut a = Aggregates::new();
+        a.combine("x", AggregatorKind::Sum, 1.0);
+        a.combine("x", AggregatorKind::Max, 2.0);
+    }
+
+    #[test]
+    fn merge_combines_partial_aggregates() {
+        let mut w1 = Aggregates::new();
+        w1.add("updates", 10.0);
+        w1.combine("max_rank", AggregatorKind::Max, 0.3);
+        let mut w2 = Aggregates::new();
+        w2.add("updates", 5.0);
+        w2.combine("max_rank", AggregatorKind::Max, 0.7);
+
+        let mut master = Aggregates::new();
+        master.merge(&w1);
+        master.merge(&w2);
+        assert_eq!(master.get("updates"), Some(15.0));
+        assert_eq!(master.get("max_rank"), Some(0.7));
+    }
+
+    #[test]
+    fn iteration_is_in_name_order() {
+        let mut a = Aggregates::new();
+        a.add("zeta", 1.0);
+        a.add("alpha", 2.0);
+        let names: Vec<_> = a.iter().map(|(n, _)| n.to_string()).collect();
+        assert_eq!(names, vec!["alpha", "zeta"]);
+    }
+
+    #[test]
+    fn empty_reports_empty() {
+        let a = Aggregates::new();
+        assert!(a.is_empty());
+        assert_eq!(a.get("anything"), None);
+    }
+}

@@ -1,0 +1,99 @@
+//! Engine configuration.
+
+use crate::cost::ClusterCostConfig;
+use crate::partition::PartitionStrategy;
+use serde::{Deserialize, Serialize};
+
+/// Default number of workers. The paper's deployment runs 29 workers plus one
+/// master on 10 physical nodes; the default here is smaller so tests and
+/// examples stay fast, and the experiment harness raises it explicitly when a
+/// paper-faithful worker count matters.
+pub const DEFAULT_NUM_WORKERS: usize = 8;
+
+/// Hard cap on supersteps so a mis-specified convergence threshold can never
+/// hang a run.
+pub const DEFAULT_MAX_SUPERSTEPS: usize = 500;
+
+/// Configuration of a [`BspEngine`](crate::engine::BspEngine).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BspConfig {
+    /// Number of BSP workers the graph is partitioned over.
+    pub num_workers: usize,
+    /// Vertex-to-worker assignment strategy.
+    pub partition_strategy: PartitionStrategy,
+    /// Maximum number of supersteps before the engine aborts the run.
+    pub max_supersteps: usize,
+    /// Cost coefficients of the simulated cluster clock.
+    pub cost: ClusterCostConfig,
+}
+
+impl Default for BspConfig {
+    fn default() -> Self {
+        Self {
+            num_workers: DEFAULT_NUM_WORKERS,
+            partition_strategy: PartitionStrategy::Hash,
+            max_supersteps: DEFAULT_MAX_SUPERSTEPS,
+            cost: ClusterCostConfig::default(),
+        }
+    }
+}
+
+impl BspConfig {
+    /// Creates a configuration with `num_workers` workers and defaults for
+    /// everything else.
+    pub fn with_workers(num_workers: usize) -> Self {
+        Self { num_workers, ..Self::default() }
+    }
+
+    /// Replaces the cluster cost configuration.
+    pub fn with_cost(mut self, cost: ClusterCostConfig) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Replaces the partition strategy.
+    pub fn with_partition_strategy(mut self, strategy: PartitionStrategy) -> Self {
+        self.partition_strategy = strategy;
+        self
+    }
+
+    /// Replaces the superstep cap.
+    pub fn with_max_supersteps(mut self, max: usize) -> Self {
+        self.max_supersteps = max;
+        self
+    }
+
+    /// A paper-like configuration: 29 workers (the paper's Giraph setup) and
+    /// default costs.
+    pub fn paper_cluster() -> Self {
+        Self::with_workers(29)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_sane() {
+        let c = BspConfig::default();
+        assert_eq!(c.num_workers, DEFAULT_NUM_WORKERS);
+        assert_eq!(c.max_supersteps, DEFAULT_MAX_SUPERSTEPS);
+        assert_eq!(c.partition_strategy, PartitionStrategy::Hash);
+    }
+
+    #[test]
+    fn builders_override_fields() {
+        let c = BspConfig::with_workers(4)
+            .with_max_supersteps(10)
+            .with_partition_strategy(PartitionStrategy::Modulo);
+        assert_eq!(c.num_workers, 4);
+        assert_eq!(c.max_supersteps, 10);
+        assert_eq!(c.partition_strategy, PartitionStrategy::Modulo);
+    }
+
+    #[test]
+    fn paper_cluster_has_29_workers() {
+        assert_eq!(BspConfig::paper_cluster().num_workers, 29);
+    }
+}

@@ -1,0 +1,349 @@
+//! The BSP engine: master loop, message delivery and profiling.
+//!
+//! [`BspEngine::run`] executes a [`VertexProgram`] on a graph the way Giraph
+//! does (section 2.2 of the paper): the master partitions the graph over
+//! workers, then repeats supersteps — compute phase on every worker, message
+//! delivery, barrier — until a termination condition holds. Every superstep is
+//! profiled with the per-worker Table 1 counters and timed with the simulated
+//! cluster clock, producing the [`RunProfile`] PREDIcT trains and predicts on.
+
+use crate::aggregator::Aggregates;
+use crate::config::BspConfig;
+use crate::cost::ClusterClock;
+use crate::partition::Partitioning;
+use crate::profile::{RunProfile, SuperstepProfile};
+use crate::program::VertexProgram;
+use crate::worker::run_worker_superstep;
+use predict_graph::CsrGraph;
+use serde::{Deserialize, Serialize};
+
+/// Why a BSP run terminated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HaltReason {
+    /// The program's global convergence condition
+    /// ([`VertexProgram::master_halt`]) was satisfied.
+    MasterConverged,
+    /// Every vertex voted to halt and no messages were in flight.
+    AllVerticesHalted,
+    /// The configured superstep cap was reached before convergence.
+    MaxSupersteps,
+}
+
+/// Result of executing a vertex program.
+#[derive(Debug, Clone)]
+pub struct BspRunResult<V> {
+    /// Final per-vertex values, indexed by vertex id.
+    pub values: Vec<V>,
+    /// Full profile of the run (phase times, per-superstep counters and
+    /// simulated timings).
+    pub profile: RunProfile,
+    /// Why the run stopped.
+    pub halt_reason: HaltReason,
+}
+
+impl<V> BspRunResult<V> {
+    /// Number of supersteps the run executed.
+    pub fn num_iterations(&self) -> usize {
+        self.profile.num_iterations()
+    }
+}
+
+/// A Giraph-like BSP execution engine with a simulated cluster clock.
+#[derive(Debug, Clone, Default)]
+pub struct BspEngine {
+    config: BspConfig,
+}
+
+impl BspEngine {
+    /// Creates an engine with the given configuration.
+    pub fn new(config: BspConfig) -> Self {
+        Self { config }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &BspConfig {
+        &self.config
+    }
+
+    /// Executes `program` on `graph` until convergence, full halt or the
+    /// superstep cap, and returns the per-vertex values together with the run
+    /// profile.
+    pub fn run<P: VertexProgram>(&self, graph: &CsrGraph, program: &P) -> BspRunResult<P::VertexValue> {
+        let n = graph.num_vertices();
+        let num_workers = self.config.num_workers.max(1);
+        let partitioning = Partitioning::new(graph, num_workers, self.config.partition_strategy);
+        let mut clock = ClusterClock::new(self.config.cost.clone());
+
+        // Setup and read phases.
+        let setup_ms = clock.setup_time_ms();
+        let read_ms = clock.read_time_ms(graph.num_edges(), num_workers);
+
+        // Per-vertex state.
+        let mut values: Vec<P::VertexValue> =
+            graph.vertices().map(|v| program.init_vertex(v, graph)).collect();
+        let mut halted = vec![false; n];
+        let mut inboxes: Vec<Vec<P::Message>> = (0..n).map(|_| Vec::new()).collect();
+        let mut next_inboxes: Vec<Vec<P::Message>> = (0..n).map(|_| Vec::new()).collect();
+
+        let mut previous_aggregates = Aggregates::new();
+        let mut supersteps: Vec<SuperstepProfile> = Vec::new();
+        let mut halt_reason = HaltReason::MaxSupersteps;
+
+        for superstep in 0..self.config.max_supersteps {
+            // Compute phase: every worker processes its partition. Workers are
+            // executed in index order, which keeps message ordering, counter
+            // contents and aggregate accumulation fully deterministic.
+            let mut worker_counters = Vec::with_capacity(num_workers);
+            let mut aggregates = Aggregates::new();
+            let mut messages_sent = 0usize;
+            for w in 0..num_workers {
+                let out = run_worker_superstep(
+                    program,
+                    graph,
+                    &partitioning,
+                    w,
+                    superstep,
+                    &previous_aggregates,
+                    &mut values,
+                    &mut halted,
+                    &mut inboxes,
+                );
+                worker_counters.push(out.counters);
+                aggregates.merge(&out.partial_aggregates);
+                messages_sent += out.outbox.len();
+                // Messaging phase: deliver into the next superstep's inboxes.
+                for (dst, msg) in out.outbox {
+                    next_inboxes[dst as usize].push(msg);
+                }
+            }
+
+            // Synchronization phase: the simulated clock charges the critical
+            // path (slowest worker) plus fixed overhead and barrier.
+            let (wall_time_ms, worker_times_ms) = clock.superstep_time_ms(&worker_counters);
+            supersteps.push(SuperstepProfile {
+                superstep,
+                workers: worker_counters,
+                worker_times_ms,
+                wall_time_ms,
+                aggregates: aggregates.clone(),
+            });
+
+            // Swap message buffers for the next superstep.
+            std::mem::swap(&mut inboxes, &mut next_inboxes);
+            for inbox in &mut next_inboxes {
+                inbox.clear();
+            }
+
+            // Termination checks, in the same priority order as Giraph: the
+            // algorithm's global convergence condition first, then the
+            // "all halted and silent" default.
+            if program.master_halt(superstep, &aggregates) {
+                halt_reason = HaltReason::MasterConverged;
+                break;
+            }
+            if messages_sent == 0 && halted.iter().all(|&h| h) {
+                halt_reason = HaltReason::AllVerticesHalted;
+                break;
+            }
+            previous_aggregates = aggregates;
+        }
+
+        let write_ms = clock.write_time_ms(n, num_workers);
+        let profile = RunProfile {
+            algorithm: program.name().to_string(),
+            num_vertices: n,
+            num_edges: graph.num_edges(),
+            num_workers,
+            setup_ms,
+            read_ms,
+            write_ms,
+            supersteps,
+        };
+        BspRunResult { values, profile, halt_reason }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::ClusterCostConfig;
+    use crate::program::ComputeContext;
+    use predict_graph::generators::{chain, generate_rmat, RmatConfig};
+    use predict_graph::{CsrGraph, EdgeList, VertexId};
+
+    /// Propagates the maximum vertex id through the graph: each vertex keeps
+    /// the largest id it has heard of and forwards increases to neighbors.
+    struct MaxId;
+
+    impl VertexProgram for MaxId {
+        type VertexValue = u32;
+        type Message = u32;
+
+        fn name(&self) -> &'static str {
+            "max-id"
+        }
+
+        fn init_vertex(&self, v: VertexId, _g: &CsrGraph) -> u32 {
+            v
+        }
+
+        fn compute(&self, ctx: &mut ComputeContext<'_, u32, u32>, messages: &[u32]) {
+            let incoming_max = messages.iter().copied().max().unwrap_or(0);
+            let current = *ctx.value;
+            let best = current.max(incoming_max);
+            if ctx.superstep == 0 || best > current {
+                *ctx.value = best;
+                ctx.send_to_all_neighbors(best);
+            }
+            ctx.vote_to_halt();
+        }
+
+        fn message_size_bytes(&self, _m: &u32) -> u64 {
+            4
+        }
+    }
+
+    /// Counts active vertices per superstep and stops via the master when the
+    /// count drops below a threshold (a toy global convergence condition).
+    struct CountDown {
+        threshold: f64,
+    }
+
+    impl VertexProgram for CountDown {
+        type VertexValue = u32;
+        type Message = u32;
+
+        fn name(&self) -> &'static str {
+            "count-down"
+        }
+
+        fn init_vertex(&self, _v: VertexId, _g: &CsrGraph) -> u32 {
+            0
+        }
+
+        fn compute(&self, ctx: &mut ComputeContext<'_, u32, u32>, _messages: &[u32]) {
+            ctx.aggregate("active", 1.0);
+            // Vertices whose id is below the superstep stay silent; the rest
+            // keep themselves alive by messaging themselves.
+            if (ctx.vertex as usize) > ctx.superstep {
+                let v = ctx.vertex;
+                ctx.send(v, v);
+            }
+            ctx.vote_to_halt();
+        }
+
+        fn message_size_bytes(&self, _m: &u32) -> u64 {
+            4
+        }
+
+        fn master_halt(&self, _superstep: usize, aggregates: &Aggregates) -> bool {
+            aggregates.get_or("active", 0.0) < self.threshold
+        }
+    }
+
+    fn engine() -> BspEngine {
+        BspEngine::new(BspConfig::with_workers(4).with_cost(ClusterCostConfig::noiseless()))
+    }
+
+    #[test]
+    fn max_id_converges_to_global_maximum_on_a_cycle() {
+        // Directed cycle 0 -> 1 -> 2 -> ... -> 9 -> 0: the maximum id must
+        // propagate all the way around.
+        let mut el = EdgeList::new();
+        for i in 0..10u32 {
+            el.push(i, (i + 1) % 10);
+        }
+        let g = CsrGraph::from_edge_list(&el);
+        let result = engine().run(&g, &MaxId);
+        assert!(result.values.iter().all(|&v| v == 9));
+        assert_eq!(result.halt_reason, HaltReason::AllVerticesHalted);
+        // Propagation around a 10-cycle needs about 10 supersteps.
+        assert!(result.num_iterations() >= 9 && result.num_iterations() <= 12);
+    }
+
+    #[test]
+    fn master_convergence_stops_the_run() {
+        let g = chain(50);
+        let result = engine().run(&g, &CountDown { threshold: 25.0 });
+        assert_eq!(result.halt_reason, HaltReason::MasterConverged);
+        // Active vertices shrink by one per superstep starting from 50.
+        let last = result.profile.supersteps.last().unwrap();
+        assert!(last.aggregates.get_or("active", 0.0) < 25.0);
+    }
+
+    #[test]
+    fn superstep_cap_is_enforced() {
+        let g = chain(50);
+        let capped = BspEngine::new(
+            BspConfig::with_workers(2)
+                .with_max_supersteps(3)
+                .with_cost(ClusterCostConfig::noiseless()),
+        );
+        let result = capped.run(&g, &CountDown { threshold: 0.0 });
+        assert_eq!(result.halt_reason, HaltReason::MaxSupersteps);
+        assert_eq!(result.num_iterations(), 3);
+    }
+
+    #[test]
+    fn profile_counters_match_graph_structure() {
+        let g = generate_rmat(&RmatConfig::new(8, 4).with_seed(1));
+        let result = engine().run(&g, &MaxId);
+        let first = &result.profile.supersteps[0];
+        let totals = first.totals();
+        // In superstep 0 every vertex is active and sends to all neighbors.
+        assert_eq!(totals.active_vertices as usize, g.num_vertices());
+        assert_eq!(totals.total_vertices as usize, g.num_vertices());
+        assert_eq!(totals.total_messages() as usize, g.num_edges());
+        assert_eq!(totals.total_message_bytes() as usize, g.num_edges() * 4);
+        // Worker vertex counts partition the graph.
+        assert_eq!(first.workers.len(), 4);
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let g = generate_rmat(&RmatConfig::new(8, 4).with_seed(1));
+        let a = engine().run(&g, &MaxId);
+        let b = engine().run(&g, &MaxId);
+        assert_eq!(a.values, b.values);
+        assert_eq!(a.profile, b.profile);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results_only_locality() {
+        let g = generate_rmat(&RmatConfig::new(8, 4).with_seed(2));
+        let one = BspEngine::new(BspConfig::with_workers(1).with_cost(ClusterCostConfig::noiseless()))
+            .run(&g, &MaxId);
+        let many = BspEngine::new(BspConfig::with_workers(8).with_cost(ClusterCostConfig::noiseless()))
+            .run(&g, &MaxId);
+        assert_eq!(one.values, many.values);
+        assert_eq!(one.num_iterations(), many.num_iterations());
+        // With a single worker every message is local.
+        for s in &one.profile.supersteps {
+            assert_eq!(s.totals().remote_messages, 0);
+        }
+        // With 8 workers most messages are remote.
+        let totals_many: u64 = many.profile.supersteps.iter().map(|s| s.totals().remote_messages).sum();
+        assert!(totals_many > 0);
+    }
+
+    #[test]
+    fn phase_times_are_populated() {
+        let g = generate_rmat(&RmatConfig::new(7, 4).with_seed(3));
+        let result = engine().run(&g, &MaxId);
+        let p = &result.profile;
+        assert!(p.setup_ms > 0.0);
+        assert!(p.read_ms > 0.0);
+        assert!(p.write_ms > 0.0);
+        assert!(p.superstep_phase_ms() > 0.0);
+        assert!(p.total_ms() > p.superstep_phase_ms());
+    }
+
+    #[test]
+    fn empty_graph_runs_a_single_silent_superstep() {
+        let g = CsrGraph::from_edges(0, &[]);
+        let result = engine().run(&g, &MaxId);
+        assert!(result.values.is_empty());
+        assert_eq!(result.halt_reason, HaltReason::AllVerticesHalted);
+        assert_eq!(result.num_iterations(), 1);
+    }
+}

@@ -1,0 +1,225 @@
+//! Run profiles: the measurements PREDIcT consumes.
+//!
+//! A [`RunProfile`] records everything a sample run or an actual run exposes
+//! to the predictor: the phase breakdown the paper describes in section 2.2
+//! (setup / read / superstep / write) and, for every superstep, the per-worker
+//! Table 1 counters together with the per-worker and wall-clock times of the
+//! simulated cluster. The prediction crate trains its cost model directly on
+//! these profiles.
+
+use crate::aggregator::Aggregates;
+use crate::counters::{sum_counters, WorkerCounters};
+use serde::{Deserialize, Serialize};
+
+/// Counters and timings of a single superstep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SuperstepProfile {
+    /// Superstep number (0-based).
+    pub superstep: usize,
+    /// Per-worker Table 1 counters.
+    pub workers: Vec<WorkerCounters>,
+    /// Simulated per-worker processing times in milliseconds (aligned with
+    /// `workers`).
+    pub worker_times_ms: Vec<f64>,
+    /// Simulated wall time of the superstep (overhead + slowest worker +
+    /// barrier).
+    pub wall_time_ms: f64,
+    /// Global aggregates computed during this superstep.
+    pub aggregates: Aggregates,
+}
+
+impl SuperstepProfile {
+    /// Graph-level totals of the per-worker counters.
+    pub fn totals(&self) -> WorkerCounters {
+        sum_counters(&self.workers)
+    }
+
+    /// Index of the worker with the largest simulated processing time.
+    pub fn slowest_worker(&self) -> usize {
+        self.worker_times_ms
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("times are finite"))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// Counters of the worker with the most outbound work this superstep —
+    /// the per-superstep critical-path worker.
+    pub fn critical_path_counters(&self) -> WorkerCounters {
+        self.workers
+            .get(self.slowest_worker())
+            .copied()
+            .unwrap_or_default()
+    }
+}
+
+/// Complete profile of one BSP run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunProfile {
+    /// Name of the algorithm that was executed.
+    pub algorithm: String,
+    /// Number of vertices of the graph the run executed on.
+    pub num_vertices: usize,
+    /// Number of edges of the graph the run executed on.
+    pub num_edges: usize,
+    /// Number of workers.
+    pub num_workers: usize,
+    /// Simulated duration of the setup phase.
+    pub setup_ms: f64,
+    /// Simulated duration of the read phase.
+    pub read_ms: f64,
+    /// Simulated duration of the write phase.
+    pub write_ms: f64,
+    /// One entry per executed superstep.
+    pub supersteps: Vec<SuperstepProfile>,
+}
+
+impl RunProfile {
+    /// Number of supersteps the run executed (the `NumIter` feature).
+    pub fn num_iterations(&self) -> usize {
+        self.supersteps.len()
+    }
+
+    /// Simulated duration of the superstep phase (the phase the paper's
+    /// methodology predicts).
+    pub fn superstep_phase_ms(&self) -> f64 {
+        self.supersteps.iter().map(|s| s.wall_time_ms).sum()
+    }
+
+    /// Simulated end-to-end runtime: setup + read + supersteps + write.
+    pub fn total_ms(&self) -> f64 {
+        self.setup_ms + self.read_ms + self.superstep_phase_ms() + self.write_ms
+    }
+
+    /// Graph-level counter totals per superstep, in superstep order.
+    pub fn per_superstep_totals(&self) -> Vec<WorkerCounters> {
+        self.supersteps.iter().map(|s| s.totals()).collect()
+    }
+
+    /// Ratio between the longest and shortest superstep wall time; the
+    /// paper's "runtime variability among consecutive iterations" (up to
+    /// ~100x for top-k ranking and connected components).
+    pub fn runtime_variability(&self) -> f64 {
+        let mut min = f64::INFINITY;
+        let mut max: f64 = 0.0;
+        for s in &self.supersteps {
+            min = min.min(s.wall_time_ms);
+            max = max.max(s.wall_time_ms);
+        }
+        if !min.is_finite() || min <= 0.0 {
+            1.0
+        } else {
+            max / min
+        }
+    }
+
+    /// Serializes the profile to a JSON string (used by the historical-run
+    /// store and the experiment harness).
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string(self)
+    }
+
+    /// Deserializes a profile from JSON.
+    pub fn from_json(json: &str) -> serde_json::Result<Self> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_profile() -> RunProfile {
+        let worker = |active: u64, bytes: u64| WorkerCounters {
+            active_vertices: active,
+            total_vertices: active,
+            local_messages: 1,
+            remote_messages: 2,
+            local_message_bytes: bytes / 4,
+            remote_message_bytes: bytes,
+            ..Default::default()
+        };
+        RunProfile {
+            algorithm: "test".to_string(),
+            num_vertices: 100,
+            num_edges: 400,
+            num_workers: 2,
+            setup_ms: 10.0,
+            read_ms: 20.0,
+            write_ms: 5.0,
+            supersteps: vec![
+                SuperstepProfile {
+                    superstep: 0,
+                    workers: vec![worker(10, 100), worker(20, 400)],
+                    worker_times_ms: vec![1.0, 4.0],
+                    wall_time_ms: 6.0,
+                    aggregates: Aggregates::new(),
+                },
+                SuperstepProfile {
+                    superstep: 1,
+                    workers: vec![worker(5, 50), worker(2, 20)],
+                    worker_times_ms: vec![0.5, 0.2],
+                    wall_time_ms: 2.5,
+                    aggregates: Aggregates::new(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn phase_sums_add_up() {
+        let p = sample_profile();
+        assert_eq!(p.num_iterations(), 2);
+        assert!((p.superstep_phase_ms() - 8.5).abs() < 1e-9);
+        assert!((p.total_ms() - 43.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn superstep_totals_sum_workers() {
+        let p = sample_profile();
+        let totals = p.supersteps[0].totals();
+        assert_eq!(totals.active_vertices, 30);
+        assert_eq!(totals.remote_message_bytes, 500);
+        assert_eq!(p.per_superstep_totals().len(), 2);
+    }
+
+    #[test]
+    fn slowest_worker_is_identified() {
+        let p = sample_profile();
+        assert_eq!(p.supersteps[0].slowest_worker(), 1);
+        assert_eq!(p.supersteps[1].slowest_worker(), 0);
+        assert_eq!(p.supersteps[0].critical_path_counters().active_vertices, 20);
+    }
+
+    #[test]
+    fn runtime_variability_is_max_over_min() {
+        let p = sample_profile();
+        assert!((p.runtime_variability() - 6.0 / 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_profile() {
+        let p = sample_profile();
+        let json = p.to_json().unwrap();
+        let back = RunProfile::from_json(&json).unwrap();
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn empty_profile_is_well_behaved() {
+        let p = RunProfile {
+            algorithm: "noop".into(),
+            num_vertices: 0,
+            num_edges: 0,
+            num_workers: 1,
+            setup_ms: 0.0,
+            read_ms: 0.0,
+            write_ms: 0.0,
+            supersteps: vec![],
+        };
+        assert_eq!(p.num_iterations(), 0);
+        assert_eq!(p.superstep_phase_ms(), 0.0);
+        assert_eq!(p.runtime_variability(), 1.0);
+    }
+}

@@ -1,0 +1,208 @@
+//! The vertex-centric programming model.
+//!
+//! Algorithms are expressed exactly as in Pregel/Giraph (section 2.2 of the
+//! paper): a user-defined [`VertexProgram::compute`] function is executed for
+//! every active vertex in every superstep; vertices exchange data only through
+//! messages delivered in the next superstep, contribute to global
+//! [`Aggregates`](crate::aggregator::Aggregates), and may vote to halt. The
+//! master evaluates [`VertexProgram::master_halt`] — the algorithm's global
+//! convergence condition — after every superstep.
+
+use crate::aggregator::Aggregates;
+use predict_graph::{CsrGraph, VertexId};
+
+/// A vertex-centric iterative algorithm.
+///
+/// Implementations must be deterministic: the engine may execute workers in
+/// parallel and relies on per-vertex computation not depending on execution
+/// order within a superstep.
+pub trait VertexProgram: Sync {
+    /// Per-vertex state.
+    type VertexValue: Clone + Send + Sync;
+    /// Message exchanged between vertices.
+    type Message: Clone + Send + Sync;
+
+    /// Human-readable algorithm name (used in run profiles and reports).
+    fn name(&self) -> &'static str;
+
+    /// Initial value of vertex `v`. Called once per vertex before superstep 0.
+    fn init_vertex(&self, vertex: VertexId, graph: &CsrGraph) -> Self::VertexValue;
+
+    /// The compute function executed for every active vertex in every
+    /// superstep. `messages` contains the messages sent to this vertex during
+    /// the previous superstep.
+    fn compute(
+        &self,
+        ctx: &mut ComputeContext<'_, Self::VertexValue, Self::Message>,
+        messages: &[Self::Message],
+    );
+
+    /// Size in bytes of a message on the (simulated) wire. Drives the
+    /// `LocMsgSize` / `RemMsgSize` features of Table 1; implementations should
+    /// return the serialized payload size, not `size_of::<Message>()`, for
+    /// variable-length messages.
+    fn message_size_bytes(&self, msg: &Self::Message) -> u64;
+
+    /// Global convergence condition evaluated by the master after every
+    /// superstep over the merged aggregates. Returning `true` terminates the
+    /// run. The default never terminates early (the run still stops when all
+    /// vertices halt or the superstep cap is reached).
+    fn master_halt(&self, _superstep: usize, _aggregates: &Aggregates) -> bool {
+        false
+    }
+}
+
+/// Everything a vertex can see and do during one invocation of `compute`.
+pub struct ComputeContext<'a, V, M> {
+    /// Id of the vertex being computed.
+    pub vertex: VertexId,
+    /// Current superstep number (0-based).
+    pub superstep: usize,
+    /// Mutable per-vertex state.
+    pub value: &'a mut V,
+    /// Out-neighbors of the vertex.
+    pub out_neighbors: &'a [VertexId],
+    /// Weights aligned with `out_neighbors` (`None` for unweighted graphs).
+    pub out_weights: Option<&'a [f32]>,
+    /// Number of vertices in the graph the program is running on.
+    pub num_vertices: usize,
+    /// Number of edges in the graph the program is running on.
+    pub num_edges: usize,
+    /// Aggregates computed during the *previous* superstep (empty in
+    /// superstep 0).
+    pub previous_aggregates: &'a Aggregates,
+    pub(crate) outbox: &'a mut Vec<(VertexId, M)>,
+    pub(crate) partial_aggregates: &'a mut Aggregates,
+    pub(crate) halted: &'a mut bool,
+}
+
+impl<'a, V, M: Clone> ComputeContext<'a, V, M> {
+    /// Out-degree of this vertex.
+    pub fn out_degree(&self) -> usize {
+        self.out_neighbors.len()
+    }
+
+    /// Sends `msg` to vertex `dst`, to be delivered in the next superstep.
+    pub fn send(&mut self, dst: VertexId, msg: M) {
+        self.outbox.push((dst, msg));
+    }
+
+    /// Sends a copy of `msg` to every out-neighbor of this vertex.
+    pub fn send_to_all_neighbors(&mut self, msg: M) {
+        for i in 0..self.out_neighbors.len() {
+            let dst = self.out_neighbors[i];
+            self.outbox.push((dst, msg.clone()));
+        }
+    }
+
+    /// Contributes `value` to the global sum-aggregator `name`.
+    pub fn aggregate(&mut self, name: &str, value: f64) {
+        self.partial_aggregates.add(name, value);
+    }
+
+    /// Votes to halt: the vertex becomes inactive and will not execute
+    /// `compute` again unless it receives a message.
+    pub fn vote_to_halt(&mut self) {
+        *self.halted = true;
+    }
+
+    /// Revokes a vote to halt issued earlier in the same compute call.
+    pub fn stay_active(&mut self) {
+        *self.halted = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use predict_graph::EdgeList;
+
+    /// A trivial program used to exercise the context plumbing: every vertex
+    /// forwards its id to all neighbors once and halts.
+    struct Broadcast;
+
+    impl VertexProgram for Broadcast {
+        type VertexValue = u32;
+        type Message = u32;
+
+        fn name(&self) -> &'static str {
+            "broadcast"
+        }
+
+        fn init_vertex(&self, vertex: VertexId, _graph: &CsrGraph) -> u32 {
+            vertex
+        }
+
+        fn compute(&self, ctx: &mut ComputeContext<'_, u32, u32>, _messages: &[u32]) {
+            if ctx.superstep == 0 {
+                let v = ctx.vertex;
+                ctx.send_to_all_neighbors(v);
+                ctx.aggregate("sent", ctx.out_degree() as f64);
+            }
+            ctx.vote_to_halt();
+        }
+
+        fn message_size_bytes(&self, _msg: &u32) -> u64 {
+            4
+        }
+    }
+
+    #[test]
+    fn context_send_and_aggregate_work() {
+        let el: EdgeList = [(0u32, 1u32), (0, 2), (1, 2)].into_iter().collect();
+        let g = CsrGraph::from_edge_list(&el);
+        let program = Broadcast;
+        let prev = Aggregates::new();
+        let mut outbox = Vec::new();
+        let mut partial = Aggregates::new();
+        let mut halted = false;
+        let mut value = program.init_vertex(0, &g);
+
+        let mut ctx = ComputeContext {
+            vertex: 0,
+            superstep: 0,
+            value: &mut value,
+            out_neighbors: g.out_neighbors(0),
+            out_weights: g.out_weights(0),
+            num_vertices: g.num_vertices(),
+            num_edges: g.num_edges(),
+            previous_aggregates: &prev,
+            outbox: &mut outbox,
+            partial_aggregates: &mut partial,
+            halted: &mut halted,
+        };
+        program.compute(&mut ctx, &[]);
+
+        assert_eq!(outbox.len(), 2);
+        assert!(outbox.iter().all(|(_, m)| *m == 0));
+        assert_eq!(partial.get("sent"), Some(2.0));
+        assert!(halted);
+    }
+
+    #[test]
+    fn stay_active_revokes_halt() {
+        let el: EdgeList = [(0u32, 1u32)].into_iter().collect();
+        let g = CsrGraph::from_edge_list(&el);
+        let prev = Aggregates::new();
+        let mut outbox: Vec<(VertexId, u32)> = Vec::new();
+        let mut partial = Aggregates::new();
+        let mut halted = false;
+        let mut value = 0u32;
+        let mut ctx = ComputeContext {
+            vertex: 0,
+            superstep: 0,
+            value: &mut value,
+            out_neighbors: g.out_neighbors(0),
+            out_weights: None,
+            num_vertices: 2,
+            num_edges: 1,
+            previous_aggregates: &prev,
+            outbox: &mut outbox,
+            partial_aggregates: &mut partial,
+            halted: &mut halted,
+        };
+        ctx.vote_to_halt();
+        ctx.stay_active();
+        assert!(!halted);
+    }
+}

@@ -1,0 +1,200 @@
+//! Per-worker superstep execution.
+//!
+//! A worker owns a partition of the vertices. During the compute phase of a
+//! superstep it executes the program's compute function for every active
+//! vertex it owns, collects outgoing messages into an outbox, accumulates
+//! partial aggregates and maintains its Table 1 counters. The master
+//! ([`BspEngine`](crate::engine::BspEngine)) merges the per-worker outputs in
+//! worker-index order, which keeps the whole run deterministic.
+
+use crate::aggregator::Aggregates;
+use crate::counters::WorkerCounters;
+use crate::partition::Partitioning;
+use crate::program::{ComputeContext, VertexProgram};
+use predict_graph::{CsrGraph, VertexId};
+
+/// Everything a worker produces during the compute phase of one superstep.
+pub struct WorkerSuperstepOutput<M> {
+    /// Index of the worker.
+    pub worker: usize,
+    /// Table 1 counters of this worker for this superstep.
+    pub counters: WorkerCounters,
+    /// Messages produced by this worker, addressed by destination vertex.
+    pub outbox: Vec<(VertexId, M)>,
+    /// Partial aggregates contributed by this worker's vertices.
+    pub partial_aggregates: Aggregates,
+}
+
+/// Executes the compute phase of superstep `superstep` for worker `worker`.
+///
+/// `values`, `halted` and `inboxes` are the global per-vertex state vectors;
+/// the worker only reads and writes the entries of the vertices it owns, plus
+/// it reads (and drains) the inboxes of those vertices.
+#[allow(clippy::too_many_arguments)]
+pub fn run_worker_superstep<P: VertexProgram>(
+    program: &P,
+    graph: &CsrGraph,
+    partitioning: &Partitioning,
+    worker: usize,
+    superstep: usize,
+    previous_aggregates: &Aggregates,
+    values: &mut [P::VertexValue],
+    halted: &mut [bool],
+    inboxes: &mut [Vec<P::Message>],
+) -> WorkerSuperstepOutput<P::Message> {
+    let mut counters = WorkerCounters::new(partitioning.vertices_of_worker(worker) as u64);
+    let mut outbox: Vec<(VertexId, P::Message)> = Vec::new();
+    let mut partial_aggregates = Aggregates::new();
+
+    for v in partitioning.worker_vertices(worker) {
+        let vi = v as usize;
+        let incoming = std::mem::take(&mut inboxes[vi]);
+        if halted[vi] && incoming.is_empty() {
+            continue;
+        }
+        // Receipt of a message re-activates a halted vertex (Pregel
+        // semantics); an active vertex stays active unless it votes to halt.
+        halted[vi] = false;
+        counters.active_vertices += 1;
+
+        let outbox_start = outbox.len();
+        let mut vertex_halted = false;
+        {
+            let mut ctx = ComputeContext {
+                vertex: v,
+                superstep,
+                value: &mut values[vi],
+                out_neighbors: graph.out_neighbors(v),
+                out_weights: graph.out_weights(v),
+                num_vertices: graph.num_vertices(),
+                num_edges: graph.num_edges(),
+                previous_aggregates,
+                outbox: &mut outbox,
+                partial_aggregates: &mut partial_aggregates,
+                halted: &mut vertex_halted,
+            };
+            program.compute(&mut ctx, &incoming);
+        }
+        halted[vi] = vertex_halted;
+
+        // Classify and count the messages this vertex just sent.
+        for (dst, msg) in &outbox[outbox_start..] {
+            let bytes = program.message_size_bytes(msg);
+            let local = partitioning.worker_of(*dst) == worker;
+            counters.record_message(bytes, local);
+        }
+    }
+
+    WorkerSuperstepOutput { worker, counters, outbox, partial_aggregates }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::PartitionStrategy;
+    use predict_graph::EdgeList;
+
+    /// Every vertex sends its id to all out-neighbors in superstep 0, then
+    /// halts; reactivated vertices sum what they received.
+    struct SumIds;
+
+    impl VertexProgram for SumIds {
+        type VertexValue = u64;
+        type Message = u32;
+
+        fn name(&self) -> &'static str {
+            "sum-ids"
+        }
+
+        fn init_vertex(&self, _v: VertexId, _g: &CsrGraph) -> u64 {
+            0
+        }
+
+        fn compute(&self, ctx: &mut ComputeContext<'_, u64, u32>, messages: &[u32]) {
+            if ctx.superstep == 0 {
+                let id = ctx.vertex;
+                ctx.send_to_all_neighbors(id);
+            } else {
+                *ctx.value += messages.iter().map(|&m| m as u64).sum::<u64>();
+                ctx.aggregate("received", messages.len() as f64);
+            }
+            ctx.vote_to_halt();
+        }
+
+        fn message_size_bytes(&self, _m: &u32) -> u64 {
+            4
+        }
+    }
+
+    fn two_worker_setup() -> (CsrGraph, Partitioning) {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        let el: EdgeList = [(0u32, 1u32), (0, 2), (1, 3), (2, 3)].into_iter().collect();
+        let g = CsrGraph::from_edge_list(&el);
+        let p = Partitioning::new(&g, 2, PartitionStrategy::Modulo);
+        (g, p)
+    }
+
+    #[test]
+    fn superstep_zero_sends_messages_and_counts_them() {
+        let (g, p) = two_worker_setup();
+        let program = SumIds;
+        let mut values = vec![0u64; 4];
+        let mut halted = vec![false; 4];
+        let mut inboxes: Vec<Vec<u32>> = vec![Vec::new(); 4];
+        let prev = Aggregates::new();
+
+        // Worker 0 owns vertices 0 and 2 (modulo partitioning).
+        let out = run_worker_superstep(
+            &program, &g, &p, 0, 0, &prev, &mut values, &mut halted, &mut inboxes,
+        );
+        assert_eq!(out.counters.active_vertices, 2);
+        assert_eq!(out.counters.total_vertices, 2);
+        // Vertex 0 sends to 1 (worker 1, remote) and 2 (worker 0, local);
+        // vertex 2 sends to 3 (worker 1, remote).
+        assert_eq!(out.counters.local_messages, 1);
+        assert_eq!(out.counters.remote_messages, 2);
+        assert_eq!(out.counters.total_message_bytes(), 12);
+        assert_eq!(out.outbox.len(), 3);
+        // Both vertices voted to halt.
+        assert!(halted[0] && halted[2]);
+        // Worker 0 never touched worker 1's vertices.
+        assert!(!halted[1] && !halted[3]);
+    }
+
+    #[test]
+    fn halted_vertices_without_messages_are_skipped() {
+        let (g, p) = two_worker_setup();
+        let program = SumIds;
+        let mut values = vec![0u64; 4];
+        let mut halted = vec![true; 4];
+        let mut inboxes: Vec<Vec<u32>> = vec![Vec::new(); 4];
+        let prev = Aggregates::new();
+        let out = run_worker_superstep(
+            &program, &g, &p, 0, 1, &prev, &mut values, &mut halted, &mut inboxes,
+        );
+        assert_eq!(out.counters.active_vertices, 0);
+        assert!(out.outbox.is_empty());
+    }
+
+    #[test]
+    fn messages_reactivate_halted_vertices_and_are_consumed() {
+        let (g, p) = two_worker_setup();
+        let program = SumIds;
+        let mut values = vec![0u64; 4];
+        let mut halted = vec![true; 4];
+        let mut inboxes: Vec<Vec<u32>> = vec![Vec::new(); 4];
+        inboxes[3] = vec![1, 2];
+        let prev = Aggregates::new();
+
+        // Worker 1 owns vertices 1 and 3.
+        let out = run_worker_superstep(
+            &program, &g, &p, 1, 1, &prev, &mut values, &mut halted, &mut inboxes,
+        );
+        assert_eq!(out.counters.active_vertices, 1);
+        assert_eq!(values[3], 3);
+        assert!(inboxes[3].is_empty(), "inbox must be drained");
+        assert_eq!(out.partial_aggregates.get("received"), Some(2.0));
+        // The vertex voted to halt again after processing.
+        assert!(halted[3]);
+    }
+}

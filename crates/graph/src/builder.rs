@@ -1,0 +1,170 @@
+//! Incremental graph construction.
+//!
+//! [`GraphBuilder`] wraps an [`EdgeList`](crate::EdgeList) with convenience
+//! methods for incremental construction (deduplication, undirected mirroring,
+//! self-loop policy) and freezes the result into a [`CsrGraph`].
+
+use crate::csr::CsrGraph;
+use crate::edge_list::EdgeList;
+use crate::types::VertexId;
+
+/// Policy for self-loop edges encountered during construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SelfLoopPolicy {
+    /// Drop self-loops silently (default: the paper's graphs are simple).
+    #[default]
+    Drop,
+    /// Keep self-loops.
+    Keep,
+}
+
+/// Builder for [`CsrGraph`].
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    edges: EdgeList,
+    self_loops: SelfLoopPolicy,
+    dedup: bool,
+    undirected: bool,
+}
+
+impl GraphBuilder {
+    /// Creates a new builder with default policies (drop self-loops, keep
+    /// duplicates, directed).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder pre-sized for `num_vertices` vertices.
+    pub fn with_vertices(num_vertices: usize) -> Self {
+        let mut b = Self::new();
+        b.edges.ensure_vertices(num_vertices);
+        b
+    }
+
+    /// Sets the self-loop policy.
+    pub fn self_loops(mut self, policy: SelfLoopPolicy) -> Self {
+        self.self_loops = policy;
+        self
+    }
+
+    /// Requests duplicate-edge removal at build time.
+    pub fn deduplicate(mut self, yes: bool) -> Self {
+        self.dedup = yes;
+        self
+    }
+
+    /// Requests undirected mirroring (every edge also added reversed) at
+    /// build time.
+    pub fn undirected(mut self, yes: bool) -> Self {
+        self.undirected = yes;
+        self
+    }
+
+    /// Adds a directed, unweighted edge.
+    pub fn add_edge(&mut self, src: VertexId, dst: VertexId) -> &mut Self {
+        self.add_weighted_edge(src, dst, 1.0)
+    }
+
+    /// Adds a directed, weighted edge.
+    pub fn add_weighted_edge(&mut self, src: VertexId, dst: VertexId, weight: f32) -> &mut Self {
+        if src == dst && self.self_loops == SelfLoopPolicy::Drop {
+            return self;
+        }
+        self.edges.push_weighted(src, dst, weight);
+        self
+    }
+
+    /// Adds every edge from an iterator of `(src, dst)` pairs.
+    pub fn extend_edges(&mut self, it: impl IntoIterator<Item = (VertexId, VertexId)>) -> &mut Self {
+        for (s, d) in it {
+            self.add_edge(s, d);
+        }
+        self
+    }
+
+    /// Ensures the vertex id space covers `n` vertices.
+    pub fn ensure_vertices(&mut self, n: usize) -> &mut Self {
+        self.edges.ensure_vertices(n);
+        self
+    }
+
+    /// Current number of staged edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.num_edges()
+    }
+
+    /// Freezes the builder into a [`CsrGraph`], applying the configured
+    /// policies (dedup, undirected mirroring).
+    pub fn build(self) -> CsrGraph {
+        let mut edges = self.edges;
+        if self.undirected {
+            edges = edges.to_undirected();
+        } else if self.dedup {
+            edges.dedup();
+        }
+        CsrGraph::from_edge_list(&edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_simple_graph() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1).add_edge(1, 2);
+        let g = b.build();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn drops_self_loops_by_default() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 0).add_edge(0, 1);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn keeps_self_loops_when_requested() {
+        let mut b = GraphBuilder::new().self_loops(SelfLoopPolicy::Keep);
+        b.add_edge(0, 0).add_edge(0, 1);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn deduplicates_when_requested() {
+        let mut b = GraphBuilder::new().deduplicate(true);
+        b.add_edge(0, 1).add_edge(0, 1).add_edge(1, 0);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn undirected_mirrors_edges() {
+        let mut b = GraphBuilder::new().undirected(true);
+        b.add_edge(0, 1).add_edge(1, 2);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.out_degree(1), 2);
+        assert_eq!(g.in_degree(1), 2);
+    }
+
+    #[test]
+    fn with_vertices_reserves_id_space() {
+        let b = GraphBuilder::with_vertices(7);
+        let g = b.build();
+        assert_eq!(g.num_vertices(), 7);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn extend_edges_adds_all() {
+        let mut b = GraphBuilder::new();
+        b.extend_edges([(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(b.num_edges(), 3);
+    }
+}

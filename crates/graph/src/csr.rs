@@ -1,0 +1,334 @@
+//! Compressed sparse row (CSR) directed graph.
+//!
+//! [`CsrGraph`] is the frozen, read-optimized graph representation used by the
+//! BSP engine and the samplers. It stores both the out-adjacency (for message
+//! sending and random walks) and the in-adjacency (for in-degree statistics
+//! and property analysis), plus optional per-out-edge weights for weighted
+//! algorithms such as semi-clustering.
+
+use crate::edge_list::EdgeList;
+use crate::types::{Edge, VertexId};
+
+/// Immutable directed graph in compressed-sparse-row form.
+///
+/// Vertices are densely numbered `0..num_vertices()`. Out-neighbors of vertex
+/// `v` are `out_offsets[v]..out_offsets[v + 1]` into `out_targets`; the
+/// in-adjacency is stored symmetrically. Edge weights, when present, are
+/// aligned with `out_targets`.
+#[derive(Debug, Clone)]
+pub struct CsrGraph {
+    num_vertices: usize,
+    out_offsets: Vec<usize>,
+    out_targets: Vec<VertexId>,
+    out_weights: Option<Vec<f32>>,
+    in_offsets: Vec<usize>,
+    in_sources: Vec<VertexId>,
+}
+
+impl CsrGraph {
+    /// Builds a CSR graph from an edge list. Duplicate edges are preserved
+    /// as parallel edges; call [`EdgeList::dedup`] first if that is undesired.
+    pub fn from_edge_list(list: &EdgeList) -> Self {
+        Self::from_edges(list.num_vertices(), list.edges())
+    }
+
+    /// Builds a CSR graph from a slice of edges over `num_vertices` vertices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any edge references a vertex `>= num_vertices`.
+    pub fn from_edges(num_vertices: usize, edges: &[Edge]) -> Self {
+        let weighted = edges.iter().any(|e| e.weight != 1.0);
+
+        let mut out_degree = vec![0usize; num_vertices];
+        let mut in_degree = vec![0usize; num_vertices];
+        for e in edges {
+            assert!(
+                (e.src as usize) < num_vertices && (e.dst as usize) < num_vertices,
+                "edge ({}, {}) out of bounds for {} vertices",
+                e.src,
+                e.dst,
+                num_vertices
+            );
+            out_degree[e.src as usize] += 1;
+            in_degree[e.dst as usize] += 1;
+        }
+
+        let out_offsets = prefix_sum(&out_degree);
+        let in_offsets = prefix_sum(&in_degree);
+        let num_edges = edges.len();
+
+        let mut out_targets = vec![0 as VertexId; num_edges];
+        let mut out_weights = if weighted { Some(vec![1.0f32; num_edges]) } else { None };
+        let mut in_sources = vec![0 as VertexId; num_edges];
+
+        let mut out_cursor = out_offsets.clone();
+        let mut in_cursor = in_offsets.clone();
+        for e in edges {
+            let oc = &mut out_cursor[e.src as usize];
+            out_targets[*oc] = e.dst;
+            if let Some(w) = out_weights.as_mut() {
+                w[*oc] = e.weight;
+            }
+            *oc += 1;
+
+            let ic = &mut in_cursor[e.dst as usize];
+            in_sources[*ic] = e.src;
+            *ic += 1;
+        }
+
+        Self {
+            num_vertices,
+            out_offsets,
+            out_targets,
+            out_weights,
+            in_offsets,
+            in_sources,
+        }
+    }
+
+    /// Number of vertices in the graph.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of directed edges in the graph.
+    pub fn num_edges(&self) -> usize {
+        self.out_targets.len()
+    }
+
+    /// True when the graph stores per-edge weights.
+    pub fn is_weighted(&self) -> bool {
+        self.out_weights.is_some()
+    }
+
+    /// Out-degree of vertex `v`.
+    pub fn out_degree(&self, v: VertexId) -> usize {
+        let v = v as usize;
+        self.out_offsets[v + 1] - self.out_offsets[v]
+    }
+
+    /// In-degree of vertex `v`.
+    pub fn in_degree(&self, v: VertexId) -> usize {
+        let v = v as usize;
+        self.in_offsets[v + 1] - self.in_offsets[v]
+    }
+
+    /// Out-neighbors of vertex `v`.
+    pub fn out_neighbors(&self, v: VertexId) -> &[VertexId] {
+        let v = v as usize;
+        &self.out_targets[self.out_offsets[v]..self.out_offsets[v + 1]]
+    }
+
+    /// Weights of the out-edges of `v`, aligned with [`Self::out_neighbors`].
+    /// Returns `None` for unweighted graphs.
+    pub fn out_weights(&self, v: VertexId) -> Option<&[f32]> {
+        let v = v as usize;
+        self.out_weights
+            .as_ref()
+            .map(|w| &w[self.out_offsets[v]..self.out_offsets[v + 1]])
+    }
+
+    /// In-neighbors (sources of incoming edges) of vertex `v`.
+    pub fn in_neighbors(&self, v: VertexId) -> &[VertexId] {
+        let v = v as usize;
+        &self.in_sources[self.in_offsets[v]..self.in_offsets[v + 1]]
+    }
+
+    /// Iterates over all vertex ids.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> {
+        0..self.num_vertices as VertexId
+    }
+
+    /// Iterates over all directed edges as `(src, dst, weight)` triples.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId, f32)> + '_ {
+        (0..self.num_vertices as VertexId).flat_map(move |v| {
+            let nbrs = self.out_neighbors(v);
+            let ws = self.out_weights(v);
+            nbrs.iter().enumerate().map(move |(i, &d)| {
+                let w = ws.map(|w| w[i]).unwrap_or(1.0);
+                (v, d, w)
+            })
+        })
+    }
+
+    /// Average out-degree (`num_edges / num_vertices`), 0.0 for empty graphs.
+    pub fn avg_degree(&self) -> f64 {
+        if self.num_vertices == 0 {
+            0.0
+        } else {
+            self.num_edges() as f64 / self.num_vertices as f64
+        }
+    }
+
+    /// Vertices sorted by descending out-degree. Used by Biased Random Jump
+    /// seed selection and by the critical-path worker model.
+    pub fn vertices_by_out_degree_desc(&self) -> Vec<VertexId> {
+        let mut vs: Vec<VertexId> = self.vertices().collect();
+        vs.sort_by_key(|&v| std::cmp::Reverse(self.out_degree(v)));
+        vs
+    }
+
+    /// Converts back to an edge list (useful for re-sampling or re-weighting).
+    pub fn to_edge_list(&self) -> EdgeList {
+        let mut el = EdgeList::with_capacity(self.num_edges());
+        el.ensure_vertices(self.num_vertices);
+        for (s, d, w) in self.edges() {
+            el.push_weighted(s, d, w);
+        }
+        el
+    }
+
+    /// Rough in-memory footprint in bytes of the graph structure, used by the
+    /// dataset presets to report a "size" column analogous to Table 2.
+    pub fn size_bytes(&self) -> usize {
+        self.out_offsets.len() * std::mem::size_of::<usize>()
+            + self.in_offsets.len() * std::mem::size_of::<usize>()
+            + self.out_targets.len() * std::mem::size_of::<VertexId>()
+            + self.in_sources.len() * std::mem::size_of::<VertexId>()
+            + self
+                .out_weights
+                .as_ref()
+                .map(|w| w.len() * std::mem::size_of::<f32>())
+                .unwrap_or(0)
+    }
+}
+
+fn prefix_sum(counts: &[usize]) -> Vec<usize> {
+    let mut offsets = Vec::with_capacity(counts.len() + 1);
+    let mut acc = 0usize;
+    offsets.push(0);
+    for &c in counts {
+        acc += c;
+        offsets.push(acc);
+    }
+    offsets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> CsrGraph {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        let el: EdgeList = [(0u32, 1u32), (0, 2), (1, 3), (2, 3)].into_iter().collect();
+        CsrGraph::from_edge_list(&el)
+    }
+
+    #[test]
+    fn basic_counts() {
+        let g = diamond();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert!(!g.is_weighted());
+        assert_eq!(g.avg_degree(), 1.0);
+    }
+
+    #[test]
+    fn out_and_in_adjacency_are_consistent() {
+        let g = diamond();
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.out_degree(3), 0);
+        assert_eq!(g.in_degree(3), 2);
+        assert_eq!(g.in_degree(0), 0);
+        let mut n0: Vec<_> = g.out_neighbors(0).to_vec();
+        n0.sort();
+        assert_eq!(n0, vec![1, 2]);
+        let mut i3: Vec<_> = g.in_neighbors(3).to_vec();
+        i3.sort();
+        assert_eq!(i3, vec![1, 2]);
+    }
+
+    #[test]
+    fn weighted_graph_preserves_weights() {
+        let mut el = EdgeList::new();
+        el.push_weighted(0, 1, 0.5);
+        el.push_weighted(1, 2, 2.5);
+        let g = CsrGraph::from_edge_list(&el);
+        assert!(g.is_weighted());
+        assert_eq!(g.out_weights(0).unwrap(), &[0.5]);
+        assert_eq!(g.out_weights(1).unwrap(), &[2.5]);
+        assert!(g.out_weights(2).unwrap().is_empty());
+    }
+
+    #[test]
+    fn unweighted_graph_has_no_weight_storage() {
+        let g = diamond();
+        assert!(g.out_weights(0).is_none());
+    }
+
+    #[test]
+    fn edges_iterator_yields_all_edges() {
+        let g = diamond();
+        let mut pairs: Vec<_> = g.edges().map(|(s, d, _)| (s, d)).collect();
+        pairs.sort();
+        assert_eq!(pairs, vec![(0, 1), (0, 2), (1, 3), (2, 3)]);
+    }
+
+    #[test]
+    fn roundtrip_through_edge_list() {
+        let g = diamond();
+        let el = g.to_edge_list();
+        let g2 = CsrGraph::from_edge_list(&el);
+        assert_eq!(g2.num_vertices(), g.num_vertices());
+        assert_eq!(g2.num_edges(), g.num_edges());
+        for v in g.vertices() {
+            let mut a = g.out_neighbors(v).to_vec();
+            let mut b = g2.out_neighbors(v).to_vec();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn vertices_by_out_degree_desc_orders_hubs_first() {
+        let el: EdgeList = [(0u32, 1u32), (0, 2), (0, 3), (1, 2)].into_iter().collect();
+        let g = CsrGraph::from_edge_list(&el);
+        let order = g.vertices_by_out_degree_desc();
+        assert_eq!(order[0], 0);
+        assert_eq!(order[1], 1);
+    }
+
+    #[test]
+    fn empty_graph_is_well_formed() {
+        let g = CsrGraph::from_edges(0, &[]);
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.avg_degree(), 0.0);
+        assert_eq!(g.vertices().count(), 0);
+    }
+
+    #[test]
+    fn isolated_vertices_have_zero_degree() {
+        let mut el = EdgeList::new();
+        el.push(0, 1);
+        el.ensure_vertices(5);
+        let g = CsrGraph::from_edge_list(&el);
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.out_degree(4), 0);
+        assert_eq!(g.in_degree(4), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_edge_panics() {
+        CsrGraph::from_edges(2, &[Edge::new(0, 5)]);
+    }
+
+    #[test]
+    fn size_bytes_is_positive_for_nonempty_graph() {
+        let g = diamond();
+        assert!(g.size_bytes() > 0);
+    }
+
+    #[test]
+    fn parallel_edges_are_preserved() {
+        let mut el = EdgeList::new();
+        el.push(0, 1);
+        el.push(0, 1);
+        let g = CsrGraph::from_edge_list(&el);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.out_degree(0), 2);
+    }
+}

@@ -1,0 +1,219 @@
+//! A mutable list-of-edges graph representation.
+//!
+//! [`EdgeList`] is the intermediate representation produced by generators,
+//! readers and samplers before the graph is frozen into a [`CsrGraph`]
+//! (`crate::csr::CsrGraph`). It supports deduplication, self-loop removal and
+//! conversion to an undirected graph (by mirroring every edge), which is how
+//! the paper feeds directed web/social graphs to algorithms that operate on
+//! undirected graphs (semi-clustering).
+
+use crate::types::{Edge, VertexId};
+
+/// A growable collection of directed, optionally weighted edges.
+#[derive(Debug, Clone, Default)]
+pub struct EdgeList {
+    edges: Vec<Edge>,
+    /// Largest vertex id seen plus one; may be raised explicitly to include
+    /// isolated vertices.
+    num_vertices: usize,
+}
+
+impl EdgeList {
+    /// Creates an empty edge list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty edge list with capacity for `cap` edges.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self { edges: Vec::with_capacity(cap), num_vertices: 0 }
+    }
+
+    /// Adds an unweighted edge.
+    pub fn push(&mut self, src: VertexId, dst: VertexId) {
+        self.push_edge(Edge::new(src, dst));
+    }
+
+    /// Adds a weighted edge.
+    pub fn push_weighted(&mut self, src: VertexId, dst: VertexId, weight: f32) {
+        self.push_edge(Edge::weighted(src, dst, weight));
+    }
+
+    /// Adds an [`Edge`].
+    pub fn push_edge(&mut self, edge: Edge) {
+        let hi = edge.src.max(edge.dst) as usize + 1;
+        if hi > self.num_vertices {
+            self.num_vertices = hi;
+        }
+        self.edges.push(edge);
+    }
+
+    /// Ensures the vertex id space covers at least `n` vertices, so isolated
+    /// vertices (no incident edges) are representable.
+    pub fn ensure_vertices(&mut self, n: usize) {
+        if n > self.num_vertices {
+            self.num_vertices = n;
+        }
+    }
+
+    /// Number of vertices in the id space (`max id + 1`, or an explicitly
+    /// ensured larger value).
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of edges currently stored (including any duplicates).
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Returns true when no edges are stored.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Immutable view of the stored edges.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Iterates over `(src, dst)` pairs.
+    pub fn iter_pairs(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        self.edges.iter().map(|e| (e.src, e.dst))
+    }
+
+    /// Removes self-loops (`src == dst`) in place.
+    pub fn remove_self_loops(&mut self) {
+        self.edges.retain(|e| e.src != e.dst);
+    }
+
+    /// Removes duplicate `(src, dst)` pairs in place, keeping the first
+    /// occurrence (and therefore its weight). Sorts the list as a side effect.
+    pub fn dedup(&mut self) {
+        self.edges
+            .sort_by(|a, b| (a.src, a.dst).cmp(&(b.src, b.dst)));
+        self.edges.dedup_by_key(|e| (e.src, e.dst));
+    }
+
+    /// Returns a new edge list where every edge also appears reversed, which
+    /// models an undirected graph in a directed representation (the convention
+    /// the paper uses for Giraph). Duplicates created by mirroring already
+    /// bidirectional edges are removed.
+    pub fn to_undirected(&self) -> EdgeList {
+        let mut out = EdgeList::with_capacity(self.edges.len() * 2);
+        out.ensure_vertices(self.num_vertices);
+        for e in &self.edges {
+            if e.src == e.dst {
+                continue;
+            }
+            out.push_edge(*e);
+            out.push_edge(e.reversed());
+        }
+        out.dedup();
+        out
+    }
+
+    /// Consumes the list and returns the underlying vector of edges.
+    pub fn into_edges(self) -> Vec<Edge> {
+        self.edges
+    }
+}
+
+impl FromIterator<(VertexId, VertexId)> for EdgeList {
+    fn from_iter<T: IntoIterator<Item = (VertexId, VertexId)>>(iter: T) -> Self {
+        let mut list = EdgeList::new();
+        for (s, d) in iter {
+            list.push(s, d);
+        }
+        list
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_tracks_vertex_count() {
+        let mut el = EdgeList::new();
+        el.push(0, 5);
+        el.push(2, 1);
+        assert_eq!(el.num_vertices(), 6);
+        assert_eq!(el.num_edges(), 2);
+    }
+
+    #[test]
+    fn ensure_vertices_extends_id_space() {
+        let mut el = EdgeList::new();
+        el.push(0, 1);
+        el.ensure_vertices(10);
+        assert_eq!(el.num_vertices(), 10);
+        // Ensuring a smaller count is a no-op.
+        el.ensure_vertices(3);
+        assert_eq!(el.num_vertices(), 10);
+    }
+
+    #[test]
+    fn dedup_removes_duplicate_pairs() {
+        let mut el = EdgeList::new();
+        el.push(0, 1);
+        el.push(0, 1);
+        el.push(1, 0);
+        el.dedup();
+        assert_eq!(el.num_edges(), 2);
+    }
+
+    #[test]
+    fn dedup_keeps_first_weight() {
+        let mut el = EdgeList::new();
+        el.push_weighted(0, 1, 2.0);
+        el.push_weighted(0, 1, 9.0);
+        el.dedup();
+        assert_eq!(el.num_edges(), 1);
+        assert_eq!(el.edges()[0].weight, 2.0);
+    }
+
+    #[test]
+    fn remove_self_loops_drops_loops_only() {
+        let mut el = EdgeList::new();
+        el.push(0, 0);
+        el.push(0, 1);
+        el.push(2, 2);
+        el.remove_self_loops();
+        assert_eq!(el.num_edges(), 1);
+        assert_eq!(el.edges()[0].dst, 1);
+    }
+
+    #[test]
+    fn to_undirected_mirrors_edges() {
+        let el: EdgeList = [(0u32, 1u32), (1, 2)].into_iter().collect();
+        let und = el.to_undirected();
+        let pairs: Vec<_> = und.iter_pairs().collect();
+        assert!(pairs.contains(&(0, 1)));
+        assert!(pairs.contains(&(1, 0)));
+        assert!(pairs.contains(&(1, 2)));
+        assert!(pairs.contains(&(2, 1)));
+        assert_eq!(und.num_edges(), 4);
+    }
+
+    #[test]
+    fn to_undirected_does_not_duplicate_bidirectional_edges() {
+        let el: EdgeList = [(0u32, 1u32), (1, 0)].into_iter().collect();
+        let und = el.to_undirected();
+        assert_eq!(und.num_edges(), 2);
+    }
+
+    #[test]
+    fn to_undirected_drops_self_loops() {
+        let el: EdgeList = [(0u32, 0u32), (0, 1)].into_iter().collect();
+        let und = el.to_undirected();
+        assert_eq!(und.num_edges(), 2);
+    }
+
+    #[test]
+    fn from_iterator_collects_pairs() {
+        let el: EdgeList = [(0u32, 1u32), (1, 2), (2, 3)].into_iter().collect();
+        assert_eq!(el.num_edges(), 3);
+        assert_eq!(el.num_vertices(), 4);
+    }
+}

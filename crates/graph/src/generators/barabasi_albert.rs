@@ -1,0 +1,179 @@
+//! Barabási–Albert preferential-attachment generator.
+//!
+//! Produces scale-free graphs by growing the graph one vertex at a time and
+//! attaching each new vertex to `m` existing vertices chosen with probability
+//! proportional to their current degree. The resulting degree distribution
+//! follows a power law with exponent ≈ 3, which makes these graphs a good
+//! stand-in for the scale-free web/social graphs the paper samples from.
+
+use crate::csr::CsrGraph;
+use crate::edge_list::EdgeList;
+use crate::types::VertexId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`generate_barabasi_albert`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BarabasiAlbertConfig {
+    /// Total number of vertices.
+    pub num_vertices: usize,
+    /// Number of edges each newly added vertex attaches with.
+    pub edges_per_vertex: usize,
+    /// PRNG seed.
+    pub seed: u64,
+    /// When true the generated edges are mirrored so the output graph is
+    /// undirected (every attachment appears in both directions).
+    pub undirected: bool,
+}
+
+impl BarabasiAlbertConfig {
+    /// Creates a config for a directed graph of `num_vertices` vertices, each
+    /// new vertex attaching `edges_per_vertex` edges.
+    pub fn new(num_vertices: usize, edges_per_vertex: usize) -> Self {
+        Self { num_vertices, edges_per_vertex, seed: 0, undirected: false }
+    }
+
+    /// Sets the PRNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Requests an undirected graph (edges mirrored in both directions).
+    pub fn undirected(mut self) -> Self {
+        self.undirected = true;
+        self
+    }
+}
+
+/// Generates a Barabási–Albert preferential-attachment graph.
+///
+/// The first `edges_per_vertex + 1` vertices form a small seed clique; every
+/// subsequent vertex attaches to `edges_per_vertex` distinct existing vertices
+/// chosen proportionally to their degree (implemented with the standard
+/// repeated-endpoint trick: endpoints of previously created edges are sampled
+/// uniformly, which is equivalent to degree-proportional sampling).
+///
+/// # Panics
+///
+/// Panics if `num_vertices <= edges_per_vertex` or `edges_per_vertex == 0`.
+pub fn generate_barabasi_albert(config: &BarabasiAlbertConfig) -> CsrGraph {
+    let n = config.num_vertices;
+    let m = config.edges_per_vertex;
+    assert!(m > 0, "edges_per_vertex must be positive");
+    assert!(n > m, "num_vertices must exceed edges_per_vertex");
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut edges = EdgeList::with_capacity(n * m * 2);
+    edges.ensure_vertices(n);
+
+    // `endpoints` holds every endpoint of every edge created so far; sampling
+    // uniformly from it is degree-proportional sampling.
+    let mut endpoints: Vec<VertexId> = Vec::with_capacity(n * m * 2);
+
+    // Seed clique over the first m + 1 vertices.
+    let seed_size = m + 1;
+    for i in 0..seed_size as VertexId {
+        for j in 0..seed_size as VertexId {
+            if i != j {
+                edges.push(i, j);
+            }
+        }
+        for _ in 0..(seed_size - 1) {
+            endpoints.push(i);
+        }
+    }
+
+    let mut targets: Vec<VertexId> = Vec::with_capacity(m);
+    for v in seed_size as VertexId..n as VertexId {
+        targets.clear();
+        // Pick m distinct targets proportional to degree.
+        let mut attempts = 0usize;
+        while targets.len() < m && attempts < m * 50 {
+            attempts += 1;
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            if t != v && !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        // Extremely unlikely fallback: fill with arbitrary earlier vertices.
+        let mut fill = 0 as VertexId;
+        while targets.len() < m {
+            if fill != v && !targets.contains(&fill) {
+                targets.push(fill);
+            }
+            fill += 1;
+        }
+        for &t in &targets {
+            edges.push(v, t);
+            if config.undirected {
+                edges.push(t, v);
+            }
+            endpoints.push(v);
+            endpoints.push(t);
+        }
+    }
+
+    CsrGraph::from_edge_list(&edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vertex_and_edge_counts() {
+        let cfg = BarabasiAlbertConfig::new(500, 3).with_seed(1);
+        let g = generate_barabasi_albert(&cfg);
+        assert_eq!(g.num_vertices(), 500);
+        // Seed clique of 4 vertices (12 directed edges) + 3 per added vertex.
+        let expected = 12 + (500 - 4) * 3;
+        assert_eq!(g.num_edges(), expected);
+    }
+
+    #[test]
+    fn undirected_doubles_attachment_edges() {
+        let g = generate_barabasi_albert(&BarabasiAlbertConfig::new(100, 2).with_seed(1).undirected());
+        // Every non-seed attachment edge appears in both directions.
+        let expected = 6 + (100 - 3) * 2 * 2;
+        assert_eq!(g.num_edges(), expected);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let cfg = BarabasiAlbertConfig::new(200, 2).with_seed(9);
+        let a = generate_barabasi_albert(&cfg);
+        let b = generate_barabasi_albert(&cfg);
+        for v in a.vertices() {
+            assert_eq!(a.out_neighbors(v), b.out_neighbors(v));
+        }
+    }
+
+    #[test]
+    fn produces_hub_vertices() {
+        let g = generate_barabasi_albert(&BarabasiAlbertConfig::new(2000, 3).with_seed(5));
+        let max_in = g.vertices().map(|v| g.in_degree(v)).max().unwrap();
+        // Preferential attachment concentrates in-degree on early vertices.
+        assert!(max_in > 30, "expected a hub, max in-degree was {max_in}");
+    }
+
+    #[test]
+    fn early_vertices_attract_more_links_than_late_ones() {
+        let g = generate_barabasi_albert(&BarabasiAlbertConfig::new(1000, 2).with_seed(3));
+        let early: usize = (0..10).map(|v| g.in_degree(v)).sum();
+        let late: usize = (990..1000).map(|v| g.in_degree(v as VertexId)).sum();
+        assert!(early > late);
+    }
+
+    #[test]
+    #[should_panic(expected = "must exceed")]
+    fn too_few_vertices_panics() {
+        let _ = generate_barabasi_albert(&BarabasiAlbertConfig::new(3, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_attachment_panics() {
+        let _ = generate_barabasi_albert(&BarabasiAlbertConfig::new(10, 0));
+    }
+}

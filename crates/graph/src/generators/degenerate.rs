@@ -1,0 +1,165 @@
+//! Degenerate graph structures.
+//!
+//! Section 3.5 of the paper notes that PREDIcT "cannot be used on degenerate
+//! graph structures where maintaining key graph properties in a sample graph
+//! is not possible", giving lists (chains) as an example. These constructors
+//! build such structures for negative tests — e.g. asserting that samples of a
+//! chain cannot preserve its diameter, or that iteration prediction degrades.
+
+use crate::csr::CsrGraph;
+use crate::edge_list::EdgeList;
+use crate::types::VertexId;
+
+/// A directed chain `0 -> 1 -> 2 -> ... -> n-1` (the "list" degenerate case).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn chain(n: usize) -> CsrGraph {
+    assert!(n > 0, "chain needs at least one vertex");
+    let mut edges = EdgeList::with_capacity(n.saturating_sub(1));
+    edges.ensure_vertices(n);
+    for v in 0..n.saturating_sub(1) {
+        edges.push(v as VertexId, (v + 1) as VertexId);
+    }
+    CsrGraph::from_edge_list(&edges)
+}
+
+/// A directed cycle `0 -> 1 -> ... -> n-1 -> 0`.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn cycle(n: usize) -> CsrGraph {
+    assert!(n >= 2, "cycle needs at least two vertices");
+    let mut edges = EdgeList::with_capacity(n);
+    edges.ensure_vertices(n);
+    for v in 0..n {
+        edges.push(v as VertexId, ((v + 1) % n) as VertexId);
+    }
+    CsrGraph::from_edge_list(&edges)
+}
+
+/// A star with vertex 0 at the center pointing to all `n - 1` leaves, and
+/// every leaf pointing back (undirected star).
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn star(n: usize) -> CsrGraph {
+    assert!(n >= 2, "star needs at least two vertices");
+    let mut edges = EdgeList::with_capacity(2 * (n - 1));
+    edges.ensure_vertices(n);
+    for v in 1..n {
+        edges.push(0, v as VertexId);
+        edges.push(v as VertexId, 0);
+    }
+    CsrGraph::from_edge_list(&edges)
+}
+
+/// A complete directed graph on `n` vertices (all ordered pairs, no loops).
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn complete(n: usize) -> CsrGraph {
+    assert!(n >= 2, "complete graph needs at least two vertices");
+    let mut edges = EdgeList::with_capacity(n * (n - 1));
+    edges.ensure_vertices(n);
+    for s in 0..n {
+        for d in 0..n {
+            if s != d {
+                edges.push(s as VertexId, d as VertexId);
+            }
+        }
+    }
+    CsrGraph::from_edge_list(&edges)
+}
+
+/// A complete binary tree of the given `depth` with edges pointing from parent
+/// to children (depth 0 is a single root).
+pub fn binary_tree(depth: u32) -> CsrGraph {
+    let n = (1usize << (depth + 1)) - 1;
+    let mut edges = EdgeList::with_capacity(n - 1);
+    edges.ensure_vertices(n);
+    for parent in 0..n {
+        let left = 2 * parent + 1;
+        let right = 2 * parent + 2;
+        if left < n {
+            edges.push(parent as VertexId, left as VertexId);
+        }
+        if right < n {
+            edges.push(parent as VertexId, right as VertexId);
+        }
+    }
+    CsrGraph::from_edge_list(&edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_counts() {
+        let g = chain(10);
+        assert_eq!(g.num_vertices(), 10);
+        assert_eq!(g.num_edges(), 9);
+        assert_eq!(g.out_degree(0), 1);
+        assert_eq!(g.out_degree(9), 0);
+    }
+
+    #[test]
+    fn chain_of_one_vertex_is_edgeless() {
+        let g = chain(1);
+        assert_eq!(g.num_vertices(), 1);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn cycle_every_vertex_has_degree_one() {
+        let g = cycle(7);
+        assert_eq!(g.num_edges(), 7);
+        for v in g.vertices() {
+            assert_eq!(g.out_degree(v), 1);
+            assert_eq!(g.in_degree(v), 1);
+        }
+    }
+
+    #[test]
+    fn star_center_has_all_the_degree() {
+        let g = star(11);
+        assert_eq!(g.out_degree(0), 10);
+        assert_eq!(g.in_degree(0), 10);
+        for v in 1..11 {
+            assert_eq!(g.out_degree(v), 1);
+        }
+    }
+
+    #[test]
+    fn complete_graph_edge_count() {
+        let g = complete(6);
+        assert_eq!(g.num_edges(), 30);
+        for v in g.vertices() {
+            assert_eq!(g.out_degree(v), 5);
+            assert_eq!(g.in_degree(v), 5);
+        }
+    }
+
+    #[test]
+    fn binary_tree_structure() {
+        let g = binary_tree(3);
+        assert_eq!(g.num_vertices(), 15);
+        assert_eq!(g.num_edges(), 14);
+        assert_eq!(g.out_degree(0), 2);
+        // Leaves have no children.
+        for v in 7..15 {
+            assert_eq!(g.out_degree(v), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn tiny_cycle_panics() {
+        let _ = cycle(1);
+    }
+}

@@ -1,0 +1,34 @@
+//! Synthetic graph generators.
+//!
+//! The paper evaluates PREDIcT on four real graphs (LiveJournal, Wikipedia,
+//! Twitter, UK-2002). Those datasets are not redistributable inside this
+//! repository, so the [`datasets`](crate::datasets) presets build scaled-down
+//! *analogs* using the generators in this module:
+//!
+//! * [`rmat`] — recursive-matrix (R-MAT) graphs, the standard synthetic model
+//!   for power-law web/social graphs (used for the Wikipedia, UK-2002 and
+//!   Twitter analogs).
+//! * [`barabasi_albert`] — preferential-attachment scale-free graphs
+//!   (alternative scale-free analog, also used in sampler tests).
+//! * [`erdos_renyi`] — uniform random graphs whose degree distribution is
+//!   binomial rather than power-law (used for the LiveJournal analog, whose
+//!   out-degree distribution the paper observes is *not* a power law).
+//! * [`watts_strogatz`] — small-world ring-rewiring graphs (used for
+//!   sensitivity tests on clustering-coefficient preservation).
+//! * [`degenerate`] — chains, stars, cycles, complete graphs and binary trees;
+//!   the "degenerate graph structures" on which the paper states its
+//!   methodology does not apply, used for negative tests.
+//!
+//! All generators are deterministic given a seed.
+
+pub mod barabasi_albert;
+pub mod degenerate;
+pub mod erdos_renyi;
+pub mod rmat;
+pub mod watts_strogatz;
+
+pub use barabasi_albert::{generate_barabasi_albert, BarabasiAlbertConfig};
+pub use degenerate::{binary_tree, chain, complete, cycle, star};
+pub use erdos_renyi::{generate_erdos_renyi, ErdosRenyiConfig};
+pub use rmat::{generate_rmat, RmatConfig};
+pub use watts_strogatz::{generate_watts_strogatz, WattsStrogatzConfig};

@@ -1,0 +1,220 @@
+//! R-MAT (recursive matrix) graph generator.
+//!
+//! R-MAT [Chakrabarti et al., SDM 2004] recursively subdivides the adjacency
+//! matrix into four quadrants with probabilities `(a, b, c, d)` and drops each
+//! edge into the quadrant chosen at every level. With the canonical skewed
+//! parameters (`a = 0.57, b = 0.19, c = 0.19, d = 0.05`) the resulting graphs
+//! have heavy-tailed in/out degree distributions, a small effective diameter
+//! and a pronounced "core" of hub vertices — the properties the paper relies
+//! on for its web/social graph workloads.
+
+use crate::csr::CsrGraph;
+use crate::edge_list::EdgeList;
+use crate::types::VertexId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`generate_rmat`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RmatConfig {
+    /// log2 of the number of vertices (the graph has `2^scale` vertex ids).
+    pub scale: u32,
+    /// Average out-degree; the generator emits `avg_degree * 2^scale` edges
+    /// before deduplication and self-loop removal.
+    pub avg_degree: usize,
+    /// Quadrant probability `a` (top-left).
+    pub a: f64,
+    /// Quadrant probability `b` (top-right).
+    pub b: f64,
+    /// Quadrant probability `c` (bottom-left).
+    pub c: f64,
+    /// PRNG seed.
+    pub seed: u64,
+    /// Whether to remove duplicate edges (keeps the graph simple). Defaults to
+    /// `true`; turning it off yields a multigraph with exactly
+    /// `avg_degree * 2^scale` edges.
+    pub dedup: bool,
+    /// Noise added to the quadrant probabilities at each recursion level to
+    /// avoid staircase artifacts in the degree distribution.
+    pub noise: f64,
+}
+
+impl RmatConfig {
+    /// Creates a config with the canonical skewed R-MAT parameters
+    /// `(a, b, c, d) = (0.57, 0.19, 0.19, 0.05)`.
+    pub fn new(scale: u32, avg_degree: usize) -> Self {
+        Self {
+            scale,
+            avg_degree,
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            seed: 0,
+            dedup: true,
+            noise: 0.05,
+        }
+    }
+
+    /// Sets the PRNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the quadrant probabilities. `d` is implied as
+    /// `1 - a - b - c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the probabilities are negative or sum to more than 1.
+    pub fn with_probabilities(mut self, a: f64, b: f64, c: f64) -> Self {
+        assert!(a >= 0.0 && b >= 0.0 && c >= 0.0, "probabilities must be non-negative");
+        assert!(a + b + c <= 1.0 + 1e-9, "a + b + c must not exceed 1");
+        self.a = a;
+        self.b = b;
+        self.c = c;
+        self
+    }
+
+    /// Keeps duplicate edges instead of deduplicating.
+    pub fn keep_duplicates(mut self) -> Self {
+        self.dedup = false;
+        self
+    }
+
+    /// Number of vertices the generated graph will have.
+    pub fn num_vertices(&self) -> usize {
+        1usize << self.scale
+    }
+
+    /// Number of edges generated before deduplication.
+    pub fn target_edges(&self) -> usize {
+        self.avg_degree * self.num_vertices()
+    }
+}
+
+/// Generates an R-MAT graph according to `config`.
+///
+/// Self-loops are dropped; duplicate edges are removed unless
+/// [`RmatConfig::keep_duplicates`] was requested, so the resulting edge count
+/// can be slightly below `avg_degree * 2^scale`.
+pub fn generate_rmat(config: &RmatConfig) -> CsrGraph {
+    let n = config.num_vertices();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut edges = EdgeList::with_capacity(config.target_edges());
+    edges.ensure_vertices(n);
+
+    for _ in 0..config.target_edges() {
+        let (src, dst) = rmat_edge(config, &mut rng);
+        if src != dst {
+            edges.push(src, dst);
+        }
+    }
+    if config.dedup {
+        edges.dedup();
+    }
+    CsrGraph::from_edge_list(&edges)
+}
+
+/// Draws a single edge by recursive quadrant descent.
+fn rmat_edge(config: &RmatConfig, rng: &mut StdRng) -> (VertexId, VertexId) {
+    let mut src = 0u64;
+    let mut dst = 0u64;
+    let d = 1.0 - config.a - config.b - config.c;
+    for level in 0..config.scale {
+        // Perturb the probabilities per level so repeated descents do not
+        // produce an artificially discrete degree distribution.
+        let mut jitter = |p: f64| {
+            let eps: f64 = rng.gen_range(-config.noise..=config.noise);
+            (p * (1.0 + eps)).max(0.0)
+        };
+        let (a, b, c, dd) = (jitter(config.a), jitter(config.b), jitter(config.c), jitter(d));
+        let total = a + b + c + dd;
+        let r: f64 = rng.gen_range(0.0..total);
+        let bit = 1u64 << (config.scale - 1 - level);
+        if r < a {
+            // top-left: neither bit set
+        } else if r < a + b {
+            dst |= bit;
+        } else if r < a + b + c {
+            src |= bit;
+        } else {
+            src |= bit;
+            dst |= bit;
+        }
+    }
+    (src as VertexId, dst as VertexId)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_vertex_count() {
+        let g = generate_rmat(&RmatConfig::new(8, 4).with_seed(1));
+        assert_eq!(g.num_vertices(), 256);
+    }
+
+    #[test]
+    fn edge_count_close_to_target_without_dedup() {
+        let cfg = RmatConfig::new(8, 4).with_seed(1).keep_duplicates();
+        let g = generate_rmat(&cfg);
+        // Only self-loops are dropped, so we should be within a few percent.
+        assert!(g.num_edges() > cfg.target_edges() * 9 / 10);
+        assert!(g.num_edges() <= cfg.target_edges());
+    }
+
+    #[test]
+    fn dedup_reduces_or_preserves_edge_count() {
+        let with_dup = generate_rmat(&RmatConfig::new(8, 8).with_seed(3).keep_duplicates());
+        let without = generate_rmat(&RmatConfig::new(8, 8).with_seed(3));
+        assert!(without.num_edges() <= with_dup.num_edges());
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = generate_rmat(&RmatConfig::new(7, 4).with_seed(42));
+        let b = generate_rmat(&RmatConfig::new(7, 4).with_seed(42));
+        assert_eq!(a.num_edges(), b.num_edges());
+        for v in a.vertices() {
+            assert_eq!(a.out_neighbors(v), b.out_neighbors(v));
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_graphs() {
+        let a = generate_rmat(&RmatConfig::new(8, 4).with_seed(1));
+        let b = generate_rmat(&RmatConfig::new(8, 4).with_seed(2));
+        let same = a
+            .vertices()
+            .all(|v| a.out_neighbors(v) == b.out_neighbors(v));
+        assert!(!same, "seeds 1 and 2 produced identical graphs");
+    }
+
+    #[test]
+    fn skewed_parameters_produce_hub_vertices() {
+        let g = generate_rmat(&RmatConfig::new(10, 8).with_seed(7));
+        let max_deg = g.vertices().map(|v| g.out_degree(v)).max().unwrap();
+        let avg = g.avg_degree();
+        // A power-law-ish graph has hubs far above the average degree.
+        assert!(
+            (max_deg as f64) > avg * 5.0,
+            "max degree {max_deg} not much larger than avg {avg}"
+        );
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let g = generate_rmat(&RmatConfig::new(8, 6).with_seed(9));
+        for v in g.vertices() {
+            assert!(!g.out_neighbors(v).contains(&v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must not exceed 1")]
+    fn invalid_probabilities_panic() {
+        let _ = RmatConfig::new(4, 2).with_probabilities(0.7, 0.3, 0.3);
+    }
+}

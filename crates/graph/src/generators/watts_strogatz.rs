@@ -1,0 +1,140 @@
+//! Watts–Strogatz small-world generator.
+//!
+//! Starts from a ring lattice where every vertex is connected to its `k`
+//! nearest neighbors and rewires each edge with probability `beta` to a random
+//! destination. Low `beta` keeps the high clustering coefficient of the
+//! lattice; even small `beta` collapses the diameter. These graphs are used in
+//! tests that check the samplers' ability to preserve clustering coefficient
+//! and effective diameter — two of the properties the paper lists as sampling
+//! requirements.
+
+use crate::csr::CsrGraph;
+use crate::edge_list::EdgeList;
+use crate::types::VertexId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`generate_watts_strogatz`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WattsStrogatzConfig {
+    /// Number of vertices on the ring.
+    pub num_vertices: usize,
+    /// Each vertex connects to its `k` nearest neighbors (k/2 on each side);
+    /// must be even and at least 2.
+    pub k: usize,
+    /// Rewiring probability in `[0, 1]`.
+    pub beta: f64,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl WattsStrogatzConfig {
+    /// Creates a config.
+    pub fn new(num_vertices: usize, k: usize, beta: f64) -> Self {
+        Self { num_vertices, k, beta, seed: 0 }
+    }
+
+    /// Sets the PRNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Generates a directed Watts–Strogatz graph (each lattice/rewired edge is
+/// emitted in both directions so the graph is effectively undirected).
+///
+/// # Panics
+///
+/// Panics if `k` is odd, `k < 2`, `k >= num_vertices`, or `beta` is outside
+/// `[0, 1]`.
+pub fn generate_watts_strogatz(config: &WattsStrogatzConfig) -> CsrGraph {
+    let n = config.num_vertices;
+    let k = config.k;
+    assert!(k >= 2 && k % 2 == 0, "k must be an even number >= 2");
+    assert!(k < n, "k must be smaller than the number of vertices");
+    assert!((0.0..=1.0).contains(&config.beta), "beta must be in [0, 1]");
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut edges = EdgeList::with_capacity(n * k);
+    edges.ensure_vertices(n);
+
+    for v in 0..n {
+        for offset in 1..=(k / 2) {
+            let mut dst = (v + offset) % n;
+            if rng.gen_bool(config.beta) {
+                // Rewire to a uniform random target that is not v itself.
+                loop {
+                    let candidate = rng.gen_range(0..n);
+                    if candidate != v {
+                        dst = candidate;
+                        break;
+                    }
+                }
+            }
+            edges.push(v as VertexId, dst as VertexId);
+            edges.push(dst as VertexId, v as VertexId);
+        }
+    }
+    edges.dedup();
+    CsrGraph::from_edge_list(&edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties::GraphProperties;
+
+    #[test]
+    fn ring_lattice_without_rewiring() {
+        let g = generate_watts_strogatz(&WattsStrogatzConfig::new(20, 4, 0.0).with_seed(1));
+        assert_eq!(g.num_vertices(), 20);
+        // Every vertex has exactly k undirected neighbors.
+        for v in g.vertices() {
+            assert_eq!(g.out_degree(v), 4);
+        }
+    }
+
+    #[test]
+    fn rewiring_preserves_vertex_count_and_roughly_edge_count() {
+        let g0 = generate_watts_strogatz(&WattsStrogatzConfig::new(200, 6, 0.0).with_seed(2));
+        let g1 = generate_watts_strogatz(&WattsStrogatzConfig::new(200, 6, 0.3).with_seed(2));
+        assert_eq!(g0.num_vertices(), g1.num_vertices());
+        // Rewiring can merge a few parallel edges after dedup but stays close.
+        assert!(g1.num_edges() as f64 > g0.num_edges() as f64 * 0.9);
+    }
+
+    #[test]
+    fn low_beta_has_higher_clustering_than_high_beta() {
+        let low = generate_watts_strogatz(&WattsStrogatzConfig::new(500, 8, 0.01).with_seed(3));
+        let high = generate_watts_strogatz(&WattsStrogatzConfig::new(500, 8, 0.9).with_seed(3));
+        let c_low = GraphProperties::analyze(&low, 3).avg_clustering_coefficient;
+        let c_high = GraphProperties::analyze(&high, 3).avg_clustering_coefficient;
+        assert!(
+            c_low > c_high,
+            "expected clustering {c_low} (beta=0.01) > {c_high} (beta=0.9)"
+        );
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let cfg = WattsStrogatzConfig::new(100, 4, 0.2).with_seed(17);
+        let a = generate_watts_strogatz(&cfg);
+        let b = generate_watts_strogatz(&cfg);
+        for v in a.vertices() {
+            assert_eq!(a.out_neighbors(v), b.out_neighbors(v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "even number")]
+    fn odd_k_panics() {
+        let _ = generate_watts_strogatz(&WattsStrogatzConfig::new(10, 3, 0.1));
+    }
+
+    #[test]
+    #[should_panic(expected = "beta")]
+    fn invalid_beta_panics() {
+        let _ = generate_watts_strogatz(&WattsStrogatzConfig::new(10, 2, 1.5));
+    }
+}

@@ -1,0 +1,203 @@
+//! Plain-text edge-list input/output.
+//!
+//! The real datasets the paper uses (SNAP LiveJournal, Wikipedia link dumps,
+//! UbiCrawler UK-2002, the Twitter follower graph) are all distributed as
+//! whitespace-separated edge lists with `#` comment lines. This module reads
+//! and writes that format so users of the library can run the PREDIcT
+//! pipeline on the original datasets if they have them locally, and so
+//! experiment outputs can be re-imported.
+
+use crate::csr::CsrGraph;
+use crate::edge_list::EdgeList;
+use crate::types::VertexId;
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Errors produced by the edge-list reader.
+#[derive(Debug)]
+pub enum GraphIoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A line could not be parsed as an edge. Carries the 1-based line number
+    /// and the offending content.
+    Parse { line: usize, content: String },
+}
+
+impl fmt::Display for GraphIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphIoError::Io(e) => write!(f, "I/O error: {e}"),
+            GraphIoError::Parse { line, content } => {
+                write!(f, "cannot parse edge on line {line}: {content:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphIoError::Io(e) => Some(e),
+            GraphIoError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for GraphIoError {
+    fn from(e: io::Error) -> Self {
+        GraphIoError::Io(e)
+    }
+}
+
+/// Reads an edge list from a reader. Lines starting with `#` or `%` and blank
+/// lines are skipped. Each remaining line must contain two vertex ids and an
+/// optional weight, separated by whitespace (spaces or tabs).
+pub fn read_edge_list<R: Read>(reader: R) -> Result<EdgeList, GraphIoError> {
+    let buf = BufReader::new(reader);
+    let mut edges = EdgeList::new();
+    for (idx, line) in buf.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let parse_err = || GraphIoError::Parse { line: idx + 1, content: trimmed.to_string() };
+        let src: VertexId = parts.next().ok_or_else(parse_err)?.parse().map_err(|_| parse_err())?;
+        let dst: VertexId = parts.next().ok_or_else(parse_err)?.parse().map_err(|_| parse_err())?;
+        match parts.next() {
+            Some(w) => {
+                let weight: f32 = w.parse().map_err(|_| parse_err())?;
+                edges.push_weighted(src, dst, weight);
+            }
+            None => edges.push(src, dst),
+        }
+    }
+    Ok(edges)
+}
+
+/// Reads an edge list from a file path and freezes it into a [`CsrGraph`].
+pub fn read_graph_file<P: AsRef<Path>>(path: P) -> Result<CsrGraph, GraphIoError> {
+    let file = File::open(path)?;
+    let edges = read_edge_list(file)?;
+    Ok(CsrGraph::from_edge_list(&edges))
+}
+
+/// Writes a graph as a whitespace-separated edge list. Weights are written as
+/// a third column only for weighted graphs.
+pub fn write_edge_list<W: Write>(graph: &CsrGraph, writer: W) -> Result<(), GraphIoError> {
+    let mut out = BufWriter::new(writer);
+    writeln!(out, "# vertices: {}", graph.num_vertices())?;
+    writeln!(out, "# edges: {}", graph.num_edges())?;
+    let weighted = graph.is_weighted();
+    for (s, d, w) in graph.edges() {
+        if weighted {
+            writeln!(out, "{s}\t{d}\t{w}")?;
+        } else {
+            writeln!(out, "{s}\t{d}")?;
+        }
+    }
+    out.flush()?;
+    Ok(())
+}
+
+/// Writes a graph to a file path in edge-list format.
+pub fn write_graph_file<P: AsRef<Path>>(graph: &CsrGraph, path: P) -> Result<(), GraphIoError> {
+    let file = File::create(path)?;
+    write_edge_list(graph, file)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_simple_edge_list() {
+        let text = "# comment\n0 1\n1 2\n\n2 0\n";
+        let el = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(el.num_edges(), 3);
+        assert_eq!(el.num_vertices(), 3);
+    }
+
+    #[test]
+    fn reads_tab_separated_and_percent_comments() {
+        let text = "% header\n0\t5\n5\t7\n";
+        let el = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(el.num_edges(), 2);
+        assert_eq!(el.num_vertices(), 8);
+    }
+
+    #[test]
+    fn reads_weighted_edges() {
+        let text = "0 1 2.5\n1 2 0.5\n";
+        let el = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(el.edges()[0].weight, 2.5);
+        assert_eq!(el.edges()[1].weight, 0.5);
+    }
+
+    #[test]
+    fn reports_parse_error_with_line_number() {
+        let text = "0 1\nnot an edge\n";
+        let err = read_edge_list(text.as_bytes()).unwrap_err();
+        match err {
+            GraphIoError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn reports_missing_destination() {
+        let text = "42\n";
+        let err = read_edge_list(text.as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphIoError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn roundtrip_unweighted() {
+        let el: EdgeList = [(0u32, 1u32), (1, 2), (2, 0)].into_iter().collect();
+        let g = CsrGraph::from_edge_list(&el);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let el2 = read_edge_list(buf.as_slice()).unwrap();
+        let g2 = CsrGraph::from_edge_list(&el2);
+        assert_eq!(g2.num_edges(), g.num_edges());
+        assert_eq!(g2.num_vertices(), g.num_vertices());
+    }
+
+    #[test]
+    fn roundtrip_weighted() {
+        let mut el = EdgeList::new();
+        el.push_weighted(0, 1, 0.25);
+        el.push_weighted(1, 2, 4.0);
+        let g = CsrGraph::from_edge_list(&el);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = CsrGraph::from_edge_list(&read_edge_list(buf.as_slice()).unwrap());
+        assert!(g2.is_weighted());
+        assert_eq!(g2.out_weights(0).unwrap(), &[0.25]);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("predict_graph_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.txt");
+        let el: EdgeList = [(0u32, 1u32), (1, 2)].into_iter().collect();
+        let g = CsrGraph::from_edge_list(&el);
+        write_graph_file(&g, &path).unwrap();
+        let g2 = read_graph_file(&path).unwrap();
+        assert_eq!(g2.num_edges(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = read_graph_file("/nonexistent/definitely/not/here.txt").unwrap_err();
+        assert!(matches!(err, GraphIoError::Io(_)));
+        // Display and Error::source are wired up.
+        assert!(err.to_string().contains("I/O error"));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+}

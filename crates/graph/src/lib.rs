@@ -1,0 +1,49 @@
+//! Graph substrate for the PREDIcT reproduction.
+//!
+//! This crate provides the data structures and tooling that every other crate
+//! in the workspace builds on:
+//!
+//! * [`CsrGraph`] — an immutable, compressed-sparse-row directed graph with
+//!   optional edge weights and both out- and in-adjacency, the representation
+//!   used by the BSP engine and the samplers.
+//! * [`EdgeList`] / [`GraphBuilder`] — mutable construction APIs.
+//! * [`generators`] — synthetic graph generators (R-MAT, Barabási–Albert,
+//!   Erdős–Rényi, Watts–Strogatz, degenerate chains) used to build scaled-down
+//!   analogs of the paper's datasets.
+//! * [`datasets`] — presets mirroring Table 2 of the paper (LiveJournal,
+//!   Wikipedia, Twitter, UK-2002 analogs).
+//! * [`properties`] — graph property analysis (degree distributions, power-law
+//!   fit, effective diameter, clustering coefficient, connected components)
+//!   used to validate that samples preserve the properties the paper relies on.
+//! * [`dstat`] — Kolmogorov–Smirnov D-statistic comparison between a sample's
+//!   property distributions and the full graph's (as in Leskovec & Faloutsos).
+//! * [`io`] — plain-text edge-list readers and writers.
+//!
+//! # Example
+//!
+//! ```
+//! use predict_graph::generators::{RmatConfig, generate_rmat};
+//! use predict_graph::properties::GraphProperties;
+//!
+//! let graph = generate_rmat(&RmatConfig::new(10, 8).with_seed(42));
+//! assert!(graph.num_vertices() <= 1 << 10);
+//! let props = GraphProperties::analyze(&graph, 7);
+//! assert!(props.avg_out_degree > 0.0);
+//! ```
+
+pub mod builder;
+pub mod csr;
+pub mod datasets;
+pub mod dstat;
+pub mod edge_list;
+pub mod generators;
+pub mod io;
+pub mod properties;
+pub mod subgraph;
+pub mod types;
+
+pub use builder::GraphBuilder;
+pub use csr::CsrGraph;
+pub use edge_list::EdgeList;
+pub use subgraph::{induced_subgraph, SubgraphMapping};
+pub use types::{Edge, EdgeCount, VertexCount, VertexId};

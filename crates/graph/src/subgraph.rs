@@ -1,0 +1,176 @@
+//! Induced subgraph extraction.
+//!
+//! Sampling techniques select a set of vertices; the sample *graph* the paper
+//! runs on is the subgraph induced by that set (all edges of the original
+//! graph whose endpoints are both selected). [`induced_subgraph`] extracts
+//! that graph with densely renumbered vertex ids and returns a
+//! [`SubgraphMapping`] so per-vertex results on the sample can be mapped back
+//! to original vertex ids (needed e.g. when top-k ranking runs on the sample
+//! of the PageRank output).
+
+use crate::csr::CsrGraph;
+use crate::edge_list::EdgeList;
+use crate::types::VertexId;
+
+/// Mapping between the dense vertex ids of an induced subgraph and the vertex
+/// ids of the graph it was extracted from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubgraphMapping {
+    /// `to_original[new_id] = original_id`.
+    to_original: Vec<VertexId>,
+    /// `to_sample[original_id] = Some(new_id)` for selected vertices.
+    to_sample: Vec<Option<VertexId>>,
+}
+
+impl SubgraphMapping {
+    /// Original vertex id for a subgraph vertex id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_id` is out of range for the subgraph.
+    pub fn original_id(&self, sample_id: VertexId) -> VertexId {
+        self.to_original[sample_id as usize]
+    }
+
+    /// Subgraph vertex id for an original vertex id, or `None` if that vertex
+    /// was not selected.
+    pub fn sample_id(&self, original_id: VertexId) -> Option<VertexId> {
+        self.to_sample
+            .get(original_id as usize)
+            .copied()
+            .flatten()
+    }
+
+    /// Number of vertices in the subgraph.
+    pub fn num_sampled(&self) -> usize {
+        self.to_original.len()
+    }
+
+    /// Iterates over `(sample_id, original_id)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        self.to_original
+            .iter()
+            .enumerate()
+            .map(|(s, &o)| (s as VertexId, o))
+    }
+}
+
+/// Extracts the subgraph induced by `vertices` (duplicates are ignored; order
+/// determines the new dense ids). Edge weights are preserved.
+pub fn induced_subgraph(graph: &CsrGraph, vertices: &[VertexId]) -> (CsrGraph, SubgraphMapping) {
+    let mut to_sample: Vec<Option<VertexId>> = vec![None; graph.num_vertices()];
+    let mut to_original: Vec<VertexId> = Vec::with_capacity(vertices.len());
+    for &v in vertices {
+        let slot = &mut to_sample[v as usize];
+        if slot.is_none() {
+            *slot = Some(to_original.len() as VertexId);
+            to_original.push(v);
+        }
+    }
+
+    let mut edges = EdgeList::new();
+    edges.ensure_vertices(to_original.len());
+    for (new_src, &orig_src) in to_original.iter().enumerate() {
+        let nbrs = graph.out_neighbors(orig_src);
+        let weights = graph.out_weights(orig_src);
+        for (i, &orig_dst) in nbrs.iter().enumerate() {
+            if let Some(new_dst) = to_sample[orig_dst as usize] {
+                let w = weights.map(|w| w[i]).unwrap_or(1.0);
+                edges.push_weighted(new_src as VertexId, new_dst, w);
+            }
+        }
+    }
+
+    let sub = CsrGraph::from_edge_list(&edges);
+    (sub, SubgraphMapping { to_original, to_sample })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{generate_rmat, RmatConfig};
+
+    fn square() -> CsrGraph {
+        // 0 -> 1 -> 2 -> 3 -> 0 plus diagonal 0 -> 2
+        let el: EdgeList = [(0u32, 1u32), (1, 2), (2, 3), (3, 0), (0, 2)]
+            .into_iter()
+            .collect();
+        CsrGraph::from_edge_list(&el)
+    }
+
+    #[test]
+    fn keeps_only_internal_edges() {
+        let g = square();
+        let (sub, map) = induced_subgraph(&g, &[0, 1, 2]);
+        assert_eq!(sub.num_vertices(), 3);
+        // Edges 0->1, 1->2, 0->2 survive; 2->3 and 3->0 do not.
+        assert_eq!(sub.num_edges(), 3);
+        assert_eq!(map.num_sampled(), 3);
+    }
+
+    #[test]
+    fn mapping_roundtrips() {
+        let g = square();
+        let (_, map) = induced_subgraph(&g, &[3, 1]);
+        assert_eq!(map.original_id(0), 3);
+        assert_eq!(map.original_id(1), 1);
+        assert_eq!(map.sample_id(3), Some(0));
+        assert_eq!(map.sample_id(1), Some(1));
+        assert_eq!(map.sample_id(0), None);
+        let pairs: Vec<_> = map.iter().collect();
+        assert_eq!(pairs, vec![(0, 3), (1, 1)]);
+    }
+
+    #[test]
+    fn duplicate_selection_is_ignored() {
+        let g = square();
+        let (sub, map) = induced_subgraph(&g, &[0, 0, 1, 1]);
+        assert_eq!(sub.num_vertices(), 2);
+        assert_eq!(map.num_sampled(), 2);
+        assert_eq!(sub.num_edges(), 1); // only 0 -> 1
+    }
+
+    #[test]
+    fn preserves_weights() {
+        let mut el = EdgeList::new();
+        el.push_weighted(0, 1, 0.5);
+        el.push_weighted(1, 2, 3.0);
+        let g = CsrGraph::from_edge_list(&el);
+        let (sub, _) = induced_subgraph(&g, &[0, 1]);
+        assert!(sub.is_weighted());
+        assert_eq!(sub.out_weights(0).unwrap(), &[0.5]);
+    }
+
+    #[test]
+    fn empty_selection_gives_empty_graph() {
+        let g = square();
+        let (sub, map) = induced_subgraph(&g, &[]);
+        assert_eq!(sub.num_vertices(), 0);
+        assert_eq!(sub.num_edges(), 0);
+        assert_eq!(map.num_sampled(), 0);
+    }
+
+    #[test]
+    fn full_selection_preserves_graph() {
+        let g = generate_rmat(&RmatConfig::new(7, 4).with_seed(5));
+        let all: Vec<VertexId> = g.vertices().collect();
+        let (sub, map) = induced_subgraph(&g, &all);
+        assert_eq!(sub.num_vertices(), g.num_vertices());
+        assert_eq!(sub.num_edges(), g.num_edges());
+        // Identity mapping because vertices were passed in order.
+        for v in g.vertices() {
+            assert_eq!(map.original_id(v), v);
+        }
+    }
+
+    #[test]
+    fn subgraph_degrees_never_exceed_original() {
+        let g = generate_rmat(&RmatConfig::new(8, 6).with_seed(8));
+        let selected: Vec<VertexId> = g.vertices().filter(|v| v % 3 == 0).collect();
+        let (sub, map) = induced_subgraph(&g, &selected);
+        for (s, o) in map.iter() {
+            assert!(sub.out_degree(s) <= g.out_degree(o));
+            assert!(sub.in_degree(s) <= g.in_degree(o));
+        }
+    }
+}

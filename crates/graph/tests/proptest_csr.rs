@@ -1,0 +1,105 @@
+//! Property-based tests for the CSR graph representation and the induced
+//! subgraph extraction — the invariants every other crate relies on.
+
+use predict_graph::{induced_subgraph, CsrGraph, Edge, EdgeList, VertexId};
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary edge list over up to `max_vertices` vertices.
+fn edge_list(max_vertices: u32, max_edges: usize) -> impl Strategy<Value = EdgeList> {
+    prop::collection::vec((0..max_vertices, 0..max_vertices), 0..max_edges).prop_map(|pairs| {
+        let mut el = EdgeList::new();
+        for (s, d) in pairs {
+            el.push(s, d);
+        }
+        el
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The CSR construction preserves every edge: out-degrees sum to the edge
+    /// count, in-degrees sum to the edge count, and each edge appears in both
+    /// the out-adjacency of its source and the in-adjacency of its target.
+    #[test]
+    fn csr_preserves_all_edges(el in edge_list(64, 256)) {
+        let g = CsrGraph::from_edge_list(&el);
+        prop_assert_eq!(g.num_edges(), el.num_edges());
+        let out_sum: usize = g.vertices().map(|v| g.out_degree(v)).sum();
+        let in_sum: usize = g.vertices().map(|v| g.in_degree(v)).sum();
+        prop_assert_eq!(out_sum, g.num_edges());
+        prop_assert_eq!(in_sum, g.num_edges());
+
+        for e in el.edges() {
+            prop_assert!(g.out_neighbors(e.src).contains(&e.dst));
+            prop_assert!(g.in_neighbors(e.dst).contains(&e.src));
+        }
+    }
+
+    /// Converting a CSR graph back to an edge list and rebuilding yields the
+    /// same adjacency (up to neighbor order).
+    #[test]
+    fn csr_roundtrips_through_edge_list(el in edge_list(48, 200)) {
+        let g = CsrGraph::from_edge_list(&el);
+        let g2 = CsrGraph::from_edge_list(&g.to_edge_list());
+        prop_assert_eq!(g.num_vertices(), g2.num_vertices());
+        prop_assert_eq!(g.num_edges(), g2.num_edges());
+        for v in g.vertices() {
+            let mut a = g.out_neighbors(v).to_vec();
+            let mut b = g2.out_neighbors(v).to_vec();
+            a.sort_unstable();
+            b.sort_unstable();
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// The undirected conversion is symmetric: u is an out-neighbor of v iff
+    /// v is an out-neighbor of u, and no self loops survive.
+    #[test]
+    fn undirected_conversion_is_symmetric(el in edge_list(40, 150)) {
+        let und = CsrGraph::from_edge_list(&el.to_undirected());
+        for v in und.vertices() {
+            prop_assert!(!und.out_neighbors(v).contains(&v));
+            for &u in und.out_neighbors(v) {
+                prop_assert!(und.out_neighbors(u).contains(&v), "missing reverse edge {u}->{v}");
+            }
+        }
+    }
+
+    /// An induced subgraph never contains edges that were absent from the
+    /// parent graph, and its edge count is bounded by the parent's.
+    #[test]
+    fn induced_subgraph_is_a_subgraph(
+        el in edge_list(48, 200),
+        selector in prop::collection::vec(any::<bool>(), 48),
+    ) {
+        let g = CsrGraph::from_edge_list(&el);
+        let selected: Vec<VertexId> = g
+            .vertices()
+            .filter(|&v| selector.get(v as usize).copied().unwrap_or(false))
+            .collect();
+        let (sub, mapping) = induced_subgraph(&g, &selected);
+        prop_assert!(sub.num_vertices() <= g.num_vertices());
+        prop_assert!(sub.num_edges() <= g.num_edges());
+        for (s, d, _) in sub.edges() {
+            let orig_s = mapping.original_id(s);
+            let orig_d = mapping.original_id(d);
+            prop_assert!(g.out_neighbors(orig_s).contains(&orig_d));
+        }
+    }
+
+    /// Weighted edges keep their weights through CSR construction.
+    #[test]
+    fn weights_are_preserved(
+        pairs in prop::collection::vec((0u32..32, 0u32..32, 0.1f32..10.0), 1..100),
+    ) {
+        let mut el = EdgeList::new();
+        for &(s, d, w) in &pairs {
+            el.push_edge(Edge::weighted(s, d, w));
+        }
+        let g = CsrGraph::from_edge_list(&el);
+        let total_weight: f64 = g.edges().map(|(_, _, w)| w as f64).sum();
+        let expected: f64 = pairs.iter().map(|&(_, _, w)| w as f64).sum();
+        prop_assert!((total_weight - expected).abs() < 1e-3);
+    }
+}

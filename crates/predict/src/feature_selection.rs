@@ -1,0 +1,194 @@
+//! Sequential forward feature selection.
+//!
+//! The paper customizes the cost model per algorithm by selecting the key
+//! input features that "have a high impact on the response variable and yield
+//! a good fitting coefficient", using a sequential forward selection mechanism
+//! (section 3.4, citing Hastie et al.). Starting from the empty set, the
+//! feature that most improves the fit is added greedily until no remaining
+//! feature improves it meaningfully.
+
+use crate::features::{FeatureSet, KeyFeature};
+use crate::regression::LinearModel;
+
+/// Configuration of the forward-selection procedure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SelectionConfig {
+    /// Minimum relative reduction of the sum of squared errors a candidate
+    /// feature must deliver to be added (guards against adding noise
+    /// features).
+    pub min_relative_improvement: f64,
+    /// Maximum number of features to select (the pool has 7, so this mainly
+    /// matters for ablations).
+    pub max_features: usize,
+    /// Ridge regularization used while evaluating candidate subsets; keeps
+    /// the greedy search well-defined when candidate features are collinear
+    /// (common for short sample runs where e.g. local and remote byte counts
+    /// are proportional).
+    pub ridge_lambda: f64,
+}
+
+impl Default for SelectionConfig {
+    fn default() -> Self {
+        Self { min_relative_improvement: 0.01, max_features: KeyFeature::ALL.len(), ridge_lambda: 1e-6 }
+    }
+}
+
+/// Result of the forward-selection procedure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectionResult {
+    /// Selected features in the order they were added.
+    pub features: Vec<KeyFeature>,
+    /// Sum of squared errors of the final subset.
+    pub sse: f64,
+}
+
+fn rows_for(observations: &[FeatureSet], features: &[KeyFeature]) -> Vec<Vec<f64>> {
+    observations.iter().map(|o| o.select(features)).collect()
+}
+
+fn sse_for(
+    observations: &[FeatureSet],
+    targets: &[f64],
+    features: &[KeyFeature],
+    lambda: f64,
+) -> Option<f64> {
+    let rows = rows_for(observations, features);
+    LinearModel::fit_ridge(&rows, targets, lambda)
+        .ok()
+        .map(|m| m.sse_on(&rows, targets))
+}
+
+/// Greedily selects the feature subset that best explains `targets`.
+///
+/// `candidates` is the pool to choose from (typically [`KeyFeature::ALL`]).
+/// Returns at least one feature whenever the inputs are non-empty and some
+/// candidate produces a fittable model.
+pub fn forward_select(
+    observations: &[FeatureSet],
+    targets: &[f64],
+    candidates: &[KeyFeature],
+    config: &SelectionConfig,
+) -> SelectionResult {
+    let mut selected: Vec<KeyFeature> = Vec::new();
+    if observations.is_empty() || targets.is_empty() {
+        return SelectionResult { features: selected, sse: 0.0 };
+    }
+
+    // Baseline: intercept-only model (predict the mean).
+    let mean = targets.iter().sum::<f64>() / targets.len() as f64;
+    let mut current_sse: f64 = targets.iter().map(|t| (t - mean).powi(2)).sum();
+
+    let mut remaining: Vec<KeyFeature> = candidates.to_vec();
+    while selected.len() < config.max_features && !remaining.is_empty() {
+        let mut best: Option<(usize, f64)> = None;
+        for (idx, &candidate) in remaining.iter().enumerate() {
+            let mut trial = selected.clone();
+            trial.push(candidate);
+            if let Some(sse) = sse_for(observations, targets, &trial, config.ridge_lambda) {
+                if best.map(|(_, b)| sse < b).unwrap_or(true) {
+                    best = Some((idx, sse));
+                }
+            }
+        }
+        let Some((idx, sse)) = best else { break };
+        let improvement = if current_sse <= f64::EPSILON {
+            0.0
+        } else {
+            (current_sse - sse) / current_sse
+        };
+        // Always accept the first feature (a model with no features cannot
+        // predict anything useful); afterwards require a real improvement.
+        if !selected.is_empty() && improvement < config.min_relative_improvement {
+            break;
+        }
+        selected.push(remaining.remove(idx));
+        current_sse = sse;
+    }
+
+    SelectionResult { features: selected, sse: current_sse }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use predict_bsp::WorkerCounters;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Builds observations whose runtime depends only on remote message bytes
+    /// (plus noise), with other features either constant or uncorrelated.
+    fn byte_dominated_observations(n: usize, seed: u64) -> (Vec<FeatureSet>, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut observations = Vec::new();
+        let mut targets = Vec::new();
+        for _ in 0..n {
+            let remote_bytes = rng.gen_range(1_000u64..100_000);
+            let active = rng.gen_range(10u64..1000);
+            let counters = WorkerCounters {
+                active_vertices: active,
+                total_vertices: 1000,
+                local_messages: rng.gen_range(1..50),
+                remote_messages: remote_bytes / 100,
+                local_message_bytes: rng.gen_range(100..1000),
+                remote_message_bytes: remote_bytes,
+            };
+            observations.push(FeatureSet::from_counters(&counters));
+            let noise: f64 = rng.gen_range(-2.0..2.0);
+            targets.push(20.0 + 0.002 * remote_bytes as f64 + noise);
+        }
+        (observations, targets)
+    }
+
+    #[test]
+    fn selects_the_dominant_feature_first() {
+        let (obs, targets) = byte_dominated_observations(200, 3);
+        let result = forward_select(&obs, &targets, &KeyFeature::ALL, &SelectionConfig::default());
+        assert!(!result.features.is_empty());
+        // RemoteMessageBytes or the perfectly-correlated RemoteMessages must
+        // be the first pick; anything else would mean the selection missed
+        // the dominant cost driver.
+        assert!(
+            matches!(
+                result.features[0],
+                KeyFeature::RemoteMessageBytes | KeyFeature::RemoteMessages
+            ),
+            "first selected feature was {:?}",
+            result.features[0]
+        );
+    }
+
+    #[test]
+    fn does_not_select_every_feature_when_one_suffices() {
+        let (obs, targets) = byte_dominated_observations(200, 5);
+        let result = forward_select(&obs, &targets, &KeyFeature::ALL, &SelectionConfig::default());
+        assert!(
+            result.features.len() < KeyFeature::ALL.len(),
+            "selected all {} features",
+            result.features.len()
+        );
+    }
+
+    #[test]
+    fn respects_the_feature_cap() {
+        let (obs, targets) = byte_dominated_observations(100, 7);
+        let config = SelectionConfig { max_features: 1, ..Default::default() };
+        let result = forward_select(&obs, &targets, &KeyFeature::ALL, &config);
+        assert_eq!(result.features.len(), 1);
+    }
+
+    #[test]
+    fn empty_inputs_select_nothing() {
+        let result = forward_select(&[], &[], &KeyFeature::ALL, &SelectionConfig::default());
+        assert!(result.features.is_empty());
+    }
+
+    #[test]
+    fn restricted_candidate_pool_is_honoured() {
+        let (obs, targets) = byte_dominated_observations(100, 9);
+        let pool = [KeyFeature::ActiveVertices, KeyFeature::LocalMessages];
+        let result = forward_select(&obs, &targets, &pool, &SelectionConfig::default());
+        for f in &result.features {
+            assert!(pool.contains(f));
+        }
+    }
+}

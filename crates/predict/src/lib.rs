@@ -1,0 +1,71 @@
+//! PREDIcT: sample-run based runtime prediction for large-scale iterative
+//! analytics.
+//!
+//! This crate is the paper's primary contribution — an experimental
+//! methodology that predicts both the number of iterations and the runtime of
+//! network-intensive iterative graph algorithms executing on a BSP engine:
+//!
+//! * [`transform`] — the transform function that rescales convergence
+//!   thresholds so a sample run converges in the same number of iterations as
+//!   the actual run (section 3.2.2);
+//! * [`features`] / [`critical_path`] — the Table 1 key input features and
+//!   the critical-path worker selection used to extract them from run
+//!   profiles (sections 3.3 and 3.4);
+//! * [`extrapolator`] — per-iteration scaling of sample-run features to the
+//!   full dataset by vertex/edge ratios (section 3.4);
+//! * [`regression`], [`feature_selection`], [`cost_model`] — the customizable
+//!   cost model: multivariate linear regression over forward-selected
+//!   features (section 3.4);
+//! * [`history`] — the historical-run store that improves cost models when
+//!   prior actual runs exist (section 5.2);
+//! * [`pipeline`] — the end-to-end [`Predictor`] (Figure 1);
+//! * [`metrics`] — the signed-relative-error and R² metrics of section 5;
+//! * [`bounds`] — the analytical iteration upper bounds PREDIcT is compared
+//!   against (section 5.1).
+//!
+//! # Example
+//!
+//! ```
+//! use predict_core::{Predictor, PredictorConfig, HistoryStore};
+//! use predict_algorithms::PageRankWorkload;
+//! use predict_bsp::{BspConfig, BspEngine};
+//! use predict_graph::generators::{generate_rmat, RmatConfig};
+//! use predict_sampling::BiasedRandomJump;
+//!
+//! let graph = generate_rmat(&RmatConfig::new(10, 8).with_seed(7));
+//! let engine = BspEngine::new(BspConfig::default());
+//! let sampler = BiasedRandomJump::default();
+//! let workload = PageRankWorkload::with_epsilon(0.01, graph.num_vertices());
+//!
+//! let predictor = Predictor::new(&engine, &sampler, PredictorConfig::single_ratio(0.1));
+//! let prediction = predictor
+//!     .predict(&workload, &graph, &HistoryStore::new(), "quickstart")
+//!     .unwrap();
+//! assert!(prediction.predicted_iterations > 0);
+//! assert!(prediction.predicted_superstep_ms > 0.0);
+//! ```
+
+pub mod bounds;
+pub mod cost_model;
+pub mod critical_path;
+pub mod extrapolator;
+pub mod feature_selection;
+pub mod features;
+pub mod history;
+pub mod metrics;
+pub mod pipeline;
+pub mod regression;
+pub mod transform;
+
+pub use cost_model::{CostModel, CostModelConfig};
+pub use critical_path::{critical_path_worker_by_edges, observations_from_profile, WorkerSelection};
+pub use extrapolator::{ExtrapolationRule, Extrapolator};
+pub use feature_selection::{forward_select, SelectionConfig, SelectionResult};
+pub use features::{ExtrapolationKind, FeatureSet, IterationObservation, KeyFeature};
+pub use history::{HistoricalRun, HistoryStore};
+pub use metrics::{
+    absolute_relative_error, r_squared, signed_relative_error, ErrorSample, ErrorSummary,
+};
+pub use pipeline::{Evaluation, PredictError, Prediction, Predictor, PredictorConfig};
+pub use regression::{LinearModel, RegressionError};
+pub use transform::{ThresholdRule, TransformFunction};

@@ -1,0 +1,274 @@
+//! Multivariate linear regression.
+//!
+//! The paper's cost model has the fixed functional form
+//! `f(X_1, …, X_k) = c_1 X_1 + … + c_k X_k + r` (section 3.4): a multivariate
+//! linear model whose coefficients can be interpreted as the cost values of
+//! each input feature and whose residual `r` absorbs fixed per-iteration
+//! overheads. The model is fit by ordinary least squares on the training
+//! observations; a ridge-regularized variant is provided as the robustness
+//! extension called out in DESIGN.md (useful when training rows are few and
+//! collinear, e.g. very short sample runs).
+
+use serde::{Deserialize, Serialize};
+
+/// A fitted linear model `y ≈ intercept + Σ coefficients[i] * x[i]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinearModel {
+    /// Per-feature coefficients (the paper's cost values `c_i`).
+    pub coefficients: Vec<f64>,
+    /// Intercept (the paper's residual value `r`).
+    pub intercept: f64,
+    /// Coefficient of determination on the training data.
+    pub r_squared: f64,
+}
+
+/// Errors produced when fitting a model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegressionError {
+    /// No training rows were provided.
+    EmptyTrainingSet,
+    /// Rows have inconsistent numbers of features.
+    InconsistentRows,
+    /// The normal equations are singular and could not be solved (typically
+    /// perfectly collinear features with no regularization).
+    SingularSystem,
+}
+
+impl std::fmt::Display for RegressionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegressionError::EmptyTrainingSet => write!(f, "no training observations"),
+            RegressionError::InconsistentRows => write!(f, "rows have differing feature counts"),
+            RegressionError::SingularSystem => write!(f, "normal equations are singular"),
+        }
+    }
+}
+
+impl std::error::Error for RegressionError {}
+
+impl LinearModel {
+    /// Fits an ordinary-least-squares model of `y` on `rows`.
+    pub fn fit(rows: &[Vec<f64>], y: &[f64]) -> Result<Self, RegressionError> {
+        Self::fit_ridge(rows, y, 0.0)
+    }
+
+    /// Fits a ridge-regularized model: minimizes
+    /// `Σ (y - ŷ)² + lambda * Σ c_i²` (the intercept is not penalized).
+    pub fn fit_ridge(rows: &[Vec<f64>], y: &[f64], lambda: f64) -> Result<Self, RegressionError> {
+        if rows.is_empty() || y.is_empty() || rows.len() != y.len() {
+            return Err(RegressionError::EmptyTrainingSet);
+        }
+        let num_features = rows[0].len();
+        if rows.iter().any(|r| r.len() != num_features) {
+            return Err(RegressionError::InconsistentRows);
+        }
+
+        // Design matrix with a leading column of ones for the intercept.
+        let dim = num_features + 1;
+        let mut xtx = vec![vec![0.0f64; dim]; dim];
+        let mut xty = vec![0.0f64; dim];
+        for (row, &target) in rows.iter().zip(y.iter()) {
+            let mut design = Vec::with_capacity(dim);
+            design.push(1.0);
+            design.extend_from_slice(row);
+            for i in 0..dim {
+                xty[i] += design[i] * target;
+                for j in 0..dim {
+                    xtx[i][j] += design[i] * design[j];
+                }
+            }
+        }
+        // Ridge penalty on the non-intercept diagonal.
+        for (i, row) in xtx.iter_mut().enumerate().skip(1) {
+            row[i] += lambda;
+        }
+
+        let solution = solve(xtx, xty).ok_or(RegressionError::SingularSystem)?;
+        let intercept = solution[0];
+        let coefficients = solution[1..].to_vec();
+
+        let mut model = Self { coefficients, intercept, r_squared: 0.0 };
+        model.r_squared = model.r_squared_on(rows, y);
+        Ok(model)
+    }
+
+    /// Predicted value for one feature row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` does not have as many entries as the model has
+    /// coefficients.
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        assert_eq!(
+            row.len(),
+            self.coefficients.len(),
+            "expected {} features, got {}",
+            self.coefficients.len(),
+            row.len()
+        );
+        self.intercept + self.coefficients.iter().zip(row).map(|(c, x)| c * x).sum::<f64>()
+    }
+
+    /// Coefficient of determination (R²) of the model on a dataset.
+    pub fn r_squared_on(&self, rows: &[Vec<f64>], y: &[f64]) -> f64 {
+        if rows.is_empty() {
+            return 0.0;
+        }
+        let mean = y.iter().sum::<f64>() / y.len() as f64;
+        let ss_tot: f64 = y.iter().map(|v| (v - mean).powi(2)).sum();
+        let ss_res: f64 = rows
+            .iter()
+            .zip(y.iter())
+            .map(|(row, &target)| (target - self.predict(row)).powi(2))
+            .sum();
+        if ss_tot <= f64::EPSILON {
+            // A constant response that the model matches exactly counts as a
+            // perfect fit; otherwise the notion of R² degenerates to 0.
+            return if ss_res <= 1e-9 { 1.0 } else { 0.0 };
+        }
+        1.0 - ss_res / ss_tot
+    }
+
+    /// Sum of squared residuals on a dataset (used by feature selection).
+    pub fn sse_on(&self, rows: &[Vec<f64>], y: &[f64]) -> f64 {
+        rows.iter()
+            .zip(y.iter())
+            .map(|(row, &target)| (target - self.predict(row)).powi(2))
+            .sum()
+    }
+}
+
+/// Solves the dense linear system `a x = b` with Gaussian elimination and
+/// partial pivoting. Returns `None` when the matrix is (numerically)
+/// singular.
+fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = b.len();
+    for col in 0..n {
+        // Partial pivoting.
+        let pivot_row = (col..n).max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).unwrap())?;
+        if a[pivot_row][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot_row);
+        b.swap(col, pivot_row);
+
+        let pivot = a[col][col];
+        for row in (col + 1)..n {
+            let factor = a[row][col] / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for col in (row + 1)..n {
+            acc -= a[row][col] * x[col];
+        }
+        x[row] = acc / a[row][row];
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn recovers_known_coefficients_exactly() {
+        // y = 3 + 2 x1 - 0.5 x2, no noise.
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..20 {
+            let x1 = i as f64;
+            let x2 = (i * i % 7) as f64;
+            rows.push(vec![x1, x2]);
+            y.push(3.0 + 2.0 * x1 - 0.5 * x2);
+        }
+        let model = LinearModel::fit(&rows, &y).unwrap();
+        assert!((model.intercept - 3.0).abs() < 1e-9);
+        assert!((model.coefficients[0] - 2.0).abs() < 1e-9);
+        assert!((model.coefficients[1] + 0.5).abs() < 1e-9);
+        assert!(model.r_squared > 0.999999);
+    }
+
+    #[test]
+    fn recovers_coefficients_under_noise() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..500 {
+            let x1: f64 = rng.gen_range(0.0..100.0);
+            let x2: f64 = rng.gen_range(0.0..10.0);
+            let noise: f64 = rng.gen_range(-1.0..1.0);
+            rows.push(vec![x1, x2]);
+            y.push(5.0 + 0.7 * x1 + 3.0 * x2 + noise);
+        }
+        let model = LinearModel::fit(&rows, &y).unwrap();
+        assert!((model.coefficients[0] - 0.7).abs() < 0.05);
+        assert!((model.coefficients[1] - 3.0).abs() < 0.2);
+        assert!(model.r_squared > 0.95);
+    }
+
+    #[test]
+    fn extrapolates_outside_training_range() {
+        // The property the paper relies on: a fixed functional form can be
+        // used on feature ranges outside the training boundaries (train on
+        // sample-run scale, predict at full-graph scale).
+        let rows: Vec<Vec<f64>> = (1..20).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (1..20).map(|i| 10.0 + 4.0 * i as f64).collect();
+        let model = LinearModel::fit(&rows, &y).unwrap();
+        let prediction = model.predict(&[1_000.0]);
+        assert!((prediction - 4_010.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn singular_system_is_reported_and_ridge_fixes_it() {
+        // Two perfectly collinear features.
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, 2.0 * i as f64]).collect();
+        let y: Vec<f64> = (0..10).map(|i| 3.0 * i as f64).collect();
+        assert_eq!(LinearModel::fit(&rows, &y).unwrap_err(), RegressionError::SingularSystem);
+        let ridge = LinearModel::fit_ridge(&rows, &y, 1e-3).unwrap();
+        // The regularized solution still predicts well even though the
+        // individual coefficients are not identifiable.
+        assert!(ridge.r_squared_on(&rows, &y) > 0.999);
+    }
+
+    #[test]
+    fn error_cases_are_reported() {
+        assert_eq!(LinearModel::fit(&[], &[]).unwrap_err(), RegressionError::EmptyTrainingSet);
+        let rows = vec![vec![1.0, 2.0], vec![1.0]];
+        assert_eq!(
+            LinearModel::fit(&rows, &[1.0, 2.0]).unwrap_err(),
+            RegressionError::InconsistentRows
+        );
+    }
+
+    #[test]
+    fn r_squared_handles_constant_targets() {
+        let rows: Vec<Vec<f64>> = (0..5).map(|i| vec![i as f64]).collect();
+        let y = vec![4.0; 5];
+        let model = LinearModel::fit(&rows, &y).unwrap();
+        assert!((model.predict(&[2.0]) - 4.0).abs() < 1e-9);
+        assert_eq!(model.r_squared, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 2 features")]
+    fn predict_with_wrong_arity_panics() {
+        let model = LinearModel {
+            coefficients: vec![1.0, 2.0],
+            intercept: 0.0,
+            r_squared: 1.0,
+        };
+        let _ = model.predict(&[1.0]);
+    }
+}

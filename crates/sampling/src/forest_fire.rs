@@ -1,0 +1,163 @@
+//! Forest Fire sampling.
+//!
+//! Forest Fire (Leskovec & Faloutsos, KDD 2006) "burns" outward from a random
+//! seed: the fire at a vertex spreads to a geometrically distributed number of
+//! its not-yet-burned out-neighbors, which are burned recursively. When the
+//! fire dies out a new seed is ignited. The paper lists Forest Fire among the
+//! techniques whose D-statistic scores are comparable to Random Jump; it is
+//! provided here as an additional point of comparison for the sensitivity
+//! analysis and the sampler-quality test-suite.
+
+use crate::traits::{target_sample_size, Sampler};
+use predict_graph::{CsrGraph, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// Forest Fire sampler.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ForestFire {
+    /// Forward-burning probability `p_f`: the number of out-neighbors burned
+    /// from each vertex is geometrically distributed with mean
+    /// `p_f / (1 - p_f)`.
+    pub forward_probability: f64,
+}
+
+impl Default for ForestFire {
+    fn default() -> Self {
+        // The value recommended by Leskovec & Faloutsos.
+        Self { forward_probability: 0.7 }
+    }
+}
+
+impl ForestFire {
+    /// Creates a Forest Fire sampler with the given forward-burning
+    /// probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < forward_probability < 1`.
+    pub fn new(forward_probability: f64) -> Self {
+        assert!(
+            forward_probability > 0.0 && forward_probability < 1.0,
+            "forward probability must be in (0, 1), got {forward_probability}"
+        );
+        Self { forward_probability }
+    }
+}
+
+impl Sampler for ForestFire {
+    fn name(&self) -> &'static str {
+        "FF"
+    }
+
+    fn sample_vertices(&self, graph: &CsrGraph, ratio: f64, seed: u64) -> Vec<VertexId> {
+        let target = target_sample_size(graph.num_vertices(), ratio);
+        if target == 0 {
+            return Vec::new();
+        }
+        let n = graph.num_vertices();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut burned = vec![false; n];
+        let mut picked: Vec<VertexId> = Vec::with_capacity(target);
+        let mut queue: VecDeque<VertexId> = VecDeque::new();
+
+        while picked.len() < target {
+            // Ignite a new fire at an unburned vertex chosen uniformly.
+            let mut ignite = rng.gen_range(0..n) as VertexId;
+            let mut attempts = 0;
+            while burned[ignite as usize] && attempts < 64 {
+                ignite = rng.gen_range(0..n) as VertexId;
+                attempts += 1;
+            }
+            if burned[ignite as usize] {
+                // Densely burned already: fall back to a linear scan.
+                match (0..n as VertexId).find(|&v| !burned[v as usize]) {
+                    Some(v) => ignite = v,
+                    None => break,
+                }
+            }
+            burned[ignite as usize] = true;
+            picked.push(ignite);
+            queue.clear();
+            queue.push_back(ignite);
+
+            while let Some(v) = queue.pop_front() {
+                if picked.len() >= target {
+                    break;
+                }
+                // Geometric number of neighbors to burn: keep burning while a
+                // biased coin keeps coming up heads.
+                let nbrs = graph.out_neighbors(v);
+                let mut unburned: Vec<VertexId> = nbrs
+                    .iter()
+                    .copied()
+                    .filter(|&u| !burned[u as usize])
+                    .collect();
+                while !unburned.is_empty() && rng.gen_bool(self.forward_probability) {
+                    let idx = rng.gen_range(0..unburned.len());
+                    let u = unburned.swap_remove(idx);
+                    burned[u as usize] = true;
+                    picked.push(u);
+                    queue.push_back(u);
+                    if picked.len() >= target {
+                        break;
+                    }
+                }
+            }
+        }
+        picked.truncate(target);
+        picked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use predict_graph::generators::{chain, generate_rmat, RmatConfig};
+    use std::collections::HashSet;
+
+    #[test]
+    fn respects_target_size() {
+        let g = generate_rmat(&RmatConfig::new(9, 6).with_seed(3));
+        let s = ForestFire::default().sample_vertices(&g, 0.1, 7);
+        assert_eq!(s.len(), (g.num_vertices() as f64 * 0.1).round() as usize);
+    }
+
+    #[test]
+    fn vertices_are_unique() {
+        let g = generate_rmat(&RmatConfig::new(8, 4).with_seed(1));
+        let s = ForestFire::default().sample_vertices(&g, 0.5, 11);
+        let set: HashSet<_> = s.iter().collect();
+        assert_eq!(set.len(), s.len());
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let g = generate_rmat(&RmatConfig::new(8, 4).with_seed(1));
+        assert_eq!(
+            ForestFire::default().sample_vertices(&g, 0.2, 5),
+            ForestFire::default().sample_vertices(&g, 0.2, 5)
+        );
+    }
+
+    #[test]
+    fn full_ratio_burns_everything() {
+        let g = generate_rmat(&RmatConfig::new(7, 4).with_seed(2));
+        let s = ForestFire::default().sample_vertices(&g, 1.0, 1);
+        assert_eq!(s.len(), g.num_vertices());
+    }
+
+    #[test]
+    fn works_on_chains() {
+        let g = chain(100);
+        let s = ForestFire::default().sample_vertices(&g, 0.4, 9);
+        assert_eq!(s.len(), 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "forward probability")]
+    fn invalid_probability_panics() {
+        let _ = ForestFire::new(1.0);
+    }
+}

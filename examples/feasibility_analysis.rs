@@ -1,0 +1,65 @@
+//! Feasibility analysis: "Given a cluster deployment and a workload of
+//! iterative algorithms, is it feasible to execute the workload on an input
+//! dataset while guaranteeing user specified SLAs?" (paper, section 1).
+//!
+//! ```bash
+//! cargo run --release --example feasibility_analysis
+//! ```
+//!
+//! The example predicts the runtime of a small mixed workload (PageRank,
+//! connected components, neighborhood estimation) on the UK-2002 analog from
+//! 10% sample runs, sums the predictions and compares the total against an
+//! SLA deadline — without ever executing the full workload.
+
+use predict_repro::prelude::*;
+
+fn main() {
+    let engine = BspEngine::new(BspConfig::with_workers(8));
+    let sampler = BiasedRandomJump::default();
+    let graph = Dataset::Uk2002.load();
+    println!(
+        "cluster: 8 workers | dataset: UK-2002 analog ({} vertices, {} edges)",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+
+    let workloads: Vec<Box<dyn Workload>> = vec![
+        Box::new(PageRankWorkload::with_epsilon(0.001, graph.num_vertices())),
+        Box::new(ConnectedComponentsWorkload),
+        Box::new(NeighborhoodWorkload::default()),
+    ];
+
+    let predictor = Predictor::new(&engine, &sampler, PredictorConfig::default());
+    let mut total_predicted_ms = 0.0;
+    let mut total_sample_cost_ms = 0.0;
+    println!("\n{:<8} {:>12} {:>16}", "workload", "iterations", "predicted [ms]");
+    for workload in &workloads {
+        let prediction = predictor
+            .predict(workload.as_ref(), &graph, &HistoryStore::new(), "UK")
+            .expect("prediction succeeds");
+        println!(
+            "{:<8} {:>12} {:>16.0}",
+            workload.name(),
+            prediction.predicted_iterations,
+            prediction.predicted_superstep_ms
+        );
+        total_predicted_ms += prediction.predicted_superstep_ms;
+        total_sample_cost_ms += prediction.sample_run_total_ms;
+    }
+
+    let sla_ms = 20_000.0;
+    println!("\npredicted workload runtime: {total_predicted_ms:.0} ms (simulated cluster time)");
+    println!("cost of the sample runs:    {total_sample_cost_ms:.0} ms");
+    println!("SLA budget:                 {sla_ms:.0} ms");
+    if total_predicted_ms <= sla_ms {
+        println!(
+            "=> FEASIBLE: the workload is predicted to finish {:.0} ms under the SLA",
+            sla_ms - total_predicted_ms
+        );
+    } else {
+        println!(
+            "=> NOT FEASIBLE: the workload is predicted to overrun the SLA by {:.0} ms",
+            total_predicted_ms - sla_ms
+        );
+    }
+}

@@ -1,0 +1,63 @@
+//! Quickstart: the end-to-end PREDIcT methodology (Figure 1 of the paper) on
+//! a single workload.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! The example: (1) builds a scaled-down analog of the paper's Wikipedia
+//! graph, (2) draws a 10% Biased Random Jump sample, (3) runs PageRank on the
+//! sample with the transformed convergence threshold, (4) trains a cost model
+//! from the sample run, (5) extrapolates the per-iteration features and
+//! predicts the runtime — and then runs the actual job to show how close the
+//! prediction landed.
+
+use predict_repro::prelude::*;
+
+fn main() {
+    // 1. Input dataset: the Wikipedia analog at the default experiment scale.
+    let graph = Dataset::Wikipedia.load();
+    println!(
+        "dataset: Wikipedia analog with {} vertices and {} edges",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+
+    // 2. The workload: PageRank with the paper's threshold convention
+    //    (tau = epsilon / N, epsilon = 0.001).
+    let workload = PageRankWorkload::with_epsilon(0.001, graph.num_vertices());
+    println!("workload: PageRank, damping 0.85, tau = 0.001 / N");
+
+    // 3. PREDIcT: BRJ sampling at 10%, default transform, cost model trained
+    //    on sample runs at ratios 0.05-0.2.
+    let engine = BspEngine::new(BspConfig::with_workers(8));
+    let sampler = BiasedRandomJump::default();
+    let predictor = Predictor::new(&engine, &sampler, PredictorConfig::default());
+
+    let evaluation = predictor
+        .evaluate(&workload, &graph, &HistoryStore::new(), "Wiki")
+        .expect("prediction succeeds");
+    let prediction = &evaluation.prediction;
+
+    println!("\n--- prediction (from the 10% sample run) ---");
+    println!("predicted iterations:        {}", prediction.predicted_iterations);
+    println!("predicted superstep runtime: {:.0} ms (simulated)", prediction.predicted_superstep_ms);
+    println!(
+        "cost model: features {:?}, R^2 = {:.3}",
+        prediction.cost_model.features.iter().map(|f| f.name()).collect::<Vec<_>>(),
+        prediction.cost_model.r_squared()
+    );
+    println!(
+        "sample run cost: {:.0} ms ({:.1}% of the actual run)",
+        prediction.sample_run_total_ms,
+        evaluation.sample_overhead_ratio() * 100.0
+    );
+
+    println!("\n--- actual run ---");
+    println!("actual iterations:           {}", evaluation.actual_iterations);
+    println!("actual superstep runtime:    {:.0} ms (simulated)", evaluation.actual_superstep_ms);
+
+    println!("\n--- errors ---");
+    println!("iteration error: {:+.1}%", evaluation.iteration_error() * 100.0);
+    println!("runtime error:   {:+.1}%", evaluation.runtime_error() * 100.0);
+}

@@ -1,0 +1,59 @@
+//! Ranking workload: predicting a two-stage ranking pipeline (PageRank
+//! followed by top-k ranking), the "order stories in the news feed" scenario
+//! the paper's introduction attributes to Facebook/LinkedIn.
+//!
+//! ```bash
+//! cargo run --release --example ranking_workload
+//! ```
+//!
+//! Top-k ranking is the paper's example of an algorithm whose per-iteration
+//! runtime varies with the number of messages sent, which is why predicting
+//! its runtime needs per-iteration feature extrapolation rather than a single
+//! average-iteration estimate.
+
+use predict_repro::algorithms::TopKParams;
+use predict_repro::prelude::*;
+
+fn main() {
+    let engine = BspEngine::new(BspConfig::with_workers(8));
+    let sampler = BiasedRandomJump::default();
+
+    for dataset in [Dataset::Wikipedia, Dataset::Uk2002] {
+        let graph = dataset.load();
+        println!(
+            "\n=== {} analog: {} vertices, {} edges ===",
+            dataset.name(),
+            graph.num_vertices(),
+            graph.num_edges()
+        );
+
+        // Stage 1 of the pipeline (PageRank) is run as part of the top-k
+        // workload; stage 2 (top-k ranking, k = 5) is what gets predicted.
+        let workload = TopKWorkload::new(TopKParams::new(5, 0.001), 0.01);
+        let predictor = Predictor::new(&engine, &sampler, PredictorConfig::default());
+        let evaluation = predictor
+            .evaluate(&workload, &graph, &HistoryStore::new(), dataset.prefix())
+            .expect("prediction succeeds");
+
+        let per_iteration = &evaluation.prediction.per_iteration_ms;
+        let max = per_iteration.iter().cloned().fold(0.0f64, f64::max);
+        let min = per_iteration.iter().cloned().fold(f64::INFINITY, f64::min);
+        println!(
+            "predicted {} iterations, per-iteration runtime varies {:.0}x ({:.1} ms .. {:.1} ms)",
+            evaluation.prediction.predicted_iterations,
+            if min > 0.0 { max / min } else { 0.0 },
+            min,
+            max
+        );
+        println!(
+            "predicted runtime {:.0} ms vs actual {:.0} ms  (error {:+.1}%)",
+            evaluation.prediction.predicted_superstep_ms,
+            evaluation.actual_superstep_ms,
+            evaluation.runtime_error() * 100.0
+        );
+        println!(
+            "remote message bytes error {:+.1}%",
+            evaluation.remote_bytes_error() * 100.0
+        );
+    }
+}

@@ -1,0 +1,96 @@
+//! # predict-repro
+//!
+//! A from-scratch Rust reproduction of **PREDIcT** (Popescu, Balmin,
+//! Ercegovac, Ailamaki — *PREDIcT: Towards Predicting the Runtime of Large
+//! Scale Iterative Analytics*, PVLDB 6(13), 2013): an experimental methodology
+//! that predicts the number of iterations and the runtime of iterative graph
+//! algorithms from short sample runs.
+//!
+//! This root crate re-exports the workspace members under stable module names
+//! so applications can depend on a single crate:
+//!
+//! * [`graph`] — CSR graphs, generators, dataset analogs, property analysis;
+//! * [`sampling`] — Biased Random Jump and the other sampling techniques;
+//! * [`bsp`] — the Giraph-like BSP engine with a simulated cluster clock;
+//! * [`algorithms`] — PageRank, top-k ranking, semi-clustering, connected
+//!   components, neighborhood estimation, SSSP and the [`Workload`] trait;
+//! * [`predict`] — the PREDIcT pipeline itself (transform functions,
+//!   extrapolation, cost models, prediction).
+//!
+//! The [`prelude`] pulls in the handful of types most applications need.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use predict_repro::prelude::*;
+//!
+//! // A scaled-down analog of the paper's Wikipedia graph.
+//! let graph = Dataset::Wikipedia.load_small();
+//!
+//! // The workload whose runtime we want to predict.
+//! let workload = PageRankWorkload::with_epsilon(0.01, graph.num_vertices());
+//!
+//! // PREDIcT: BRJ sampling + transform function + cost model.
+//! let engine = BspEngine::new(BspConfig::default());
+//! let sampler = BiasedRandomJump::default();
+//! let predictor = Predictor::new(&engine, &sampler, PredictorConfig::single_ratio(0.1));
+//! let prediction = predictor
+//!     .predict(&workload, &graph, &HistoryStore::new(), "Wiki")
+//!     .expect("prediction succeeds");
+//!
+//! assert!(prediction.predicted_iterations > 0);
+//! assert!(prediction.predicted_superstep_ms > 0.0);
+//! ```
+
+/// Graph substrate: CSR graphs, generators, dataset analogs and property
+/// analysis (re-export of `predict-graph`).
+pub use predict_graph as graph;
+
+/// Sampling techniques: BRJ, RJ, MHRW, Forest Fire and baselines (re-export
+/// of `predict-sampling`).
+pub use predict_sampling as sampling;
+
+/// The Giraph-like BSP engine with per-worker feature counters and a
+/// simulated cluster clock (re-export of `predict-bsp`).
+pub use predict_bsp as bsp;
+
+/// The iterative algorithms evaluated by the paper (re-export of
+/// `predict-algorithms`).
+pub use predict_algorithms as algorithms;
+
+/// The PREDIcT prediction pipeline (re-export of `predict-core`).
+pub use predict_core as predict;
+
+/// The types most applications need, in one import.
+pub mod prelude {
+    pub use predict_algorithms::{
+        ConnectedComponentsWorkload, NeighborhoodWorkload, PageRankWorkload,
+        SemiClusteringWorkload, TopKWorkload, Workload, WorkloadRun,
+    };
+    pub use predict_bsp::{BspConfig, BspEngine, ClusterCostConfig, RunProfile};
+    pub use predict_core::{
+        Evaluation, HistoryStore, KeyFeature, Prediction, Predictor, PredictorConfig,
+        TransformFunction,
+    };
+    pub use predict_graph::datasets::{Dataset, DatasetScale};
+    pub use predict_graph::CsrGraph;
+    pub use predict_sampling::{BiasedRandomJump, RandomJump, Sampler};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn prelude_exposes_an_end_to_end_workflow() {
+        let graph = Dataset::LiveJournal.load_small();
+        let engine = BspEngine::new(BspConfig::with_workers(4));
+        let sampler = BiasedRandomJump::default();
+        let workload = PageRankWorkload::with_epsilon(0.01, graph.num_vertices());
+        let predictor = Predictor::new(&engine, &sampler, PredictorConfig::single_ratio(0.1));
+        let prediction = predictor
+            .predict(&workload, &graph, &HistoryStore::new(), "LJ")
+            .expect("prediction succeeds");
+        assert!(prediction.predicted_iterations > 0);
+    }
+}

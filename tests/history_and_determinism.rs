@@ -1,0 +1,90 @@
+//! Integration tests for the historical-run store and for end-to-end
+//! determinism of the pipeline.
+
+use predict_repro::algorithms::TopKParams;
+use predict_repro::prelude::*;
+
+fn engine() -> BspEngine {
+    BspEngine::new(BspConfig::with_workers(8))
+}
+
+#[test]
+fn history_store_roundtrips_through_disk_and_feeds_predictions() {
+    let engine = engine();
+    let sampler = BiasedRandomJump::default();
+    let workload = TopKWorkload::new(TopKParams::new(5, 0.001), 0.01);
+
+    // Record actual runs on two datasets.
+    let mut history = HistoryStore::new();
+    for dataset in [Dataset::LiveJournal, Dataset::Uk2002] {
+        let graph = dataset.load_small();
+        let run = workload.run(&engine, &graph);
+        history.record(workload.name(), dataset.prefix(), run.profile);
+    }
+
+    // Persist and reload.
+    let dir = std::env::temp_dir().join("predict_repro_integration");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("history.json");
+    history.save(&path).unwrap();
+    let reloaded = HistoryStore::load(&path).unwrap();
+    assert_eq!(reloaded.len(), 2);
+    std::fs::remove_file(&path).ok();
+
+    // Use the reloaded history to predict on a third dataset.
+    let graph = Dataset::Wikipedia.load_small();
+    let predictor = Predictor::new(&engine, &sampler, PredictorConfig::single_ratio(0.1));
+    let with_history = predictor
+        .predict(&workload, &graph, &reloaded, "Wiki")
+        .expect("prediction succeeds");
+    assert!(with_history.cost_model.training_observations > 0);
+    assert!(with_history.predicted_superstep_ms > 0.0);
+
+    // History from other datasets adds training rows compared to sample-only.
+    let without_history = predictor
+        .predict(&workload, &graph, &HistoryStore::new(), "Wiki")
+        .expect("prediction succeeds");
+    assert!(
+        with_history.cost_model.training_observations
+            > without_history.cost_model.training_observations
+    );
+}
+
+#[test]
+fn pipeline_is_deterministic_for_fixed_seeds() {
+    let engine = engine();
+    let sampler = BiasedRandomJump::default();
+    let graph = Dataset::Wikipedia.load_small();
+    let workload = PageRankWorkload::with_epsilon(0.001, graph.num_vertices());
+    let predictor = Predictor::new(&engine, &sampler, PredictorConfig::single_ratio(0.1).with_seed(42));
+
+    let a = predictor.predict(&workload, &graph, &HistoryStore::new(), "Wiki").unwrap();
+    let b = predictor.predict(&workload, &graph, &HistoryStore::new(), "Wiki").unwrap();
+    assert_eq!(a.predicted_iterations, b.predicted_iterations);
+    assert_eq!(a.predicted_superstep_ms, b.predicted_superstep_ms);
+    assert_eq!(a.per_iteration_ms, b.per_iteration_ms);
+}
+
+#[test]
+fn different_seeds_still_give_consistent_iteration_predictions() {
+    // The prediction should be robust to the sampling seed: iteration
+    // estimates across seeds must stay within a small band of each other.
+    let engine = engine();
+    let sampler = BiasedRandomJump::default();
+    let graph = Dataset::Uk2002.load_small();
+    let workload = PageRankWorkload::with_epsilon(0.001, graph.num_vertices());
+
+    let mut iterations = Vec::new();
+    for seed in [1u64, 2, 3, 4] {
+        let predictor =
+            Predictor::new(&engine, &sampler, PredictorConfig::single_ratio(0.1).with_seed(seed));
+        let p = predictor.predict(&workload, &graph, &HistoryStore::new(), "UK").unwrap();
+        iterations.push(p.predicted_iterations as f64);
+    }
+    let min = iterations.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = iterations.iter().cloned().fold(0.0f64, f64::max);
+    assert!(
+        max - min <= max * 0.35,
+        "iteration predictions vary too much across seeds: {iterations:?}"
+    );
+}
