@@ -147,7 +147,11 @@ mod tests {
         // Label 0 has to travel the whole chain, one hop per superstep.
         let g = undirected(&chain(64));
         let result = ConnectedComponents.run(&engine(), &g);
-        assert!(result.iterations >= 63, "got only {} iterations", result.iterations);
+        assert!(
+            result.iterations >= 63,
+            "got only {} iterations",
+            result.iterations
+        );
         assert!(result.labels.iter().all(|&l| l == 0));
     }
 
@@ -161,7 +165,10 @@ mod tests {
         assert!(totals.len() >= 3);
         let first = totals[0].active_vertices;
         let last = totals[totals.len() - 1].active_vertices;
-        assert!(last < first / 4, "active vertices should collapse: {first} -> {last}");
+        assert!(
+            last < first / 4,
+            "active vertices should collapse: {first} -> {last}"
+        );
     }
 
     #[test]

@@ -43,7 +43,9 @@ pub use connected_components::{ConnectedComponents, ConnectedComponentsResult};
 pub use convergence::ConvergenceKind;
 pub use neighborhood::{NeighborhoodEstimation, NeighborhoodParams, NeighborhoodResult};
 pub use pagerank::{PageRank, PageRankParams, PageRankResult};
-pub use semi_clustering::{SemiCluster, SemiClustering, SemiClusteringParams, SemiClusteringResult};
+pub use semi_clustering::{
+    SemiCluster, SemiClustering, SemiClusteringParams, SemiClusteringResult,
+};
 pub use sssp::{ShortestPaths, ShortestPathsResult};
 pub use topk::{TopKParams, TopKRanking, TopKResult, TopKState};
 pub use workload::{

@@ -39,7 +39,11 @@ pub struct NeighborhoodParams {
 
 impl Default for NeighborhoodParams {
     fn default() -> Self {
-        Self { num_sketches: 4, tolerance: 0.01, seed: 0xFA57 }
+        Self {
+            num_sketches: 4,
+            tolerance: 0.01,
+            seed: 0xFA57,
+        }
     }
 }
 
@@ -48,7 +52,11 @@ impl NeighborhoodParams {
     pub fn new(num_sketches: usize, tolerance: f64) -> Self {
         assert!(num_sketches > 0, "at least one sketch is required");
         assert!(tolerance >= 0.0, "tolerance must be non-negative");
-        Self { num_sketches, tolerance, seed: 0xFA57 }
+        Self {
+            num_sketches,
+            tolerance,
+            seed: 0xFA57,
+        }
     }
 
     /// Returns a copy with a different convergence threshold.
@@ -182,7 +190,9 @@ impl VertexProgram for NeighborhoodEstimation {
     ) {
         let mut changed = ctx.superstep == 0;
         for msg in messages {
-            let other = NeighborhoodSketch { bitmasks: msg.clone() };
+            let other = NeighborhoodSketch {
+                bitmasks: msg.clone(),
+            };
             changed |= ctx.value.union_with(&other);
         }
         ctx.aggregate(TOTAL_ESTIMATE_AGGREGATOR, ctx.value.estimate());
@@ -233,7 +243,10 @@ mod tests {
         assert_eq!(a, b);
         // Roughly half of all vertices should land on bit 0.
         let zeros = (0..10_000).filter(|&v| fm_bit(v, 0, 7) == 0).count();
-        assert!(zeros > 4_000 && zeros < 6_000, "bit-0 frequency {zeros} not ~50%");
+        assert!(
+            zeros > 4_000 && zeros < 6_000,
+            "bit-0 frequency {zeros} not ~50%"
+        );
     }
 
     #[test]
@@ -248,9 +261,15 @@ mod tests {
             sketch.union_with(&other);
         }
         let many = sketch.estimate();
-        assert!(many > single * 10.0, "estimate should grow: {single} -> {many}");
+        assert!(
+            many > single * 10.0,
+            "estimate should grow: {single} -> {many}"
+        );
         // FM estimates are rough; accept a factor-3 band around 500.
-        assert!(many > 150.0 && many < 1_500.0, "estimate {many} way off 500");
+        assert!(
+            many > 150.0 && many < 1_500.0,
+            "estimate {many} way off 500"
+        );
     }
 
     #[test]
@@ -259,13 +278,18 @@ mod tests {
         let result = NeighborhoodEstimation::new(NeighborhoodParams::default()).run(&engine(), &g);
         // Everything is reachable in one hop; the sketches stabilize almost
         // immediately.
-        assert!(result.iterations <= 5, "took {} iterations", result.iterations);
+        assert!(
+            result.iterations <= 5,
+            "took {} iterations",
+            result.iterations
+        );
     }
 
     #[test]
     fn chain_needs_many_iterations() {
         let g = undirected(&chain(40));
-        let result = NeighborhoodEstimation::new(NeighborhoodParams::new(4, 0.0)).run(&engine(), &g);
+        let result =
+            NeighborhoodEstimation::new(NeighborhoodParams::new(4, 0.0)).run(&engine(), &g);
         assert!(
             result.iterations >= 20,
             "sketches must travel the chain, got {} iterations",
@@ -279,7 +303,10 @@ mod tests {
         let params = NeighborhoodParams::new(16, 0.0);
         let result = NeighborhoodEstimation::new(params).run(&engine(), &g);
         for &e in &result.estimates {
-            assert!(e > 64.0 / 3.0 && e < 64.0 * 3.0, "estimate {e} too far from 64");
+            assert!(
+                e > 64.0 / 3.0 && e < 64.0 * 3.0,
+                "estimate {e} too far from 64"
+            );
         }
     }
 
@@ -301,7 +328,8 @@ mod tests {
     #[test]
     fn message_volume_shrinks_as_sketches_saturate() {
         let g = undirected(&generate_rmat(&RmatConfig::new(8, 5).with_seed(4)));
-        let result = NeighborhoodEstimation::new(NeighborhoodParams::new(4, 0.0)).run(&engine(), &g);
+        let result =
+            NeighborhoodEstimation::new(NeighborhoodParams::new(4, 0.0)).run(&engine(), &g);
         let totals = result.profile.per_superstep_totals();
         assert!(totals.len() >= 3);
         let first = totals[0].total_messages();

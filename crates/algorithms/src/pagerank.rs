@@ -30,14 +30,20 @@ pub struct PageRankParams {
 
 impl Default for PageRankParams {
     fn default() -> Self {
-        Self { damping: 0.85, tolerance: 1e-6 }
+        Self {
+            damping: 0.85,
+            tolerance: 1e-6,
+        }
     }
 }
 
 impl PageRankParams {
     /// Creates parameters with an explicit threshold `τ`.
     pub fn new(damping: f64, tolerance: f64) -> Self {
-        assert!((0.0..1.0).contains(&damping), "damping must be in [0, 1), got {damping}");
+        assert!(
+            (0.0..1.0).contains(&damping),
+            "damping must be in [0, 1), got {damping}"
+        );
         assert!(tolerance >= 0.0, "tolerance must be non-negative");
         Self { damping, tolerance }
     }
@@ -164,7 +170,11 @@ impl PageRank {
 /// Computes the exact average-delta sequence of PageRank on `graph` without
 /// the BSP engine — a straightforward reference implementation used in tests
 /// to validate the vertex program.
-pub fn reference_pagerank(graph: &CsrGraph, params: &PageRankParams, max_iterations: usize) -> (Vec<f64>, usize) {
+pub fn reference_pagerank(
+    graph: &CsrGraph,
+    params: &PageRankParams,
+    max_iterations: usize,
+) -> (Vec<f64>, usize) {
     let n = graph.num_vertices();
     if n == 0 {
         return (Vec::new(), 0);
@@ -233,7 +243,10 @@ mod tests {
         let pr = PageRank::new(PageRankParams::new(0.85, 1e-9));
         let result = pr.run(&engine(), &g);
         for &r in &result.ranks {
-            assert!((r - 0.1).abs() < 1e-6, "rank {r} should be 0.1 on a complete graph");
+            assert!(
+                (r - 0.1).abs() < 1e-6,
+                "rank {r} should be 0.1 on a complete graph"
+            );
         }
     }
 
@@ -260,7 +273,10 @@ mod tests {
         let result = pr.run(&engine(), &g);
         let hub = result.ranks[0];
         let leaf = result.ranks[1];
-        assert!(hub > leaf * 5.0, "hub rank {hub} should dominate leaf rank {leaf}");
+        assert!(
+            hub > leaf * 5.0,
+            "hub rank {hub} should dominate leaf rank {leaf}"
+        );
     }
 
     #[test]
@@ -280,10 +296,10 @@ mod tests {
     #[test]
     fn tighter_tolerance_needs_more_iterations() {
         let g = generate_rmat(&RmatConfig::new(8, 6).with_seed(2));
-        let loose = PageRank::new(PageRankParams::with_epsilon(0.01, g.num_vertices()))
-            .run(&engine(), &g);
-        let tight = PageRank::new(PageRankParams::with_epsilon(0.001, g.num_vertices()))
-            .run(&engine(), &g);
+        let loose =
+            PageRank::new(PageRankParams::with_epsilon(0.01, g.num_vertices())).run(&engine(), &g);
+        let tight =
+            PageRank::new(PageRankParams::with_epsilon(0.001, g.num_vertices())).run(&engine(), &g);
         assert!(tight.iterations > loose.iterations);
     }
 

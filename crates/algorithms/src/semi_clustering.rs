@@ -44,20 +44,41 @@ impl Default for SemiClusteringParams {
     /// The paper's base settings (section 5.1): `C_max = 1`, `S_max = 1`,
     /// `V_max = 10`, `f_B = 0.1`, `τ = 0.001`.
     fn default() -> Self {
-        Self { c_max: 1, s_max: 1, v_max: 10, boundary_factor: 0.1, tolerance: 0.001 }
+        Self {
+            c_max: 1,
+            s_max: 1,
+            v_max: 10,
+            boundary_factor: 0.1,
+            tolerance: 0.001,
+        }
     }
 }
 
 impl SemiClusteringParams {
     /// Creates a parameter set.
-    pub fn new(c_max: usize, s_max: usize, v_max: usize, boundary_factor: f64, tolerance: f64) -> Self {
-        assert!(c_max > 0 && s_max > 0 && v_max > 1, "cluster capacity parameters must be positive");
+    pub fn new(
+        c_max: usize,
+        s_max: usize,
+        v_max: usize,
+        boundary_factor: f64,
+        tolerance: f64,
+    ) -> Self {
+        assert!(
+            c_max > 0 && s_max > 0 && v_max > 1,
+            "cluster capacity parameters must be positive"
+        );
         assert!(
             boundary_factor > 0.0 && boundary_factor < 1.0,
             "boundary factor must be in (0, 1), got {boundary_factor}"
         );
         assert!(tolerance >= 0.0, "tolerance must be non-negative");
-        Self { c_max, s_max, v_max, boundary_factor, tolerance }
+        Self {
+            c_max,
+            s_max,
+            v_max,
+            boundary_factor,
+            tolerance,
+        }
     }
 
     /// Returns a copy with a different convergence threshold.
@@ -86,7 +107,11 @@ impl SemiCluster {
     /// A singleton cluster containing only `vertex`, whose incident edge
     /// weight is all boundary weight.
     pub fn singleton(vertex: VertexId, incident_weight: f64) -> Self {
-        Self { vertices: vec![vertex], internal_weight: 0.0, boundary_weight: incident_weight }
+        Self {
+            vertices: vec![vertex],
+            internal_weight: 0.0,
+            boundary_weight: incident_weight,
+        }
     }
 
     /// True when the cluster contains `vertex`.
@@ -185,7 +210,10 @@ impl SemiClustering {
         }
     }
 
-    fn incident_edges(&self, ctx: &ComputeContext<'_, SemiClusterList, Vec<SemiCluster>>) -> Vec<(VertexId, f32)> {
+    fn incident_edges(
+        &self,
+        ctx: &ComputeContext<'_, SemiClusterList, Vec<SemiCluster>>,
+    ) -> Vec<(VertexId, f32)> {
         let weights = ctx.out_weights;
         ctx.out_neighbors
             .iter()
@@ -253,7 +281,9 @@ impl VertexProgram for SemiClustering {
             .out_weights(vertex)
             .map(|ws| ws.iter().map(|&w| w as f64).sum())
             .unwrap_or(graph.out_degree(vertex) as f64);
-        SemiClusterList { clusters: vec![SemiCluster::singleton(vertex, incident)] }
+        SemiClusterList {
+            clusters: vec![SemiCluster::singleton(vertex, incident)],
+        }
     }
 
     fn compute(
@@ -392,7 +422,10 @@ mod tests {
     #[test]
     fn cluster_size_never_exceeds_v_max() {
         let g = undirected(&generate_rmat(&RmatConfig::new(7, 4).with_seed(1)));
-        let params = SemiClusteringParams { v_max: 4, ..Default::default() };
+        let params = SemiClusteringParams {
+            v_max: 4,
+            ..Default::default()
+        };
         let result = SemiClustering::new(params).run(&engine(), &g);
         for list in &result.clusters {
             for c in &list.clusters {
@@ -404,7 +437,11 @@ mod tests {
     #[test]
     fn list_size_never_exceeds_c_max() {
         let g = undirected(&generate_rmat(&RmatConfig::new(7, 4).with_seed(2)));
-        let params = SemiClusteringParams { c_max: 2, s_max: 2, ..Default::default() };
+        let params = SemiClusteringParams {
+            c_max: 2,
+            s_max: 2,
+            ..Default::default()
+        };
         let result = SemiClustering::new(params).run(&engine(), &g);
         for list in &result.clusters {
             assert!(list.clusters.len() <= 2);
@@ -433,7 +470,10 @@ mod tests {
         let g = undirected(&generate_rmat(&RmatConfig::new(8, 5).with_seed(4)));
         let result = SemiClustering::new(SemiClusteringParams::default()).run(&engine(), &g);
         assert!(result.iterations >= 2);
-        assert!(result.iterations < 100, "should converge well before the cap");
+        assert!(
+            result.iterations < 100,
+            "should converge well before the cap"
+        );
     }
 
     #[test]
@@ -460,7 +500,11 @@ mod tests {
     fn message_size_sums_cluster_sizes() {
         let sc = SemiClustering::new(SemiClusteringParams::default());
         let c1 = SemiCluster::singleton(1, 1.0);
-        let c2 = SemiCluster { vertices: vec![1, 2, 3], internal_weight: 2.0, boundary_weight: 1.0 };
+        let c2 = SemiCluster {
+            vertices: vec![1, 2, 3],
+            internal_weight: 2.0,
+            boundary_weight: 1.0,
+        };
         assert_eq!(sc.message_size_bytes(&vec![c1.clone()]), 20);
         assert_eq!(sc.message_size_bytes(&vec![c1, c2]), 20 + 28);
     }
@@ -477,7 +521,11 @@ mod tests {
         let params = SemiClusteringParams::new(1, 1, 2, 0.5, 0.0);
         let result = SemiClustering::new(params).run(&engine(), &g);
         let best = result.best_clusters(1, params.boundary_factor);
-        assert_eq!(best[0].vertices, vec![0, 1], "the heavy edge should form the best cluster");
+        assert_eq!(
+            best[0].vertices,
+            vec![0, 1],
+            "the heavy edge should form the best cluster"
+        );
     }
 
     #[test]

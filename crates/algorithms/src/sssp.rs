@@ -70,7 +70,11 @@ impl VertexProgram for ShortestPaths {
 
     fn compute(&self, ctx: &mut ComputeContext<'_, f64, f64>, messages: &[f64]) {
         let incoming_min = messages.iter().copied().fold(f64::INFINITY, f64::min);
-        let candidate = if ctx.superstep == 0 { *ctx.value } else { incoming_min };
+        let candidate = if ctx.superstep == 0 {
+            *ctx.value
+        } else {
+            incoming_min
+        };
 
         if candidate < *ctx.value || (ctx.superstep == 0 && ctx.vertex == self.source) {
             if candidate < *ctx.value {
@@ -82,9 +86,9 @@ impl VertexProgram for ShortestPaths {
                 Some(ws) => ws.iter().map(|&w| w as f64).collect(),
                 None => vec![1.0; ctx.out_neighbors.len()],
             };
-            for i in 0..ctx.out_neighbors.len() {
+            for (i, weight) in weights.into_iter().enumerate() {
                 let dst = ctx.out_neighbors[i];
-                ctx.send(dst, base + weights[i]);
+                ctx.send(dst, base + weight);
             }
         }
         ctx.vote_to_halt();

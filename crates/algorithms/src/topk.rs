@@ -30,7 +30,10 @@ pub struct TopKParams {
 
 impl Default for TopKParams {
     fn default() -> Self {
-        Self { k: 5, tolerance: 0.001 }
+        Self {
+            k: 5,
+            tolerance: 0.001,
+        }
     }
 }
 
@@ -132,10 +135,17 @@ impl VertexProgram for TopKRanking {
 
     fn init_vertex(&self, vertex: VertexId, _graph: &CsrGraph) -> TopKState {
         let own_rank = self.ranks.get(vertex as usize).copied().unwrap_or(0.0);
-        TopKState { own_rank, entries: vec![(own_rank, vertex)] }
+        TopKState {
+            own_rank,
+            entries: vec![(own_rank, vertex)],
+        }
     }
 
-    fn compute(&self, ctx: &mut ComputeContext<'_, TopKState, Vec<RankEntry>>, messages: &[Vec<RankEntry>]) {
+    fn compute(
+        &self,
+        ctx: &mut ComputeContext<'_, TopKState, Vec<RankEntry>>,
+        messages: &[Vec<RankEntry>],
+    ) {
         if ctx.superstep == 0 {
             // First iteration: every vertex advertises its own rank.
             let own = vec![(ctx.value.own_rank, ctx.vertex)];
@@ -240,8 +250,8 @@ mod tests {
     #[test]
     fn runs_on_real_pagerank_output() {
         let g = generate_rmat(&RmatConfig::new(8, 6).with_seed(5));
-        let pr = PageRank::new(PageRankParams::with_epsilon(0.001, g.num_vertices()))
-            .run(&engine(), &g);
+        let pr =
+            PageRank::new(PageRankParams::with_epsilon(0.001, g.num_vertices())).run(&engine(), &g);
         let topk = TopKRanking::new(TopKParams::default(), pr.ranks.clone());
         let result = topk.run(&engine(), &g);
         assert!(result.iterations >= 2);

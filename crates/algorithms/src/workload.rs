@@ -77,7 +77,9 @@ impl PageRankWorkload {
     /// The paper's parameterization: threshold `τ = ε / N` for the graph the
     /// prediction targets.
     pub fn with_epsilon(epsilon: f64, num_vertices: usize) -> Self {
-        Self { params: PageRankParams::with_epsilon(epsilon, num_vertices) }
+        Self {
+            params: PageRankParams::with_epsilon(epsilon, num_vertices),
+        }
     }
 }
 
@@ -95,12 +97,17 @@ impl Workload for PageRankWorkload {
     }
 
     fn with_threshold(&self, threshold: f64) -> Box<dyn Workload> {
-        Box::new(Self { params: self.params.with_tolerance(threshold) })
+        Box::new(Self {
+            params: self.params.with_tolerance(threshold),
+        })
     }
 
     fn run(&self, engine: &BspEngine, graph: &CsrGraph) -> WorkloadRun {
         let result = PageRank::new(self.params).run(engine, graph);
-        WorkloadRun { profile: result.profile, halt_reason: result.halt_reason }
+        WorkloadRun {
+            profile: result.profile,
+            halt_reason: result.halt_reason,
+        }
     }
 }
 
@@ -123,13 +130,19 @@ impl TopKWorkload {
     /// pre-pass tolerance level `ε` (threshold `ε / N` of the graph being
     /// run on).
     pub fn new(params: TopKParams, pagerank_epsilon: f64) -> Self {
-        Self { params, pagerank_epsilon }
+        Self {
+            params,
+            pagerank_epsilon,
+        }
     }
 }
 
 impl Default for TopKWorkload {
     fn default() -> Self {
-        Self { params: TopKParams::default(), pagerank_epsilon: 0.01 }
+        Self {
+            params: TopKParams::default(),
+            pagerank_epsilon: 0.01,
+        }
     }
 }
 
@@ -147,7 +160,10 @@ impl Workload for TopKWorkload {
     }
 
     fn with_threshold(&self, threshold: f64) -> Box<dyn Workload> {
-        Box::new(Self { params: self.params.with_tolerance(threshold), ..*self })
+        Box::new(Self {
+            params: self.params.with_tolerance(threshold),
+            ..*self
+        })
     }
 
     fn run(&self, engine: &BspEngine, graph: &CsrGraph) -> WorkloadRun {
@@ -158,13 +174,16 @@ impl Workload for TopKWorkload {
         .run(engine, graph)
         .ranks;
         let result = TopKRanking::new(self.params, ranks).run(engine, graph);
-        WorkloadRun { profile: result.profile, halt_reason: result.halt_reason }
+        WorkloadRun {
+            profile: result.profile,
+            halt_reason: result.halt_reason,
+        }
     }
 }
 
 /// Semi-clustering workload (variable message sizes; ratio convergence).
 /// Converts the input graph to its undirected form, as the paper does.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct SemiClusteringWorkload {
     /// Semi-clustering parameters.
     pub params: SemiClusteringParams,
@@ -174,12 +193,6 @@ impl SemiClusteringWorkload {
     /// Creates the workload.
     pub fn new(params: SemiClusteringParams) -> Self {
         Self { params }
-    }
-}
-
-impl Default for SemiClusteringWorkload {
-    fn default() -> Self {
-        Self { params: SemiClusteringParams::default() }
     }
 }
 
@@ -197,13 +210,18 @@ impl Workload for SemiClusteringWorkload {
     }
 
     fn with_threshold(&self, threshold: f64) -> Box<dyn Workload> {
-        Box::new(Self { params: self.params.with_tolerance(threshold) })
+        Box::new(Self {
+            params: self.params.with_tolerance(threshold),
+        })
     }
 
     fn run(&self, engine: &BspEngine, graph: &CsrGraph) -> WorkloadRun {
         let undirected = to_undirected(graph);
         let result = SemiClustering::new(self.params).run(engine, &undirected);
-        WorkloadRun { profile: result.profile, halt_reason: result.halt_reason }
+        WorkloadRun {
+            profile: result.profile,
+            halt_reason: result.halt_reason,
+        }
     }
 }
 
@@ -232,12 +250,15 @@ impl Workload for ConnectedComponentsWorkload {
     fn run(&self, engine: &BspEngine, graph: &CsrGraph) -> WorkloadRun {
         let undirected = to_undirected(graph);
         let result = ConnectedComponents.run(engine, &undirected);
-        WorkloadRun { profile: result.profile, halt_reason: result.halt_reason }
+        WorkloadRun {
+            profile: result.profile,
+            halt_reason: result.halt_reason,
+        }
     }
 }
 
 /// Neighborhood-estimation workload (ratio convergence).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct NeighborhoodWorkload {
     /// Neighborhood-estimation parameters.
     pub params: NeighborhoodParams,
@@ -247,12 +268,6 @@ impl NeighborhoodWorkload {
     /// Creates the workload.
     pub fn new(params: NeighborhoodParams) -> Self {
         Self { params }
-    }
-}
-
-impl Default for NeighborhoodWorkload {
-    fn default() -> Self {
-        Self { params: NeighborhoodParams::default() }
     }
 }
 
@@ -270,12 +285,17 @@ impl Workload for NeighborhoodWorkload {
     }
 
     fn with_threshold(&self, threshold: f64) -> Box<dyn Workload> {
-        Box::new(Self { params: self.params.with_tolerance(threshold) })
+        Box::new(Self {
+            params: self.params.with_tolerance(threshold),
+        })
     }
 
     fn run(&self, engine: &BspEngine, graph: &CsrGraph) -> WorkloadRun {
         let result = NeighborhoodEstimation::new(self.params).run(engine, graph);
-        WorkloadRun { profile: result.profile, halt_reason: result.halt_reason }
+        WorkloadRun {
+            profile: result.profile,
+            halt_reason: result.halt_reason,
+        }
     }
 }
 
@@ -325,9 +345,18 @@ mod tests {
             PageRankWorkload::with_epsilon(0.01, 10).convergence(),
             ConvergenceKind::AbsoluteAggregate
         );
-        assert_eq!(TopKWorkload::default().convergence(), ConvergenceKind::RelativeRatio);
-        assert_eq!(SemiClusteringWorkload::default().convergence(), ConvergenceKind::RelativeRatio);
-        assert_eq!(ConnectedComponentsWorkload.convergence(), ConvergenceKind::FixedPoint);
+        assert_eq!(
+            TopKWorkload::default().convergence(),
+            ConvergenceKind::RelativeRatio
+        );
+        assert_eq!(
+            SemiClusteringWorkload::default().convergence(),
+            ConvergenceKind::RelativeRatio
+        );
+        assert_eq!(
+            ConnectedComponentsWorkload.convergence(),
+            ConvergenceKind::FixedPoint
+        );
     }
 
     #[test]

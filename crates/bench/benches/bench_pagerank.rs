@@ -7,22 +7,19 @@ use predict_bsp::{BspConfig, BspEngine, ClusterCostConfig};
 use predict_graph::generators::{generate_rmat, RmatConfig};
 
 fn bench_pagerank(c: &mut Criterion) {
-    let engine = BspEngine::new(BspConfig::with_workers(8).with_cost(ClusterCostConfig::noiseless()));
+    let engine =
+        BspEngine::new(BspConfig::with_workers(8).with_cost(ClusterCostConfig::noiseless()));
     let mut group = c.benchmark_group("pagerank");
     group.sample_size(10);
     for scale in [8u32, 10, 12] {
         let graph = generate_rmat(&RmatConfig::new(scale, 8).with_seed(1));
         let params = PageRankParams::with_epsilon(0.001, graph.num_vertices());
-        group.bench_with_input(
-            BenchmarkId::new("rmat_scale", scale),
-            &graph,
-            |b, graph| {
-                b.iter(|| {
-                    let result = PageRank::new(params).run(&engine, graph);
-                    std::hint::black_box(result.iterations)
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("rmat_scale", scale), &graph, |b, graph| {
+            b.iter(|| {
+                let result = PageRank::new(params).run(&engine, graph);
+                std::hint::black_box(result.iterations)
+            })
+        });
     }
     group.finish();
 }

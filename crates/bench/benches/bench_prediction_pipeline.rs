@@ -19,11 +19,12 @@ fn bench_pipeline(c: &mut Criterion) {
     for ratio in [0.05f64, 0.1, 0.2] {
         let graph = DatasetConfig::new(Dataset::Wikipedia, DatasetScale::Small).generate();
         let workload = PageRankWorkload::with_epsilon(0.001, graph.num_vertices());
-        let predictor =
-            Predictor::new(&engine, &sampler, PredictorConfig::single_ratio(ratio));
+        let predictor = Predictor::new(&engine, &sampler, PredictorConfig::single_ratio(ratio));
         group.bench_with_input(BenchmarkId::from_parameter(ratio), &graph, |b, graph| {
             b.iter(|| {
-                let p = predictor.predict(&workload, graph, &history, "Wiki").unwrap();
+                let p = predictor
+                    .predict(&workload, graph, &history, "Wiki")
+                    .unwrap();
                 std::hint::black_box(p.predicted_superstep_ms)
             })
         });

@@ -11,8 +11,13 @@ fn bench_samplers(c: &mut Criterion) {
     let mhrw = Mhrw::default();
     let ff = ForestFire::default();
     let rn = RandomNode;
-    let samplers: [(&str, &dyn Sampler); 5] =
-        [("BRJ", &brj), ("RJ", &rj), ("MHRW", &mhrw), ("FF", &ff), ("RN", &rn)];
+    let samplers: [(&str, &dyn Sampler); 5] = [
+        ("BRJ", &brj),
+        ("RJ", &rj),
+        ("MHRW", &mhrw),
+        ("FF", &ff),
+        ("RN", &rn),
+    ];
 
     let mut group = c.benchmark_group("sampling_10pct");
     group.sample_size(20);

@@ -6,9 +6,7 @@
 //! the runtime prediction error of semi-clustering.
 
 use predict_algorithms::{SemiClusteringParams, SemiClusteringWorkload};
-use predict_bench::{
-    pct, prediction_sweep, HistoryMode, ResultTable, EXPERIMENT_SEED,
-};
+use predict_bench::{pct, prediction_sweep, HistoryMode, ResultTable, EXPERIMENT_SEED};
 use predict_core::{PredictorConfig, WorkerSelection};
 use predict_graph::datasets::Dataset;
 use predict_sampling::BiasedRandomJump;
@@ -20,7 +18,14 @@ fn main() {
 
     let mut table = ResultTable::new(
         "Ablation: critical-path vs mean-worker model (semi-clustering runtime prediction)",
-        &["worker model", "dataset", "ratio", "pred ms", "actual ms", "runtime error"],
+        &[
+            "worker model",
+            "dataset",
+            "ratio",
+            "pred ms",
+            "actual ms",
+            "runtime error",
+        ],
     );
     let mut payload = Vec::new();
     for (label, selection) in [

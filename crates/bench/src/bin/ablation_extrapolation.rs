@@ -7,9 +7,7 @@
 //! error of top-k ranking.
 
 use predict_algorithms::{TopKParams, TopKWorkload};
-use predict_bench::{
-    pct, prediction_sweep, HistoryMode, ResultTable, EXPERIMENT_SEED,
-};
+use predict_bench::{pct, prediction_sweep, HistoryMode, ResultTable, EXPERIMENT_SEED};
 use predict_core::{ExtrapolationRule, PredictorConfig};
 use predict_graph::datasets::Dataset;
 use predict_sampling::BiasedRandomJump;
@@ -21,7 +19,14 @@ fn main() {
 
     let mut table = ResultTable::new(
         "Ablation: extrapolation rule (top-k ranking runtime prediction)",
-        &["rule", "dataset", "ratio", "pred ms", "actual ms", "runtime error"],
+        &[
+            "rule",
+            "dataset",
+            "ratio",
+            "pred ms",
+            "actual ms",
+            "runtime error",
+        ],
     );
     let mut payload = Vec::new();
     for (label, rule) in [

@@ -8,9 +8,7 @@
 //! (`τ_S = τ_G`), showing how badly iteration prediction degrades without it.
 
 use predict_algorithms::PageRankWorkload;
-use predict_bench::{
-    pct, prediction_sweep, HistoryMode, ResultTable, EXPERIMENT_SEED,
-};
+use predict_bench::{pct, prediction_sweep, HistoryMode, ResultTable, EXPERIMENT_SEED};
 use predict_core::{PredictorConfig, TransformFunction};
 use predict_graph::datasets::Dataset;
 use predict_sampling::BiasedRandomJump;
@@ -23,7 +21,14 @@ fn main() {
 
     let mut table = ResultTable::new(
         "Ablation: PageRank iteration prediction with vs without the transform function",
-        &["transform", "dataset", "ratio", "pred iters", "actual iters", "iter error"],
+        &[
+            "transform",
+            "dataset",
+            "ratio",
+            "pred iters",
+            "actual iters",
+            "iter error",
+        ],
     );
     let mut payload = Vec::new();
     for (label, transform) in [

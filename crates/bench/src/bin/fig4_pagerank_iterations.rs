@@ -33,7 +33,14 @@ fn main() {
 
     let mut table = ResultTable::new(
         "Figure 4: predicting iterations for PageRank (BRJ sampling)",
-        &["epsilon", "dataset", "ratio", "pred iters", "actual iters", "rel. error"],
+        &[
+            "epsilon",
+            "dataset",
+            "ratio",
+            "pred iters",
+            "actual iters",
+            "rel. error",
+        ],
     );
     for (epsilon, points) in &all_points {
         for p in points {
@@ -49,7 +56,10 @@ fn main() {
     }
     let flat: Vec<_> = all_points
         .iter()
-        .flat_map(|(e, pts)| pts.iter().map(move |p| serde_json::json!({"epsilon": e, "point": p})))
+        .flat_map(|(e, pts)| {
+            pts.iter()
+                .map(move |p| serde_json::json!({"epsilon": e, "point": p}))
+        })
         .collect();
     table.emit("fig4_pagerank_iterations", &flat);
 }

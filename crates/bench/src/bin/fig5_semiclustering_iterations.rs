@@ -39,7 +39,14 @@ fn main() {
 
     let mut table = ResultTable::new(
         "Figure 5: predicting iterations for semi-clustering (BRJ sampling)",
-        &["tau", "dataset", "ratio", "pred iters", "actual iters", "rel. error"],
+        &[
+            "tau",
+            "dataset",
+            "ratio",
+            "pred iters",
+            "actual iters",
+            "rel. error",
+        ],
     );
     for (tau, points) in &all_points {
         for p in points {
@@ -55,7 +62,10 @@ fn main() {
     }
     let flat: Vec<_> = all_points
         .iter()
-        .flat_map(|(t, pts)| pts.iter().map(move |p| serde_json::json!({"tau": t, "point": p})))
+        .flat_map(|(t, pts)| {
+            pts.iter()
+                .map(move |p| serde_json::json!({"tau": t, "point": p}))
+        })
         .collect();
     table.emit("fig5_semiclustering_iterations", &flat);
 }

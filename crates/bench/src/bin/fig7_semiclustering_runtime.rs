@@ -56,7 +56,10 @@ fn main() {
             "R^2 (train)",
         ],
     );
-    for (label, points) in [("sample-only", &without_history), ("with-history", &with_history)] {
+    for (label, points) in [
+        ("sample-only", &without_history),
+        ("with-history", &with_history),
+    ] {
         for p in points {
             table.push_row(vec![
                 label.to_string(),

@@ -5,7 +5,9 @@
 //! techniques use restart probability `p = 0.15`; BRJ draws its seeds from the
 //! top 1% of vertices by out-degree.
 
-use predict_algorithms::{SemiClusteringParams, SemiClusteringWorkload, TopKParams, TopKWorkload, Workload};
+use predict_algorithms::{
+    SemiClusteringParams, SemiClusteringWorkload, TopKParams, TopKWorkload, Workload,
+};
 use predict_bench::{
     pct, prediction_sweep, HistoryMode, PredictionPoint, ResultTable, EXPERIMENT_SEED,
     PAPER_SAMPLING_RATIOS,
@@ -47,11 +49,21 @@ fn main() {
 
     let mut table = ResultTable::new(
         "Figure 9: sensitivity to sampling technique (UK analog)",
-        &["workload", "sampler", "ratio", "pred iters", "actual iters", "iter error"],
+        &[
+            "workload",
+            "sampler",
+            "ratio",
+            "pred iters",
+            "actual iters",
+            "iter error",
+        ],
     );
     let mut payload = Vec::new();
     for (workload_name, make_workload) in [
-        ("SC", &semi_clustering as &dyn Fn(&CsrGraph) -> Box<dyn Workload>),
+        (
+            "SC",
+            &semi_clustering as &dyn Fn(&CsrGraph) -> Box<dyn Workload>,
+        ),
         ("TOP-K", &topk as &dyn Fn(&CsrGraph) -> Box<dyn Workload>),
     ] {
         for (sampler_name, sampler) in samplers {

@@ -6,9 +6,7 @@
 //! stay within similar bounds as the base settings.
 
 use predict_algorithms::{SemiClusteringParams, SemiClusteringWorkload};
-use predict_bench::{
-    pct, prediction_sweep, HistoryMode, ResultTable, EXPERIMENT_SEED,
-};
+use predict_bench::{pct, prediction_sweep, HistoryMode, ResultTable, EXPERIMENT_SEED};
 use predict_core::PredictorConfig;
 use predict_graph::datasets::Dataset;
 use predict_sampling::BiasedRandomJump;
@@ -21,14 +19,30 @@ fn main() {
         ("base (Smax=1, Vmax=10)", SemiClusteringParams::default()),
         (
             "Smax=3",
-            SemiClusteringParams { s_max: 3, c_max: 3, ..SemiClusteringParams::default() },
+            SemiClusteringParams {
+                s_max: 3,
+                c_max: 3,
+                ..SemiClusteringParams::default()
+            },
         ),
-        ("Vmax=20", SemiClusteringParams { v_max: 20, ..SemiClusteringParams::default() }),
+        (
+            "Vmax=20",
+            SemiClusteringParams {
+                v_max: 20,
+                ..SemiClusteringParams::default()
+            },
+        ),
     ];
 
     let mut table = ResultTable::new(
         "Semi-clustering sensitivity to Smax / Vmax on the LJ analog (iteration prediction)",
-        &["variant", "ratio", "pred iters", "actual iters", "iter error"],
+        &[
+            "variant",
+            "ratio",
+            "pred iters",
+            "actual iters",
+            "iter error",
+        ],
     );
     let mut payload = Vec::new();
     for (label, params) in &variants {

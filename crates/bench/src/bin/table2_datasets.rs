@@ -38,7 +38,12 @@ fn main() {
             row.paper_nodes.to_string(),
             row.paper_edges.to_string(),
             format!("{:.1}", row.paper_size_gb),
-            if row.properties.looks_scale_free() { "yes" } else { "no" }.to_string(),
+            if row.properties.looks_scale_free() {
+                "yes"
+            } else {
+                "no"
+            }
+            .to_string(),
             format!("{:.1}", row.properties.effective_diameter),
             format!("{:.2}", row.properties.power_law_alpha),
         ]);

@@ -10,9 +10,7 @@ use predict_algorithms::{
     ConnectedComponentsWorkload, NeighborhoodWorkload, PageRankWorkload, SemiClusteringParams,
     SemiClusteringWorkload, TopKParams, TopKWorkload, Workload,
 };
-use predict_bench::{
-    ms, prediction_sweep, HistoryMode, ResultTable, EXPERIMENT_SEED,
-};
+use predict_bench::{ms, prediction_sweep, HistoryMode, ResultTable, EXPERIMENT_SEED};
 use predict_core::PredictorConfig;
 use predict_graph::datasets::Dataset;
 use predict_graph::CsrGraph;
@@ -28,14 +26,16 @@ fn main() {
             "PR (UK)",
             Dataset::Uk2002,
             Box::new(|g: &CsrGraph| {
-                Box::new(PageRankWorkload::with_epsilon(0.001, g.num_vertices())) as Box<dyn Workload>
+                Box::new(PageRankWorkload::with_epsilon(0.001, g.num_vertices()))
+                    as Box<dyn Workload>
             }),
         ),
         (
             "PR (TW)",
             Dataset::Twitter,
             Box::new(|g: &CsrGraph| {
-                Box::new(PageRankWorkload::with_epsilon(0.001, g.num_vertices())) as Box<dyn Workload>
+                Box::new(PageRankWorkload::with_epsilon(0.001, g.num_vertices()))
+                    as Box<dyn Workload>
             }),
         ),
         (
@@ -86,7 +86,10 @@ fn main() {
                 .map(|p| p.sample_total_ms)
                 .unwrap_or(f64::NAN)
         };
-        let actual = points.first().map(|p| p.actual_total_ms).unwrap_or(f64::NAN);
+        let actual = points
+            .first()
+            .map(|p| p.actual_total_ms)
+            .unwrap_or(f64::NAN);
         let overhead = by_ratio(0.1) / actual;
         table.push_row(vec![
             label.to_string(),

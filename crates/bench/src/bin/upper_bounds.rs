@@ -11,7 +11,9 @@ use predict_algorithms::{PageRankWorkload, Workload};
 use predict_bench::{
     experiment_engine, experiment_scale, load_dataset, ResultTable, EXPERIMENT_SEED,
 };
-use predict_core::{bounds::pagerank_iteration_upper_bound, HistoryStore, Predictor, PredictorConfig};
+use predict_core::{
+    bounds::pagerank_iteration_upper_bound, HistoryStore, Predictor, PredictorConfig,
+};
 use predict_graph::datasets::Dataset;
 use predict_sampling::BiasedRandomJump;
 

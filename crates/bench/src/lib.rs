@@ -34,7 +34,11 @@ pub const EXPERIMENT_SEED: u64 = 0xE9;
 /// Scale selected through the `PREDICT_SCALE` environment variable
 /// (`small` / `default` / `large`), defaulting to [`DatasetScale::Default`].
 pub fn experiment_scale() -> DatasetScale {
-    match std::env::var("PREDICT_SCALE").unwrap_or_default().to_lowercase().as_str() {
+    match std::env::var("PREDICT_SCALE")
+        .unwrap_or_default()
+        .to_lowercase()
+        .as_str()
+    {
         "small" => DatasetScale::Small,
         "large" => DatasetScale::Large,
         _ => DatasetScale::Default,
@@ -108,8 +112,7 @@ impl PredictionPoint {
             .iter()
             .map(|t| t.remote_message_bytes as f64)
             .sum();
-        let actual_obs =
-            observations_from_profile(&actual.profile, WorkerSelection::SlowestWorker);
+        let actual_obs = observations_from_profile(&actual.profile, WorkerSelection::SlowestWorker);
         Self {
             dataset: dataset.prefix().to_string(),
             ratio,
@@ -176,7 +179,11 @@ pub fn prediction_sweep(
         if history_mode == HistoryMode::WithHistory {
             for (j, &other) in datasets.iter().enumerate() {
                 if i != j {
-                    history.record(workload.name(), other.prefix(), actual_runs[j].profile.clone());
+                    history.record(
+                        workload.name(),
+                        other.prefix(),
+                        actual_runs[j].profile.clone(),
+                    );
                 }
             }
         }
@@ -279,7 +286,10 @@ impl ResultTable {
                 points: &'a T,
             }
             let path = dir.join(format!("{name}.json"));
-            match serde_json::to_string_pretty(&Payload { table: self, points }) {
+            match serde_json::to_string_pretty(&Payload {
+                table: self,
+                points,
+            }) {
                 Ok(json) => {
                     if let Err(e) = std::fs::write(&path, json) {
                         eprintln!("could not write {}: {e}", path.display());

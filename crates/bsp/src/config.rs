@@ -42,7 +42,10 @@ impl BspConfig {
     /// Creates a configuration with `num_workers` workers and defaults for
     /// everything else.
     pub fn with_workers(num_workers: usize) -> Self {
-        Self { num_workers, ..Self::default() }
+        Self {
+            num_workers,
+            ..Self::default()
+        }
     }
 
     /// Replaces the cluster cost configuration.

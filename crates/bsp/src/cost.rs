@@ -80,7 +80,10 @@ impl ClusterCostConfig {
     /// A configuration with all noise removed; useful for tests that verify
     /// exact cost arithmetic.
     pub fn noiseless() -> Self {
-        Self { noise_fraction: 0.0, ..Self::default() }
+        Self {
+            noise_fraction: 0.0,
+            ..Self::default()
+        }
     }
 
     /// Scales every variable cost coefficient by `factor`, keeping overheads
@@ -160,7 +163,8 @@ impl ClusterClock {
         if self.config.noise_fraction == 0.0 {
             0.0
         } else {
-            self.rng.gen_range(-self.config.noise_fraction..=self.config.noise_fraction)
+            self.rng
+                .gen_range(-self.config.noise_fraction..=self.config.noise_fraction)
         }
     }
 }
@@ -169,7 +173,13 @@ impl ClusterClock {
 mod tests {
     use super::*;
 
-    fn counters(active: u64, local: u64, remote: u64, local_bytes: u64, remote_bytes: u64) -> WorkerCounters {
+    fn counters(
+        active: u64,
+        local: u64,
+        remote: u64,
+        local_bytes: u64,
+        remote_bytes: u64,
+    ) -> WorkerCounters {
         WorkerCounters {
             active_vertices: active,
             total_vertices: active,
@@ -219,7 +229,10 @@ mod tests {
 
     #[test]
     fn noise_is_bounded_and_deterministic() {
-        let cfg = ClusterCostConfig { noise_fraction: 0.05, ..ClusterCostConfig::default() };
+        let cfg = ClusterCostConfig {
+            noise_fraction: 0.05,
+            ..ClusterCostConfig::default()
+        };
         let heavy = counters(1_000, 10_000, 10_000, 80_000, 80_000);
         let mut clock_a = ClusterClock::new(cfg.clone());
         let mut clock_b = ClusterClock::new(cfg.clone());

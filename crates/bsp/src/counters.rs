@@ -33,7 +33,10 @@ impl WorkerCounters {
     /// Creates counters for a worker that owns `total_vertices` vertices and
     /// has done no work yet.
     pub fn new(total_vertices: u64) -> Self {
-        Self { total_vertices, ..Default::default() }
+        Self {
+            total_vertices,
+            ..Default::default()
+        }
     }
 
     /// Records one sent message of `bytes` bytes; `local` selects which pair
@@ -137,7 +140,11 @@ mod tests {
 
     #[test]
     fn sum_counters_over_slice() {
-        let workers = vec![WorkerCounters::new(3), WorkerCounters::new(7), WorkerCounters::new(5)];
+        let workers = vec![
+            WorkerCounters::new(3),
+            WorkerCounters::new(7),
+            WorkerCounters::new(5),
+        ];
         let total = sum_counters(&workers);
         assert_eq!(total.total_vertices, 15);
         assert_eq!(total.active_vertices, 0);

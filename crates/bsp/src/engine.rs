@@ -68,7 +68,11 @@ impl BspEngine {
     /// Executes `program` on `graph` until convergence, full halt or the
     /// superstep cap, and returns the per-vertex values together with the run
     /// profile.
-    pub fn run<P: VertexProgram>(&self, graph: &CsrGraph, program: &P) -> BspRunResult<P::VertexValue> {
+    pub fn run<P: VertexProgram>(
+        &self,
+        graph: &CsrGraph,
+        program: &P,
+    ) -> BspRunResult<P::VertexValue> {
         let n = graph.num_vertices();
         let num_workers = self.config.num_workers.max(1);
         let partitioning = Partitioning::new(graph, num_workers, self.config.partition_strategy);
@@ -79,8 +83,10 @@ impl BspEngine {
         let read_ms = clock.read_time_ms(graph.num_edges(), num_workers);
 
         // Per-vertex state.
-        let mut values: Vec<P::VertexValue> =
-            graph.vertices().map(|v| program.init_vertex(v, graph)).collect();
+        let mut values: Vec<P::VertexValue> = graph
+            .vertices()
+            .map(|v| program.init_vertex(v, graph))
+            .collect();
         let mut halted = vec![false; n];
         let mut inboxes: Vec<Vec<P::Message>> = (0..n).map(|_| Vec::new()).collect();
         let mut next_inboxes: Vec<Vec<P::Message>> = (0..n).map(|_| Vec::new()).collect();
@@ -159,7 +165,11 @@ impl BspEngine {
             write_ms,
             supersteps,
         };
-        BspRunResult { values, profile, halt_reason }
+        BspRunResult {
+            values,
+            profile,
+            halt_reason,
+        }
     }
 }
 
@@ -311,10 +321,12 @@ mod tests {
     #[test]
     fn worker_count_does_not_change_results_only_locality() {
         let g = generate_rmat(&RmatConfig::new(8, 4).with_seed(2));
-        let one = BspEngine::new(BspConfig::with_workers(1).with_cost(ClusterCostConfig::noiseless()))
-            .run(&g, &MaxId);
-        let many = BspEngine::new(BspConfig::with_workers(8).with_cost(ClusterCostConfig::noiseless()))
-            .run(&g, &MaxId);
+        let one =
+            BspEngine::new(BspConfig::with_workers(1).with_cost(ClusterCostConfig::noiseless()))
+                .run(&g, &MaxId);
+        let many =
+            BspEngine::new(BspConfig::with_workers(8).with_cost(ClusterCostConfig::noiseless()))
+                .run(&g, &MaxId);
         assert_eq!(one.values, many.values);
         assert_eq!(one.num_iterations(), many.num_iterations());
         // With a single worker every message is local.
@@ -322,7 +334,12 @@ mod tests {
             assert_eq!(s.totals().remote_messages, 0);
         }
         // With 8 workers most messages are remote.
-        let totals_many: u64 = many.profile.supersteps.iter().map(|s| s.totals().remote_messages).sum();
+        let totals_many: u64 = many
+            .profile
+            .supersteps
+            .iter()
+            .map(|s| s.totals().remote_messages)
+            .sum();
         assert!(totals_many > 0);
     }
 

@@ -45,7 +45,7 @@ impl Partitioning {
         let n = graph.num_vertices();
         let mut assignment = vec![0u32; n];
         let mut vertices_per_worker = vec![0usize; num_workers];
-        for v in 0..n {
+        for (v, slot) in assignment.iter_mut().enumerate() {
             let w = match strategy {
                 PartitionStrategy::Hash => {
                     // Fibonacci hashing of the vertex id.
@@ -55,10 +55,15 @@ impl Partitioning {
                 PartitionStrategy::Range => ((v * num_workers) / n.max(1)) as u32,
                 PartitionStrategy::Modulo => (v % num_workers) as u32,
             };
-            assignment[v] = w;
+            *slot = w;
             vertices_per_worker[w as usize] += 1;
         }
-        Self { strategy, num_workers, assignment, vertices_per_worker }
+        Self {
+            strategy,
+            num_workers,
+            assignment,
+            vertices_per_worker,
+        }
     }
 
     /// The strategy this partitioning was built with.
@@ -121,7 +126,11 @@ mod tests {
     #[test]
     fn every_vertex_is_assigned_exactly_once() {
         let g = generate_rmat(&RmatConfig::new(8, 4).with_seed(1));
-        for strategy in [PartitionStrategy::Hash, PartitionStrategy::Range, PartitionStrategy::Modulo] {
+        for strategy in [
+            PartitionStrategy::Hash,
+            PartitionStrategy::Range,
+            PartitionStrategy::Modulo,
+        ] {
             let p = Partitioning::new(&g, 7, strategy);
             let total: usize = (0..7).map(|w| p.vertices_of_worker(w)).sum();
             assert_eq!(total, g.num_vertices());

@@ -138,7 +138,6 @@ mod tests {
             remote_messages: 2,
             local_message_bytes: bytes / 4,
             remote_message_bytes: bytes,
-            ..Default::default()
         };
         RunProfile {
             algorithm: "test".to_string(),

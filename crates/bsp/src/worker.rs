@@ -85,7 +85,12 @@ pub fn run_worker_superstep<P: VertexProgram>(
         }
     }
 
-    WorkerSuperstepOutput { worker, counters, outbox, partial_aggregates }
+    WorkerSuperstepOutput {
+        worker,
+        counters,
+        outbox,
+        partial_aggregates,
+    }
 }
 
 #[cfg(test)]
@@ -145,7 +150,15 @@ mod tests {
 
         // Worker 0 owns vertices 0 and 2 (modulo partitioning).
         let out = run_worker_superstep(
-            &program, &g, &p, 0, 0, &prev, &mut values, &mut halted, &mut inboxes,
+            &program,
+            &g,
+            &p,
+            0,
+            0,
+            &prev,
+            &mut values,
+            &mut halted,
+            &mut inboxes,
         );
         assert_eq!(out.counters.active_vertices, 2);
         assert_eq!(out.counters.total_vertices, 2);
@@ -170,7 +183,15 @@ mod tests {
         let mut inboxes: Vec<Vec<u32>> = vec![Vec::new(); 4];
         let prev = Aggregates::new();
         let out = run_worker_superstep(
-            &program, &g, &p, 0, 1, &prev, &mut values, &mut halted, &mut inboxes,
+            &program,
+            &g,
+            &p,
+            0,
+            1,
+            &prev,
+            &mut values,
+            &mut halted,
+            &mut inboxes,
         );
         assert_eq!(out.counters.active_vertices, 0);
         assert!(out.outbox.is_empty());
@@ -188,7 +209,15 @@ mod tests {
 
         // Worker 1 owns vertices 1 and 3.
         let out = run_worker_superstep(
-            &program, &g, &p, 1, 1, &prev, &mut values, &mut halted, &mut inboxes,
+            &program,
+            &g,
+            &p,
+            1,
+            1,
+            &prev,
+            &mut values,
+            &mut halted,
+            &mut inboxes,
         );
         assert_eq!(out.counters.active_vertices, 1);
         assert_eq!(values[3], 3);

@@ -50,8 +50,21 @@ fn graph_strategy(max_vertices: u32, max_edges: usize) -> impl Strategy<Value = 
     })
 }
 
+/// Case count for this suite: the local default, bounded by `PROPTEST_CASES`
+/// when set (CI sets it so the property suites finish in seconds).
+///
+/// Kept at the call site (not only in the vendored proptest) because the real
+/// registry `proptest` ignores `PROPTEST_CASES` once `with_cases` is used;
+/// this keeps the CI bound working if the workspace swaps back to it.
+fn suite_cases(default_cases: u32) -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.trim().parse::<u32>().ok())
+        .map_or(default_cases, |env| default_cases.min(env))
+}
+
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+    #![proptest_config(ProptestConfig::with_cases(suite_cases(32)))]
 
     /// Per-superstep counters are internally consistent: worker vertex counts
     /// partition the graph, active vertices never exceed owned vertices, and

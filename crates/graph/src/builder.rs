@@ -75,7 +75,10 @@ impl GraphBuilder {
     }
 
     /// Adds every edge from an iterator of `(src, dst)` pairs.
-    pub fn extend_edges(&mut self, it: impl IntoIterator<Item = (VertexId, VertexId)>) -> &mut Self {
+    pub fn extend_edges(
+        &mut self,
+        it: impl IntoIterator<Item = (VertexId, VertexId)>,
+    ) -> &mut Self {
         for (s, d) in it {
             self.add_edge(s, d);
         }

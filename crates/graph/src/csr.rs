@@ -59,7 +59,11 @@ impl CsrGraph {
         let num_edges = edges.len();
 
         let mut out_targets = vec![0 as VertexId; num_edges];
-        let mut out_weights = if weighted { Some(vec![1.0f32; num_edges]) } else { None };
+        let mut out_weights = if weighted {
+            Some(vec![1.0f32; num_edges])
+        } else {
+            None
+        };
         let mut in_sources = vec![0 as VertexId; num_edges];
 
         let mut out_cursor = out_offsets.clone();

@@ -23,9 +23,7 @@
 //! non-scale-free graph.
 
 use crate::csr::CsrGraph;
-use crate::generators::{
-    generate_erdos_renyi, generate_rmat, ErdosRenyiConfig, RmatConfig,
-};
+use crate::generators::{generate_erdos_renyi, generate_rmat, ErdosRenyiConfig, RmatConfig};
 use crate::properties::GraphProperties;
 
 /// Identifier for one of the four dataset analogs of Table 2.
@@ -289,7 +287,7 @@ mod tests {
     #[test]
     fn scale_free_set_excludes_livejournal() {
         assert!(!Dataset::SCALE_FREE.contains(&Dataset::LiveJournal));
-        assert!(Dataset::LiveJournal.is_scale_free() == false);
+        assert!(!Dataset::LiveJournal.is_scale_free());
         assert!(Dataset::Twitter.is_scale_free());
     }
 
@@ -321,7 +319,10 @@ mod tests {
                 (d, g.num_vertices(), g.avg_degree())
             })
             .collect();
-        let tw = summaries.iter().find(|(d, _, _)| **d == Dataset::Twitter).unwrap();
+        let tw = summaries
+            .iter()
+            .find(|(d, _, _)| **d == Dataset::Twitter)
+            .unwrap();
         for (d, n, deg) in &summaries {
             if **d != Dataset::Twitter {
                 assert!(tw.1 >= *n, "Twitter analog should have the most vertices");

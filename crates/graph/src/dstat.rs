@@ -31,16 +31,18 @@ impl DStatReport {
             &out_degree_histogram(full),
             &out_degree_histogram(sample),
         );
-        let in_degree = ks_statistic_from_histograms(
-            &in_degree_histogram(full),
-            &in_degree_histogram(sample),
-        );
+        let in_degree =
+            ks_statistic_from_histograms(&in_degree_histogram(full), &in_degree_histogram(sample));
         let density_ratio = if full.avg_degree() == 0.0 {
             1.0
         } else {
             sample.avg_degree() / full.avg_degree()
         };
-        Self { out_degree, in_degree, density_ratio }
+        Self {
+            out_degree,
+            in_degree,
+            density_ratio,
+        }
     }
 
     /// Mean of the two degree D-statistics — the single-number score used to
@@ -160,7 +162,10 @@ mod tests {
         let a: Vec<f64> = (0..1000).map(|i| i as f64 / 1000.0).collect();
         let b: Vec<f64> = (0..1000).map(|i| i as f64 / 1000.0 + 0.5).collect();
         let d = ks_statistic_from_samples(&a, &b);
-        assert!(d > 0.45, "shifted uniform distributions should have large D, got {d}");
+        assert!(
+            d > 0.45,
+            "shifted uniform distributions should have large D, got {d}"
+        );
     }
 
     #[test]

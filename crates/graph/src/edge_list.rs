@@ -26,7 +26,10 @@ impl EdgeList {
 
     /// Creates an empty edge list with capacity for `cap` edges.
     pub fn with_capacity(cap: usize) -> Self {
-        Self { edges: Vec::with_capacity(cap), num_vertices: 0 }
+        Self {
+            edges: Vec::with_capacity(cap),
+            num_vertices: 0,
+        }
     }
 
     /// Adds an unweighted edge.
@@ -90,8 +93,7 @@ impl EdgeList {
     /// Removes duplicate `(src, dst)` pairs in place, keeping the first
     /// occurrence (and therefore its weight). Sorts the list as a side effect.
     pub fn dedup(&mut self) {
-        self.edges
-            .sort_by(|a, b| (a.src, a.dst).cmp(&(b.src, b.dst)));
+        self.edges.sort_by_key(|a| (a.src, a.dst));
         self.edges.dedup_by_key(|e| (e.src, e.dst));
     }
 

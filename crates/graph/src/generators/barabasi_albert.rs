@@ -30,7 +30,12 @@ impl BarabasiAlbertConfig {
     /// Creates a config for a directed graph of `num_vertices` vertices, each
     /// new vertex attaching `edges_per_vertex` edges.
     pub fn new(num_vertices: usize, edges_per_vertex: usize) -> Self {
-        Self { num_vertices, edges_per_vertex, seed: 0, undirected: false }
+        Self {
+            num_vertices,
+            edges_per_vertex,
+            seed: 0,
+            undirected: false,
+        }
     }
 
     /// Sets the PRNG seed.
@@ -133,7 +138,8 @@ mod tests {
 
     #[test]
     fn undirected_doubles_attachment_edges() {
-        let g = generate_barabasi_albert(&BarabasiAlbertConfig::new(100, 2).with_seed(1).undirected());
+        let g =
+            generate_barabasi_albert(&BarabasiAlbertConfig::new(100, 2).with_seed(1).undirected());
         // Every non-seed attachment edge appears in both directions.
         let expected = 6 + (100 - 3) * 2 * 2;
         assert_eq!(g.num_edges(), expected);

@@ -27,7 +27,11 @@ pub struct ErdosRenyiConfig {
 impl ErdosRenyiConfig {
     /// Creates a G(n, m) config.
     pub fn new(num_vertices: usize, num_edges: usize) -> Self {
-        Self { num_vertices, num_edges, seed: 0 }
+        Self {
+            num_vertices,
+            num_edges,
+            seed: 0,
+        }
     }
 
     /// Sets the PRNG seed.

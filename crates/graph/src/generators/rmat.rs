@@ -68,7 +68,10 @@ impl RmatConfig {
     ///
     /// Panics if the probabilities are negative or sum to more than 1.
     pub fn with_probabilities(mut self, a: f64, b: f64, c: f64) -> Self {
-        assert!(a >= 0.0 && b >= 0.0 && c >= 0.0, "probabilities must be non-negative");
+        assert!(
+            a >= 0.0 && b >= 0.0 && c >= 0.0,
+            "probabilities must be non-negative"
+        );
         assert!(a + b + c <= 1.0 + 1e-9, "a + b + c must not exceed 1");
         self.a = a;
         self.b = b;
@@ -128,7 +131,12 @@ fn rmat_edge(config: &RmatConfig, rng: &mut StdRng) -> (VertexId, VertexId) {
             let eps: f64 = rng.gen_range(-config.noise..=config.noise);
             (p * (1.0 + eps)).max(0.0)
         };
-        let (a, b, c, dd) = (jitter(config.a), jitter(config.b), jitter(config.c), jitter(d));
+        let (a, b, c, dd) = (
+            jitter(config.a),
+            jitter(config.b),
+            jitter(config.c),
+            jitter(d),
+        );
         let total = a + b + c + dd;
         let r: f64 = rng.gen_range(0.0..total);
         let bit = 1u64 << (config.scale - 1 - level);

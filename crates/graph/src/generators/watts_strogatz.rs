@@ -31,7 +31,12 @@ pub struct WattsStrogatzConfig {
 impl WattsStrogatzConfig {
     /// Creates a config.
     pub fn new(num_vertices: usize, k: usize, beta: f64) -> Self {
-        Self { num_vertices, k, beta, seed: 0 }
+        Self {
+            num_vertices,
+            k,
+            beta,
+            seed: 0,
+        }
     }
 
     /// Sets the PRNG seed.
@@ -51,7 +56,10 @@ impl WattsStrogatzConfig {
 pub fn generate_watts_strogatz(config: &WattsStrogatzConfig) -> CsrGraph {
     let n = config.num_vertices;
     let k = config.k;
-    assert!(k >= 2 && k % 2 == 0, "k must be an even number >= 2");
+    assert!(
+        k >= 2 && k.is_multiple_of(2),
+        "k must be an even number >= 2"
+    );
     assert!(k < n, "k must be smaller than the number of vertices");
     assert!((0.0..=1.0).contains(&config.beta), "beta must be in [0, 1]");
 

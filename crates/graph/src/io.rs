@@ -64,9 +64,20 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<EdgeList, GraphIoError> {
             continue;
         }
         let mut parts = trimmed.split_whitespace();
-        let parse_err = || GraphIoError::Parse { line: idx + 1, content: trimmed.to_string() };
-        let src: VertexId = parts.next().ok_or_else(parse_err)?.parse().map_err(|_| parse_err())?;
-        let dst: VertexId = parts.next().ok_or_else(parse_err)?.parse().map_err(|_| parse_err())?;
+        let parse_err = || GraphIoError::Parse {
+            line: idx + 1,
+            content: trimmed.to_string(),
+        };
+        let src: VertexId = parts
+            .next()
+            .ok_or_else(parse_err)?
+            .parse()
+            .map_err(|_| parse_err())?;
+        let dst: VertexId = parts
+            .next()
+            .ok_or_else(parse_err)?
+            .parse()
+            .map_err(|_| parse_err())?;
         match parts.next() {
             Some(w) => {
                 let weight: f32 = w.parse().map_err(|_| parse_err())?;

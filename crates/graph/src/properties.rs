@@ -453,7 +453,10 @@ mod tests {
             u += 0.001;
         }
         let (fit, ks) = fit_power_law(&degrees, 2);
-        assert!((fit - alpha).abs() < 0.3, "fitted alpha {fit} too far from {alpha}");
+        assert!(
+            (fit - alpha).abs() < 0.3,
+            "fitted alpha {fit} too far from {alpha}"
+        );
         assert!(ks < 0.1, "ks {ks} too large");
     }
 

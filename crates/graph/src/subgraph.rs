@@ -35,10 +35,7 @@ impl SubgraphMapping {
     /// Subgraph vertex id for an original vertex id, or `None` if that vertex
     /// was not selected.
     pub fn sample_id(&self, original_id: VertexId) -> Option<VertexId> {
-        self.to_sample
-            .get(original_id as usize)
-            .copied()
-            .flatten()
+        self.to_sample.get(original_id as usize).copied().flatten()
     }
 
     /// Number of vertices in the subgraph.
@@ -82,7 +79,13 @@ pub fn induced_subgraph(graph: &CsrGraph, vertices: &[VertexId]) -> (CsrGraph, S
     }
 
     let sub = CsrGraph::from_edge_list(&edges);
-    (sub, SubgraphMapping { to_original, to_sample })
+    (
+        sub,
+        SubgraphMapping {
+            to_original,
+            to_sample,
+        },
+    )
 }
 
 #[cfg(test)]

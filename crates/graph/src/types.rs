@@ -29,7 +29,11 @@ pub struct Edge {
 impl Edge {
     /// Creates an unweighted (weight 1.0) edge.
     pub fn new(src: VertexId, dst: VertexId) -> Self {
-        Self { src, dst, weight: 1.0 }
+        Self {
+            src,
+            dst,
+            weight: 1.0,
+        }
     }
 
     /// Creates a weighted edge.
@@ -39,7 +43,11 @@ impl Edge {
 
     /// Returns the edge with source and destination swapped (same weight).
     pub fn reversed(&self) -> Self {
-        Self { src: self.dst, dst: self.src, weight: self.weight }
+        Self {
+            src: self.dst,
+            dst: self.src,
+            weight: self.weight,
+        }
     }
 }
 

@@ -15,8 +15,14 @@
 ///
 /// Panics unless `0 < epsilon < 1` and `0 < damping < 1`.
 pub fn pagerank_iteration_upper_bound(epsilon: f64, damping: f64) -> usize {
-    assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0, 1), got {epsilon}");
-    assert!(damping > 0.0 && damping < 1.0, "damping must be in (0, 1), got {damping}");
+    assert!(
+        epsilon > 0.0 && epsilon < 1.0,
+        "epsilon must be in (0, 1), got {epsilon}"
+    );
+    assert!(
+        damping > 0.0 && damping < 1.0,
+        "damping must be in (0, 1), got {damping}"
+    );
     (epsilon.log10() / damping.log10()).ceil() as usize
 }
 
@@ -25,7 +31,10 @@ pub fn pagerank_iteration_upper_bound(epsilon: f64, damping: f64) -> usize {
 /// per iteration to fall from 1 to `epsilon`. PageRank with damping `d` is the
 /// special case `contraction = d`.
 pub fn contraction_iteration_bound(epsilon: f64, contraction: f64) -> usize {
-    assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0, 1), got {epsilon}");
+    assert!(
+        epsilon > 0.0 && epsilon < 1.0,
+        "epsilon must be in (0, 1), got {epsilon}"
+    );
     assert!(
         contraction > 0.0 && contraction < 1.0,
         "contraction must be in (0, 1), got {contraction}"

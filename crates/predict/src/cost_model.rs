@@ -61,7 +61,12 @@ impl CostModel {
         let features: Vec<FeatureSet> = observations.iter().map(|o| o.features).collect();
         let targets: Vec<f64> = observations.iter().map(|o| o.wall_time_ms).collect();
 
-        let selection = forward_select(&features, &targets, &config.candidate_features, &config.selection);
+        let selection = forward_select(
+            &features,
+            &targets,
+            &config.candidate_features,
+            &config.selection,
+        );
         let selected = if selection.features.is_empty() {
             // Degenerate training data (e.g. all-zero features): fall back to
             // the full candidate pool so the model is at least well formed.
@@ -75,12 +80,14 @@ impl CostModel {
             Ok(m) => m,
             // Collinear features on tiny training sets: retry with a small
             // ridge penalty, which is always solvable.
-            Err(RegressionError::SingularSystem) => {
-                LinearModel::fit_ridge(&rows, &targets, 1e-6)?
-            }
+            Err(RegressionError::SingularSystem) => LinearModel::fit_ridge(&rows, &targets, 1e-6)?,
             Err(e) => return Err(e),
         };
-        Ok(Self { features: selected, model, training_observations: observations.len() })
+        Ok(Self {
+            features: selected,
+            model,
+            training_observations: observations.len(),
+        })
     }
 
     /// Predicted runtime in milliseconds of one iteration described by
@@ -92,7 +99,10 @@ impl CostModel {
 
     /// Predicted total runtime of a sequence of iterations.
     pub fn predict_total_ms(&self, iterations: &[FeatureSet]) -> f64 {
-        iterations.iter().map(|f| self.predict_iteration_ms(f)).sum()
+        iterations
+            .iter()
+            .map(|f| self.predict_iteration_ms(f))
+            .sum()
     }
 
     /// R² of the model on its training data.
@@ -103,7 +113,10 @@ impl CostModel {
     /// R² of the model on an arbitrary set of observations (e.g. held-out
     /// actual runs).
     pub fn r_squared_on(&self, observations: &[IterationObservation]) -> f64 {
-        let rows: Vec<Vec<f64>> = observations.iter().map(|o| o.features.select(&self.features)).collect();
+        let rows: Vec<Vec<f64>> = observations
+            .iter()
+            .map(|o| o.features.select(&self.features))
+            .collect();
         let targets: Vec<f64> = observations.iter().map(|o| o.wall_time_ms).collect();
         self.model.r_squared_on(&rows, &targets)
     }
@@ -145,7 +158,10 @@ mod tests {
                 IterationObservation {
                     superstep: i,
                     features: FeatureSet::from_counters(&counters),
-                    wall_time_ms: 15.0 + 0.0002 * remote_bytes as f64 + 0.002 * active as f64 + noise,
+                    wall_time_ms: 15.0
+                        + 0.0002 * remote_bytes as f64
+                        + 0.002 * active as f64
+                        + noise,
                 }
             })
             .collect()

@@ -16,11 +16,12 @@ use serde::{Deserialize, Serialize};
 
 /// Which worker's counters represent an iteration when extracting features
 /// from a run profile.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum WorkerSelection {
     /// The worker with the largest simulated processing time in that
     /// iteration — the measured critical path (default, matches how the paper
     /// instruments per-worker counters and models the slowest worker).
+    #[default]
     SlowestWorker,
     /// The fixed worker owning the most outbound edges, the paper's
     /// before-execution heuristic (requires the graph and partitioning, see
@@ -28,12 +29,6 @@ pub enum WorkerSelection {
     FixedWorker(usize),
     /// The average over all workers — an ablation that ignores skew.
     MeanWorker,
-}
-
-impl Default for WorkerSelection {
-    fn default() -> Self {
-        WorkerSelection::SlowestWorker
-    }
 }
 
 /// The paper's pre-execution critical-path heuristic: the worker with the
@@ -62,9 +57,7 @@ fn mean_counters(workers: &[WorkerCounters]) -> WorkerCounters {
 pub fn select_counters(superstep: &SuperstepProfile, selection: WorkerSelection) -> WorkerCounters {
     match selection {
         WorkerSelection::SlowestWorker => superstep.critical_path_counters(),
-        WorkerSelection::FixedWorker(w) => {
-            superstep.workers.get(w).copied().unwrap_or_default()
-        }
+        WorkerSelection::FixedWorker(w) => superstep.workers.get(w).copied().unwrap_or_default(),
         WorkerSelection::MeanWorker => mean_counters(&superstep.workers),
     }
 }
@@ -94,8 +87,8 @@ mod tests {
     use super::*;
     use crate::features::KeyFeature;
     use predict_bsp::Aggregates;
-    use predict_graph::generators::star;
     use predict_bsp::PartitionStrategy;
+    use predict_graph::generators::star;
 
     fn superstep() -> SuperstepProfile {
         let worker = |active: u64, remote_bytes: u64| WorkerCounters {

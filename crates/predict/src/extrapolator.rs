@@ -46,7 +46,10 @@ impl Extrapolator {
             vertex_factor > 0.0 && edge_factor > 0.0,
             "extrapolation factors must be positive: e_V={vertex_factor}, e_E={edge_factor}"
         );
-        Self { vertex_factor, edge_factor }
+        Self {
+            vertex_factor,
+            edge_factor,
+        }
     }
 
     /// Computes the factors from the full graph and the sample graph.
@@ -72,7 +75,10 @@ impl Extrapolator {
         sample_vertices: usize,
         sample_edges: usize,
     ) -> Self {
-        assert!(sample_vertices > 0 && sample_edges > 0, "sample counts must be positive");
+        assert!(
+            sample_vertices > 0 && sample_edges > 0,
+            "sample counts must be positive"
+        );
         Self::new(
             full_vertices as f64 / sample_vertices as f64,
             full_edges as f64 / sample_edges as f64,
@@ -103,7 +109,11 @@ impl Extrapolator {
 
     /// Extrapolates one iteration's features with an explicit rule (used by
     /// the ablation benchmark).
-    pub fn extrapolate_with_rule(&self, features: &FeatureSet, rule: ExtrapolationRule) -> FeatureSet {
+    pub fn extrapolate_with_rule(
+        &self,
+        features: &FeatureSet,
+        rule: ExtrapolationRule,
+    ) -> FeatureSet {
         let mut out = *features;
         for f in KeyFeature::ALL {
             out.set(f, features.get(f) * self.factor_for(f, rule));
@@ -112,8 +122,14 @@ impl Extrapolator {
     }
 
     /// Extrapolates a whole sample run, iteration by iteration.
-    pub fn extrapolate_observations(&self, observations: &[IterationObservation]) -> Vec<FeatureSet> {
-        observations.iter().map(|o| self.extrapolate(&o.features)).collect()
+    pub fn extrapolate_observations(
+        &self,
+        observations: &[IterationObservation],
+    ) -> Vec<FeatureSet> {
+        observations
+            .iter()
+            .map(|o| self.extrapolate(&o.features))
+            .collect()
     }
 }
 
@@ -146,7 +162,10 @@ mod tests {
         assert_eq!(out.get(KeyFeature::LocalMessageBytes), 8_000.0);
         assert_eq!(out.get(KeyFeature::RemoteMessageBytes), 24_000.0);
         // AvgMsgSize is not extrapolated.
-        assert_eq!(out.get(KeyFeature::AvgMessageSize), features().get(KeyFeature::AvgMessageSize));
+        assert_eq!(
+            out.get(KeyFeature::AvgMessageSize),
+            features().get(KeyFeature::AvgMessageSize)
+        );
     }
 
     #[test]
@@ -157,8 +176,14 @@ mod tests {
         let e_only = e.extrapolate_with_rule(&features(), ExtrapolationRule::EdgesOnly);
         assert_eq!(e_only.get(KeyFeature::ActiveVertices), 2_000.0);
         // AvgMsgSize still untouched under both rules.
-        assert_eq!(v_only.get(KeyFeature::AvgMessageSize), features().get(KeyFeature::AvgMessageSize));
-        assert_eq!(e_only.get(KeyFeature::AvgMessageSize), features().get(KeyFeature::AvgMessageSize));
+        assert_eq!(
+            v_only.get(KeyFeature::AvgMessageSize),
+            features().get(KeyFeature::AvgMessageSize)
+        );
+        assert_eq!(
+            e_only.get(KeyFeature::AvgMessageSize),
+            features().get(KeyFeature::AvgMessageSize)
+        );
     }
 
     #[test]
@@ -173,7 +198,10 @@ mod tests {
         let selected: Vec<_> = g.vertices().filter(|v| v % 4 == 0).collect();
         let (sample, _) = induced_subgraph(&g, &selected);
         let e = Extrapolator::from_graphs(&g, &sample);
-        assert!((e.vertex_factor - g.num_vertices() as f64 / sample.num_vertices() as f64).abs() < 1e-12);
+        assert!(
+            (e.vertex_factor - g.num_vertices() as f64 / sample.num_vertices() as f64).abs()
+                < 1e-12
+        );
         assert!((e.edge_factor - g.num_edges() as f64 / sample.num_edges() as f64).abs() < 1e-12);
         assert!((e.vertex_factor - 4.0).abs() < 0.01);
     }

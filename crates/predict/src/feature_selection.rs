@@ -29,7 +29,11 @@ pub struct SelectionConfig {
 
 impl Default for SelectionConfig {
     fn default() -> Self {
-        Self { min_relative_improvement: 0.01, max_features: KeyFeature::ALL.len(), ridge_lambda: 1e-6 }
+        Self {
+            min_relative_improvement: 0.01,
+            max_features: KeyFeature::ALL.len(),
+            ridge_lambda: 1e-6,
+        }
     }
 }
 
@@ -71,7 +75,10 @@ pub fn forward_select(
 ) -> SelectionResult {
     let mut selected: Vec<KeyFeature> = Vec::new();
     if observations.is_empty() || targets.is_empty() {
-        return SelectionResult { features: selected, sse: 0.0 };
+        return SelectionResult {
+            features: selected,
+            sse: 0.0,
+        };
     }
 
     // Baseline: intercept-only model (predict the mean).
@@ -105,7 +112,10 @@ pub fn forward_select(
         current_sse = sse;
     }
 
-    SelectionResult { features: selected, sse: current_sse }
+    SelectionResult {
+        features: selected,
+        sse: current_sse,
+    }
 }
 
 #[cfg(test)]
@@ -142,7 +152,12 @@ mod tests {
     #[test]
     fn selects_the_dominant_feature_first() {
         let (obs, targets) = byte_dominated_observations(200, 3);
-        let result = forward_select(&obs, &targets, &KeyFeature::ALL, &SelectionConfig::default());
+        let result = forward_select(
+            &obs,
+            &targets,
+            &KeyFeature::ALL,
+            &SelectionConfig::default(),
+        );
         assert!(!result.features.is_empty());
         // RemoteMessageBytes or the perfectly-correlated RemoteMessages must
         // be the first pick; anything else would mean the selection missed
@@ -160,7 +175,12 @@ mod tests {
     #[test]
     fn does_not_select_every_feature_when_one_suffices() {
         let (obs, targets) = byte_dominated_observations(200, 5);
-        let result = forward_select(&obs, &targets, &KeyFeature::ALL, &SelectionConfig::default());
+        let result = forward_select(
+            &obs,
+            &targets,
+            &KeyFeature::ALL,
+            &SelectionConfig::default(),
+        );
         assert!(
             result.features.len() < KeyFeature::ALL.len(),
             "selected all {} features",
@@ -171,7 +191,10 @@ mod tests {
     #[test]
     fn respects_the_feature_cap() {
         let (obs, targets) = byte_dominated_observations(100, 7);
-        let config = SelectionConfig { max_features: 1, ..Default::default() };
+        let config = SelectionConfig {
+            max_features: 1,
+            ..Default::default()
+        };
         let result = forward_select(&obs, &targets, &KeyFeature::ALL, &config);
         assert_eq!(result.features.len(), 1);
     }

@@ -70,7 +70,10 @@ impl KeyFeature {
 
     /// Index of the feature within [`KeyFeature::ALL`] and [`FeatureSet`].
     pub fn index(&self) -> usize {
-        Self::ALL.iter().position(|f| f == self).expect("feature is in ALL")
+        Self::ALL
+            .iter()
+            .position(|f| f == self)
+            .expect("feature is in ALL")
     }
 
     /// How the feature is extrapolated (Table 1's "Extrapolation" column).
@@ -190,13 +193,34 @@ mod tests {
 
     #[test]
     fn extrapolation_kinds_match_table1() {
-        assert_eq!(KeyFeature::ActiveVertices.extrapolation(), ExtrapolationKind::Vertices);
-        assert_eq!(KeyFeature::TotalVertices.extrapolation(), ExtrapolationKind::Vertices);
-        assert_eq!(KeyFeature::LocalMessages.extrapolation(), ExtrapolationKind::Edges);
-        assert_eq!(KeyFeature::RemoteMessages.extrapolation(), ExtrapolationKind::Edges);
-        assert_eq!(KeyFeature::LocalMessageBytes.extrapolation(), ExtrapolationKind::Edges);
-        assert_eq!(KeyFeature::RemoteMessageBytes.extrapolation(), ExtrapolationKind::Edges);
-        assert_eq!(KeyFeature::AvgMessageSize.extrapolation(), ExtrapolationKind::None);
+        assert_eq!(
+            KeyFeature::ActiveVertices.extrapolation(),
+            ExtrapolationKind::Vertices
+        );
+        assert_eq!(
+            KeyFeature::TotalVertices.extrapolation(),
+            ExtrapolationKind::Vertices
+        );
+        assert_eq!(
+            KeyFeature::LocalMessages.extrapolation(),
+            ExtrapolationKind::Edges
+        );
+        assert_eq!(
+            KeyFeature::RemoteMessages.extrapolation(),
+            ExtrapolationKind::Edges
+        );
+        assert_eq!(
+            KeyFeature::LocalMessageBytes.extrapolation(),
+            ExtrapolationKind::Edges
+        );
+        assert_eq!(
+            KeyFeature::RemoteMessageBytes.extrapolation(),
+            ExtrapolationKind::Edges
+        );
+        assert_eq!(
+            KeyFeature::AvgMessageSize.extrapolation(),
+            ExtrapolationKind::None
+        );
     }
 
     #[test]

@@ -188,6 +188,8 @@ mod tests {
     fn empty_store_behaves() {
         let store = HistoryStore::new();
         assert!(store.is_empty());
-        assert!(store.observations_for("PR", None, WorkerSelection::SlowestWorker).is_empty());
+        assert!(store
+            .observations_for("PR", None, WorkerSelection::SlowestWorker)
+            .is_empty());
     }
 }

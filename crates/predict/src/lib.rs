@@ -58,7 +58,9 @@ pub mod regression;
 pub mod transform;
 
 pub use cost_model::{CostModel, CostModelConfig};
-pub use critical_path::{critical_path_worker_by_edges, observations_from_profile, WorkerSelection};
+pub use critical_path::{
+    critical_path_worker_by_edges, observations_from_profile, WorkerSelection,
+};
 pub use extrapolator::{ExtrapolationRule, Extrapolator};
 pub use feature_selection::{forward_select, SelectionConfig, SelectionResult};
 pub use features::{ExtrapolationKind, FeatureSet, IterationObservation, KeyFeature};

@@ -71,27 +71,45 @@ impl ErrorSummary {
     /// input.
     pub fn from_samples(samples: &[ErrorSample]) -> Self {
         if samples.is_empty() {
-            return Self { count: 0, mean_signed_error: 0.0, mean_absolute_error: 0.0, max_absolute_error: 0.0 };
+            return Self {
+                count: 0,
+                mean_signed_error: 0.0,
+                mean_absolute_error: 0.0,
+                max_absolute_error: 0.0,
+            };
         }
         let signed: Vec<f64> = samples.iter().map(|s| s.signed_error()).collect();
         let count = samples.len();
         let mean_signed_error = signed.iter().sum::<f64>() / count as f64;
         let mean_absolute_error = signed.iter().map(|e| e.abs()).sum::<f64>() / count as f64;
         let max_absolute_error = signed.iter().map(|e| e.abs()).fold(0.0, f64::max);
-        Self { count, mean_signed_error, mean_absolute_error, max_absolute_error }
+        Self {
+            count,
+            mean_signed_error,
+            mean_absolute_error,
+            max_absolute_error,
+        }
     }
 }
 
 /// Coefficient of determination between predictions and actuals (the R² the
 /// paper reports for its cost models).
 pub fn r_squared(predicted: &[f64], actual: &[f64]) -> f64 {
-    assert_eq!(predicted.len(), actual.len(), "prediction and actual lengths differ");
+    assert_eq!(
+        predicted.len(),
+        actual.len(),
+        "prediction and actual lengths differ"
+    );
     if actual.is_empty() {
         return 0.0;
     }
     let mean = actual.iter().sum::<f64>() / actual.len() as f64;
     let ss_tot: f64 = actual.iter().map(|a| (a - mean).powi(2)).sum();
-    let ss_res: f64 = predicted.iter().zip(actual).map(|(p, a)| (a - p).powi(2)).sum();
+    let ss_res: f64 = predicted
+        .iter()
+        .zip(actual)
+        .map(|(p, a)| (a - p).powi(2))
+        .sum();
     if ss_tot <= f64::EPSILON {
         return if ss_res <= 1e-9 { 1.0 } else { 0.0 };
     }

@@ -73,7 +73,11 @@ impl PredictorConfig {
     /// Convenience constructor: predict from a sample run at `ratio`, train
     /// the cost model only on that same run (no extra training ratios).
     pub fn single_ratio(ratio: f64) -> Self {
-        Self { sampling_ratio: ratio, training_ratios: vec![ratio], ..Self::default() }
+        Self {
+            sampling_ratio: ratio,
+            training_ratios: vec![ratio],
+            ..Self::default()
+        }
     }
 
     /// Replaces the sampling ratio used for extrapolation, keeping the
@@ -169,7 +173,10 @@ impl Evaluation {
 
     /// Signed relative error of the runtime prediction (Figures 7–8).
     pub fn runtime_error(&self) -> f64 {
-        signed_relative_error(self.prediction.predicted_superstep_ms, self.actual_superstep_ms)
+        signed_relative_error(
+            self.prediction.predicted_superstep_ms,
+            self.actual_superstep_ms,
+        )
     }
 
     /// Signed relative error of the remote-message-bytes prediction
@@ -203,7 +210,11 @@ pub struct Predictor<'a> {
 impl<'a> Predictor<'a> {
     /// Creates a predictor.
     pub fn new(engine: &'a BspEngine, sampler: &'a dyn Sampler, config: PredictorConfig) -> Self {
-        Self { engine, sampler, config }
+        Self {
+            engine,
+            sampler,
+            config,
+        }
     }
 
     /// The pipeline configuration.
@@ -228,11 +239,13 @@ impl<'a> Predictor<'a> {
             .unwrap_or_else(|| TransformFunction::default_for(workload.convergence()));
 
         // --- Sample run used for extrapolation -------------------------------
-        let sample = self.sampler.sample(graph, self.config.sampling_ratio, self.config.seed);
+        let sample = self
+            .sampler
+            .sample(graph, self.config.sampling_ratio, self.config.seed);
         if sample.graph.num_vertices() == 0 || sample.graph.num_edges() == 0 {
             return Err(PredictError::EmptySample);
         }
-        let ratio = sample.achieved_ratio.max(f64::MIN_POSITIVE).min(1.0);
+        let ratio = sample.achieved_ratio.clamp(f64::MIN_POSITIVE, 1.0);
         let sample_workload = transform.apply(workload, ratio);
         let sample_run = sample_workload.run(self.engine, &sample.graph);
         let sample_observations =
@@ -245,16 +258,21 @@ impl<'a> Predictor<'a> {
                 training.extend(sample_observations.iter().copied());
                 continue;
             }
-            let train_sample =
-                self.sampler
-                    .sample(graph, train_ratio, self.config.seed.wrapping_add(1 + i as u64));
+            let train_sample = self.sampler.sample(
+                graph,
+                train_ratio,
+                self.config.seed.wrapping_add(1 + i as u64),
+            );
             if train_sample.graph.num_vertices() == 0 || train_sample.graph.num_edges() == 0 {
                 continue;
             }
             let train_workload =
                 transform.apply(workload, train_sample.achieved_ratio.max(f64::MIN_POSITIVE));
             let run = train_workload.run(self.engine, &train_sample.graph);
-            training.extend(observations_from_profile(&run.profile, self.config.worker_selection));
+            training.extend(observations_from_profile(
+                &run.profile,
+                self.config.worker_selection,
+            ));
         }
         // Historical actual runs of the same workload on *other* datasets.
         training.extend(history.observations_for(
@@ -266,14 +284,16 @@ impl<'a> Predictor<'a> {
             training = sample_observations.clone();
         }
 
-        let cost_model =
-            CostModel::train(&training, &self.config.cost_model).map_err(PredictError::CostModel)?;
+        let cost_model = CostModel::train(&training, &self.config.cost_model)
+            .map_err(PredictError::CostModel)?;
 
         // --- Extrapolation and per-iteration prediction ----------------------
         let extrapolator = Extrapolator::from_graphs(graph, &sample.graph);
         let extrapolated_features: Vec<FeatureSet> = sample_observations
             .iter()
-            .map(|o| extrapolator.extrapolate_with_rule(&o.features, self.config.extrapolation_rule))
+            .map(|o| {
+                extrapolator.extrapolate_with_rule(&o.features, self.config.extrapolation_rule)
+            })
             .collect();
         let per_iteration_ms: Vec<f64> = extrapolated_features
             .iter()
@@ -357,7 +377,9 @@ mod tests {
         let g = graph();
         let workload = PageRankWorkload::with_epsilon(0.001, g.num_vertices());
         let predictor = Predictor::new(&engine, &sampler, PredictorConfig::default());
-        let eval = predictor.evaluate(&workload, &g, &HistoryStore::new(), "test").unwrap();
+        let eval = predictor
+            .evaluate(&workload, &g, &HistoryStore::new(), "test")
+            .unwrap();
 
         assert!(eval.prediction.predicted_iterations > 3);
         assert!(
@@ -383,9 +405,10 @@ mod tests {
         let sampler = BiasedRandomJump::default();
         let g = graph();
         let workload = PageRankWorkload::with_epsilon(0.001, g.num_vertices());
-        let predictor =
-            Predictor::new(&engine, &sampler, PredictorConfig::single_ratio(0.1));
-        let eval = predictor.evaluate(&workload, &g, &HistoryStore::new(), "test").unwrap();
+        let predictor = Predictor::new(&engine, &sampler, PredictorConfig::single_ratio(0.1));
+        let eval = predictor
+            .evaluate(&workload, &g, &HistoryStore::new(), "test")
+            .unwrap();
         assert!(
             eval.sample_overhead_ratio() < 0.5,
             "sample run overhead ratio {} should be well below 1",
@@ -407,7 +430,9 @@ mod tests {
         history.record(workload.name(), "other", other_run.profile);
 
         let predictor = Predictor::new(&engine, &sampler, PredictorConfig::single_ratio(0.1));
-        let without = predictor.evaluate(&workload, &g, &HistoryStore::new(), "this").unwrap();
+        let without = predictor
+            .evaluate(&workload, &g, &HistoryStore::new(), "this")
+            .unwrap();
         let with = predictor.evaluate(&workload, &g, &history, "this").unwrap();
 
         // Fit quality on the actual run's own observations: history-trained
@@ -435,7 +460,9 @@ mod tests {
         history.record(workload.name(), "this", actual.profile);
 
         let predictor = Predictor::new(&engine, &sampler, PredictorConfig::single_ratio(0.1));
-        let a = predictor.predict(&workload, &g, &HistoryStore::new(), "this").unwrap();
+        let a = predictor
+            .predict(&workload, &g, &HistoryStore::new(), "this")
+            .unwrap();
         let b = predictor.predict(&workload, &g, &history, "this").unwrap();
         assert_eq!(a.predicted_iterations, b.predicted_iterations);
         assert!((a.predicted_superstep_ms - b.predicted_superstep_ms).abs() < 1e-9);
@@ -448,7 +475,9 @@ mod tests {
         let g = graph();
         let workload = PageRankWorkload::with_epsilon(0.01, g.num_vertices());
         let predictor = Predictor::new(&engine, &sampler, PredictorConfig::single_ratio(0.1));
-        let p = predictor.predict(&workload, &g, &HistoryStore::new(), "x").unwrap();
+        let p = predictor
+            .predict(&workload, &g, &HistoryStore::new(), "x")
+            .unwrap();
         assert_eq!(p.per_iteration_ms.len(), p.predicted_iterations);
         assert_eq!(p.extrapolated_features.len(), p.predicted_iterations);
         assert!((p.per_iteration_ms.iter().sum::<f64>() - p.predicted_superstep_ms).abs() < 1e-9);
@@ -462,7 +491,9 @@ mod tests {
         let g = CsrGraph::from_edges(0, &[]);
         let workload = PageRankWorkload::with_epsilon(0.01, 1);
         let predictor = Predictor::new(&engine, &sampler, PredictorConfig::default());
-        let err = predictor.predict(&workload, &g, &HistoryStore::new(), "x").unwrap_err();
+        let err = predictor
+            .predict(&workload, &g, &HistoryStore::new(), "x")
+            .unwrap_err();
         assert_eq!(err, PredictError::EmptySample);
     }
 }

@@ -87,7 +87,11 @@ impl LinearModel {
         let intercept = solution[0];
         let coefficients = solution[1..].to_vec();
 
-        let mut model = Self { coefficients, intercept, r_squared: 0.0 };
+        let mut model = Self {
+            coefficients,
+            intercept,
+            r_squared: 0.0,
+        };
         model.r_squared = model.r_squared_on(rows, y);
         Ok(model)
     }
@@ -106,7 +110,13 @@ impl LinearModel {
             self.coefficients.len(),
             row.len()
         );
-        self.intercept + self.coefficients.iter().zip(row).map(|(c, x)| c * x).sum::<f64>()
+        self.intercept
+            + self
+                .coefficients
+                .iter()
+                .zip(row)
+                .map(|(c, x)| c * x)
+                .sum::<f64>()
     }
 
     /// Coefficient of determination (R²) of the model on a dataset.
@@ -145,7 +155,8 @@ fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
     let n = b.len();
     for col in 0..n {
         // Partial pivoting.
-        let pivot_row = (col..n).max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).unwrap())?;
+        let pivot_row =
+            (col..n).max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).unwrap())?;
         if a[pivot_row][col].abs() < 1e-12 {
             return None;
         }
@@ -153,15 +164,17 @@ fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
         b.swap(col, pivot_row);
 
         let pivot = a[col][col];
-        for row in (col + 1)..n {
-            let factor = a[row][col] / pivot;
+        let (pivot_rows, rest) = a.split_at_mut(col + 1);
+        let pivot_row = &pivot_rows[col];
+        for (offset, row) in rest.iter_mut().enumerate() {
+            let factor = row[col] / pivot;
             if factor == 0.0 {
                 continue;
             }
-            for k in col..n {
-                a[row][k] -= factor * a[col][k];
+            for (target, &source) in row[col..n].iter_mut().zip(&pivot_row[col..n]) {
+                *target -= factor * source;
             }
-            b[row] -= factor * b[col];
+            b[col + 1 + offset] -= factor * b[col];
         }
     }
     // Back substitution.
@@ -235,7 +248,10 @@ mod tests {
         // Two perfectly collinear features.
         let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, 2.0 * i as f64]).collect();
         let y: Vec<f64> = (0..10).map(|i| 3.0 * i as f64).collect();
-        assert_eq!(LinearModel::fit(&rows, &y).unwrap_err(), RegressionError::SingularSystem);
+        assert_eq!(
+            LinearModel::fit(&rows, &y).unwrap_err(),
+            RegressionError::SingularSystem
+        );
         let ridge = LinearModel::fit_ridge(&rows, &y, 1e-3).unwrap();
         // The regularized solution still predicts well even though the
         // individual coefficients are not identifiable.
@@ -244,7 +260,10 @@ mod tests {
 
     #[test]
     fn error_cases_are_reported() {
-        assert_eq!(LinearModel::fit(&[], &[]).unwrap_err(), RegressionError::EmptyTrainingSet);
+        assert_eq!(
+            LinearModel::fit(&[], &[]).unwrap_err(),
+            RegressionError::EmptyTrainingSet
+        );
         let rows = vec![vec![1.0, 2.0], vec![1.0]];
         assert_eq!(
             LinearModel::fit(&rows, &[1.0, 2.0]).unwrap_err(),

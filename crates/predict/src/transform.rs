@@ -120,7 +120,10 @@ mod tests {
 
     #[test]
     fn identity_and_fixed_and_power_rules() {
-        assert_eq!(TransformFunction::identity().sample_threshold(0.01, 0.1), 0.01);
+        assert_eq!(
+            TransformFunction::identity().sample_threshold(0.01, 0.1),
+            0.01
+        );
         let fixed = TransformFunction::new(ThresholdRule::Fixed(3.0));
         assert!((fixed.sample_threshold(0.01, 0.1) - 0.03).abs() < 1e-12);
         let power = TransformFunction::new(ThresholdRule::Power(0.5));

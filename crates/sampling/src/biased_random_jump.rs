@@ -54,7 +54,10 @@ impl BiasedRandomJump {
             seed_fraction > 0.0 && seed_fraction <= 1.0,
             "seed fraction must be in (0, 1], got {seed_fraction}"
         );
-        Self { restart_probability, seed_fraction }
+        Self {
+            restart_probability,
+            seed_fraction,
+        }
     }
 
     /// The high-out-degree seed set BRJ jumps back to: the top
@@ -83,9 +86,13 @@ impl Sampler for BiasedRandomJump {
         }
         let seeds = self.seed_set(graph);
         let mut rng = StdRng::seed_from_u64(seed);
-        walk_until(graph, target, self.restart_probability, &mut rng, |rng, _graph| {
-            seeds[rng.gen_range(0..seeds.len())]
-        })
+        walk_until(
+            graph,
+            target,
+            self.restart_probability,
+            &mut rng,
+            |rng, _graph| seeds[rng.gen_range(0..seeds.len())],
+        )
     }
 }
 
@@ -127,7 +134,10 @@ mod tests {
     fn seed_set_size_follows_fraction() {
         let g = generate_rmat(&RmatConfig::new(10, 4).with_seed(1));
         let brj = BiasedRandomJump::new(0.15, 0.01);
-        assert_eq!(brj.seed_set(&g).len(), (g.num_vertices() as f64 * 0.01).ceil() as usize);
+        assert_eq!(
+            brj.seed_set(&g).len(),
+            (g.num_vertices() as f64 * 0.01).ceil() as usize
+        );
         let brj_all = BiasedRandomJump::new(0.15, 1.0);
         assert_eq!(brj_all.seed_set(&g).len(), g.num_vertices());
     }
@@ -175,7 +185,10 @@ mod tests {
                 brj_better += 1;
             }
         }
-        assert!(brj_better >= 2, "BRJ should preserve connectivity at least as well as RJ");
+        assert!(
+            brj_better >= 2,
+            "BRJ should preserve connectivity at least as well as RJ"
+        );
     }
 
     #[test]
@@ -199,7 +212,9 @@ mod tests {
     #[test]
     fn empty_graph_gives_empty_sample() {
         let g = CsrGraph::from_edges(0, &[]);
-        assert!(BiasedRandomJump::default().sample_vertices(&g, 0.5, 1).is_empty());
+        assert!(BiasedRandomJump::default()
+            .sample_vertices(&g, 0.5, 1)
+            .is_empty());
         assert!(BiasedRandomJump::default().seed_set(&g).is_empty());
     }
 }

@@ -26,7 +26,9 @@ pub struct ForestFire {
 impl Default for ForestFire {
     fn default() -> Self {
         // The value recommended by Leskovec & Faloutsos.
-        Self { forward_probability: 0.7 }
+        Self {
+            forward_probability: 0.7,
+        }
     }
 }
 
@@ -42,7 +44,9 @@ impl ForestFire {
             forward_probability > 0.0 && forward_probability < 1.0,
             "forward probability must be in (0, 1), got {forward_probability}"
         );
-        Self { forward_probability }
+        Self {
+            forward_probability,
+        }
     }
 }
 

@@ -30,7 +30,9 @@ pub struct Mhrw {
 
 impl Default for Mhrw {
     fn default() -> Self {
-        Self { restart_probability: DEFAULT_RESTART_PROBABILITY }
+        Self {
+            restart_probability: DEFAULT_RESTART_PROBABILITY,
+        }
     }
 }
 
@@ -45,7 +47,9 @@ impl Mhrw {
             restart_probability > 0.0 && restart_probability <= 1.0,
             "restart probability must be in (0, 1], got {restart_probability}"
         );
-        Self { restart_probability }
+        Self {
+            restart_probability,
+        }
     }
 }
 
@@ -108,8 +112,9 @@ impl Sampler for Mhrw {
 
         // Fill up from the unvisited remainder if the walk stalled.
         if picked.len() < target {
-            let mut remaining: Vec<VertexId> =
-                (0..n as VertexId).filter(|&v| !visited[v as usize]).collect();
+            let mut remaining: Vec<VertexId> = (0..n as VertexId)
+                .filter(|&v| !visited[v as usize])
+                .collect();
             while picked.len() < target && !remaining.is_empty() {
                 let idx = rng.gen_range(0..remaining.len());
                 let v = remaining.swap_remove(idx);

@@ -49,7 +49,14 @@ impl SampleQualityReport {
     pub fn evaluate(full: &CsrGraph, sample: &GraphSample, seed: u64) -> Self {
         let full_props = GraphProperties::analyze(full, seed);
         let sample_props = GraphProperties::analyze(&sample.graph, seed);
-        Self::from_properties(sample.technique, sample.achieved_ratio, full, sample, &full_props, &sample_props)
+        Self::from_properties(
+            sample.technique,
+            sample.achieved_ratio,
+            full,
+            sample,
+            &full_props,
+            &sample_props,
+        )
     }
 
     /// Evaluates a sample when the full graph's properties have already been
@@ -62,7 +69,14 @@ impl SampleQualityReport {
         seed: u64,
     ) -> Self {
         let sample_props = GraphProperties::analyze(&sample.graph, seed);
-        Self::from_properties(sample.technique, sample.achieved_ratio, full, sample, full_props, &sample_props)
+        Self::from_properties(
+            sample.technique,
+            sample.achieved_ratio,
+            full,
+            sample,
+            full_props,
+            &sample_props,
+        )
     }
 
     fn from_properties(
@@ -152,7 +166,8 @@ mod tests {
     #[test]
     fn brj_scores_better_than_random_node() {
         let g = generate_rmat(&RmatConfig::new(11, 8).with_seed(7));
-        let brj = SampleQualityReport::evaluate(&g, &BiasedRandomJump::default().sample(&g, 0.1, 5), 5);
+        let brj =
+            SampleQualityReport::evaluate(&g, &BiasedRandomJump::default().sample(&g, 0.1, 5), 5);
         let rn = SampleQualityReport::evaluate(&g, &RandomNode.sample(&g, 0.1, 5), 5);
         assert!(
             brj.score() < rn.score(),

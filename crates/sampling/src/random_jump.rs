@@ -25,7 +25,9 @@ pub struct RandomJump {
 
 impl Default for RandomJump {
     fn default() -> Self {
-        Self { restart_probability: DEFAULT_RESTART_PROBABILITY }
+        Self {
+            restart_probability: DEFAULT_RESTART_PROBABILITY,
+        }
     }
 }
 
@@ -40,7 +42,9 @@ impl RandomJump {
             restart_probability > 0.0 && restart_probability <= 1.0,
             "restart probability must be in (0, 1], got {restart_probability}"
         );
-        Self { restart_probability }
+        Self {
+            restart_probability,
+        }
     }
 }
 

@@ -79,8 +79,9 @@ impl Sampler for RandomEdge {
             }
         }
         if picked.len() < target {
-            let mut remaining: Vec<VertexId> =
-                (0..n as VertexId).filter(|&v| !selected[v as usize]).collect();
+            let mut remaining: Vec<VertexId> = (0..n as VertexId)
+                .filter(|&v| !selected[v as usize])
+                .collect();
             remaining.shuffle(&mut rng);
             for v in remaining {
                 if picked.len() >= target {
@@ -118,8 +119,14 @@ mod tests {
     #[test]
     fn both_are_deterministic() {
         let g = generate_rmat(&RmatConfig::new(8, 4).with_seed(1));
-        assert_eq!(RandomNode.sample_vertices(&g, 0.2, 5), RandomNode.sample_vertices(&g, 0.2, 5));
-        assert_eq!(RandomEdge.sample_vertices(&g, 0.2, 5), RandomEdge.sample_vertices(&g, 0.2, 5));
+        assert_eq!(
+            RandomNode.sample_vertices(&g, 0.2, 5),
+            RandomNode.sample_vertices(&g, 0.2, 5)
+        );
+        assert_eq!(
+            RandomEdge.sample_vertices(&g, 0.2, 5),
+            RandomEdge.sample_vertices(&g, 0.2, 5)
+        );
     }
 
     #[test]

@@ -27,7 +27,10 @@ fn main() {
         graph.num_edges(),
         deadline_ms
     );
-    println!("\n{:>8} {:>18} {:>14}", "workers", "predicted [ms]", "meets deadline");
+    println!(
+        "\n{:>8} {:>18} {:>14}",
+        "workers", "predicted [ms]", "meets deadline"
+    );
 
     let mut chosen: Option<(usize, f64)> = None;
     for workers in [2usize, 4, 8, 16, 29] {

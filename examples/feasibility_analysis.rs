@@ -32,7 +32,10 @@ fn main() {
     let predictor = Predictor::new(&engine, &sampler, PredictorConfig::default());
     let mut total_predicted_ms = 0.0;
     let mut total_sample_cost_ms = 0.0;
-    println!("\n{:<8} {:>12} {:>16}", "workload", "iterations", "predicted [ms]");
+    println!(
+        "\n{:<8} {:>12} {:>16}",
+        "workload", "iterations", "predicted [ms]"
+    );
     for workload in &workloads {
         let prediction = predictor
             .predict(workload.as_ref(), &graph, &HistoryStore::new(), "UK")

@@ -40,11 +40,22 @@ fn main() {
     let prediction = &evaluation.prediction;
 
     println!("\n--- prediction (from the 10% sample run) ---");
-    println!("predicted iterations:        {}", prediction.predicted_iterations);
-    println!("predicted superstep runtime: {:.0} ms (simulated)", prediction.predicted_superstep_ms);
+    println!(
+        "predicted iterations:        {}",
+        prediction.predicted_iterations
+    );
+    println!(
+        "predicted superstep runtime: {:.0} ms (simulated)",
+        prediction.predicted_superstep_ms
+    );
     println!(
         "cost model: features {:?}, R^2 = {:.3}",
-        prediction.cost_model.features.iter().map(|f| f.name()).collect::<Vec<_>>(),
+        prediction
+            .cost_model
+            .features
+            .iter()
+            .map(|f| f.name())
+            .collect::<Vec<_>>(),
         prediction.cost_model.r_squared()
     );
     println!(
@@ -54,10 +65,22 @@ fn main() {
     );
 
     println!("\n--- actual run ---");
-    println!("actual iterations:           {}", evaluation.actual_iterations);
-    println!("actual superstep runtime:    {:.0} ms (simulated)", evaluation.actual_superstep_ms);
+    println!(
+        "actual iterations:           {}",
+        evaluation.actual_iterations
+    );
+    println!(
+        "actual superstep runtime:    {:.0} ms (simulated)",
+        evaluation.actual_superstep_ms
+    );
 
     println!("\n--- errors ---");
-    println!("iteration error: {:+.1}%", evaluation.iteration_error() * 100.0);
-    println!("runtime error:   {:+.1}%", evaluation.runtime_error() * 100.0);
+    println!(
+        "iteration error: {:+.1}%",
+        evaluation.iteration_error() * 100.0
+    );
+    println!(
+        "runtime error:   {:+.1}%",
+        evaluation.runtime_error() * 100.0
+    );
 }

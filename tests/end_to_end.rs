@@ -78,7 +78,10 @@ fn topk_end_to_end_has_bounded_feature_and_runtime_errors() {
     let per_iter = &eval.prediction.per_iteration_ms;
     let max = per_iter.iter().cloned().fold(0.0f64, f64::max);
     let min = per_iter.iter().cloned().fold(f64::INFINITY, f64::min);
-    assert!(max > min * 1.2, "per-iteration predictions should vary: {min} .. {max}");
+    assert!(
+        max > min * 1.2,
+        "per-iteration predictions should vary: {min} .. {max}"
+    );
 }
 
 #[test]
@@ -116,8 +119,16 @@ fn connected_components_and_neighborhood_are_predictable() {
         let eval = predictor
             .evaluate(workload.as_ref(), &graph, &HistoryStore::new(), "UK")
             .expect("prediction succeeds");
-        assert!(eval.prediction.predicted_iterations >= 2, "{}", workload.name());
-        assert!(eval.prediction.predicted_superstep_ms > 0.0, "{}", workload.name());
+        assert!(
+            eval.prediction.predicted_iterations >= 2,
+            "{}",
+            workload.name()
+        );
+        assert!(
+            eval.prediction.predicted_superstep_ms > 0.0,
+            "{}",
+            workload.name()
+        );
     }
 }
 

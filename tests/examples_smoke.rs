@@ -1,0 +1,86 @@
+//! Smoke tests for the `examples/` directory.
+//!
+//! CI compiles every example (`cargo build --examples`); these tests
+//! additionally exercise the exact API paths the examples walk, at small
+//! scale so they run in seconds under `cargo test`.
+
+use predict_repro::algorithms::SemiClusteringParams;
+use predict_repro::prelude::*;
+
+/// The `examples/quickstart.rs` path: evaluate a PageRank prediction against
+/// the actual run and read out everything the example prints.
+#[test]
+fn quickstart_path_produces_a_complete_evaluation() {
+    let graph = Dataset::Wikipedia.load_small();
+    let workload = PageRankWorkload::with_epsilon(0.001, graph.num_vertices());
+    let engine = BspEngine::new(BspConfig::with_workers(8));
+    let sampler = BiasedRandomJump::default();
+    let predictor = Predictor::new(&engine, &sampler, PredictorConfig::default());
+
+    let evaluation = predictor
+        .evaluate(&workload, &graph, &HistoryStore::new(), "Wiki")
+        .expect("prediction succeeds");
+    let prediction = &evaluation.prediction;
+
+    assert!(prediction.predicted_iterations > 0);
+    assert!(prediction.predicted_superstep_ms > 0.0);
+    assert!(!prediction.cost_model.features.is_empty());
+    assert!(prediction.cost_model.r_squared().is_finite());
+    assert!(evaluation.actual_iterations > 0);
+    assert!(evaluation.actual_superstep_ms > 0.0);
+    // The sample run must be much cheaper than the actual run — the whole
+    // point of PREDIcT (Table 3 caps overhead at a fraction of the job).
+    assert!(evaluation.sample_overhead_ratio() < 1.0);
+}
+
+/// The `examples/capacity_planning.rs` path: predictions for several worker
+/// counts, each from a predictor configured like the example's.
+#[test]
+fn capacity_planning_path_predicts_across_worker_counts() {
+    let graph = Dataset::Wikipedia.load_small();
+    let sampler = BiasedRandomJump::default();
+    let workload = SemiClusteringWorkload::new(SemiClusteringParams::default());
+
+    for workers in [2usize, 4] {
+        let engine = BspEngine::new(BspConfig::with_workers(workers));
+        let predictor = Predictor::new(
+            &engine,
+            &sampler,
+            PredictorConfig::single_ratio(0.1).with_seed(3),
+        );
+        let prediction = predictor
+            .predict(&workload, &graph, &HistoryStore::new(), "Wiki")
+            .expect("prediction succeeds");
+        assert!(
+            prediction.predicted_superstep_ms > 0.0,
+            "workers = {workers}"
+        );
+    }
+}
+
+/// The `examples/feasibility_analysis.rs` path: a mixed workload whose
+/// predicted runtimes sum into an SLA verdict.
+#[test]
+fn feasibility_path_sums_predictions_for_a_mixed_workload() {
+    let graph = Dataset::Uk2002.load_small();
+    let engine = BspEngine::new(BspConfig::with_workers(8));
+    let sampler = BiasedRandomJump::default();
+    let workloads: Vec<Box<dyn Workload>> = vec![
+        Box::new(PageRankWorkload::with_epsilon(0.001, graph.num_vertices())),
+        Box::new(ConnectedComponentsWorkload),
+    ];
+
+    let mut total_ms = 0.0;
+    for workload in &workloads {
+        let predictor = Predictor::new(
+            &engine,
+            &sampler,
+            PredictorConfig::single_ratio(0.1).with_seed(11),
+        );
+        let prediction = predictor
+            .predict(workload.as_ref(), &graph, &HistoryStore::new(), "UK")
+            .expect("prediction succeeds");
+        total_ms += prediction.predicted_superstep_ms;
+    }
+    assert!(total_ms > 0.0);
+}

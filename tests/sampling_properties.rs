@@ -8,8 +8,21 @@ use predict_repro::prelude::*;
 use predict_repro::sampling::{Mhrw, RandomJump, RandomNode};
 use proptest::prelude::*;
 
+/// Case count for this suite: the local default, bounded by `PROPTEST_CASES`
+/// when set (CI sets it so the property suites finish in seconds).
+///
+/// Kept at the call site (not only in the vendored proptest) because the real
+/// registry `proptest` ignores `PROPTEST_CASES` once `with_cases` is used;
+/// this keeps the CI bound working if the workspace swaps back to it.
+fn suite_cases(default_cases: u32) -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.trim().parse::<u32>().ok())
+        .map_or(default_cases, |env| default_cases.min(env))
+}
+
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+    #![proptest_config(ProptestConfig::with_cases(suite_cases(24)))]
 
     /// Every sampler returns the requested number of unique, in-range
     /// vertices for any ratio and seed.

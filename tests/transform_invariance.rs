@@ -74,8 +74,8 @@ fn transformed_sample_run_converges_in_similar_iterations_as_actual() {
     let sample_workload = transform.apply(&workload, sample.achieved_ratio);
     let sample_iterations = sample_workload.run(&engine, &sample.graph).iterations();
 
-    let error = (sample_iterations as f64 - actual_iterations as f64).abs()
-        / actual_iterations as f64;
+    let error =
+        (sample_iterations as f64 - actual_iterations as f64).abs() / actual_iterations as f64;
     assert!(
         error <= 0.65,
         "transformed sample run iterations {sample_iterations} too far from actual {actual_iterations}"

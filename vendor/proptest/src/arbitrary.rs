@@ -1,0 +1,96 @@
+//! The `any::<T>()` entry point for canonical strategies.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Types with a canonical strategy covering their whole domain.
+pub trait Arbitrary: Sized {
+    /// The canonical strategy for this type.
+    type Strategy: Strategy<Value = Self>;
+
+    /// Returns the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `T`, mirroring `proptest::arbitrary::any`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Strategy for uniformly random `bool`s.
+#[derive(Debug, Clone, Copy)]
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut StdRng) -> bool {
+        rng.gen_bool(0.5)
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyBool;
+
+    fn arbitrary() -> AnyBool {
+        AnyBool
+    }
+}
+
+macro_rules! arbitrary_full_range_int {
+    ($($t:ty => $strat:ident),*) => {$(
+        /// Strategy covering the type's full value range.
+        #[derive(Debug, Clone, Copy)]
+        pub struct $strat;
+
+        impl Strategy for $strat {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(<$t>::MIN..=<$t>::MAX)
+            }
+        }
+
+        impl Arbitrary for $t {
+            type Strategy = $strat;
+
+            fn arbitrary() -> $strat {
+                $strat
+            }
+        }
+    )*};
+}
+
+arbitrary_full_range_int! {
+    u8 => AnyU8, u16 => AnyU16, u32 => AnyU32,
+    i8 => AnyI8, i16 => AnyI16, i32 => AnyI32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn any_bool_hits_both_values() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = any::<bool>();
+        let trues = (0..1_000).filter(|_| s.generate(&mut rng)).count();
+        assert!((300..700).contains(&trues), "trues = {trues}");
+    }
+
+    #[test]
+    fn any_int_spans_the_domain() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = any::<u8>();
+        let mut seen_high = false;
+        let mut seen_low = false;
+        for _ in 0..2_000 {
+            let v = s.generate(&mut rng);
+            seen_high |= v >= 200;
+            seen_low |= v < 56;
+        }
+        assert!(seen_high && seen_low);
+    }
+}

@@ -1,0 +1,82 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::ops::Range;
+
+/// A length specification for collection strategies: either a fixed size or
+/// a half-open range of sizes.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    min: usize,
+    /// Exclusive upper bound.
+    max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(len: usize) -> Self {
+        Self {
+            min: len,
+            max: len + 1,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(range: Range<usize>) -> Self {
+        assert!(range.start < range.end, "empty collection size range");
+        Self {
+            min: range.start,
+            max: range.end,
+        }
+    }
+}
+
+/// Strategy for `Vec`s whose length is drawn from `size` and whose elements
+/// come from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Strategy returned by [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let len = if self.size.min + 1 == self.size.max {
+            self.size.min
+        } else {
+            rng.gen_range(self.size.min..self.size.max)
+        };
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn vec_respects_fixed_and_ranged_sizes() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let fixed = vec(0u32..5, 48);
+        assert_eq!(fixed.generate(&mut rng).len(), 48);
+        let ranged = vec((0u32..3, 0u32..3), 1..10);
+        for _ in 0..200 {
+            let v = ranged.generate(&mut rng);
+            assert!((1..10).contains(&v.len()));
+            assert!(v.iter().all(|&(a, b)| a < 3 && b < 3));
+        }
+    }
+}

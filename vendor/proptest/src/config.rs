@@ -1,0 +1,52 @@
+//! Suite configuration, including the CI case-count bound.
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Requested number of cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+
+    /// The effective case count: the explicit count, bounded by the
+    /// `PROPTEST_CASES` environment variable when it is set (so CI can cap
+    /// suite runtime without editing every suite, and local runs keep their
+    /// full depth).
+    pub fn resolved_cases(&self) -> u32 {
+        match env_cases() {
+            Some(env) => self.cases.min(env),
+            None => self.cases,
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self {
+            cases: env_cases().unwrap_or(256),
+        }
+    }
+}
+
+fn env_cases() -> Option<u32> {
+    std::env::var("PROPTEST_CASES").ok()?.trim().parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_cases_is_explicit() {
+        // Note: cannot mutate the environment here without racing other
+        // tests, so only the no-env path is covered directly.
+        let config = ProptestConfig::with_cases(64);
+        assert_eq!(config.cases, 64);
+        assert!(config.resolved_cases() <= 64);
+    }
+}

@@ -1,0 +1,162 @@
+//! Offline stand-in for the subset of `proptest` this workspace uses.
+//!
+//! The build environment has no crates.io access, so the workspace vendors a
+//! small, deterministic property-testing engine with proptest-compatible
+//! surface syntax: the [`proptest!`] macro (with `#![proptest_config(...)]`
+//! and `arg in strategy` bindings), range/tuple/`prop_map`/collection
+//! strategies, [`any`], and the `prop_assert*` macros. Test bodies are
+//! wrapped in `Result`-returning closures exactly like real proptest, so
+//! early `return Ok(())` works.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * cases are generated from a fixed per-case seed, so runs are fully
+//!   deterministic with no persistence files;
+//! * there is no shrinking — a failure reports the case number and seed;
+//! * [`ProptestConfig`] honors the `PROPTEST_CASES` environment variable
+//!   (taking the minimum of it and the explicit case count) so CI can bound
+//!   suite runtime without losing local depth.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod config;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob import every proptest suite starts with.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::config::ProptestConfig;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Namespace mirror of `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Defines property tests: each `arg in strategy` binding is sampled for
+/// every case and the body runs as a `Result`-returning closure.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::config::ProptestConfig = $config;
+                let cases = config.resolved_cases();
+                for case in 0..cases {
+                    let mut rng = $crate::test_runner::case_rng(stringify!($name), case);
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(&$strategy, &mut rng);
+                    )+
+                    let mut body = || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    };
+                    match body() {
+                        ::std::result::Result::Ok(()) => {}
+                        ::std::result::Result::Err(e) if e.is_rejection() => {}
+                        ::std::result::Result::Err(e) => {
+                            panic!(
+                                "proptest case {}/{} of `{}` failed: {}",
+                                case + 1,
+                                cases,
+                                stringify!($name),
+                                e
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::config::ProptestConfig::default())]
+            $(
+                fn $name($($arg in $strategy),+) $body
+            )*
+        }
+    };
+}
+
+/// Fails the current case with a formatted message unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("{} (`{:?}` vs `{:?}`)", format!($($fmt)*), left, right),
+            ));
+        }
+    }};
+}
+
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+/// Skips the current case when `cond` does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}

@@ -1,0 +1,80 @@
+//! Case execution support: per-case deterministic generators and the error
+//! type property bodies return.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+
+/// Why a property case did not pass.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+    rejection: bool,
+}
+
+impl TestCaseError {
+    /// A genuine assertion failure.
+    pub fn fail(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+            rejection: false,
+        }
+    }
+
+    /// A rejected case (`prop_assume!`): skipped, not failed.
+    pub fn reject(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+            rejection: true,
+        }
+    }
+
+    /// True for rejections, which the runner skips silently.
+    pub fn is_rejection(&self) -> bool {
+        self.rejection
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+/// The deterministic generator for one named case: every run of the suite
+/// sees identical inputs, so failures are reproducible without persistence
+/// files.
+pub fn case_rng(test_name: &str, case: u32) -> StdRng {
+    // FNV-1a over the test name, mixed with the case index.
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(hash ^ (u64::from(case) << 32) ^ u64::from(case))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+
+    #[test]
+    fn case_rng_is_deterministic_and_distinct() {
+        let mut a = case_rng("foo", 0);
+        let mut b = case_rng("foo", 0);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = case_rng("foo", 1);
+        let mut d = case_rng("bar", 0);
+        let base = case_rng("foo", 0).next_u64();
+        assert_ne!(base, c.next_u64());
+        assert_ne!(base, d.next_u64());
+    }
+
+    #[test]
+    fn rejections_are_distinguished() {
+        assert!(TestCaseError::reject("r").is_rejection());
+        assert!(!TestCaseError::fail("f").is_rejection());
+        assert_eq!(TestCaseError::fail("boom").to_string(), "boom");
+    }
+}

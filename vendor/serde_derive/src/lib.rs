@@ -1,0 +1,559 @@
+//! Hand-written `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros for
+//! the vendored `serde` stand-in.
+//!
+//! The build environment has no crates.io access, so these derives are
+//! implemented directly on `proc_macro::TokenStream` without `syn`/`quote`.
+//! They support the shapes this workspace actually uses:
+//!
+//! * structs with named fields (including generic structs such as
+//!   `Payload<'a, T>`), tuple structs and unit structs;
+//! * enums with unit, tuple and struct variants (serde's external tagging:
+//!   a unit variant becomes `"Name"`, a data variant `{"Name": ...}`);
+//! * no `#[serde(...)]` attributes.
+//!
+//! Generated code refers to the framework via the `::serde` path, so any
+//! crate using the derives must depend on the vendored `serde`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` by mapping the item onto the `serde::Value`
+/// data model.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derives `serde::Deserialize` by reconstructing the item from the
+/// `serde::Value` data model.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let item = parse_item(input);
+    let code = match mode {
+        Mode::Serialize => gen_serialize(&item),
+        Mode::Deserialize => gen_deserialize(&item),
+    };
+    code.parse().expect("serde_derive generated invalid Rust")
+}
+
+// ---------------------------------------------------------------------------
+// A minimal item model.
+
+struct Item {
+    name: String,
+    /// Generic parameter declarations, e.g. `'a, T`.
+    generic_decls: Vec<GenericParam>,
+    body: Body,
+}
+
+enum GenericParam {
+    Lifetime(String),
+    Type(String),
+}
+
+enum Body {
+    /// `struct S;`
+    UnitStruct,
+    /// `struct S(A, B);` with the field count.
+    TupleStruct(usize),
+    /// `struct S { a: A, .. }` with the field names.
+    NamedStruct(Vec<String>),
+    /// `enum E { .. }`
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    /// Tuple variant with the field count.
+    Tuple(usize),
+    /// Struct variant with the field names.
+    Named(Vec<String>),
+}
+
+// ---------------------------------------------------------------------------
+// Parsing.
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attributes_and_visibility(&tokens, &mut i);
+
+    let kind = expect_ident(&tokens, &mut i);
+    assert!(
+        kind == "struct" || kind == "enum",
+        "serde_derive supports only structs and enums, got `{kind}`"
+    );
+    let name = expect_ident(&tokens, &mut i);
+    let generic_decls = parse_generics(&tokens, &mut i);
+
+    // A `where` clause would appear here; this workspace does not use any on
+    // serialized types.
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        assert!(
+            id.to_string() != "where",
+            "serde_derive does not support where clauses"
+        );
+    }
+
+    let body = if kind == "struct" {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::TupleStruct(count_top_level_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::UnitStruct,
+            other => panic!("unexpected struct body: {other:?}"),
+        }
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("unexpected enum body: {other:?}"),
+        }
+    };
+
+    Item {
+        name,
+        generic_decls,
+        body,
+    }
+}
+
+/// Skips any `#[...]` attributes and a `pub` / `pub(...)` visibility prefix.
+fn skip_attributes_and_visibility(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` and the bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1; // `(crate)` etc.
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("expected identifier, got {other:?}"),
+    }
+}
+
+/// Parses `<...>` generic parameter declarations, if present.
+fn parse_generics(tokens: &[TokenTree], i: &mut usize) -> Vec<GenericParam> {
+    match tokens.get(*i) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {}
+        _ => return Vec::new(),
+    }
+    *i += 1;
+    let mut depth = 1usize;
+    let mut inner: Vec<TokenTree> = Vec::new();
+    while depth > 0 {
+        let tok = tokens
+            .get(*i)
+            .unwrap_or_else(|| panic!("unterminated generics on line {}", line!()));
+        *i += 1;
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        inner.push(tok.clone());
+    }
+
+    // Split the collected tokens on top-level commas and take each
+    // parameter's name (the bounds after `:` are re-derived by the
+    // generator).
+    let mut params = Vec::new();
+    for segment in split_top_level(&inner) {
+        if segment.is_empty() {
+            continue;
+        }
+        match &segment[0] {
+            TokenTree::Punct(p) if p.as_char() == '\'' => {
+                let TokenTree::Ident(id) = &segment[1] else {
+                    panic!("malformed lifetime parameter");
+                };
+                params.push(GenericParam::Lifetime(format!("'{id}")));
+            }
+            TokenTree::Ident(id) if id.to_string() == "const" => {
+                panic!("serde_derive does not support const generics");
+            }
+            TokenTree::Ident(id) => params.push(GenericParam::Type(id.to_string())),
+            other => panic!("unexpected generic parameter start: {other:?}"),
+        }
+    }
+    params
+}
+
+/// Splits a token slice on commas at angle-bracket depth zero (group tokens
+/// are atomic, so only `<`/`>` need counting).
+fn split_top_level(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut parts = vec![Vec::new()];
+    let mut depth = 0usize;
+    for tok in tokens {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth = depth.saturating_sub(1),
+                ',' if depth == 0 => {
+                    parts.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        parts
+            .last_mut()
+            .expect("parts is never empty")
+            .push(tok.clone());
+    }
+    if parts.last().is_some_and(Vec::is_empty) {
+        parts.pop();
+    }
+    parts
+}
+
+/// Parses `name: Type, ...` named-field lists, returning the field names.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut names = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes_and_visibility(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        names.push(expect_ident(&tokens, &mut i));
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field name, got {other:?}"),
+        }
+        // Skip the type up to the next top-level comma.
+        let mut depth = 0usize;
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth = depth.saturating_sub(1),
+                    ',' if depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+    names
+}
+
+/// Counts comma-separated fields in a tuple struct/variant body.
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    split_top_level(&tokens).len()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes_and_visibility(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i);
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_top_level_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an optional discriminant and the separating comma.
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation.
+
+impl Item {
+    /// `<'a, T: serde::Serialize>` — the impl's generic declarations with the
+    /// trait bound added to every type parameter.
+    fn impl_generics(&self, bound: &str) -> String {
+        if self.generic_decls.is_empty() {
+            return String::new();
+        }
+        let params: Vec<String> = self
+            .generic_decls
+            .iter()
+            .map(|p| match p {
+                GenericParam::Lifetime(lt) => lt.clone(),
+                GenericParam::Type(name) => format!("{name}: {bound}"),
+            })
+            .collect();
+        format!("<{}>", params.join(", "))
+    }
+
+    /// `<'a, T>` — the type's generic arguments.
+    fn type_generics(&self) -> String {
+        if self.generic_decls.is_empty() {
+            return String::new();
+        }
+        let params: Vec<String> = self
+            .generic_decls
+            .iter()
+            .map(|p| match p {
+                GenericParam::Lifetime(lt) => lt.clone(),
+                GenericParam::Type(name) => name.clone(),
+            })
+            .collect();
+        format!("<{}>", params.join(", "))
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::UnitStruct => "::serde::Value::Null".to_string(),
+        Body::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", elems.join(", "))
+        }
+        Body::NamedStruct(fields) => gen_serialize_named_map(fields, "self."),
+        Body::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| gen_serialize_variant(name, v))
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl{} ::serde::Serialize for {name}{} {{\n\
+         fn serialize_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}",
+        item.impl_generics("::serde::Serialize"),
+        item.type_generics(),
+    )
+}
+
+/// `Value::Map(vec![("a", ser(&self.a)), ...])` for named fields accessed
+/// through `prefix` (`self.` for structs, empty for bound variant fields).
+fn gen_serialize_named_map(fields: &[String], prefix: &str) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{f}\"), \
+                 ::serde::Serialize::serialize_value(&{prefix}{f}))"
+            )
+        })
+        .collect();
+    format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+}
+
+fn gen_serialize_variant(enum_name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.kind {
+        VariantKind::Unit => format!(
+            "{enum_name}::{vname} => \
+             ::serde::Value::Str(::std::string::String::from(\"{vname}\")),"
+        ),
+        VariantKind::Tuple(1) => format!(
+            "{enum_name}::{vname}(f0) => ::serde::Value::Map(::std::vec![(\
+             ::std::string::String::from(\"{vname}\"), \
+             ::serde::Serialize::serialize_value(f0))]),"
+        ),
+        VariantKind::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+            let elems: Vec<String> = binds
+                .iter()
+                .map(|b| format!("::serde::Serialize::serialize_value({b})"))
+                .collect();
+            format!(
+                "{enum_name}::{vname}({}) => ::serde::Value::Map(::std::vec![(\
+                 ::std::string::String::from(\"{vname}\"), \
+                 ::serde::Value::Seq(::std::vec![{}]))]),",
+                binds.join(", "),
+                elems.join(", ")
+            )
+        }
+        VariantKind::Named(fields) => {
+            let map = gen_serialize_named_map(fields, "");
+            format!(
+                "{enum_name}::{vname} {{ {} }} => ::serde::Value::Map(::std::vec![(\
+                 ::std::string::String::from(\"{vname}\"), {map})]),",
+                fields.join(", ")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::UnitStruct => format!("{{ let _ = value; ::std::result::Result::Ok({name}) }}"),
+        Body::TupleStruct(n) => gen_deserialize_tuple(name, *n, "value"),
+        Body::NamedStruct(fields) => {
+            let ctor = gen_deserialize_named(name, fields, "entries");
+            format!(
+                "{{ let entries = value.as_map().ok_or_else(|| \
+                 ::serde::Error::msg(\"expected map for {name}\"))?; {ctor} }}"
+            )
+        }
+        Body::Enum(variants) => gen_deserialize_enum(name, variants),
+    };
+    format!(
+        "impl{} ::serde::Deserialize for {name}{} {{\n\
+         fn deserialize_value(value: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}",
+        item.impl_generics("::serde::Deserialize"),
+        item.type_generics(),
+    )
+}
+
+/// Builds `Ok(Ctor(de(&items[0])?, ...))` from a sequence value expression.
+fn gen_deserialize_tuple(ctor: &str, n: usize, value_expr: &str) -> String {
+    let args: Vec<String> = (0..n)
+        .map(|i| format!("::serde::Deserialize::deserialize_value(&items[{i}])?"))
+        .collect();
+    format!(
+        "{{ let items = {value_expr}.as_seq().ok_or_else(|| \
+         ::serde::Error::msg(\"expected sequence for {ctor}\"))?; \
+         if items.len() != {n} {{ return ::std::result::Result::Err(\
+         ::serde::Error::msg(\"wrong tuple arity for {ctor}\")); }} \
+         ::std::result::Result::Ok({ctor}({})) }}",
+        args.join(", ")
+    )
+}
+
+/// Builds `Ok(Name { a: de(get_field(entries, "a")?)?, ... })`.
+fn gen_deserialize_named(ctor: &str, fields: &[String], entries_expr: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::deserialize_value(\
+                 ::serde::get_field({entries_expr}, \"{f}\")?)?"
+            )
+        })
+        .collect();
+    format!(
+        "::std::result::Result::Ok({ctor} {{ {} }})",
+        inits.join(", ")
+    )
+}
+
+fn gen_deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.kind, VariantKind::Unit))
+        .map(|v| format!("\"{0}\" => ::std::result::Result::Ok({name}::{0}),", v.name))
+        .collect();
+    let data_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|v| {
+            let vname = &v.name;
+            match &v.kind {
+                VariantKind::Unit => None,
+                VariantKind::Tuple(1) => Some(format!(
+                    "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                     ::serde::Deserialize::deserialize_value(inner)?)),"
+                )),
+                VariantKind::Tuple(n) => Some(format!(
+                    "\"{vname}\" => {},",
+                    gen_deserialize_tuple(&format!("{name}::{vname}"), *n, "inner")
+                )),
+                VariantKind::Named(fields) => Some(format!(
+                    "\"{vname}\" => {{ let entries = inner.as_map().ok_or_else(|| \
+                     ::serde::Error::msg(\"expected map for {name}::{vname}\"))?; {} }},",
+                    gen_deserialize_named(&format!("{name}::{vname}"), fields, "entries")
+                )),
+            }
+        })
+        .collect();
+
+    let unit_match = if unit_arms.is_empty() {
+        String::new()
+    } else {
+        format!(
+            "if let ::serde::Value::Str(s) = value {{ \
+             return match s.as_str() {{ {} _ => ::std::result::Result::Err(\
+             ::serde::Error::msg(::std::format!(\"unknown variant `{{s}}` of {name}\"))) }}; }}",
+            unit_arms.join(" ")
+        )
+    };
+    let data_match = if data_arms.is_empty() {
+        format!(
+            "::std::result::Result::Err(::serde::Error::msg(\
+             \"expected a variant name string for {name}\"))"
+        )
+    } else {
+        format!(
+            "{{ let entries = value.as_map().ok_or_else(|| \
+             ::serde::Error::msg(\"expected variant map for {name}\"))?; \
+             if entries.len() != 1 {{ return ::std::result::Result::Err(\
+             ::serde::Error::msg(\"expected single-key variant map for {name}\")); }} \
+             let (key, inner) = &entries[0]; \
+             match key.as_str() {{ {} _ => ::std::result::Result::Err(\
+             ::serde::Error::msg(::std::format!(\"unknown variant `{{key}}` of {name}\"))) }} }}",
+            data_arms.join(" ")
+        )
+    };
+    format!("{{ {unit_match} {data_match} }}")
+}

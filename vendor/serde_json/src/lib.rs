@@ -1,0 +1,508 @@
+//! Offline stand-in for the subset of `serde_json` this workspace uses:
+//! [`to_string`], [`to_string_pretty`], [`from_str`], the [`json!`] object
+//! macro and a [`Value`] alias.
+//!
+//! Backed by the vendored `serde` [`Value`] data model. Output is fully
+//! deterministic: struct fields serialize in declaration order, `BTreeMap`s
+//! in key order and `HashMap`s sorted by key — a property the history-store
+//! determinism tests assert on. Floats are written with Rust's shortest
+//! round-trip formatting, so `from_str(to_string(x))` reproduces `x` exactly.
+//!
+//! Non-finite floats serialize as `null`, matching real serde_json.
+
+use std::fmt::Write as _;
+
+pub use serde::Value;
+use serde::{Deserialize, Serialize};
+
+/// Error type shared by serialization and parsing.
+pub type Error = serde::Error;
+
+/// Result alias mirroring `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serializes `value` as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.serialize_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` as pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.serialize_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.serialize_value()
+}
+
+/// Deserializes a value from a JSON string.
+pub fn from_str<T: Deserialize>(json: &str) -> Result<T> {
+    let mut parser = Parser {
+        bytes: json.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_whitespace();
+    let value = parser.parse_value()?;
+    parser.skip_whitespace();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error::msg(format!(
+            "trailing characters at offset {}",
+            parser.pos
+        )));
+    }
+    T::deserialize_value(&value)
+}
+
+/// Builds a [`Value`] from a JSON-shaped object literal whose values are
+/// arbitrary serializable Rust expressions (the subset of `serde_json::json!`
+/// the experiment binaries use).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($body:tt)* }) => {{
+        let mut entries = $crate::__new_map_entries();
+        $crate::json_object_entries!(entries; $($body)*);
+        $crate::Value::Map(entries)
+    }};
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Seq(::std::vec![$($crate::to_value(&$elem)),*])
+    };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+/// Internal: fresh entry accumulator for [`json!`]. Not public API.
+#[doc(hidden)]
+pub fn __new_map_entries() -> Vec<(String, Value)> {
+    Vec::new()
+}
+
+/// Internal: accumulates `"key": value` pairs for [`json!`]. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object_entries {
+    ($entries:ident;) => {};
+    ($entries:ident; $key:literal : { $($nested:tt)* } , $($rest:tt)*) => {
+        $entries.push(($key.to_string(), $crate::json!({ $($nested)* })));
+        $crate::json_object_entries!($entries; $($rest)*);
+    };
+    ($entries:ident; $key:literal : { $($nested:tt)* }) => {
+        $entries.push(($key.to_string(), $crate::json!({ $($nested)* })));
+    };
+    ($entries:ident; $key:literal : $value:expr , $($rest:tt)*) => {
+        $entries.push(($key.to_string(), $crate::to_value(&$value)));
+        $crate::json_object_entries!($entries; $($rest)*);
+    };
+    ($entries:ident; $key:literal : $value:expr) => {
+        $entries.push(($key.to_string(), $crate::to_value(&$value)));
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Writer.
+
+fn write_value(out: &mut String, value: &Value, indent: Option<usize>, depth: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::UInt(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::Float(f) => write_float(out, *f),
+        Value::Str(s) => write_string(out, s),
+        Value::Seq(items) => {
+            write_compound(out, indent, depth, '[', ']', items.len(), |out, i, d| {
+                write_value(out, &items[i], indent, d);
+            })
+        }
+        Value::Map(entries) => {
+            write_compound(out, indent, depth, '{', '}', entries.len(), |out, i, d| {
+                write_string(out, &entries[i].0);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, &entries[i].1, indent, d);
+            })
+        }
+    }
+}
+
+fn write_compound(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut write_item: impl FnMut(&mut String, usize, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(step) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(step * (depth + 1)));
+        }
+        write_item(out, i, depth + 1);
+    }
+    if let Some(step) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(step * depth));
+    }
+    out.push(close);
+}
+
+fn write_float(out: &mut String, f: f64) {
+    if !f.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    // `{:?}` is Rust's shortest round-trip representation; it always
+    // contains a `.`, an `e` or an `E`, so the parser reads it back as a
+    // float.
+    let _ = write!(out, "{f:?}");
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parser.
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_whitespace(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::msg(format!(
+                "expected `{}` at offset {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value> {
+        match self.peek() {
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            other => Err(Error::msg(format!(
+                "unexpected {:?} at offset {}",
+                other.map(|b| b as char),
+                self.pos
+            ))),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Seq(items));
+        }
+        loop {
+            self.skip_whitespace();
+            items.push(self.parse_value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                _ => {
+                    return Err(Error::msg(format!(
+                        "expected `,` or `]` at offset {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Map(entries));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.parse_string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            self.skip_whitespace();
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                _ => {
+                    return Err(Error::msg(format!(
+                        "expected `,` or `}}` at offset {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: run of plain bytes.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            s.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| Error::msg("invalid UTF-8 in string"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| Error::msg("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'/' => s.push('/'),
+                        b'n' => s.push('\n'),
+                        b'r' => s.push('\r'),
+                        b't' => s.push('\t'),
+                        b'b' => s.push('\u{0008}'),
+                        b'f' => s.push('\u{000C}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| Error::msg("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| Error::msg("invalid \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| Error::msg("invalid \\u escape"))?;
+                            self.pos += 4;
+                            s.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::msg("invalid \\u code point"))?,
+                            );
+                        }
+                        other => {
+                            return Err(Error::msg(format!("unknown escape `\\{}`", other as char)))
+                        }
+                    }
+                }
+                _ => return Err(Error::msg("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::msg("invalid number"))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| Error::msg(format!("invalid number `{text}`")))
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(Value::Int)
+                .map_err(|_| Error::msg(format!("invalid number `{text}`")))
+        } else {
+            text.parse::<u64>()
+                .map(Value::UInt)
+                .map_err(|_| Error::msg(format!("invalid number `{text}`")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_and_pretty_roundtrip() {
+        let value = Value::Map(vec![
+            (
+                "name".to_string(),
+                Value::Str("PREDIcT \"BRJ\"\n".to_string()),
+            ),
+            ("count".to_string(), Value::UInt(42)),
+            ("delta".to_string(), Value::Float(0.1)),
+            ("neg".to_string(), Value::Int(-7)),
+            ("flag".to_string(), Value::Bool(true)),
+            ("nothing".to_string(), Value::Null),
+            (
+                "seq".to_string(),
+                Value::Seq(vec![Value::UInt(1), Value::UInt(2)]),
+            ),
+            ("empty".to_string(), Value::Seq(Vec::new())),
+        ]);
+        for json in [
+            to_string(&value).unwrap(),
+            to_string_pretty(&value).unwrap(),
+        ] {
+            let back: Value = from_str(&json).unwrap();
+            assert_eq!(back, value);
+        }
+    }
+
+    #[test]
+    fn floats_roundtrip_exactly() {
+        for f in [
+            0.1f64,
+            1.0 / 3.0,
+            1e-300,
+            123_456_789.123_456_79,
+            -2.5e10,
+            1.0,
+        ] {
+            let json = to_string(&f).unwrap();
+            let back: f64 = from_str(&json).unwrap();
+            assert_eq!(back.to_bits(), f.to_bits(), "{json}");
+        }
+    }
+
+    #[test]
+    fn non_finite_floats_serialize_as_null() {
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
+    }
+
+    #[test]
+    fn pretty_output_is_indented() {
+        let v = json!({"a": 1u32, "b": {"c": true}});
+        let pretty = to_string_pretty(&v).unwrap();
+        assert_eq!(
+            pretty,
+            "{\n  \"a\": 1,\n  \"b\": {\n    \"c\": true\n  }\n}"
+        );
+    }
+
+    #[test]
+    fn json_macro_supports_nested_objects_and_exprs() {
+        fn by_ratio(r: f64) -> f64 {
+            r * 2.0
+        }
+        let points = vec![1u64, 2, 3];
+        let v = json!({
+            "workload": "PR",
+            "sample_ms": {"0.01": by_ratio(0.01), "0.1": by_ratio(0.1)},
+            "points": points,
+            "overhead_at_0.1": 0.25,
+        });
+        let Value::Map(entries) = &v else {
+            panic!("expected map")
+        };
+        assert_eq!(entries.len(), 4);
+        assert_eq!(entries[0].1, Value::Str("PR".to_string()));
+        assert_eq!(
+            entries[2].1,
+            Value::Seq(vec![Value::UInt(1), Value::UInt(2), Value::UInt(3)])
+        );
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(from_str::<Value>("{\"a\": }").is_err());
+        assert!(from_str::<Value>("[1, 2").is_err());
+        assert!(from_str::<Value>("12 34").is_err());
+        assert!(from_str::<u64>("\"str\"").is_err());
+    }
+}
