@@ -4,7 +4,7 @@
 //! growing number of hops — the "total number of professionals reachable
 //! within a few hops" workload the paper's introduction attributes to
 //! LinkedIn, and the `NH` column of Table 3. The classic distributed
-//! formulation (HADI / PEGASUS, reference [20] of the paper) gives every
+//! formulation (HADI / PEGASUS, reference \[20\] of the paper) gives every
 //! vertex a set of Flajolet–Martin bitstrings; each iteration a vertex ORs in
 //! its in-neighbors' bitstrings, so after `h` iterations the sketch encodes
 //! the size of the `h`-hop neighborhood. The run converges when the total

@@ -36,10 +36,24 @@ impl WorkloadRun {
 }
 
 /// An iterative-analytics workload PREDIcT can predict.
-pub trait Workload: Send + Sync {
+///
+/// Workloads are `Send + Sync + Debug`: predictions run concurrently behind
+/// shared references, and the `Debug` representation doubles as the default
+/// [`Workload::cache_token`] that keys cached prediction artifacts.
+pub trait Workload: Send + Sync + std::fmt::Debug {
     /// Short name used in reports (matches the paper's abbreviations where
     /// possible: PR, TOP-K, SC, CC, NH).
     fn name(&self) -> &'static str;
+
+    /// A token that uniquely identifies this workload *configuration* (name
+    /// plus every parameter that influences a run). Prediction sessions key
+    /// cached sample-run artifacts and trained cost models by this token, so
+    /// two workloads with equal tokens must behave identically on every
+    /// graph. The default uses the `Debug` representation, which covers all
+    /// parameters of the derive-`Debug` workloads in this crate.
+    fn cache_token(&self) -> String {
+        format!("{}#{:?}", self.name(), self)
+    }
 
     /// Whether the convergence threshold is tuned to the dataset size — the
     /// input to the default transform rule.

@@ -9,10 +9,11 @@ use predict_algorithms::{SemiClusteringParams, SemiClusteringWorkload};
 use predict_bench::{pct, prediction_sweep, HistoryMode, ResultTable, EXPERIMENT_SEED};
 use predict_core::{PredictorConfig, WorkerSelection};
 use predict_graph::datasets::Dataset;
-use predict_sampling::BiasedRandomJump;
+use predict_sampling::{BiasedRandomJump, Sampler};
+use std::sync::Arc;
 
 fn main() {
-    let sampler = BiasedRandomJump::default();
+    let sampler: Arc<dyn Sampler> = Arc::new(BiasedRandomJump::default());
     let ratios = [0.05, 0.1, 0.2];
     let datasets = [Dataset::Wikipedia, Dataset::Uk2002];
 
@@ -35,7 +36,7 @@ fn main() {
         let points = prediction_sweep(
             &datasets,
             &ratios,
-            &sampler,
+            Arc::clone(&sampler),
             HistoryMode::SampleRunsOnly,
             &|_g| {
                 Box::new(SemiClusteringWorkload::new(SemiClusteringParams {

@@ -10,10 +10,11 @@ use predict_algorithms::{TopKParams, TopKWorkload};
 use predict_bench::{pct, prediction_sweep, HistoryMode, ResultTable, EXPERIMENT_SEED};
 use predict_core::{ExtrapolationRule, PredictorConfig};
 use predict_graph::datasets::Dataset;
-use predict_sampling::BiasedRandomJump;
+use predict_sampling::{BiasedRandomJump, Sampler};
+use std::sync::Arc;
 
 fn main() {
-    let sampler = BiasedRandomJump::default();
+    let sampler: Arc<dyn Sampler> = Arc::new(BiasedRandomJump::default());
     let ratios = [0.05, 0.1, 0.2];
     let datasets = [Dataset::Wikipedia, Dataset::Uk2002];
 
@@ -37,7 +38,7 @@ fn main() {
         let points = prediction_sweep(
             &datasets,
             &ratios,
-            &sampler,
+            Arc::clone(&sampler),
             HistoryMode::SampleRunsOnly,
             &|_g| Box::new(TopKWorkload::new(TopKParams::new(5, 0.001), 0.01)),
             &move |ratio| {

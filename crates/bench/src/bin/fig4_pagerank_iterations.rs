@@ -13,17 +13,18 @@ use predict_bench::{
 };
 use predict_core::PredictorConfig;
 use predict_graph::datasets::Dataset;
-use predict_sampling::BiasedRandomJump;
+use predict_sampling::{BiasedRandomJump, Sampler};
+use std::sync::Arc;
 
 fn main() {
-    let sampler = BiasedRandomJump::default();
+    let sampler: Arc<dyn Sampler> = Arc::new(BiasedRandomJump::default());
     let mut all_points: Vec<(f64, Vec<PredictionPoint>)> = Vec::new();
 
     for &epsilon in &[0.01, 0.001] {
         let points = prediction_sweep(
             &Dataset::ALL,
             &PAPER_SAMPLING_RATIOS,
-            &sampler,
+            Arc::clone(&sampler),
             HistoryMode::SampleRunsOnly,
             &move |g| Box::new(PageRankWorkload::with_epsilon(epsilon, g.num_vertices())),
             &|ratio| PredictorConfig::single_ratio(ratio).with_seed(EXPERIMENT_SEED),

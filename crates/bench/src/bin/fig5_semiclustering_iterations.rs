@@ -13,10 +13,11 @@ use predict_bench::{
 };
 use predict_core::PredictorConfig;
 use predict_graph::datasets::Dataset;
-use predict_sampling::BiasedRandomJump;
+use predict_sampling::{BiasedRandomJump, Sampler};
+use std::sync::Arc;
 
 fn main() {
-    let sampler = BiasedRandomJump::default();
+    let sampler: Arc<dyn Sampler> = Arc::new(BiasedRandomJump::default());
     let datasets = [Dataset::LiveJournal, Dataset::Wikipedia, Dataset::Uk2002];
     let mut all_points: Vec<(f64, Vec<PredictionPoint>)> = Vec::new();
 
@@ -24,7 +25,7 @@ fn main() {
         let points = prediction_sweep(
             &datasets,
             &PAPER_SAMPLING_RATIOS,
-            &sampler,
+            Arc::clone(&sampler),
             HistoryMode::SampleRunsOnly,
             &move |_g| {
                 Box::new(SemiClusteringWorkload::new(SemiClusteringParams {

@@ -12,16 +12,17 @@ use predict_bench::{
 };
 use predict_core::PredictorConfig;
 use predict_graph::datasets::Dataset;
-use predict_sampling::BiasedRandomJump;
+use predict_sampling::{BiasedRandomJump, Sampler};
+use std::sync::Arc;
 
 fn main() {
-    let sampler = BiasedRandomJump::default();
+    let sampler: Arc<dyn Sampler> = Arc::new(BiasedRandomJump::default());
     let datasets = [Dataset::LiveJournal, Dataset::Wikipedia, Dataset::Uk2002];
 
     let points = prediction_sweep(
         &datasets,
         &PAPER_SAMPLING_RATIOS,
-        &sampler,
+        Arc::clone(&sampler),
         HistoryMode::SampleRunsOnly,
         &|_g| Box::new(TopKWorkload::new(TopKParams::new(5, 0.001), 0.01)),
         &|ratio| PredictorConfig::single_ratio(ratio).with_seed(EXPERIMENT_SEED),

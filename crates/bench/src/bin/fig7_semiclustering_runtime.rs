@@ -13,15 +13,16 @@ use predict_bench::{
 };
 use predict_core::PredictorConfig;
 use predict_graph::datasets::Dataset;
-use predict_sampling::BiasedRandomJump;
+use predict_sampling::{BiasedRandomJump, Sampler};
+use std::sync::Arc;
 
 fn sweep(history: HistoryMode) -> Vec<PredictionPoint> {
-    let sampler = BiasedRandomJump::default();
+    let sampler: Arc<dyn Sampler> = Arc::new(BiasedRandomJump::default());
     let datasets = [Dataset::LiveJournal, Dataset::Wikipedia, Dataset::Uk2002];
     prediction_sweep(
         &datasets,
         &PAPER_SAMPLING_RATIOS,
-        &sampler,
+        Arc::clone(&sampler),
         history,
         &|_g| {
             Box::new(SemiClusteringWorkload::new(SemiClusteringParams {

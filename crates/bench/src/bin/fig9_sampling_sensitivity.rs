@@ -16,9 +16,10 @@ use predict_core::PredictorConfig;
 use predict_graph::datasets::Dataset;
 use predict_graph::CsrGraph;
 use predict_sampling::{BiasedRandomJump, Mhrw, RandomJump, Sampler};
+use std::sync::Arc;
 
 fn sweep(
-    sampler: &dyn Sampler,
+    sampler: Arc<dyn Sampler>,
     make_workload: &dyn Fn(&CsrGraph) -> Box<dyn Workload>,
 ) -> Vec<PredictionPoint> {
     prediction_sweep(
@@ -32,10 +33,11 @@ fn sweep(
 }
 
 fn main() {
-    let brj = BiasedRandomJump::default();
-    let rj = RandomJump::default();
-    let mhrw = Mhrw::default();
-    let samplers: [(&str, &dyn Sampler); 3] = [("BRJ", &brj), ("RJ", &rj), ("MHRW", &mhrw)];
+    let samplers: [(&str, Arc<dyn Sampler>); 3] = [
+        ("BRJ", Arc::new(BiasedRandomJump::default())),
+        ("RJ", Arc::new(RandomJump::default())),
+        ("MHRW", Arc::new(Mhrw::default())),
+    ];
 
     let semi_clustering = |_: &CsrGraph| -> Box<dyn Workload> {
         Box::new(SemiClusteringWorkload::new(SemiClusteringParams {
@@ -66,8 +68,8 @@ fn main() {
         ),
         ("TOP-K", &topk as &dyn Fn(&CsrGraph) -> Box<dyn Workload>),
     ] {
-        for (sampler_name, sampler) in samplers {
-            let points = sweep(sampler, make_workload);
+        for (sampler_name, sampler) in &samplers {
+            let points = sweep(Arc::clone(sampler), make_workload);
             for p in &points {
                 table.push_row(vec![
                     workload_name.to_string(),

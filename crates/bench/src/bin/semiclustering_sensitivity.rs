@@ -9,10 +9,11 @@ use predict_algorithms::{SemiClusteringParams, SemiClusteringWorkload};
 use predict_bench::{pct, prediction_sweep, HistoryMode, ResultTable, EXPERIMENT_SEED};
 use predict_core::PredictorConfig;
 use predict_graph::datasets::Dataset;
-use predict_sampling::BiasedRandomJump;
+use predict_sampling::{BiasedRandomJump, Sampler};
+use std::sync::Arc;
 
 fn main() {
-    let sampler = BiasedRandomJump::default();
+    let sampler: Arc<dyn Sampler> = Arc::new(BiasedRandomJump::default());
     let ratios = [0.05, 0.1, 0.15, 0.2, 0.25];
 
     let variants: Vec<(&str, SemiClusteringParams)> = vec![
@@ -50,7 +51,7 @@ fn main() {
         let points = prediction_sweep(
             &[Dataset::LiveJournal],
             &ratios,
-            &sampler,
+            Arc::clone(&sampler),
             HistoryMode::SampleRunsOnly,
             &move |_g| Box::new(SemiClusteringWorkload::new(params)),
             &|ratio| PredictorConfig::single_ratio(ratio).with_seed(EXPERIMENT_SEED),

@@ -14,10 +14,11 @@ use predict_bench::{ms, prediction_sweep, HistoryMode, ResultTable, EXPERIMENT_S
 use predict_core::PredictorConfig;
 use predict_graph::datasets::Dataset;
 use predict_graph::CsrGraph;
-use predict_sampling::BiasedRandomJump;
+use predict_sampling::{BiasedRandomJump, Sampler};
+use std::sync::Arc;
 
 fn main() {
-    let sampler = BiasedRandomJump::default();
+    let sampler: Arc<dyn Sampler> = Arc::new(BiasedRandomJump::default());
     let ratios = [0.01, 0.1, 0.2];
 
     type WorkloadFactory = Box<dyn Fn(&CsrGraph) -> Box<dyn Workload>>;
@@ -74,7 +75,7 @@ fn main() {
         let points = prediction_sweep(
             &[*dataset],
             &ratios,
-            &sampler,
+            Arc::clone(&sampler),
             HistoryMode::SampleRunsOnly,
             factory.as_ref(),
             &|ratio| PredictorConfig::single_ratio(ratio).with_seed(EXPERIMENT_SEED),

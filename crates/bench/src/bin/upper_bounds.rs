@@ -7,21 +7,29 @@
 //! reports the bound, the actual iteration count on every dataset analog, and
 //! PREDIcT's estimate from a 10% BRJ sample.
 
-use predict_algorithms::{PageRankWorkload, Workload};
+use predict_algorithms::PageRankWorkload;
 use predict_bench::{
     experiment_engine, experiment_scale, load_dataset, ResultTable, EXPERIMENT_SEED,
 };
-use predict_core::{
-    bounds::pagerank_iteration_upper_bound, HistoryStore, Predictor, PredictorConfig,
-};
+use predict_core::{bounds::pagerank_iteration_upper_bound, PredictService, PredictorConfig};
 use predict_graph::datasets::Dataset;
 use predict_sampling::BiasedRandomJump;
+use std::sync::Arc;
 
 fn main() {
     let scale = experiment_scale();
-    let engine = experiment_engine();
-    let sampler = BiasedRandomJump::default();
+    let service = PredictService::new(experiment_engine(), Arc::new(BiasedRandomJump::default()));
     let damping = 0.85;
+
+    // One cached session per dataset: the 10% sample is drawn once and the
+    // actual runs are cached per workload configuration.
+    let sessions: Vec<_> = Dataset::ALL
+        .iter()
+        .map(|&dataset| {
+            let graph = Arc::new(load_dataset(dataset, scale));
+            (dataset, service.session_for(dataset.prefix(), &graph))
+        })
+        .collect();
 
     let mut table = ResultTable::new(
         "Upper bound estimates: analytical bound vs actual vs PREDIcT (PageRank, d = 0.85)",
@@ -37,17 +45,15 @@ fn main() {
     let mut payload = Vec::new();
     for &epsilon in &[0.1, 0.01, 0.001] {
         let bound = pagerank_iteration_upper_bound(epsilon, damping);
-        for &dataset in &Dataset::ALL {
-            let graph = load_dataset(dataset, scale);
-            let workload = PageRankWorkload::with_epsilon(epsilon, graph.num_vertices());
-            let actual = workload.run(&engine, &graph);
-            let predictor = Predictor::new(
-                &engine,
-                &sampler,
-                PredictorConfig::single_ratio(0.1).with_seed(EXPERIMENT_SEED),
-            );
-            let predicted = predictor
-                .predict(&workload, &graph, &HistoryStore::new(), dataset.prefix())
+        for (dataset, session) in &sessions {
+            let dataset = *dataset;
+            let workload = PageRankWorkload::with_epsilon(epsilon, session.graph().num_vertices());
+            let actual = session.actual_run(&workload);
+            let predicted = session
+                .predict_with(
+                    &workload,
+                    &PredictorConfig::single_ratio(0.1).with_seed(EXPERIMENT_SEED),
+                )
                 .map(|p| p.predicted_iterations)
                 .unwrap_or(0);
             table.push_row(vec![

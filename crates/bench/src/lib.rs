@@ -16,14 +16,14 @@
 use predict_algorithms::{Workload, WorkloadRun};
 use predict_bsp::{BspConfig, BspEngine};
 use predict_core::{
-    observations_from_profile, HistoryStore, Prediction, Predictor, PredictorConfig,
-    WorkerSelection,
+    observations_from_profile, PredictService, Prediction, PredictorConfig, WorkerSelection,
 };
 use predict_graph::datasets::{Dataset, DatasetConfig, DatasetScale};
 use predict_graph::CsrGraph;
 use predict_sampling::Sampler;
 use serde::Serialize;
 use std::path::PathBuf;
+use std::sync::Arc;
 
 /// Sampling ratios swept by the paper's figures (x-axis of Figures 4–9).
 pub const PAPER_SAMPLING_RATIOS: [f64; 6] = [0.01, 0.05, 0.1, 0.15, 0.2, 0.25];
@@ -143,43 +143,48 @@ impl PredictionPoint {
 /// Runs a full prediction sweep: for every dataset, execute the actual run
 /// once, then produce one PREDIcT prediction per sampling ratio.
 ///
+/// The sweep goes through a [`PredictService`]: one cached
+/// [`predict_core::PredictionSession`] per dataset executes and caches the
+/// actual run, holds the leave-one-out history of the other datasets, and
+/// shares sampling artifacts between sweep points with a common `(ratio,
+/// seed)` draw. Outputs are identical to predicting each point with a fresh
+/// predictor — every stage is deterministic — just without redundant engine
+/// invocations.
+///
 /// `make_workload` builds the workload for a given graph (the threshold of
 /// PageRank-style workloads depends on the graph size); `make_config` builds
 /// the predictor configuration for a given sampling ratio.
 pub fn prediction_sweep(
     datasets: &[Dataset],
     ratios: &[f64],
-    sampler: &dyn Sampler,
+    sampler: Arc<dyn Sampler>,
     history_mode: HistoryMode,
     make_workload: &dyn Fn(&CsrGraph) -> Box<dyn Workload>,
     make_config: &dyn Fn(f64) -> PredictorConfig,
 ) -> Vec<PredictionPoint> {
     let scale = experiment_scale();
-    let engine = experiment_engine();
+    let service = PredictService::new(experiment_engine(), sampler);
 
-    // Actual runs, executed once per dataset.
-    let mut graphs = Vec::new();
+    // Sessions and actual runs, one per dataset. The actual run is executed
+    // through the session so later evaluations of the same workload reuse it.
+    let mut sessions = Vec::new();
     let mut actual_runs = Vec::new();
     for &dataset in datasets {
-        let graph = load_dataset(dataset, scale);
-        let workload = make_workload(&graph);
+        let graph = Arc::new(load_dataset(dataset, scale));
+        let session = service.session_for(dataset.prefix(), &graph);
+        let workload = make_workload(session.graph());
         eprintln!("[actual run] {} on {}", workload.name(), dataset.prefix());
-        let run = workload.run(&engine, &graph);
-        graphs.push(graph);
-        actual_runs.push(run);
+        actual_runs.push(session.actual_run(workload.as_ref()));
+        sessions.push(session);
     }
 
-    let mut points = Vec::new();
-    for (i, &dataset) in datasets.iter().enumerate() {
-        let graph = &graphs[i];
-        let workload = make_workload(graph);
-
-        // History: the actual runs of every *other* dataset.
-        let mut history = HistoryStore::new();
-        if history_mode == HistoryMode::WithHistory {
+    // History: the actual runs of every *other* dataset.
+    if history_mode == HistoryMode::WithHistory {
+        for (i, session) in sessions.iter().enumerate() {
+            let workload = make_workload(session.graph());
             for (j, &other) in datasets.iter().enumerate() {
                 if i != j {
-                    history.record(
+                    session.record_history(
                         workload.name(),
                         other.prefix(),
                         actual_runs[j].profile.clone(),
@@ -187,17 +192,21 @@ pub fn prediction_sweep(
                 }
             }
         }
+    }
 
+    let mut points = Vec::new();
+    for (i, &dataset) in datasets.iter().enumerate() {
+        let session = &sessions[i];
+        let workload = make_workload(session.graph());
         for &ratio in ratios {
             let config = make_config(ratio);
-            let predictor = Predictor::new(&engine, sampler, config);
             eprintln!(
                 "[prediction] {} on {} at ratio {:.2}",
                 workload.name(),
                 dataset.prefix(),
                 ratio
             );
-            match predictor.predict(workload.as_ref(), graph, &history, dataset.prefix()) {
+            match session.predict_with(workload.as_ref(), &config) {
                 Ok(prediction) => points.push(PredictionPoint::from_prediction(
                     dataset,
                     ratio,
@@ -353,11 +362,10 @@ mod tests {
         // with a single dataset and ratio, so the harness itself is covered by
         // `cargo test`.
         std::env::set_var("PREDICT_SCALE", "small");
-        let sampler = BiasedRandomJump::default();
         let points = prediction_sweep(
             &[Dataset::Wikipedia],
             &[0.1],
-            &sampler,
+            Arc::new(BiasedRandomJump::default()),
             HistoryMode::SampleRunsOnly,
             &|g| Box::new(PageRankWorkload::with_epsilon(0.01, g.num_vertices())),
             &|ratio| PredictorConfig::single_ratio(ratio).with_seed(EXPERIMENT_SEED),

@@ -16,6 +16,8 @@ use crate::program::VertexProgram;
 use crate::worker::run_worker_superstep;
 use predict_graph::CsrGraph;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Why a BSP run terminated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -49,20 +51,38 @@ impl<V> BspRunResult<V> {
 }
 
 /// A Giraph-like BSP execution engine with a simulated cluster clock.
+///
+/// The engine keeps a cumulative count of executed runs behind an [`Arc`], so
+/// clones share the same counter. The prediction layer relies on this to
+/// measure how many engine invocations a cached prediction session actually
+/// performed (its amortization guarantee), and it is cheap enough to maintain
+/// unconditionally.
 #[derive(Debug, Clone, Default)]
 pub struct BspEngine {
     config: BspConfig,
+    /// Number of [`BspEngine::run`] invocations, shared across clones.
+    runs: Arc<AtomicU64>,
 }
 
 impl BspEngine {
     /// Creates an engine with the given configuration.
     pub fn new(config: BspConfig) -> Self {
-        Self { config }
+        Self {
+            config,
+            runs: Arc::new(AtomicU64::new(0)),
+        }
     }
 
     /// The engine's configuration.
     pub fn config(&self) -> &BspConfig {
         &self.config
+    }
+
+    /// Total number of runs this engine (and every clone sharing its counter)
+    /// has executed. Used by tests and benchmarks to assert how many engine
+    /// invocations a prediction-session cache saved.
+    pub fn runs_executed(&self) -> u64 {
+        self.runs.load(Ordering::Relaxed)
     }
 
     /// Executes `program` on `graph` until convergence, full halt or the
@@ -73,6 +93,7 @@ impl BspEngine {
         graph: &CsrGraph,
         program: &P,
     ) -> BspRunResult<P::VertexValue> {
+        self.runs.fetch_add(1, Ordering::Relaxed);
         let n = graph.num_vertices();
         let num_workers = self.config.num_workers.max(1);
         let partitioning = Partitioning::new(graph, num_workers, self.config.partition_strategy);

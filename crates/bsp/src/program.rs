@@ -4,7 +4,7 @@
 //! paper): a user-defined [`VertexProgram::compute`] function is executed for
 //! every active vertex in every superstep; vertices exchange data only through
 //! messages delivered in the next superstep, contribute to global
-//! [`Aggregates`](crate::aggregator::Aggregates), and may vote to halt. The
+//! [`Aggregates`], and may vote to halt. The
 //! master evaluates [`VertexProgram::master_halt`] — the algorithm's global
 //! convergence condition — after every superstep.
 

@@ -1,6 +1,6 @@
 //! Incremental graph construction.
 //!
-//! [`GraphBuilder`] wraps an [`EdgeList`](crate::EdgeList) with convenience
+//! [`GraphBuilder`] wraps an [`EdgeList`] with convenience
 //! methods for incremental construction (deduplication, undirected mirroring,
 //! self-loop policy) and freezes the result into a [`CsrGraph`].
 

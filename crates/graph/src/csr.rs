@@ -8,6 +8,7 @@
 
 use crate::edge_list::EdgeList;
 use crate::types::{Edge, VertexId};
+use serde::Serialize;
 
 /// Immutable directed graph in compressed-sparse-row form.
 ///
@@ -15,7 +16,7 @@ use crate::types::{Edge, VertexId};
 /// `v` are `out_offsets[v]..out_offsets[v + 1]` into `out_targets`; the
 /// in-adjacency is stored symmetrically. Edge weights, when present, are
 /// aligned with `out_targets`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize)]
 pub struct CsrGraph {
     num_vertices: usize,
     out_offsets: Vec<usize>,

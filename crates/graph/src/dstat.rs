@@ -2,7 +2,7 @@
 //! graph it was drawn from.
 //!
 //! Leskovec & Faloutsos ("Sampling from Large Graphs", KDD 2006 — reference
-//! [23] of the paper) evaluate sampling techniques by the D-statistic between
+//! \[23\] of the paper) evaluate sampling techniques by the D-statistic between
 //! the property distributions of the sample and the full graph: the smaller
 //! the statistic, the better the sample preserves the property. The paper
 //! selects Random Jump (and derives Biased Random Jump) based on those scores.

@@ -1,8 +1,8 @@
 //! A mutable list-of-edges graph representation.
 //!
 //! [`EdgeList`] is the intermediate representation produced by generators,
-//! readers and samplers before the graph is frozen into a [`CsrGraph`]
-//! (`crate::csr::CsrGraph`). It supports deduplication, self-loop removal and
+//! readers and samplers before the graph is frozen into a
+//! [`CsrGraph`](crate::csr::CsrGraph). It supports deduplication, self-loop removal and
 //! conversion to an undirected graph (by mirroring every edge), which is how
 //! the paper feeds directed web/social graphs to algorithms that operate on
 //! undirected graphs (semi-clustering).

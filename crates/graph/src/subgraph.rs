@@ -11,10 +11,11 @@
 use crate::csr::CsrGraph;
 use crate::edge_list::EdgeList;
 use crate::types::VertexId;
+use serde::Serialize;
 
 /// Mapping between the dense vertex ids of an induced subgraph and the vertex
 /// ids of the graph it was extracted from.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
 pub struct SubgraphMapping {
     /// `to_original[new_id] = original_id`.
     to_original: Vec<VertexId>,

@@ -1,0 +1,403 @@
+//! First-class artifacts of the decomposed prediction pipeline.
+//!
+//! A prediction is assembled from three expensive intermediate products, each
+//! of which is independently constructible, serializable and reusable across
+//! predictions:
+//!
+//! 1. [`SampleArtifact`] — the sampled graph with its achieved ratio and full
+//!    seed provenance (stage 1, keyed by [`SampleKey`]);
+//! 2. [`SampleRunArtifact`] — the profile of the transformed workload
+//!    executed on a sample graph (stage 2, keyed by [`RunKey`]);
+//! 3. [`TrainedModel`] — a cost model plus the [`TrainingProvenance`]
+//!    describing what it was trained on (stage 3, keyed by [`ModelKey`]).
+//!
+//! [`crate::PredictionSession`] caches all three so repeated predictions on
+//! one dataset — the scheduler pattern the paper targets — amortize the
+//! sample runs, which dominate prediction cost. The keys capture exactly the
+//! inputs that influence each stage: sampling is deterministic in
+//! `(sampler, ratio, seed)`, a sample run additionally depends on the
+//! workload configuration and the transform rule, and a trained model
+//! depends on the whole predictor configuration plus the history version.
+
+use crate::cost_model::CostModel;
+use crate::critical_path::{observations_from_profile, WorkerSelection};
+use crate::error::PredictError;
+use crate::extrapolator::Extrapolator;
+use crate::features::IterationObservation;
+use crate::transform::TransformFunction;
+use predict_algorithms::Workload;
+use predict_bsp::{BspEngine, HaltReason, RunProfile};
+use predict_graph::CsrGraph;
+use predict_sampling::{GraphSample, Sampler};
+use serde::Serialize;
+use std::hash::{Hash, Hasher};
+
+/// Cache key of a sampling-stage artifact: sampling is deterministic in the
+/// `(technique, ratio, seed)` triple, so two draws with equal keys produce
+/// identical samples. The ratio is stored by its bit pattern so the key is
+/// hashable and exact (no epsilon comparisons).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize)]
+pub struct SampleKey {
+    sampler: String,
+    ratio_bits: u64,
+    seed: u64,
+}
+
+impl SampleKey {
+    /// Builds the key for a draw of `sampler` at `ratio` with `seed`.
+    pub fn new(sampler: &str, ratio: f64, seed: u64) -> Self {
+        Self {
+            sampler: sampler.to_string(),
+            ratio_bits: ratio.to_bits(),
+            seed,
+        }
+    }
+
+    /// Name of the sampling technique.
+    pub fn sampler(&self) -> &str {
+        &self.sampler
+    }
+
+    /// The requested sampling ratio.
+    pub fn ratio(&self) -> f64 {
+        f64::from_bits(self.ratio_bits)
+    }
+
+    /// The seed that drove the sampler.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+/// Stage-1 artifact: a drawn sample of the bound dataset, with enough
+/// provenance to rebuild the extrapolation factors without the full graph.
+#[derive(Debug, Clone, Serialize)]
+pub struct SampleArtifact {
+    /// The `(sampler, ratio, seed)` triple that produced this artifact.
+    pub key: SampleKey,
+    /// The sample itself: induced subgraph, id mapping and achieved ratio.
+    pub sample: GraphSample,
+    /// Vertex count of the full graph the sample was drawn from.
+    pub full_vertices: usize,
+    /// Edge count of the full graph the sample was drawn from.
+    pub full_edges: usize,
+}
+
+impl SampleArtifact {
+    /// Draws a sample of `graph`, failing with [`PredictError::EmptySample`]
+    /// when the induced subgraph has no vertices or edges.
+    pub fn draw(
+        sampler: &dyn Sampler,
+        graph: &CsrGraph,
+        ratio: f64,
+        seed: u64,
+    ) -> Result<Self, PredictError> {
+        let sample = sampler.sample(graph, ratio, seed);
+        if sample.graph.num_vertices() == 0 || sample.graph.num_edges() == 0 {
+            return Err(PredictError::EmptySample {
+                technique: sampler.name().to_string(),
+                ratio,
+                seed,
+            });
+        }
+        Ok(Self {
+            key: SampleKey::new(sampler.name(), ratio, seed),
+            full_vertices: graph.num_vertices(),
+            full_edges: graph.num_edges(),
+            sample,
+        })
+    }
+
+    /// The ratio the sampler actually achieved.
+    pub fn achieved_ratio(&self) -> f64 {
+        self.sample.achieved_ratio
+    }
+
+    /// The achieved ratio clamped into `(0, 1]`, the domain the transform
+    /// function accepts.
+    pub fn clamped_ratio(&self) -> f64 {
+        self.sample.achieved_ratio.clamp(f64::MIN_POSITIVE, 1.0)
+    }
+
+    /// The extrapolation factors from this sample to the full graph.
+    pub fn extrapolator(&self) -> Extrapolator {
+        Extrapolator::from_counts(
+            self.full_vertices,
+            self.full_edges,
+            self.sample.graph.num_vertices(),
+            self.sample.graph.num_edges(),
+        )
+    }
+}
+
+/// Cache key of a sample-run artifact: the sample it ran on, the workload
+/// configuration (via [`Workload::cache_token`]) and the transform rule that
+/// rescaled the convergence threshold.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RunKey {
+    /// Key of the sample graph the run executed on.
+    pub sample: SampleKey,
+    /// The workload's [`Workload::cache_token`].
+    pub workload: String,
+    /// Debug rendering of the transform function (exact: rules are plain
+    /// enums over f64 parameters).
+    pub transform: String,
+}
+
+impl RunKey {
+    /// Builds the key for `workload` run on the sample identified by
+    /// `sample` under `transform`.
+    pub fn new(sample: &SampleKey, workload: &dyn Workload, transform: TransformFunction) -> Self {
+        Self {
+            sample: sample.clone(),
+            workload: workload.cache_token(),
+            transform: format!("{transform:?}"),
+        }
+    }
+}
+
+/// Stage-2 artifact: the profile of one transformed workload execution on a
+/// sample graph — the "sample run" the paper's methodology revolves around.
+#[derive(Debug, Clone, Serialize)]
+pub struct SampleRunArtifact {
+    /// Key of the sample the run executed on.
+    pub sample_key: SampleKey,
+    /// The workload's cache token.
+    pub workload: String,
+    /// The transformed convergence threshold the sample run used.
+    pub transformed_threshold: f64,
+    /// Full profile of the run.
+    pub profile: RunProfile,
+    /// Why the run terminated.
+    pub halt_reason: HaltReason,
+}
+
+impl SampleRunArtifact {
+    /// Executes `workload` on the sample graph with its threshold rescaled by
+    /// `transform` at the sample's achieved ratio, profiling the run.
+    pub fn execute(
+        engine: &BspEngine,
+        workload: &dyn Workload,
+        transform: TransformFunction,
+        sample: &SampleArtifact,
+    ) -> Self {
+        let ratio = sample.clamped_ratio();
+        let sample_workload = transform.apply(workload, ratio);
+        let run = sample_workload.run(engine, &sample.sample.graph);
+        Self {
+            sample_key: sample.key.clone(),
+            workload: workload.cache_token(),
+            transformed_threshold: sample_workload.threshold(),
+            profile: run.profile,
+            halt_reason: run.halt_reason,
+        }
+    }
+
+    /// Number of iterations (supersteps) the run executed.
+    pub fn iterations(&self) -> usize {
+        self.profile.num_iterations()
+    }
+
+    /// Per-iteration observations under the given worker selection. Derived
+    /// on demand so one cached profile serves every selection strategy.
+    pub fn observations(&self, selection: WorkerSelection) -> Vec<IterationObservation> {
+        observations_from_profile(&self.profile, selection)
+    }
+}
+
+/// What a [`TrainedModel`] was trained on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum TrainingSource {
+    /// Sample runs at the configured training ratios only.
+    SampleRuns,
+    /// Sample runs plus historical actual runs on other datasets.
+    SampleRunsWithHistory,
+    /// Every training ratio yielded an empty sample and no history was
+    /// available, so the model fell back to the extrapolation sample run
+    /// itself. Predictions from such a model extrapolate from the very data
+    /// the model was fit on; [`crate::PredictorConfig::strict_training`]
+    /// turns this case into [`PredictError::InsufficientTraining`] instead.
+    ExtrapolationSampleOnly,
+}
+
+/// Provenance of a trained cost model: where its training rows came from.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TrainingProvenance {
+    /// Which data sources contributed training rows.
+    pub source: TrainingSource,
+    /// Rows contributed by sample runs (including the fallback case).
+    pub sample_observations: usize,
+    /// Rows contributed by historical actual runs.
+    pub history_observations: usize,
+    /// Version of the history store the model was trained against.
+    pub history_version: u64,
+    /// The training ratios that were configured (not all necessarily yielded
+    /// a non-empty sample).
+    pub training_ratios: Vec<f64>,
+}
+
+/// Stage-3 artifact: a trained cost model plus its training provenance.
+#[derive(Debug, Clone, Serialize)]
+pub struct TrainedModel {
+    /// The fitted cost model.
+    pub cost_model: CostModel,
+    /// What the model was trained on.
+    pub provenance: TrainingProvenance,
+}
+
+impl TrainedModel {
+    /// True when the model saw no training data beyond the extrapolation
+    /// sample run (the silent-fallback case surfaced by provenance).
+    pub fn is_sample_only(&self) -> bool {
+        self.provenance.source == TrainingSource::ExtrapolationSampleOnly
+    }
+}
+
+/// Cache key of a trained model: workload configuration, the fingerprint of
+/// the full predictor configuration, and the history version the training
+/// set was assembled against.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ModelKey {
+    /// The workload's [`Workload::cache_token`].
+    pub workload: String,
+    /// Fingerprint of the predictor configuration (see
+    /// [`crate::PredictorConfig::fingerprint`]).
+    pub config_fingerprint: u64,
+    /// Version of the session's history store.
+    pub history_version: u64,
+}
+
+/// Stable FNV-1a hash used for configuration fingerprints — deterministic
+/// across processes, unlike `DefaultHasher`'s unspecified algorithm.
+pub(crate) struct Fnv1a(u64);
+
+impl Fnv1a {
+    pub(crate) fn new() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for Fnv1a {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+}
+
+/// Fingerprints any hashable value with the crate's stable hasher.
+pub(crate) fn stable_fingerprint<T: Hash + ?Sized>(value: &T) -> u64 {
+    let mut hasher = Fnv1a::new();
+    value.hash(&mut hasher);
+    Hasher::finish(&hasher)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use predict_algorithms::PageRankWorkload;
+    use predict_bsp::BspConfig;
+    use predict_graph::generators::{generate_rmat, RmatConfig};
+    use predict_sampling::BiasedRandomJump;
+
+    fn graph() -> CsrGraph {
+        generate_rmat(&RmatConfig::new(9, 6).with_seed(3))
+    }
+
+    #[test]
+    fn sample_keys_are_exact_in_ratio_and_seed() {
+        let a = SampleKey::new("BRJ", 0.1, 7);
+        let b = SampleKey::new("BRJ", 0.1, 7);
+        assert_eq!(a, b);
+        assert_ne!(a, SampleKey::new("RJ", 0.1, 7));
+        assert_ne!(a, SampleKey::new("BRJ", 0.2, 7));
+        assert_ne!(a, SampleKey::new("BRJ", 0.1, 8));
+        assert_eq!(a.ratio(), 0.1);
+        assert_eq!(a.seed(), 7);
+        assert_eq!(a.sampler(), "BRJ");
+    }
+
+    #[test]
+    fn draw_produces_reusable_artifacts() {
+        let g = graph();
+        let sampler = BiasedRandomJump::default();
+        let a = SampleArtifact::draw(&sampler, &g, 0.2, 11).unwrap();
+        assert!(a.sample.graph.num_vertices() > 0);
+        assert!(a.achieved_ratio() > 0.0 && a.achieved_ratio() <= 1.0);
+        assert_eq!(a.full_vertices, g.num_vertices());
+        let e = a.extrapolator();
+        assert!(e.vertex_factor > 1.0 && e.edge_factor >= 1.0);
+        // Identical draw parameters produce an identical artifact.
+        let b = SampleArtifact::draw(&sampler, &g, 0.2, 11).unwrap();
+        assert_eq!(a.key, b.key);
+        assert_eq!(a.achieved_ratio(), b.achieved_ratio());
+    }
+
+    #[test]
+    fn empty_draw_is_an_error_with_provenance() {
+        let g = CsrGraph::from_edges(0, &[]);
+        let sampler = BiasedRandomJump::default();
+        let err = SampleArtifact::draw(&sampler, &g, 0.5, 3).unwrap_err();
+        match err {
+            PredictError::EmptySample {
+                technique,
+                ratio,
+                seed,
+            } => {
+                assert_eq!(technique, "BRJ");
+                assert_eq!(ratio, 0.5);
+                assert_eq!(seed, 3);
+            }
+            other => panic!("expected EmptySample, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sample_run_artifact_profiles_the_transformed_workload() {
+        let g = graph();
+        let sampler = BiasedRandomJump::default();
+        let engine = BspEngine::new(BspConfig::with_workers(4));
+        let workload = PageRankWorkload::with_epsilon(0.01, g.num_vertices());
+        let sample = SampleArtifact::draw(&sampler, &g, 0.2, 5).unwrap();
+        let transform = TransformFunction::default_for(workload.convergence());
+        let run = SampleRunArtifact::execute(&engine, &workload, transform, &sample);
+        assert!(run.iterations() >= 2);
+        assert!(run.transformed_threshold > workload.threshold());
+        assert_eq!(run.sample_key, sample.key);
+        assert!(!run.observations(WorkerSelection::SlowestWorker).is_empty());
+    }
+
+    #[test]
+    fn run_keys_distinguish_workload_configurations() {
+        let g = graph();
+        let sampler = BiasedRandomJump::default();
+        let sample = SampleArtifact::draw(&sampler, &g, 0.2, 5).unwrap();
+        let pr_a = PageRankWorkload::with_epsilon(0.01, g.num_vertices());
+        let pr_b = PageRankWorkload::with_epsilon(0.001, g.num_vertices());
+        let t = TransformFunction::default_for(pr_a.convergence());
+        assert_ne!(
+            RunKey::new(&sample.key, &pr_a, t),
+            RunKey::new(&sample.key, &pr_b, t)
+        );
+        assert_eq!(
+            RunKey::new(&sample.key, &pr_a, t),
+            RunKey::new(&sample.key, &pr_a, t)
+        );
+        assert_ne!(
+            RunKey::new(&sample.key, &pr_a, t),
+            RunKey::new(&sample.key, &pr_a, TransformFunction::identity())
+        );
+    }
+
+    #[test]
+    fn stable_fingerprint_is_deterministic_and_sensitive() {
+        let a = stable_fingerprint("hello");
+        assert_eq!(a, stable_fingerprint("hello"));
+        assert_ne!(a, stable_fingerprint("hellp"));
+    }
+}

@@ -1,0 +1,116 @@
+//! The unified error type of the prediction stack.
+//!
+//! Every stage of the pipeline — sampling, sample-run execution, training-set
+//! assembly, cost-model fitting — reports failures through [`PredictError`],
+//! so sessions, the concurrent [`crate::PredictService`] and the legacy
+//! [`crate::Predictor`] facade all share one error surface. Conditions that
+//! used to panic inside stage code (non-finite or non-positive ratios
+//! reaching the transform function's assertions) are validated up front and
+//! surfaced as [`PredictError::InvalidConfig`] instead.
+
+use crate::regression::RegressionError;
+use serde::Serialize;
+
+/// Errors produced by the prediction pipeline, sessions and the service.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum PredictError {
+    /// The predictor configuration is unusable: the sampling ratio or a
+    /// training ratio is non-finite or non-positive. (An *empty*
+    /// `training_ratios` list is valid — it means history-only or, failing
+    /// that, sample-only training, which provenance marks as
+    /// [`crate::TrainingSource::ExtrapolationSampleOnly`].) Validated before
+    /// any stage runs so malformed configs fail fast instead of panicking
+    /// deep inside the transform or extrapolation code.
+    InvalidConfig(String),
+    /// The sampling stage produced a graph with no vertices or edges (ratio
+    /// too small, or an empty input graph).
+    EmptySample {
+        /// Name of the sampling technique that produced the empty sample.
+        technique: String,
+        /// The sampling ratio that was requested.
+        ratio: f64,
+        /// The seed the sampler was driven by.
+        seed: u64,
+    },
+    /// Strict training was requested but every training ratio yielded an
+    /// empty sample and no historical runs were available, so the cost model
+    /// could only have been trained on the extrapolation sample run itself.
+    InsufficientTraining {
+        /// Workload whose cost model could not be trained.
+        workload: String,
+        /// Dataset label the prediction was bound to.
+        dataset: String,
+    },
+    /// The cost model could not be trained on the assembled training set.
+    CostModel(RegressionError),
+}
+
+impl std::fmt::Display for PredictError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PredictError::InvalidConfig(reason) => {
+                write!(f, "invalid predictor configuration: {reason}")
+            }
+            PredictError::EmptySample {
+                technique,
+                ratio,
+                seed,
+            } => write!(
+                f,
+                "sample graph has no vertices or edges ({technique} at ratio {ratio}, seed {seed})"
+            ),
+            PredictError::InsufficientTraining { workload, dataset } => write!(
+                f,
+                "no training data beyond the extrapolation sample run for {workload} on {dataset}"
+            ),
+            PredictError::CostModel(e) => write!(f, "cost model training failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PredictError {}
+
+impl PredictError {
+    /// True when this error is the sampling stage's empty-sample condition,
+    /// regardless of which technique/ratio/seed produced it.
+    pub fn is_empty_sample(&self) -> bool {
+        matches!(self, PredictError::EmptySample { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = PredictError::EmptySample {
+            technique: "BRJ".to_string(),
+            ratio: 0.001,
+            seed: 7,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("BRJ") && msg.contains("0.001"));
+        assert!(e.is_empty_sample());
+
+        let e = PredictError::InsufficientTraining {
+            workload: "PR".to_string(),
+            dataset: "Wiki".to_string(),
+        };
+        assert!(e.to_string().contains("PR"));
+        assert!(!e.is_empty_sample());
+
+        let e = PredictError::InvalidConfig("sampling ratio must be positive".to_string());
+        assert!(e.to_string().contains("positive"));
+    }
+
+    #[test]
+    fn cost_model_errors_wrap_regression_errors() {
+        let e = PredictError::CostModel(RegressionError::EmptyTrainingSet);
+        assert_eq!(
+            e,
+            PredictError::CostModel(RegressionError::EmptyTrainingSet)
+        );
+        assert!(e.to_string().contains("training"));
+    }
+}

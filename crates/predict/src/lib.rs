@@ -18,36 +18,63 @@
 //!   features (section 3.4);
 //! * [`history`] — the historical-run store that improves cost models when
 //!   prior actual runs exist (section 5.2);
-//! * [`pipeline`] — the end-to-end [`Predictor`] (Figure 1);
 //! * [`metrics`] — the signed-relative-error and R² metrics of section 5;
 //! * [`bounds`] — the analytical iteration upper bounds PREDIcT is compared
 //!   against (section 5.1).
 //!
+//! # Architecture: artifacts → sessions → service
+//!
+//! The paper motivates prediction as a *service* for schedulers doing SLA
+//! feasibility and capacity planning, so the pipeline is decomposed into
+//! reusable stages layered for that deployment shape:
+//!
+//! * [`artifacts`] — the first-class stage products: [`SampleArtifact`]
+//!   (sampled graph + achieved ratio + seed provenance), [`SampleRunArtifact`]
+//!   (profile of the transformed sample run) and [`TrainedModel`] (cost model
+//!   plus [`TrainingProvenance`]), each independently constructible and
+//!   serializable;
+//! * [`session`] — [`PredictionSession`] binds one dataset to an engine and a
+//!   sampler and caches artifacts across predictions, so predicting many
+//!   workloads or sweep points on one dataset performs each `(ratio, seed)`
+//!   sample run exactly once. Sessions are built fluently via
+//!   [`Predictor::builder`];
+//! * [`service`] — [`PredictService`], a `Sync` front-end holding sessions in
+//!   a sharded LRU cache and answering [`PredictRequest`]s, one at a time or
+//!   in deterministic scoped-thread batches;
+//! * [`pipeline`] — the legacy one-shot [`Predictor`] facade, a thin wrapper
+//!   over the same stage functions (kept for single-prediction callers);
+//! * [`error`] — the unified [`PredictError`] spanning sampling, engine and
+//!   model failures.
+//!
 //! # Example
 //!
 //! ```
-//! use predict_core::{Predictor, PredictorConfig, HistoryStore};
+//! use predict_core::{Predictor, PredictorConfig};
 //! use predict_algorithms::PageRankWorkload;
 //! use predict_bsp::{BspConfig, BspEngine};
 //! use predict_graph::generators::{generate_rmat, RmatConfig};
 //! use predict_sampling::BiasedRandomJump;
 //!
 //! let graph = generate_rmat(&RmatConfig::new(10, 8).with_seed(7));
-//! let engine = BspEngine::new(BspConfig::default());
-//! let sampler = BiasedRandomJump::default();
 //! let workload = PageRankWorkload::with_epsilon(0.01, graph.num_vertices());
 //!
-//! let predictor = Predictor::new(&engine, &sampler, PredictorConfig::single_ratio(0.1));
-//! let prediction = predictor
-//!     .predict(&workload, &graph, &HistoryStore::new(), "quickstart")
-//!     .unwrap();
+//! // Bind the dataset once; every prediction after the first reuses the
+//! // cached sample runs and trained models.
+//! let session = Predictor::builder()
+//!     .engine(BspEngine::new(BspConfig::default()))
+//!     .sampler(BiasedRandomJump::default())
+//!     .config(PredictorConfig::single_ratio(0.1))
+//!     .bind(graph, "quickstart");
+//! let prediction = session.predict(&workload).unwrap();
 //! assert!(prediction.predicted_iterations > 0);
 //! assert!(prediction.predicted_superstep_ms > 0.0);
 //! ```
 
+pub mod artifacts;
 pub mod bounds;
 pub mod cost_model;
 pub mod critical_path;
+pub mod error;
 pub mod extrapolator;
 pub mod feature_selection;
 pub mod features;
@@ -55,12 +82,19 @@ pub mod history;
 pub mod metrics;
 pub mod pipeline;
 pub mod regression;
+pub mod service;
+pub mod session;
 pub mod transform;
 
+pub use artifacts::{
+    ModelKey, RunKey, SampleArtifact, SampleKey, SampleRunArtifact, TrainedModel,
+    TrainingProvenance, TrainingSource,
+};
 pub use cost_model::{CostModel, CostModelConfig};
 pub use critical_path::{
     critical_path_worker_by_edges, observations_from_profile, WorkerSelection,
 };
+pub use error::PredictError;
 pub use extrapolator::{ExtrapolationRule, Extrapolator};
 pub use feature_selection::{forward_select, SelectionConfig, SelectionResult};
 pub use features::{ExtrapolationKind, FeatureSet, IterationObservation, KeyFeature};
@@ -68,6 +102,10 @@ pub use history::{HistoricalRun, HistoryStore};
 pub use metrics::{
     absolute_relative_error, r_squared, signed_relative_error, ErrorSample, ErrorSummary,
 };
-pub use pipeline::{Evaluation, PredictError, Prediction, Predictor, PredictorConfig};
+pub use pipeline::Predictor;
 pub use regression::{LinearModel, RegressionError};
+pub use service::{PredictRequest, PredictService, PredictServiceConfig};
+pub use session::{
+    Evaluation, Prediction, PredictionSession, PredictorBuilder, PredictorConfig, SessionStats,
+};
 pub use transform::{ThresholdRule, TransformFunction};

@@ -1,206 +1,36 @@
-//! The end-to-end PREDIcT pipeline (Figure 1 of the paper).
+//! Compatibility facade over the stage-decomposed pipeline.
 //!
-//! [`Predictor::predict`] wires the whole methodology together:
+//! The end-to-end PREDIcT methodology (Figure 1 of the paper) now lives in
+//! the stage-decomposed [`crate::session`] module: sampling, sample-run
+//! execution, cost-model training and extrapolation are first-class cached
+//! artifacts of a [`crate::PredictionSession`], and the concurrent
+//! [`crate::PredictService`] serves prediction requests on top of them.
 //!
-//! 1. draw a sample of the input graph with the configured sampling technique;
-//! 2. apply the transform function to the workload's convergence threshold and
-//!    execute the **sample run** on the sample graph, profiling per-iteration
-//!    key input features;
-//! 3. train the **cost model** (multivariate regression + forward feature
-//!    selection) on the sample-run observations at several sampling ratios
-//!    and, when available, on historical actual runs of the same workload on
-//!    other datasets;
-//! 4. **extrapolate** the per-iteration features of the sample run to the
-//!    scale of the full graph and push them through the cost model, summing
-//!    the per-iteration estimates into the predicted runtime of the superstep
-//!    phase (the number of iterations is used implicitly: one prediction per
-//!    sample-run iteration).
-//!
-//! [`Predictor::evaluate`] additionally executes the actual run and reports
-//! the signed relative errors the paper plots in Figures 4–8.
+//! [`Predictor`] is the legacy one-shot surface kept for callers that
+//! predict once and throw everything away. It is deprecated in spirit —
+//! prefer [`Predictor::builder`], which produces a session — and is a thin
+//! wrapper: it drives the *same* stage functions as a session with a cold
+//! cache, so the two paths produce byte-identical predictions for identical
+//! inputs (a property the crate's proptest suite pins down).
 
-use crate::cost_model::{CostModel, CostModelConfig};
-use crate::critical_path::{observations_from_profile, WorkerSelection};
-use crate::extrapolator::{ExtrapolationRule, Extrapolator};
-use crate::features::{FeatureSet, IterationObservation};
+use crate::error::PredictError;
 use crate::history::HistoryStore;
-use crate::metrics::signed_relative_error;
-use crate::regression::RegressionError;
-use crate::transform::TransformFunction;
+use crate::session::{
+    evaluate_stages, predict_stages, Evaluation, Prediction, PredictorBuilder, PredictorConfig,
+    StageCtx,
+};
 use predict_algorithms::Workload;
-use predict_bsp::{BspEngine, RunProfile};
+use predict_bsp::BspEngine;
 use predict_graph::CsrGraph;
 use predict_sampling::Sampler;
 
-/// Configuration of the prediction pipeline.
-#[derive(Debug, Clone)]
-pub struct PredictorConfig {
-    /// Sampling ratio of the sample run whose per-iteration features are
-    /// extrapolated (the paper's headline setting is 0.1).
-    pub sampling_ratio: f64,
-    /// Sampling ratios of the additional sample runs used to train the cost
-    /// model (section 5.2 trains on 0.05, 0.1, 0.15 and 0.2).
-    pub training_ratios: Vec<f64>,
-    /// Seed driving the sampler and any other randomized choice.
-    pub seed: u64,
-    /// Which worker represents an iteration when extracting features.
-    pub worker_selection: WorkerSelection,
-    /// Cost model training configuration.
-    pub cost_model: CostModelConfig,
-    /// Transform function override; `None` uses the paper's default rule for
-    /// the workload's convergence kind.
-    pub transform: Option<TransformFunction>,
-    /// Extrapolation rule (the paper's per-feature rule by default; the other
-    /// variants exist for the ablation benchmarks).
-    pub extrapolation_rule: ExtrapolationRule,
-}
-
-impl Default for PredictorConfig {
-    fn default() -> Self {
-        Self {
-            sampling_ratio: 0.1,
-            training_ratios: vec![0.05, 0.1, 0.15, 0.2],
-            seed: 0x9d1c,
-            worker_selection: WorkerSelection::SlowestWorker,
-            cost_model: CostModelConfig::default(),
-            transform: None,
-            extrapolation_rule: ExtrapolationRule::PerFeature,
-        }
-    }
-}
-
-impl PredictorConfig {
-    /// Convenience constructor: predict from a sample run at `ratio`, train
-    /// the cost model only on that same run (no extra training ratios).
-    pub fn single_ratio(ratio: f64) -> Self {
-        Self {
-            sampling_ratio: ratio,
-            training_ratios: vec![ratio],
-            ..Self::default()
-        }
-    }
-
-    /// Replaces the sampling ratio used for extrapolation, keeping the
-    /// training ratios.
-    pub fn with_sampling_ratio(mut self, ratio: f64) -> Self {
-        self.sampling_ratio = ratio;
-        self
-    }
-
-    /// Replaces the seed.
-    pub fn with_seed(mut self, seed: u64) -> Self {
-        self.seed = seed;
-        self
-    }
-}
-
-/// Errors produced by the prediction pipeline.
-#[derive(Debug, Clone, PartialEq)]
-pub enum PredictError {
-    /// The sample graph was empty (ratio too small or empty input graph).
-    EmptySample,
-    /// The cost model could not be trained.
-    CostModel(RegressionError),
-}
-
-impl std::fmt::Display for PredictError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            PredictError::EmptySample => write!(f, "sample graph has no vertices or edges"),
-            PredictError::CostModel(e) => write!(f, "cost model training failed: {e}"),
-        }
-    }
-}
-
-impl std::error::Error for PredictError {}
-
-/// The output of the prediction pipeline for one workload on one dataset.
-#[derive(Debug, Clone)]
-pub struct Prediction {
-    /// Workload name.
-    pub workload: String,
-    /// Predicted number of iterations (= iterations of the sample run, which
-    /// the transform function strives to preserve).
-    pub predicted_iterations: usize,
-    /// Predicted runtime of the superstep phase in simulated milliseconds.
-    pub predicted_superstep_ms: f64,
-    /// Per-iteration runtime predictions, aligned with the sample run's
-    /// iterations.
-    pub per_iteration_ms: Vec<f64>,
-    /// Extrapolated per-iteration features that were fed to the cost model.
-    pub extrapolated_features: Vec<FeatureSet>,
-    /// Predicted graph-level total of remote message bytes over the whole run
-    /// (the key input feature evaluated in Figure 6, bottom).
-    pub predicted_remote_message_bytes: f64,
-    /// The trained cost model.
-    pub cost_model: CostModel,
-    /// The extrapolation factors that were applied.
-    pub extrapolator: Extrapolator,
-    /// Profile of the sample run the prediction extrapolates from.
-    pub sample_profile: RunProfile,
-    /// Ratio that the sampler actually achieved.
-    pub achieved_sampling_ratio: f64,
-    /// Simulated end-to-end runtime of the sample run (used for the Table 3
-    /// overhead analysis).
-    pub sample_run_total_ms: f64,
-}
-
-/// A prediction compared against the measured actual run.
-#[derive(Debug, Clone)]
-pub struct Evaluation {
-    /// The prediction under evaluation.
-    pub prediction: Prediction,
-    /// Iterations of the actual run.
-    pub actual_iterations: usize,
-    /// Measured superstep-phase runtime of the actual run.
-    pub actual_superstep_ms: f64,
-    /// Measured end-to-end runtime of the actual run.
-    pub actual_total_ms: f64,
-    /// Measured graph-level total of remote message bytes of the actual run.
-    pub actual_remote_message_bytes: f64,
-    /// Profile of the actual run.
-    pub actual_profile: RunProfile,
-}
-
-impl Evaluation {
-    /// Signed relative error of the iteration prediction (Figures 4–6).
-    pub fn iteration_error(&self) -> f64 {
-        signed_relative_error(
-            self.prediction.predicted_iterations as f64,
-            self.actual_iterations as f64,
-        )
-    }
-
-    /// Signed relative error of the runtime prediction (Figures 7–8).
-    pub fn runtime_error(&self) -> f64 {
-        signed_relative_error(
-            self.prediction.predicted_superstep_ms,
-            self.actual_superstep_ms,
-        )
-    }
-
-    /// Signed relative error of the remote-message-bytes prediction
-    /// (Figure 6, bottom).
-    pub fn remote_bytes_error(&self) -> f64 {
-        signed_relative_error(
-            self.prediction.predicted_remote_message_bytes,
-            self.actual_remote_message_bytes,
-        )
-    }
-
-    /// Ratio of the sample run's end-to-end runtime to the actual run's
-    /// (Table 3's overhead analysis).
-    pub fn sample_overhead_ratio(&self) -> f64 {
-        if self.actual_total_ms == 0.0 {
-            0.0
-        } else {
-            self.prediction.sample_run_total_ms / self.actual_total_ms
-        }
-    }
-}
-
 /// The PREDIcT predictor: a BSP engine, a sampling technique and a pipeline
-/// configuration.
+/// configuration, evaluated one prediction at a time without artifact
+/// caching.
+///
+/// This is the legacy facade; new code should build a
+/// [`crate::PredictionSession`] via [`Predictor::builder`] so repeated
+/// predictions amortize the sample runs.
 pub struct Predictor<'a> {
     engine: &'a BspEngine,
     sampler: &'a dyn Sampler,
@@ -208,13 +38,20 @@ pub struct Predictor<'a> {
 }
 
 impl<'a> Predictor<'a> {
-    /// Creates a predictor.
+    /// Creates a one-shot predictor borrowing an engine and a sampler.
     pub fn new(engine: &'a BspEngine, sampler: &'a dyn Sampler, config: PredictorConfig) -> Self {
         Self {
             engine,
             sampler,
             config,
         }
+    }
+
+    /// Starts a fluent [`PredictorBuilder`] for the session-based API: bind
+    /// a dataset once, then predict many workloads/configurations against it
+    /// with sample runs and trained models cached across calls.
+    pub fn builder() -> PredictorBuilder {
+        PredictorBuilder::new()
     }
 
     /// The pipeline configuration.
@@ -226,6 +63,9 @@ impl<'a> Predictor<'a> {
     /// actual run. `history` supplies profiles of prior actual runs;
     /// `dataset_label` identifies the current dataset so its own historical
     /// runs are excluded from training (the paper's leave-one-out protocol).
+    ///
+    /// Every call re-runs every stage; use a [`crate::PredictionSession`]
+    /// when predicting more than once against the same dataset.
     pub fn predict(
         &self,
         workload: &dyn Workload,
@@ -233,96 +73,14 @@ impl<'a> Predictor<'a> {
         history: &HistoryStore,
         dataset_label: &str,
     ) -> Result<Prediction, PredictError> {
-        let transform = self
-            .config
-            .transform
-            .unwrap_or_else(|| TransformFunction::default_for(workload.convergence()));
-
-        // --- Sample run used for extrapolation -------------------------------
-        let sample = self
-            .sampler
-            .sample(graph, self.config.sampling_ratio, self.config.seed);
-        if sample.graph.num_vertices() == 0 || sample.graph.num_edges() == 0 {
-            return Err(PredictError::EmptySample);
-        }
-        let ratio = sample.achieved_ratio.clamp(f64::MIN_POSITIVE, 1.0);
-        let sample_workload = transform.apply(workload, ratio);
-        let sample_run = sample_workload.run(self.engine, &sample.graph);
-        let sample_observations =
-            observations_from_profile(&sample_run.profile, self.config.worker_selection);
-
-        // --- Training observations -------------------------------------------
-        let mut training: Vec<IterationObservation> = Vec::new();
-        for (i, &train_ratio) in self.config.training_ratios.iter().enumerate() {
-            if (train_ratio - self.config.sampling_ratio).abs() < 1e-12 {
-                training.extend(sample_observations.iter().copied());
-                continue;
-            }
-            let train_sample = self.sampler.sample(
-                graph,
-                train_ratio,
-                self.config.seed.wrapping_add(1 + i as u64),
-            );
-            if train_sample.graph.num_vertices() == 0 || train_sample.graph.num_edges() == 0 {
-                continue;
-            }
-            let train_workload =
-                transform.apply(workload, train_sample.achieved_ratio.max(f64::MIN_POSITIVE));
-            let run = train_workload.run(self.engine, &train_sample.graph);
-            training.extend(observations_from_profile(
-                &run.profile,
-                self.config.worker_selection,
-            ));
-        }
-        // Historical actual runs of the same workload on *other* datasets.
-        training.extend(history.observations_for(
-            workload.name(),
-            Some(dataset_label),
-            self.config.worker_selection,
-        ));
-        if training.is_empty() {
-            training = sample_observations.clone();
-        }
-
-        let cost_model = CostModel::train(&training, &self.config.cost_model)
-            .map_err(PredictError::CostModel)?;
-
-        // --- Extrapolation and per-iteration prediction ----------------------
-        let extrapolator = Extrapolator::from_graphs(graph, &sample.graph);
-        let extrapolated_features: Vec<FeatureSet> = sample_observations
-            .iter()
-            .map(|o| {
-                extrapolator.extrapolate_with_rule(&o.features, self.config.extrapolation_rule)
-            })
-            .collect();
-        let per_iteration_ms: Vec<f64> = extrapolated_features
-            .iter()
-            .map(|f| cost_model.predict_iteration_ms(f).max(0.0))
-            .collect();
-        let predicted_superstep_ms = per_iteration_ms.iter().sum();
-
-        // Graph-level remote message bytes, extrapolated by the edge factor.
-        let predicted_remote_message_bytes: f64 = sample_run
-            .profile
-            .per_superstep_totals()
-            .iter()
-            .map(|t| t.remote_message_bytes as f64)
-            .sum::<f64>()
-            * extrapolator.edge_factor;
-
-        Ok(Prediction {
-            workload: workload.name().to_string(),
-            predicted_iterations: sample_run.iterations(),
-            predicted_superstep_ms,
-            per_iteration_ms,
-            extrapolated_features,
-            predicted_remote_message_bytes,
-            cost_model,
-            extrapolator,
-            sample_run_total_ms: sample_run.profile.total_ms(),
-            sample_profile: sample_run.profile,
-            achieved_sampling_ratio: ratio,
-        })
+        let ctx = StageCtx {
+            engine: self.engine,
+            sampler: self.sampler,
+            graph,
+            dataset: dataset_label,
+            caches: None,
+        };
+        predict_stages(&ctx, workload, &self.config, history, 0)
     }
 
     /// Predicts and then executes the actual run, returning both so the
@@ -335,28 +93,21 @@ impl<'a> Predictor<'a> {
         history: &HistoryStore,
         dataset_label: &str,
     ) -> Result<Evaluation, PredictError> {
-        let prediction = self.predict(workload, graph, history, dataset_label)?;
-        let actual = workload.run(self.engine, graph);
-        let actual_remote_message_bytes: f64 = actual
-            .profile
-            .per_superstep_totals()
-            .iter()
-            .map(|t| t.remote_message_bytes as f64)
-            .sum();
-        Ok(Evaluation {
-            prediction,
-            actual_iterations: actual.iterations(),
-            actual_superstep_ms: actual.profile.superstep_phase_ms(),
-            actual_total_ms: actual.profile.total_ms(),
-            actual_remote_message_bytes,
-            actual_profile: actual.profile,
-        })
+        let ctx = StageCtx {
+            engine: self.engine,
+            sampler: self.sampler,
+            graph,
+            dataset: dataset_label,
+            caches: None,
+        };
+        evaluate_stages(&ctx, workload, &self.config, history, 0)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::critical_path::{observations_from_profile, WorkerSelection};
     use predict_algorithms::{PageRankWorkload, TopKWorkload};
     use predict_bsp::{BspConfig, ClusterCostConfig};
     use predict_graph::generators::{generate_rmat, RmatConfig};
@@ -494,6 +245,6 @@ mod tests {
         let err = predictor
             .predict(&workload, &g, &HistoryStore::new(), "x")
             .unwrap_err();
-        assert_eq!(err, PredictError::EmptySample);
+        assert!(err.is_empty_sample(), "unexpected error: {err:?}");
     }
 }

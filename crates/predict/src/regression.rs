@@ -23,7 +23,7 @@ pub struct LinearModel {
 }
 
 /// Errors produced when fitting a model.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
 pub enum RegressionError {
     /// No training rows were provided.
     EmptyTrainingSet,

@@ -1,0 +1,408 @@
+//! A thread-safe prediction service with session caching.
+//!
+//! [`PredictService`] is the deployment shape the paper motivates: a
+//! scheduler-facing front-end that answers many prediction queries over a
+//! changing population of datasets. It keeps [`crate::PredictionSession`]s in
+//! a sharded, LRU-bounded cache keyed by dataset label, so requests against
+//! the same dataset share sampled graphs, sample runs and trained models,
+//! while requests against different datasets proceed without contending on a
+//! single lock.
+//!
+//! Batches run on scoped threads: [`PredictService::submit_batch`] evaluates
+//! independent requests concurrently and returns results in request order.
+//! Because every pipeline stage is deterministic and cache values are
+//! immutable artifacts, the output is identical regardless of thread count
+//! or interleaving — a 1-thread batch and an N-thread batch produce the same
+//! bytes.
+
+use crate::artifacts::stable_fingerprint;
+use crate::error::PredictError;
+use crate::session::{Evaluation, Prediction, PredictionSession, PredictorConfig};
+use crate::Predictor;
+use predict_algorithms::Workload;
+use predict_bsp::BspEngine;
+use predict_graph::CsrGraph;
+use predict_sampling::Sampler;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// One prediction query: a dataset (label + graph), a workload, and an
+/// optional configuration override.
+#[derive(Clone)]
+pub struct PredictRequest {
+    /// Dataset label; it identifies the session (and thus the artifact
+    /// cache) the request is routed to.
+    pub dataset: String,
+    /// The full graph of the dataset. Requests with the same label should
+    /// clone the same `Arc`: session reuse is keyed on pointer identity, so
+    /// a label re-used with a different `Arc` replaces the cached session
+    /// (and its amortized artifacts) rather than risk serving predictions
+    /// computed from a stale graph.
+    pub graph: Arc<CsrGraph>,
+    /// The workload to predict.
+    pub workload: Arc<dyn Workload>,
+    /// Configuration override; `None` uses the service's default.
+    pub config: Option<PredictorConfig>,
+}
+
+impl PredictRequest {
+    /// Creates a request with the service's default configuration.
+    pub fn new(
+        dataset: &str,
+        graph: impl Into<Arc<CsrGraph>>,
+        workload: Arc<dyn Workload>,
+    ) -> Self {
+        Self {
+            dataset: dataset.to_string(),
+            graph: graph.into(),
+            workload,
+            config: None,
+        }
+    }
+
+    /// Overrides the predictor configuration for this request.
+    pub fn with_config(mut self, config: PredictorConfig) -> Self {
+        self.config = Some(config);
+        self
+    }
+}
+
+/// Configuration of the service's session cache.
+#[derive(Debug, Clone)]
+pub struct PredictServiceConfig {
+    /// Number of lock shards the session cache is split over. More shards
+    /// mean less contention between requests for different datasets.
+    pub shards: usize,
+    /// Maximum sessions kept per shard; the least-recently-used session is
+    /// evicted beyond this bound (dropping its cached artifacts).
+    pub sessions_per_shard: usize,
+    /// Default pipeline configuration for requests without an override.
+    pub predictor: PredictorConfig,
+}
+
+impl Default for PredictServiceConfig {
+    fn default() -> Self {
+        Self {
+            shards: 8,
+            sessions_per_shard: 4,
+            predictor: PredictorConfig::default(),
+        }
+    }
+}
+
+struct ShardEntry {
+    dataset: String,
+    session: Arc<PredictionSession>,
+    last_used: AtomicU64,
+}
+
+#[derive(Default)]
+struct Shard {
+    entries: Vec<ShardEntry>,
+}
+
+/// A `Sync` prediction front-end holding per-dataset sessions behind a
+/// sharded, LRU-bounded cache. See the [module documentation](self).
+pub struct PredictService {
+    engine: Arc<BspEngine>,
+    sampler: Arc<dyn Sampler>,
+    config: PredictServiceConfig,
+    shards: Vec<RwLock<Shard>>,
+    clock: AtomicU64,
+}
+
+impl PredictService {
+    /// Creates a service with the default cache configuration.
+    pub fn new(engine: impl Into<Arc<BspEngine>>, sampler: Arc<dyn Sampler>) -> Self {
+        Self::with_config(engine, sampler, PredictServiceConfig::default())
+    }
+
+    /// Creates a service with an explicit cache configuration.
+    pub fn with_config(
+        engine: impl Into<Arc<BspEngine>>,
+        sampler: Arc<dyn Sampler>,
+        config: PredictServiceConfig,
+    ) -> Self {
+        let shards = config.shards.max(1);
+        Self {
+            engine: engine.into(),
+            sampler,
+            shards: (0..shards).map(|_| RwLock::new(Shard::default())).collect(),
+            config,
+            clock: AtomicU64::new(0),
+        }
+    }
+
+    /// The engine shared by every session of this service.
+    pub fn engine(&self) -> &Arc<BspEngine> {
+        &self.engine
+    }
+
+    /// Stable shard assignment of a dataset label.
+    fn shard_index(&self, dataset: &str) -> usize {
+        (stable_fingerprint(dataset) % self.shards.len() as u64) as usize
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// True when `entry` can serve requests for `graph`: same label and the
+    /// *same* graph by pointer identity. Structural comparison (vertex/edge
+    /// counts) is deliberately not accepted: a regenerated graph can rewire
+    /// edges while keeping its counts, and serving it cached predictions
+    /// from the old graph would be silently wrong. Callers that want session
+    /// reuse must ship the same `Arc` for the same dataset (which
+    /// [`PredictRequest`] clones do naturally).
+    fn entry_matches(entry: &ShardEntry, dataset: &str, graph: &Arc<CsrGraph>) -> bool {
+        entry.dataset == dataset && Arc::ptr_eq(entry.session.graph(), graph)
+    }
+
+    /// Returns the session for `dataset`, creating (or replacing, when the
+    /// label was re-bound to a different graph) and caching it on demand.
+    pub fn session_for(&self, dataset: &str, graph: &Arc<CsrGraph>) -> Arc<PredictionSession> {
+        let shard = &self.shards[self.shard_index(dataset)];
+        {
+            let guard = shard.read().unwrap();
+            if let Some(entry) = guard
+                .entries
+                .iter()
+                .find(|e| Self::entry_matches(e, dataset, graph))
+            {
+                entry.last_used.store(self.tick(), Ordering::Relaxed);
+                return Arc::clone(&entry.session);
+            }
+        }
+
+        let mut guard = shard.write().unwrap();
+        // Double-checked: another writer may have created the session while
+        // we waited for the write lock.
+        if let Some(entry) = guard
+            .entries
+            .iter()
+            .find(|e| Self::entry_matches(e, dataset, graph))
+        {
+            entry.last_used.store(self.tick(), Ordering::Relaxed);
+            return Arc::clone(&entry.session);
+        }
+        // A label re-bound to a different graph drops the stale session.
+        guard.entries.retain(|e| e.dataset != dataset);
+
+        let session = Arc::new(
+            Predictor::builder()
+                .engine(Arc::clone(&self.engine))
+                .sampler_arc(Arc::clone(&self.sampler))
+                .config(self.config.predictor.clone())
+                .bind(Arc::clone(graph), dataset),
+        );
+        guard.entries.push(ShardEntry {
+            dataset: dataset.to_string(),
+            session: Arc::clone(&session),
+            last_used: AtomicU64::new(self.tick()),
+        });
+        // LRU bound: evict the stalest session beyond the configured cap.
+        let cap = self.config.sessions_per_shard.max(1);
+        while guard.entries.len() > cap {
+            let stalest = guard
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_used.load(Ordering::Relaxed))
+                .map(|(i, _)| i)
+                .expect("entries is non-empty");
+            guard.entries.remove(stalest);
+        }
+        session
+    }
+
+    /// Evaluates one prediction request.
+    pub fn submit(&self, request: &PredictRequest) -> Result<Prediction, PredictError> {
+        let session = self.session_for(&request.dataset, &request.graph);
+        match &request.config {
+            Some(config) => session.predict_with(request.workload.as_ref(), config),
+            None => session.predict(request.workload.as_ref()),
+        }
+    }
+
+    /// Evaluates one request against the measured actual run (cached in the
+    /// session after the first evaluation).
+    pub fn evaluate(&self, request: &PredictRequest) -> Result<Evaluation, PredictError> {
+        let session = self.session_for(&request.dataset, &request.graph);
+        match &request.config {
+            Some(config) => session.evaluate_with(request.workload.as_ref(), config),
+            None => session.evaluate(request.workload.as_ref()),
+        }
+    }
+
+    /// Evaluates independent requests on up to `threads` scoped threads and
+    /// returns the results in request order.
+    ///
+    /// The output is deterministic: result `i` depends only on request `i`
+    /// (every stage is deterministic and cached artifacts are immutable), so
+    /// thread count and interleaving change wall-clock time, never results.
+    pub fn submit_batch(
+        &self,
+        requests: &[PredictRequest],
+        threads: usize,
+    ) -> Vec<Result<Prediction, PredictError>> {
+        let threads = threads.clamp(1, requests.len().max(1));
+        if threads == 1 {
+            return requests.iter().map(|r| self.submit(r)).collect();
+        }
+        let mut results: Vec<Option<Result<Prediction, PredictError>>> =
+            (0..requests.len()).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for t in 0..threads {
+                handles.push(scope.spawn(move || {
+                    // Stride partitioning: thread t takes requests t, t+T, ...
+                    requests
+                        .iter()
+                        .enumerate()
+                        .skip(t)
+                        .step_by(threads)
+                        .map(|(i, r)| (i, self.submit(r)))
+                        .collect::<Vec<_>>()
+                }));
+            }
+            for handle in handles {
+                for (i, result) in handle.join().expect("batch worker panicked") {
+                    results[i] = Some(result);
+                }
+            }
+        });
+        results
+            .into_iter()
+            .map(|r| r.expect("every request index was assigned to a worker"))
+            .collect()
+    }
+
+    /// Number of sessions currently cached across all shards.
+    pub fn sessions_cached(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().unwrap().entries.len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use predict_algorithms::{ConnectedComponentsWorkload, PageRankWorkload, TopKWorkload};
+    use predict_bsp::BspConfig;
+    use predict_graph::generators::{generate_rmat, RmatConfig};
+    use predict_sampling::BiasedRandomJump;
+
+    fn service() -> PredictService {
+        PredictService::with_config(
+            BspEngine::new(BspConfig::with_workers(4)),
+            Arc::new(BiasedRandomJump::default()),
+            PredictServiceConfig {
+                predictor: PredictorConfig::single_ratio(0.1),
+                ..PredictServiceConfig::default()
+            },
+        )
+    }
+
+    fn graph(seed: u64) -> Arc<CsrGraph> {
+        Arc::new(generate_rmat(&RmatConfig::new(10, 6).with_seed(seed)))
+    }
+
+    #[test]
+    fn submit_routes_requests_through_cached_sessions() {
+        let svc = service();
+        let g = graph(1);
+        let workload: Arc<dyn Workload> =
+            Arc::new(PageRankWorkload::with_epsilon(0.01, g.num_vertices()));
+        let req = PredictRequest::new("Wiki", Arc::clone(&g), workload);
+        let a = svc.submit(&req).unwrap();
+        let runs = svc.engine().runs_executed();
+        let b = svc.submit(&req).unwrap();
+        assert_eq!(
+            svc.engine().runs_executed(),
+            runs,
+            "second submit re-ran the engine"
+        );
+        assert_eq!(a.predicted_superstep_ms, b.predicted_superstep_ms);
+        assert_eq!(svc.sessions_cached(), 1);
+    }
+
+    #[test]
+    fn batch_results_keep_request_order() {
+        let svc = service();
+        let g = graph(2);
+        let n = g.num_vertices();
+        let requests: Vec<PredictRequest> = vec![
+            PredictRequest::new(
+                "A",
+                Arc::clone(&g),
+                Arc::new(PageRankWorkload::with_epsilon(0.01, n)),
+            ),
+            PredictRequest::new("A", Arc::clone(&g), Arc::new(TopKWorkload::default())),
+            PredictRequest::new("A", Arc::clone(&g), Arc::new(ConnectedComponentsWorkload)),
+        ];
+        let results = svc.submit_batch(&requests, 3);
+        assert_eq!(results.len(), 3);
+        let names: Vec<String> = results
+            .iter()
+            .map(|r| r.as_ref().unwrap().workload.clone())
+            .collect();
+        assert_eq!(names, vec!["PR", "TOP-K", "CC"]);
+    }
+
+    #[test]
+    fn lru_bound_evicts_the_stalest_session() {
+        let svc = PredictService::with_config(
+            BspEngine::new(BspConfig::with_workers(2)),
+            Arc::new(BiasedRandomJump::default()),
+            PredictServiceConfig {
+                shards: 1,
+                sessions_per_shard: 2,
+                predictor: PredictorConfig::single_ratio(0.2),
+            },
+        );
+        let graphs: Vec<Arc<CsrGraph>> = (0..3).map(|i| graph(10 + i)).collect();
+        for (i, g) in graphs.iter().enumerate() {
+            svc.session_for(&format!("ds{i}"), g);
+        }
+        assert_eq!(svc.sessions_cached(), 2, "LRU bound not enforced");
+        // ds0 was the stalest; ds1 and ds2 survive.
+        svc.session_for("ds1", &graphs[1]);
+        assert_eq!(svc.sessions_cached(), 2);
+    }
+
+    #[test]
+    fn rebinding_a_label_to_a_different_graph_replaces_the_session() {
+        let svc = service();
+        let g1 = graph(5);
+        let s1 = svc.session_for("X", &g1);
+        let g2 = Arc::new(generate_rmat(&RmatConfig::new(9, 4).with_seed(6)));
+        let s2 = svc.session_for("X", &g2);
+        assert!(!Arc::ptr_eq(&s1, &s2), "stale session served for new graph");
+        assert_eq!(svc.sessions_cached(), 1);
+    }
+
+    #[test]
+    fn config_override_is_honored() {
+        let svc = service();
+        let g = graph(7);
+        let workload: Arc<dyn Workload> =
+            Arc::new(PageRankWorkload::with_epsilon(0.01, g.num_vertices()));
+        let default = svc
+            .submit(&PredictRequest::new(
+                "Y",
+                Arc::clone(&g),
+                Arc::clone(&workload),
+            ))
+            .unwrap();
+        let coarse = svc
+            .submit(
+                &PredictRequest::new("Y", Arc::clone(&g), workload)
+                    .with_config(PredictorConfig::single_ratio(0.3)),
+            )
+            .unwrap();
+        assert!((default.achieved_sampling_ratio - 0.1).abs() < 0.05);
+        assert!((coarse.achieved_sampling_ratio - 0.3).abs() < 0.05);
+    }
+}

@@ -1,0 +1,1068 @@
+//! Stage-decomposed prediction sessions.
+//!
+//! The paper's deployment scenario is a *service*: schedulers doing SLA
+//! feasibility and capacity planning ask for many predictions against the
+//! same dataset — different workloads, thresholds and sweep configurations.
+//! A [`PredictionSession`] binds one dataset (graph + label) to an engine and
+//! a sampling technique once, then answers any number of predictions while
+//! caching the expensive stage artifacts:
+//!
+//! * sampling-stage [`SampleArtifact`]s keyed by `(sampler, ratio, seed)` —
+//!   shared by *every* workload predicted through the session;
+//! * sample-run [`SampleRunArtifact`]s keyed by `(sample, workload,
+//!   transform)` — each `(ratio, seed)` sample run of a workload executes
+//!   exactly once, no matter how many predictions reuse it;
+//! * [`TrainedModel`]s keyed by `(workload, config fingerprint, history
+//!   version)`;
+//! * actual-run profiles keyed by workload, for [`PredictionSession::evaluate`].
+//!
+//! Sessions are `Sync`: all caches sit behind locks, the engine and sampler
+//! are shared via [`Arc`], and every stage is deterministic, so concurrent
+//! predictions return byte-identical results to sequential ones. Sessions
+//! are built fluently via [`crate::Predictor::builder`]:
+//!
+//! ```
+//! use predict_core::{Predictor, PredictorConfig};
+//! use predict_algorithms::PageRankWorkload;
+//! use predict_graph::generators::{generate_rmat, RmatConfig};
+//! use predict_sampling::BiasedRandomJump;
+//!
+//! let graph = generate_rmat(&RmatConfig::new(10, 8).with_seed(7));
+//! let workload = PageRankWorkload::with_epsilon(0.01, graph.num_vertices());
+//! let session = Predictor::builder()
+//!     .sampler(BiasedRandomJump::default())
+//!     .config(PredictorConfig::single_ratio(0.1))
+//!     .bind(graph, "quickstart");
+//! let prediction = session.predict(&workload).unwrap();
+//! assert!(prediction.predicted_iterations > 0);
+//! // A second prediction reuses the cached sample run and model.
+//! let again = session.predict(&workload).unwrap();
+//! assert_eq!(prediction.predicted_superstep_ms, again.predicted_superstep_ms);
+//! ```
+
+use crate::artifacts::{
+    stable_fingerprint, ModelKey, RunKey, SampleArtifact, SampleKey, SampleRunArtifact,
+    TrainedModel, TrainingProvenance, TrainingSource,
+};
+use crate::cost_model::{CostModel, CostModelConfig};
+use crate::critical_path::WorkerSelection;
+use crate::error::PredictError;
+use crate::extrapolator::{ExtrapolationRule, Extrapolator};
+use crate::features::{FeatureSet, IterationObservation};
+use crate::history::HistoryStore;
+use crate::metrics::signed_relative_error;
+use crate::transform::TransformFunction;
+use predict_algorithms::{Workload, WorkloadRun};
+use predict_bsp::{BspEngine, RunProfile};
+use predict_graph::CsrGraph;
+use predict_sampling::{BiasedRandomJump, Sampler};
+use serde::Serialize;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Configuration of the prediction pipeline.
+#[derive(Debug, Clone)]
+pub struct PredictorConfig {
+    /// Sampling ratio of the sample run whose per-iteration features are
+    /// extrapolated (the paper's headline setting is 0.1).
+    pub sampling_ratio: f64,
+    /// Sampling ratios of the additional sample runs used to train the cost
+    /// model (section 5.2 trains on 0.05, 0.1, 0.15 and 0.2).
+    pub training_ratios: Vec<f64>,
+    /// Seed driving the sampler and any other randomized choice.
+    pub seed: u64,
+    /// Which worker represents an iteration when extracting features.
+    pub worker_selection: WorkerSelection,
+    /// Cost model training configuration.
+    pub cost_model: CostModelConfig,
+    /// Transform function override; `None` uses the paper's default rule for
+    /// the workload's convergence kind.
+    pub transform: Option<TransformFunction>,
+    /// Extrapolation rule (the paper's per-feature rule by default; the other
+    /// variants exist for the ablation benchmarks).
+    pub extrapolation_rule: ExtrapolationRule,
+    /// When `true`, training falls through to
+    /// [`PredictError::InsufficientTraining`] instead of silently fitting the
+    /// cost model on the extrapolation sample run alone (the case marked by
+    /// [`TrainingSource::ExtrapolationSampleOnly`] in the model provenance).
+    pub strict_training: bool,
+}
+
+impl Default for PredictorConfig {
+    fn default() -> Self {
+        Self {
+            sampling_ratio: 0.1,
+            training_ratios: vec![0.05, 0.1, 0.15, 0.2],
+            seed: 0x9d1c,
+            worker_selection: WorkerSelection::SlowestWorker,
+            cost_model: CostModelConfig::default(),
+            transform: None,
+            extrapolation_rule: ExtrapolationRule::PerFeature,
+            strict_training: false,
+        }
+    }
+}
+
+impl PredictorConfig {
+    /// Convenience constructor: predict from a sample run at `ratio`, train
+    /// the cost model only on that same run (no extra training ratios).
+    pub fn single_ratio(ratio: f64) -> Self {
+        Self {
+            sampling_ratio: ratio,
+            training_ratios: vec![ratio],
+            ..Self::default()
+        }
+    }
+
+    /// Replaces the sampling ratio used for extrapolation, keeping the
+    /// training ratios.
+    pub fn with_sampling_ratio(mut self, ratio: f64) -> Self {
+        self.sampling_ratio = ratio;
+        self
+    }
+
+    /// Replaces the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables or disables strict training (see
+    /// [`PredictorConfig::strict_training`]).
+    pub fn with_strict_training(mut self, strict: bool) -> Self {
+        self.strict_training = strict;
+        self
+    }
+
+    /// Checks the configuration for values that would previously have caused
+    /// panics deep inside stage code (non-finite ratios reaching the
+    /// transform function's assertions).
+    pub fn validate(&self) -> Result<(), PredictError> {
+        if !self.sampling_ratio.is_finite() || self.sampling_ratio <= 0.0 {
+            return Err(PredictError::InvalidConfig(format!(
+                "sampling ratio must be finite and positive, got {}",
+                self.sampling_ratio
+            )));
+        }
+        for &r in &self.training_ratios {
+            if !r.is_finite() || r <= 0.0 {
+                return Err(PredictError::InvalidConfig(format!(
+                    "training ratios must be finite and positive, got {r}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// A stable fingerprint of every field that influences a prediction,
+    /// used (together with the workload token and history version) to key
+    /// cached [`TrainedModel`]s. Two configs with equal fingerprints train
+    /// identical models on identical sessions.
+    pub fn fingerprint(&self) -> u64 {
+        // The Debug rendering covers every field exactly (f64 Debug prints
+        // the shortest round-trip representation).
+        stable_fingerprint(&format!("{self:?}"))
+    }
+}
+
+/// The output of the prediction pipeline for one workload on one dataset.
+#[derive(Debug, Clone, Serialize)]
+pub struct Prediction {
+    /// Workload name.
+    pub workload: String,
+    /// Predicted number of iterations (= iterations of the sample run, which
+    /// the transform function strives to preserve).
+    pub predicted_iterations: usize,
+    /// Predicted runtime of the superstep phase in simulated milliseconds.
+    pub predicted_superstep_ms: f64,
+    /// Per-iteration runtime predictions, aligned with the sample run's
+    /// iterations.
+    pub per_iteration_ms: Vec<f64>,
+    /// Extrapolated per-iteration features that were fed to the cost model.
+    pub extrapolated_features: Vec<FeatureSet>,
+    /// Predicted graph-level total of remote message bytes over the whole run
+    /// (the key input feature evaluated in Figure 6, bottom).
+    pub predicted_remote_message_bytes: f64,
+    /// The trained cost model.
+    pub cost_model: CostModel,
+    /// Provenance of the cost model's training set (which sources fed it,
+    /// including the sample-only fallback marker).
+    pub training: TrainingProvenance,
+    /// The extrapolation factors that were applied.
+    pub extrapolator: Extrapolator,
+    /// Profile of the sample run the prediction extrapolates from.
+    pub sample_profile: RunProfile,
+    /// Ratio that the sampler actually achieved.
+    pub achieved_sampling_ratio: f64,
+    /// Simulated end-to-end runtime of the sample run (used for the Table 3
+    /// overhead analysis).
+    pub sample_run_total_ms: f64,
+}
+
+/// A prediction compared against the measured actual run.
+#[derive(Debug, Clone, Serialize)]
+pub struct Evaluation {
+    /// The prediction under evaluation.
+    pub prediction: Prediction,
+    /// Iterations of the actual run.
+    pub actual_iterations: usize,
+    /// Measured superstep-phase runtime of the actual run.
+    pub actual_superstep_ms: f64,
+    /// Measured end-to-end runtime of the actual run.
+    pub actual_total_ms: f64,
+    /// Measured graph-level total of remote message bytes of the actual run.
+    pub actual_remote_message_bytes: f64,
+    /// Profile of the actual run.
+    pub actual_profile: RunProfile,
+}
+
+impl Evaluation {
+    /// Signed relative error of the iteration prediction (Figures 4–6).
+    pub fn iteration_error(&self) -> f64 {
+        signed_relative_error(
+            self.prediction.predicted_iterations as f64,
+            self.actual_iterations as f64,
+        )
+    }
+
+    /// Signed relative error of the runtime prediction (Figures 7–8).
+    pub fn runtime_error(&self) -> f64 {
+        signed_relative_error(
+            self.prediction.predicted_superstep_ms,
+            self.actual_superstep_ms,
+        )
+    }
+
+    /// Signed relative error of the remote-message-bytes prediction
+    /// (Figure 6, bottom).
+    pub fn remote_bytes_error(&self) -> f64 {
+        signed_relative_error(
+            self.prediction.predicted_remote_message_bytes,
+            self.actual_remote_message_bytes,
+        )
+    }
+
+    /// Ratio of the sample run's end-to-end runtime to the actual run's
+    /// (Table 3's overhead analysis). Returns `f64::NAN` when the actual run
+    /// measured zero milliseconds — a zero-cost actual run must not be
+    /// reported as a free sample run.
+    pub fn sample_overhead_ratio(&self) -> f64 {
+        if self.actual_total_ms == 0.0 {
+            f64::NAN
+        } else {
+            self.prediction.sample_run_total_ms / self.actual_total_ms
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared stage orchestration.
+//
+// Both the cached `PredictionSession` and the legacy one-shot
+// `crate::Predictor` facade run predictions through these functions, so the
+// two paths cannot diverge: a session with a cold cache performs exactly the
+// same engine and sampler invocations, in the same order, as the facade.
+
+/// Cached stage artifacts of one session. All maps are keyed by exact stage
+/// inputs; values are `Arc`s so cache hits are O(1) clones.
+#[derive(Default)]
+pub(crate) struct ArtifactCaches {
+    samples: Mutex<HashMap<SampleKey, Arc<SampleArtifact>>>,
+    runs: Mutex<HashMap<RunKey, Arc<SampleRunArtifact>>>,
+    models: Mutex<HashMap<ModelKey, Arc<TrainedModel>>>,
+    actuals: Mutex<HashMap<String, Arc<WorkloadRun>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ArtifactCaches {
+    fn record(&self, hit: bool) {
+        if hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Borrowed inputs of one prediction: the execution substrate plus an
+/// optional artifact cache (`None` = the uncached legacy path).
+pub(crate) struct StageCtx<'a> {
+    pub engine: &'a BspEngine,
+    pub sampler: &'a dyn Sampler,
+    pub graph: &'a CsrGraph,
+    pub dataset: &'a str,
+    pub caches: Option<&'a ArtifactCaches>,
+}
+
+/// Stage 1: draw (or reuse) the sample for `(ratio, seed)`.
+fn stage_sample(
+    ctx: &StageCtx<'_>,
+    ratio: f64,
+    seed: u64,
+) -> Result<Arc<SampleArtifact>, PredictError> {
+    let key = SampleKey::new(ctx.sampler.name(), ratio, seed);
+    if let Some(caches) = ctx.caches {
+        if let Some(hit) = caches.samples.lock().unwrap().get(&key) {
+            caches.record(true);
+            return Ok(Arc::clone(hit));
+        }
+        caches.record(false);
+    }
+    let artifact = Arc::new(SampleArtifact::draw(ctx.sampler, ctx.graph, ratio, seed)?);
+    if let Some(caches) = ctx.caches {
+        // Concurrent misses may race here; both computed the same
+        // deterministic artifact, so keeping the first insert is fine.
+        return Ok(Arc::clone(
+            caches
+                .samples
+                .lock()
+                .unwrap()
+                .entry(key)
+                .or_insert(artifact),
+        ));
+    }
+    Ok(artifact)
+}
+
+/// Stage 2: execute (or reuse) the transformed sample run of `workload` on
+/// `sample`.
+fn stage_run(
+    ctx: &StageCtx<'_>,
+    workload: &dyn Workload,
+    transform: TransformFunction,
+    sample: &SampleArtifact,
+) -> Arc<SampleRunArtifact> {
+    let key = RunKey::new(&sample.key, workload, transform);
+    if let Some(caches) = ctx.caches {
+        if let Some(hit) = caches.runs.lock().unwrap().get(&key) {
+            caches.record(true);
+            return Arc::clone(hit);
+        }
+        caches.record(false);
+    }
+    let artifact = Arc::new(SampleRunArtifact::execute(
+        ctx.engine, workload, transform, sample,
+    ));
+    if let Some(caches) = ctx.caches {
+        return Arc::clone(caches.runs.lock().unwrap().entry(key).or_insert(artifact));
+    }
+    artifact
+}
+
+/// Stage 3: assemble the training set and train (or reuse) the cost model.
+///
+/// `sample_observations` are the per-iteration observations of the
+/// `(sampling_ratio, seed)` extrapolation run under the configured worker
+/// selection (the caller has them anyway for extrapolation): training ratios
+/// equal to the sampling ratio reuse them instead of re-running, and they
+/// are the fallback training source when every training ratio yields an
+/// empty sample and no history exists.
+#[allow(clippy::too_many_arguments)]
+fn stage_model(
+    ctx: &StageCtx<'_>,
+    workload: &dyn Workload,
+    config: &PredictorConfig,
+    transform: TransformFunction,
+    sample_observations: &[IterationObservation],
+    history: &HistoryStore,
+    history_version: u64,
+) -> Result<Arc<TrainedModel>, PredictError> {
+    let key = ModelKey {
+        workload: workload.cache_token(),
+        config_fingerprint: config.fingerprint(),
+        history_version,
+    };
+    if let Some(caches) = ctx.caches {
+        if let Some(hit) = caches.models.lock().unwrap().get(&key) {
+            caches.record(true);
+            return Ok(Arc::clone(hit));
+        }
+        caches.record(false);
+    }
+
+    let mut training: Vec<IterationObservation> = Vec::new();
+    for (i, &train_ratio) in config.training_ratios.iter().enumerate() {
+        if (train_ratio - config.sampling_ratio).abs() < 1e-12 {
+            training.extend(sample_observations.iter().copied());
+            continue;
+        }
+        let seed = config.seed.wrapping_add(1 + i as u64);
+        let train_sample = match stage_sample(ctx, train_ratio, seed) {
+            Ok(s) => s,
+            // An empty training sample is skipped, exactly as the paper's
+            // protocol drops ratios too small for the dataset.
+            Err(e) if e.is_empty_sample() => continue,
+            Err(e) => return Err(e),
+        };
+        let train_run = stage_run(ctx, workload, transform, &train_sample);
+        training.extend(train_run.observations(config.worker_selection));
+    }
+    let sample_rows = training.len();
+    // Historical actual runs of the same workload on *other* datasets.
+    let history_observations =
+        history.observations_for(workload.name(), Some(ctx.dataset), config.worker_selection);
+    let history_rows = history_observations.len();
+    training.extend(history_observations);
+
+    let source = if training.is_empty() {
+        if config.strict_training {
+            return Err(PredictError::InsufficientTraining {
+                workload: workload.name().to_string(),
+                dataset: ctx.dataset.to_string(),
+            });
+        }
+        training = sample_observations.to_vec();
+        TrainingSource::ExtrapolationSampleOnly
+    } else if history_rows > 0 {
+        TrainingSource::SampleRunsWithHistory
+    } else {
+        TrainingSource::SampleRuns
+    };
+
+    let cost_model =
+        CostModel::train(&training, &config.cost_model).map_err(PredictError::CostModel)?;
+    let model = Arc::new(TrainedModel {
+        cost_model,
+        provenance: TrainingProvenance {
+            source,
+            sample_observations: if source == TrainingSource::ExtrapolationSampleOnly {
+                training.len()
+            } else {
+                sample_rows
+            },
+            history_observations: history_rows,
+            history_version,
+            training_ratios: config.training_ratios.clone(),
+        },
+    });
+    if let Some(caches) = ctx.caches {
+        return Ok(Arc::clone(
+            caches.models.lock().unwrap().entry(key).or_insert(model),
+        ));
+    }
+    Ok(model)
+}
+
+/// Executes (or reuses) the actual run of `workload` on the full graph.
+fn stage_actual(ctx: &StageCtx<'_>, workload: &dyn Workload) -> Arc<WorkloadRun> {
+    let key = workload.cache_token();
+    if let Some(caches) = ctx.caches {
+        if let Some(hit) = caches.actuals.lock().unwrap().get(&key) {
+            caches.record(true);
+            return Arc::clone(hit);
+        }
+        caches.record(false);
+    }
+    let run = Arc::new(workload.run(ctx.engine, ctx.graph));
+    if let Some(caches) = ctx.caches {
+        return Arc::clone(caches.actuals.lock().unwrap().entry(key).or_insert(run));
+    }
+    run
+}
+
+/// The full prediction: stages 1–3 plus extrapolation and assembly.
+pub(crate) fn predict_stages(
+    ctx: &StageCtx<'_>,
+    workload: &dyn Workload,
+    config: &PredictorConfig,
+    history: &HistoryStore,
+    history_version: u64,
+) -> Result<Prediction, PredictError> {
+    config.validate()?;
+    let transform = config
+        .transform
+        .unwrap_or_else(|| TransformFunction::default_for(workload.convergence()));
+
+    let sample = stage_sample(ctx, config.sampling_ratio, config.seed)?;
+    let run = stage_run(ctx, workload, transform, &sample);
+    // Extracted once: stage 3 trains on these observations (when a training
+    // ratio equals the sampling ratio) and the extrapolation below scales
+    // them to the full graph.
+    let sample_observations = run.observations(config.worker_selection);
+    let model = stage_model(
+        ctx,
+        workload,
+        config,
+        transform,
+        &sample_observations,
+        history,
+        history_version,
+    )?;
+
+    // Extrapolation and per-iteration prediction (cheap; never cached).
+    let extrapolator = sample.extrapolator();
+    let extrapolated_features: Vec<FeatureSet> = sample_observations
+        .iter()
+        .map(|o| extrapolator.extrapolate_with_rule(&o.features, config.extrapolation_rule))
+        .collect();
+    let per_iteration_ms: Vec<f64> = extrapolated_features
+        .iter()
+        .map(|f| model.cost_model.predict_iteration_ms(f).max(0.0))
+        .collect();
+    let predicted_superstep_ms = per_iteration_ms.iter().sum();
+
+    // Graph-level remote message bytes, extrapolated by the edge factor.
+    let predicted_remote_message_bytes: f64 = run
+        .profile
+        .per_superstep_totals()
+        .iter()
+        .map(|t| t.remote_message_bytes as f64)
+        .sum::<f64>()
+        * extrapolator.edge_factor;
+
+    Ok(Prediction {
+        workload: workload.name().to_string(),
+        predicted_iterations: run.iterations(),
+        predicted_superstep_ms,
+        per_iteration_ms,
+        extrapolated_features,
+        predicted_remote_message_bytes,
+        cost_model: model.cost_model.clone(),
+        training: model.provenance.clone(),
+        extrapolator,
+        sample_run_total_ms: run.profile.total_ms(),
+        sample_profile: run.profile.clone(),
+        achieved_sampling_ratio: sample.clamped_ratio(),
+    })
+}
+
+/// Prediction plus the measured actual run.
+pub(crate) fn evaluate_stages(
+    ctx: &StageCtx<'_>,
+    workload: &dyn Workload,
+    config: &PredictorConfig,
+    history: &HistoryStore,
+    history_version: u64,
+) -> Result<Evaluation, PredictError> {
+    let prediction = predict_stages(ctx, workload, config, history, history_version)?;
+    let actual = stage_actual(ctx, workload);
+    let actual_remote_message_bytes: f64 = actual
+        .profile
+        .per_superstep_totals()
+        .iter()
+        .map(|t| t.remote_message_bytes as f64)
+        .sum();
+    Ok(Evaluation {
+        prediction,
+        actual_iterations: actual.iterations(),
+        actual_superstep_ms: actual.profile.superstep_phase_ms(),
+        actual_total_ms: actual.profile.total_ms(),
+        actual_remote_message_bytes,
+        actual_profile: actual.profile.clone(),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Builder and session.
+
+/// Fluent builder for [`PredictionSession`]s, obtained from
+/// [`crate::Predictor::builder`].
+///
+/// Defaults: a [`BspEngine`] with the default configuration, the paper's
+/// [`BiasedRandomJump`] sampler, and [`PredictorConfig::default`].
+pub struct PredictorBuilder {
+    engine: Arc<BspEngine>,
+    sampler: Arc<dyn Sampler>,
+    config: PredictorConfig,
+}
+
+impl Default for PredictorBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PredictorBuilder {
+    /// Creates a builder with default engine, sampler and configuration.
+    pub fn new() -> Self {
+        Self {
+            engine: Arc::new(BspEngine::default()),
+            sampler: Arc::new(BiasedRandomJump::default()),
+            config: PredictorConfig::default(),
+        }
+    }
+
+    /// Sets the BSP engine (owned or already shared).
+    pub fn engine(mut self, engine: impl Into<Arc<BspEngine>>) -> Self {
+        self.engine = engine.into();
+        self
+    }
+
+    /// Sets the sampling technique.
+    pub fn sampler<S: Sampler + 'static>(mut self, sampler: S) -> Self {
+        self.sampler = Arc::new(sampler);
+        self
+    }
+
+    /// Sets an already-shared sampling technique.
+    pub fn sampler_arc(mut self, sampler: Arc<dyn Sampler>) -> Self {
+        self.sampler = sampler;
+        self
+    }
+
+    /// Sets the default pipeline configuration of the session (individual
+    /// predictions may still override it via
+    /// [`PredictionSession::predict_with`]).
+    pub fn config(mut self, config: PredictorConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Binds the builder to a dataset, producing a session with empty caches
+    /// and an empty history store.
+    pub fn bind(self, graph: impl Into<Arc<CsrGraph>>, dataset: &str) -> PredictionSession {
+        self.bind_with_history(graph, dataset, HistoryStore::new())
+    }
+
+    /// Binds the builder to a dataset with a pre-loaded history store.
+    /// Historical runs recorded under the session's own `dataset` label are
+    /// excluded from training (the paper's leave-one-out protocol).
+    pub fn bind_with_history(
+        self,
+        graph: impl Into<Arc<CsrGraph>>,
+        dataset: &str,
+        history: HistoryStore,
+    ) -> PredictionSession {
+        PredictionSession {
+            engine: self.engine,
+            sampler: self.sampler,
+            config: self.config,
+            graph: graph.into(),
+            dataset: dataset.to_string(),
+            caches: ArtifactCaches::default(),
+            history: RwLock::new(HistoryState {
+                store: Arc::new(history),
+                version: 0,
+            }),
+        }
+    }
+}
+
+/// History store behind copy-on-write: readers snapshot the `Arc` in a
+/// narrow lock scope (see [`PredictionSession::history_snapshot`]), so the
+/// lock is never held across engine work.
+struct HistoryState {
+    store: Arc<HistoryStore>,
+    version: u64,
+}
+
+/// Cache occupancy and hit statistics of one session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct SessionStats {
+    /// Cached sampling-stage artifacts.
+    pub samples: usize,
+    /// Cached sample-run artifacts.
+    pub sample_runs: usize,
+    /// Cached trained models.
+    pub models: usize,
+    /// Cached actual-run profiles.
+    pub actual_runs: usize,
+    /// Total cache hits across all stages.
+    pub hits: u64,
+    /// Total cache misses across all stages.
+    pub misses: u64,
+}
+
+/// A thread-safe prediction session bound to one dataset.
+///
+/// See the [module documentation](self) for the caching model. All methods
+/// take `&self`; the session is `Sync` and cheap to share behind an [`Arc`]
+/// (which is how [`crate::PredictService`] holds it).
+pub struct PredictionSession {
+    engine: Arc<BspEngine>,
+    sampler: Arc<dyn Sampler>,
+    config: PredictorConfig,
+    graph: Arc<CsrGraph>,
+    dataset: String,
+    caches: ArtifactCaches,
+    history: RwLock<HistoryState>,
+}
+
+impl PredictionSession {
+    fn ctx<'a>(&'a self) -> StageCtx<'a> {
+        StageCtx {
+            engine: &self.engine,
+            sampler: self.sampler.as_ref(),
+            graph: &self.graph,
+            dataset: &self.dataset,
+            caches: Some(&self.caches),
+        }
+    }
+
+    /// The dataset label this session is bound to.
+    pub fn dataset(&self) -> &str {
+        &self.dataset
+    }
+
+    /// The full graph this session predicts on.
+    pub fn graph(&self) -> &Arc<CsrGraph> {
+        &self.graph
+    }
+
+    /// The session's engine (shared; its run counter spans all users).
+    pub fn engine(&self) -> &Arc<BspEngine> {
+        &self.engine
+    }
+
+    /// The session's default pipeline configuration.
+    pub fn config(&self) -> &PredictorConfig {
+        &self.config
+    }
+
+    /// Snapshots the history store and its version in a narrow lock scope.
+    /// Stages run against the snapshot `Arc`, never under the lock, so a
+    /// concurrent [`PredictionSession::record_history`] is not blocked by
+    /// in-flight predictions (and cannot serialize other readers behind a
+    /// waiting writer).
+    fn history_snapshot(&self) -> (Arc<HistoryStore>, u64) {
+        let history = self.history.read().unwrap();
+        (Arc::clone(&history.store), history.version)
+    }
+
+    /// Predicts `workload` with the session's default configuration.
+    pub fn predict(&self, workload: &dyn Workload) -> Result<Prediction, PredictError> {
+        self.predict_with(workload, &self.config)
+    }
+
+    /// Predicts `workload` with an explicit configuration override (e.g. one
+    /// point of a sampling-ratio sweep). Artifacts shared with other
+    /// configurations — equal `(ratio, seed)` draws and sample runs — are
+    /// reused from the cache.
+    pub fn predict_with(
+        &self,
+        workload: &dyn Workload,
+        config: &PredictorConfig,
+    ) -> Result<Prediction, PredictError> {
+        let (history, version) = self.history_snapshot();
+        predict_stages(&self.ctx(), workload, config, &history, version)
+    }
+
+    /// Predicts and then executes (or reuses) the actual run, returning both
+    /// so the prediction error can be measured.
+    pub fn evaluate(&self, workload: &dyn Workload) -> Result<Evaluation, PredictError> {
+        self.evaluate_with(workload, &self.config)
+    }
+
+    /// [`PredictionSession::evaluate`] with an explicit configuration.
+    pub fn evaluate_with(
+        &self,
+        workload: &dyn Workload,
+        config: &PredictorConfig,
+    ) -> Result<Evaluation, PredictError> {
+        let (history, version) = self.history_snapshot();
+        evaluate_stages(&self.ctx(), workload, config, &history, version)
+    }
+
+    /// Draws (or reuses) the stage-1 sampling artifact for `(ratio, seed)`.
+    pub fn sample_artifact(
+        &self,
+        ratio: f64,
+        seed: u64,
+    ) -> Result<Arc<SampleArtifact>, PredictError> {
+        stage_sample(&self.ctx(), ratio, seed)
+    }
+
+    /// Executes (or reuses) the stage-2 sample run of `workload` on the
+    /// `(ratio, seed)` sample under `transform`.
+    pub fn sample_run(
+        &self,
+        workload: &dyn Workload,
+        ratio: f64,
+        seed: u64,
+        transform: TransformFunction,
+    ) -> Result<Arc<SampleRunArtifact>, PredictError> {
+        let sample = self.sample_artifact(ratio, seed)?;
+        Ok(stage_run(&self.ctx(), workload, transform, &sample))
+    }
+
+    /// Trains (or reuses) the stage-3 cost model of `workload` under
+    /// `config`.
+    pub fn trained_model(
+        &self,
+        workload: &dyn Workload,
+        config: &PredictorConfig,
+    ) -> Result<Arc<TrainedModel>, PredictError> {
+        config.validate()?;
+        let transform = config
+            .transform
+            .unwrap_or_else(|| TransformFunction::default_for(workload.convergence()));
+        let ctx = self.ctx();
+        let sample = stage_sample(&ctx, config.sampling_ratio, config.seed)?;
+        let run = stage_run(&ctx, workload, transform, &sample);
+        let sample_observations = run.observations(config.worker_selection);
+        let (history, version) = self.history_snapshot();
+        stage_model(
+            &ctx,
+            workload,
+            config,
+            transform,
+            &sample_observations,
+            &history,
+            version,
+        )
+    }
+
+    /// Executes (or reuses) the actual run of `workload` on the full graph.
+    pub fn actual_run(&self, workload: &dyn Workload) -> Arc<WorkloadRun> {
+        stage_actual(&self.ctx(), workload)
+    }
+
+    /// Records a historical actual run. Bumps the history version, so models
+    /// trained against the previous history are not reused for subsequent
+    /// predictions (sampling and sample-run artifacts stay valid).
+    ///
+    /// Copy-on-write: in-flight predictions keep reading their snapshot of
+    /// the previous store; only the first record after a snapshot clones the
+    /// underlying data.
+    pub fn record_history(&self, workload: &str, dataset: &str, profile: RunProfile) {
+        let mut history = self.history.write().unwrap();
+        Arc::make_mut(&mut history.store).record(workload, dataset, profile);
+        history.version += 1;
+    }
+
+    /// The current history version (starts at 0, +1 per recorded run).
+    pub fn history_version(&self) -> u64 {
+        self.history.read().unwrap().version
+    }
+
+    /// Number of historical runs the session currently holds.
+    pub fn history_len(&self) -> usize {
+        self.history.read().unwrap().store.len()
+    }
+
+    /// Cache occupancy and hit statistics.
+    pub fn stats(&self) -> SessionStats {
+        SessionStats {
+            samples: self.caches.samples.lock().unwrap().len(),
+            sample_runs: self.caches.runs.lock().unwrap().len(),
+            models: self.caches.models.lock().unwrap().len(),
+            actual_runs: self.caches.actuals.lock().unwrap().len(),
+            hits: self.caches.hits.load(Ordering::Relaxed),
+            misses: self.caches.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Predictor;
+    use predict_algorithms::{
+        ConnectedComponentsWorkload, NeighborhoodWorkload, PageRankWorkload, TopKWorkload,
+    };
+    use predict_bsp::{BspConfig, ClusterCostConfig};
+    use predict_graph::generators::{generate_rmat, RmatConfig};
+
+    fn engine() -> BspEngine {
+        BspEngine::new(BspConfig::with_workers(4).with_cost(ClusterCostConfig::default()))
+    }
+
+    fn graph() -> CsrGraph {
+        generate_rmat(&RmatConfig::new(11, 8).with_seed(21))
+    }
+
+    fn session(config: PredictorConfig) -> PredictionSession {
+        Predictor::builder()
+            .engine(engine())
+            .sampler(BiasedRandomJump::default())
+            .config(config)
+            .bind(graph(), "test")
+    }
+
+    #[test]
+    fn session_matches_fresh_predictor_exactly() {
+        let g = graph();
+        let engine = engine();
+        let sampler = BiasedRandomJump::default();
+        let workload = PageRankWorkload::with_epsilon(0.001, g.num_vertices());
+        let config = PredictorConfig::default().with_seed(13);
+
+        let fresh = Predictor::new(&engine, &sampler, config.clone())
+            .predict(&workload, &g, &HistoryStore::new(), "test")
+            .unwrap();
+        let s = Predictor::builder()
+            .engine(engine.clone())
+            .sampler(BiasedRandomJump::default())
+            .config(config)
+            .bind(g, "test");
+        let cached_cold = s.predict(&workload).unwrap();
+        let cached_warm = s.predict(&workload).unwrap();
+
+        for p in [&cached_cold, &cached_warm] {
+            assert_eq!(fresh.predicted_iterations, p.predicted_iterations);
+            assert_eq!(fresh.predicted_superstep_ms, p.predicted_superstep_ms);
+            assert_eq!(fresh.per_iteration_ms, p.per_iteration_ms);
+            assert_eq!(fresh.achieved_sampling_ratio, p.achieved_sampling_ratio);
+            assert_eq!(fresh.sample_profile, p.sample_profile);
+        }
+    }
+
+    #[test]
+    fn repeated_predictions_hit_the_cache() {
+        let s = session(PredictorConfig::single_ratio(0.1));
+        let workload = PageRankWorkload::with_epsilon(0.01, s.graph().num_vertices());
+        s.predict(&workload).unwrap();
+        let after_first = s.engine().runs_executed();
+        assert!(after_first >= 1);
+        s.predict(&workload).unwrap();
+        assert_eq!(
+            s.engine().runs_executed(),
+            after_first,
+            "second prediction must not re-run the engine"
+        );
+        let stats = s.stats();
+        assert_eq!(stats.samples, 1);
+        assert_eq!(stats.sample_runs, 1);
+        assert_eq!(stats.models, 1);
+        assert!(stats.hits >= 3);
+    }
+
+    #[test]
+    fn one_sampling_pass_serves_many_workloads() {
+        let s = session(PredictorConfig::single_ratio(0.1));
+        let n = s.graph().num_vertices();
+        let workloads: Vec<Box<dyn Workload>> = vec![
+            Box::new(PageRankWorkload::with_epsilon(0.01, n)),
+            Box::new(TopKWorkload::default()),
+            Box::new(ConnectedComponentsWorkload),
+            Box::new(NeighborhoodWorkload::default()),
+        ];
+        for w in &workloads {
+            s.predict(w.as_ref()).unwrap();
+        }
+        let stats = s.stats();
+        // One (ratio, seed) pair -> one sampling artifact for all workloads.
+        assert_eq!(stats.samples, 1);
+        assert_eq!(stats.sample_runs, workloads.len());
+        assert_eq!(stats.models, workloads.len());
+    }
+
+    #[test]
+    fn config_override_shares_compatible_artifacts() {
+        let s = session(PredictorConfig::single_ratio(0.1));
+        let workload = PageRankWorkload::with_epsilon(0.01, s.graph().num_vertices());
+        s.predict(&workload).unwrap();
+        let runs_before = s.engine().runs_executed();
+        // Same (ratio, seed) and transform, different extrapolation rule:
+        // sampling and the sample run are reused; only the model key differs.
+        let mut other = PredictorConfig::single_ratio(0.1);
+        other.extrapolation_rule = ExtrapolationRule::EdgesOnly;
+        s.predict_with(&workload, &other).unwrap();
+        assert_eq!(s.engine().runs_executed(), runs_before);
+        assert_eq!(s.stats().sample_runs, 1);
+        assert_eq!(s.stats().models, 2);
+    }
+
+    #[test]
+    fn recording_history_invalidates_models_but_not_runs() {
+        let s = session(PredictorConfig::single_ratio(0.1));
+        let workload = TopKWorkload::default();
+        s.predict(&workload).unwrap();
+        let runs_before = s.engine().runs_executed();
+
+        // An actual run on a different dataset becomes history.
+        let other = generate_rmat(&RmatConfig::new(10, 6).with_seed(5));
+        let other_run = workload.run(s.engine(), &other);
+        let runs_after_actual = s.engine().runs_executed();
+        assert!(runs_after_actual > runs_before);
+        s.record_history(workload.name(), "other", other_run.profile);
+        assert_eq!(s.history_version(), 1);
+
+        let p = s.predict(&workload).unwrap();
+        // The model was retrained against the new history...
+        assert_eq!(p.training.history_version, 1);
+        assert_eq!(p.training.source, TrainingSource::SampleRunsWithHistory);
+        assert!(p.training.history_observations > 0);
+        // ...but no new engine runs were needed: sample runs stayed cached.
+        assert_eq!(s.engine().runs_executed(), runs_after_actual);
+        assert_eq!(s.stats().models, 2);
+    }
+
+    #[test]
+    fn strict_training_surfaces_insufficient_training() {
+        // training_ratios empty and no history: the only data is the
+        // extrapolation sample run itself.
+        let mut config = PredictorConfig::single_ratio(0.1);
+        config.training_ratios = Vec::new();
+        let lenient = session(config.clone());
+        let workload = PageRankWorkload::with_epsilon(0.01, lenient.graph().num_vertices());
+        let p = lenient.predict(&workload).unwrap();
+        assert_eq!(p.training.source, TrainingSource::ExtrapolationSampleOnly);
+        assert!(p.training.sample_observations > 0);
+
+        config.strict_training = true;
+        let strict = session(config);
+        let err = strict.predict(&workload).unwrap_err();
+        assert!(matches!(err, PredictError::InsufficientTraining { .. }));
+    }
+
+    #[test]
+    fn invalid_configs_error_instead_of_panicking() {
+        let s = session(PredictorConfig::default());
+        let workload = PageRankWorkload::with_epsilon(0.01, s.graph().num_vertices());
+        for bad in [f64::NAN, f64::INFINITY, 0.0, -0.5] {
+            let config = PredictorConfig::default().with_sampling_ratio(bad);
+            let err = s.predict_with(&workload, &config).unwrap_err();
+            assert!(matches!(err, PredictError::InvalidConfig(_)), "{bad}");
+        }
+        let config = PredictorConfig {
+            training_ratios: vec![0.1, f64::NAN],
+            ..Default::default()
+        };
+        assert!(matches!(
+            s.predict_with(&workload, &config).unwrap_err(),
+            PredictError::InvalidConfig(_)
+        ));
+    }
+
+    #[test]
+    fn evaluate_reuses_the_cached_actual_run() {
+        let s = session(PredictorConfig::single_ratio(0.1));
+        let workload = PageRankWorkload::with_epsilon(0.01, s.graph().num_vertices());
+        let a = s.evaluate(&workload).unwrap();
+        let runs = s.engine().runs_executed();
+        let b = s.evaluate(&workload).unwrap();
+        assert_eq!(s.engine().runs_executed(), runs);
+        assert_eq!(a.actual_iterations, b.actual_iterations);
+        assert_eq!(a.actual_superstep_ms, b.actual_superstep_ms);
+        assert!(a.sample_overhead_ratio() < 1.0);
+    }
+
+    #[test]
+    fn zero_cost_actual_run_reports_nan_overhead() {
+        let s = session(PredictorConfig::single_ratio(0.1));
+        let workload = PageRankWorkload::with_epsilon(0.01, s.graph().num_vertices());
+        let mut eval = s.evaluate(&workload).unwrap();
+        eval.actual_total_ms = 0.0;
+        assert!(eval.sample_overhead_ratio().is_nan());
+    }
+
+    #[test]
+    fn predictions_serialize_to_json() {
+        let s = session(PredictorConfig::single_ratio(0.1));
+        let workload = PageRankWorkload::with_epsilon(0.01, s.graph().num_vertices());
+        let eval = s.evaluate(&workload).unwrap();
+        let json = serde_json::to_string(&eval).unwrap();
+        assert!(json.contains("predicted_superstep_ms"));
+        assert!(json.contains("training"));
+        // Deterministic writer: serializing twice is byte-identical.
+        assert_eq!(json, serde_json::to_string(&eval).unwrap());
+    }
+
+    #[test]
+    fn config_fingerprint_distinguishes_configs() {
+        let a = PredictorConfig::default();
+        assert_eq!(a.fingerprint(), PredictorConfig::default().fingerprint());
+        assert_ne!(a.fingerprint(), a.clone().with_seed(1).fingerprint());
+        assert_ne!(
+            a.fingerprint(),
+            a.clone().with_sampling_ratio(0.2).fingerprint()
+        );
+        assert_ne!(
+            a.fingerprint(),
+            a.clone().with_strict_training(true).fingerprint()
+        );
+    }
+}

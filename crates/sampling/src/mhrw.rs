@@ -1,6 +1,6 @@
 //! Metropolis–Hastings Random Walk (MHRW) sampling.
 //!
-//! MHRW (Gjoka et al., INFOCOM 2010 — reference [15] of the paper) is a random
+//! MHRW (Gjoka et al., INFOCOM 2010 — reference \[15\] of the paper) is a random
 //! walk whose transition probabilities are corrected with a
 //! Metropolis–Hastings acceptance step so that the stationary distribution is
 //! *uniform* over vertices rather than proportional to degree. The paper uses

@@ -6,10 +6,11 @@
 //! given a seed so experiments are reproducible.
 
 use predict_graph::{induced_subgraph, CsrGraph, SubgraphMapping, VertexId};
+use serde::Serialize;
 
 /// A vertex sample of a graph: the induced subgraph plus the mapping back to
 /// the original vertex ids and the ratio that was requested.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize)]
 pub struct GraphSample {
     /// The induced subgraph over the selected vertices (dense ids).
     pub graph: CsrGraph,
@@ -45,8 +46,11 @@ impl GraphSample {
 /// A graph sampling technique.
 ///
 /// Implementations must be deterministic for a fixed `(graph, ratio, seed)`
-/// triple; all randomness must flow from the seed.
-pub trait Sampler {
+/// triple; all randomness must flow from the seed. Samplers are `Send + Sync`
+/// so one instance can be shared behind an `Arc` by concurrent prediction
+/// sessions — every implementation in this crate is a plain configuration
+/// struct with no interior mutability.
+pub trait Sampler: Send + Sync {
     /// Short name of the technique (used in reports and plots, e.g. "BRJ").
     fn name(&self) -> &'static str;
 

@@ -10,14 +10,16 @@
 //! several worker counts (PREDIcT's assumption iii — sample run and actual
 //! run use the same configuration — is satisfied per candidate allocation)
 //! and picks the smallest allocation whose predicted runtime meets the
-//! deadline.
+//! deadline. Each allocation gets its own prediction session, because the
+//! engine configuration is part of what a session binds; the dataset graph
+//! is shared across all of them through an `Arc`.
 
 use predict_repro::algorithms::SemiClusteringParams;
 use predict_repro::prelude::*;
+use std::sync::Arc;
 
 fn main() {
-    let sampler = BiasedRandomJump::default();
-    let graph = Dataset::Wikipedia.load();
+    let graph = Arc::new(Dataset::Wikipedia.load());
     let workload = SemiClusteringWorkload::new(SemiClusteringParams::default());
     let deadline_ms = 12_000.0;
 
@@ -34,11 +36,12 @@ fn main() {
 
     let mut chosen: Option<(usize, f64)> = None;
     for workers in [2usize, 4, 8, 16, 29] {
-        let engine = BspEngine::new(BspConfig::with_workers(workers));
-        let predictor = Predictor::new(&engine, &sampler, PredictorConfig::default());
-        let prediction = predictor
-            .predict(&workload, &graph, &HistoryStore::new(), "Wiki")
-            .expect("prediction succeeds");
+        let session = Predictor::builder()
+            .engine(BspEngine::new(BspConfig::with_workers(workers)))
+            .sampler(BiasedRandomJump::default())
+            .config(PredictorConfig::default())
+            .bind(Arc::clone(&graph), "Wiki");
+        let prediction = session.predict(&workload).expect("prediction succeeds");
         let meets = prediction.predicted_superstep_ms <= deadline_ms;
         println!(
             "{:>8} {:>18.0} {:>14}",

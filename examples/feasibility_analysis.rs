@@ -9,14 +9,16 @@
 //! The example predicts the runtime of a small mixed workload (PageRank,
 //! connected components, neighborhood estimation) on the UK-2002 analog from
 //! 10% sample runs, sums the predictions and compares the total against an
-//! SLA deadline — without ever executing the full workload.
+//! SLA deadline — without ever executing the full workload. All three
+//! predictions go through one session, so the 10% sample of the graph is
+//! drawn once and shared; only the per-workload sample runs and cost models
+//! differ (the session's cache statistics at the end show the sharing).
 
 use predict_repro::prelude::*;
+use std::sync::Arc;
 
 fn main() {
-    let engine = BspEngine::new(BspConfig::with_workers(8));
-    let sampler = BiasedRandomJump::default();
-    let graph = Dataset::Uk2002.load();
+    let graph = Arc::new(Dataset::Uk2002.load());
     println!(
         "cluster: 8 workers | dataset: UK-2002 analog ({} vertices, {} edges)",
         graph.num_vertices(),
@@ -29,7 +31,11 @@ fn main() {
         Box::new(NeighborhoodWorkload::default()),
     ];
 
-    let predictor = Predictor::new(&engine, &sampler, PredictorConfig::default());
+    let session = Predictor::builder()
+        .engine(BspEngine::new(BspConfig::with_workers(8)))
+        .sampler(BiasedRandomJump::default())
+        .config(PredictorConfig::default())
+        .bind(graph, "UK");
     let mut total_predicted_ms = 0.0;
     let mut total_sample_cost_ms = 0.0;
     println!(
@@ -37,8 +43,8 @@ fn main() {
         "workload", "iterations", "predicted [ms]"
     );
     for workload in &workloads {
-        let prediction = predictor
-            .predict(workload.as_ref(), &graph, &HistoryStore::new(), "UK")
+        let prediction = session
+            .predict(workload.as_ref())
             .expect("prediction succeeds");
         println!(
             "{:<8} {:>12} {:>16.0}",
@@ -50,8 +56,14 @@ fn main() {
         total_sample_cost_ms += prediction.sample_run_total_ms;
     }
 
+    let stats = session.stats();
+    println!(
+        "\nsession cache: {} sample draw(s) shared by {} sample runs ({} hits, {} misses)",
+        stats.samples, stats.sample_runs, stats.hits, stats.misses
+    );
+
     let sla_ms = 20_000.0;
-    println!("\npredicted workload runtime: {total_predicted_ms:.0} ms (simulated cluster time)");
+    println!("predicted workload runtime: {total_predicted_ms:.0} ms (simulated cluster time)");
     println!("cost of the sample runs:    {total_sample_cost_ms:.0} ms");
     println!("SLA budget:                 {sla_ms:.0} ms");
     if total_predicted_ms <= sla_ms {

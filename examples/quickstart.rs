@@ -1,22 +1,26 @@
 //! Quickstart: the end-to-end PREDIcT methodology (Figure 1 of the paper) on
-//! a single workload.
+//! a single workload, through the session API.
 //!
 //! ```bash
 //! cargo run --release --example quickstart
 //! ```
 //!
 //! The example: (1) builds a scaled-down analog of the paper's Wikipedia
-//! graph, (2) draws a 10% Biased Random Jump sample, (3) runs PageRank on the
-//! sample with the transformed convergence threshold, (4) trains a cost model
-//! from the sample run, (5) extrapolates the per-iteration features and
-//! predicts the runtime — and then runs the actual job to show how close the
-//! prediction landed.
+//! graph, (2) binds a prediction session to it — engine + Biased Random Jump
+//! sampler + pipeline configuration, (3) asks the session to evaluate
+//! PageRank: it draws a 10% sample, runs PageRank on the sample with the
+//! transformed convergence threshold, trains a cost model from sample runs
+//! at ratios 0.05–0.2, extrapolates the per-iteration features, predicts the
+//! runtime — and then runs the actual job to show how close the prediction
+//! landed. A second prediction against the same session would reuse every
+//! cached stage artifact (see `examples/feasibility_analysis.rs`).
 
 use predict_repro::prelude::*;
+use std::sync::Arc;
 
 fn main() {
     // 1. Input dataset: the Wikipedia analog at the default experiment scale.
-    let graph = Dataset::Wikipedia.load();
+    let graph = Arc::new(Dataset::Wikipedia.load());
     println!(
         "dataset: Wikipedia analog with {} vertices and {} edges",
         graph.num_vertices(),
@@ -28,15 +32,19 @@ fn main() {
     let workload = PageRankWorkload::with_epsilon(0.001, graph.num_vertices());
     println!("workload: PageRank, damping 0.85, tau = 0.001 / N");
 
-    // 3. PREDIcT: BRJ sampling at 10%, default transform, cost model trained
-    //    on sample runs at ratios 0.05-0.2.
-    let engine = BspEngine::new(BspConfig::with_workers(8));
-    let sampler = BiasedRandomJump::default();
-    let predictor = Predictor::new(&engine, &sampler, PredictorConfig::default());
+    // 3. PREDIcT session: bind the dataset once to an 8-worker engine, BRJ
+    //    sampling at 10%, the default transform, and a cost model trained on
+    //    sample runs at ratios 0.05-0.2. Every stage artifact (sample draw,
+    //    sample runs, trained model, actual run) is cached in the session.
+    let session = Predictor::builder()
+        .engine(BspEngine::new(BspConfig::with_workers(8)))
+        .sampler(BiasedRandomJump::default())
+        .config(PredictorConfig::default())
+        .bind(graph, "Wiki");
 
-    let evaluation = predictor
-        .evaluate(&workload, &graph, &HistoryStore::new(), "Wiki")
-        .expect("prediction succeeds");
+    // 4. Evaluate: predict from the sample run, then execute the actual run
+    //    to measure the prediction error.
+    let evaluation = session.evaluate(&workload).expect("prediction succeeds");
     let prediction = &evaluation.prediction;
 
     println!("\n--- prediction (from the 10% sample run) ---");
@@ -57,6 +65,12 @@ fn main() {
             .map(|f| f.name())
             .collect::<Vec<_>>(),
         prediction.cost_model.r_squared()
+    );
+    println!(
+        "training sources: {:?} ({} sample rows, {} history rows)",
+        prediction.training.source,
+        prediction.training.sample_observations,
+        prediction.training.history_observations
     );
     println!(
         "sample run cost: {:.0} ms ({:.1}% of the actual run)",

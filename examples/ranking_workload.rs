@@ -9,17 +9,23 @@
 //! Top-k ranking is the paper's example of an algorithm whose per-iteration
 //! runtime varies with the number of messages sent, which is why predicting
 //! its runtime needs per-iteration feature extrapolation rather than a single
-//! average-iteration estimate.
+//! average-iteration estimate. The two datasets are served through one
+//! `PredictService`, the front-end a scheduler would hold: each dataset gets
+//! a cached session, and repeated requests against either dataset would be
+//! answered from the cached artifacts.
 
 use predict_repro::algorithms::TopKParams;
 use predict_repro::prelude::*;
+use std::sync::Arc;
 
 fn main() {
-    let engine = BspEngine::new(BspConfig::with_workers(8));
-    let sampler = BiasedRandomJump::default();
+    let service = PredictService::new(
+        BspEngine::new(BspConfig::with_workers(8)),
+        Arc::new(BiasedRandomJump::default()),
+    );
 
     for dataset in [Dataset::Wikipedia, Dataset::Uk2002] {
-        let graph = dataset.load();
+        let graph = Arc::new(dataset.load());
         println!(
             "\n=== {} analog: {} vertices, {} edges ===",
             dataset.name(),
@@ -29,11 +35,12 @@ fn main() {
 
         // Stage 1 of the pipeline (PageRank) is run as part of the top-k
         // workload; stage 2 (top-k ranking, k = 5) is what gets predicted.
-        let workload = TopKWorkload::new(TopKParams::new(5, 0.001), 0.01);
-        let predictor = Predictor::new(&engine, &sampler, PredictorConfig::default());
-        let evaluation = predictor
-            .evaluate(&workload, &graph, &HistoryStore::new(), dataset.prefix())
-            .expect("prediction succeeds");
+        let request = PredictRequest::new(
+            dataset.prefix(),
+            graph,
+            Arc::new(TopKWorkload::new(TopKParams::new(5, 0.001), 0.01)),
+        );
+        let evaluation = service.evaluate(&request).expect("prediction succeeds");
 
         let per_iteration = &evaluation.prediction.per_iteration_ms;
         let max = per_iteration.iter().cloned().fold(0.0f64, f64::max);

@@ -13,9 +13,11 @@
 //! * [`sampling`] — Biased Random Jump and the other sampling techniques;
 //! * [`bsp`] — the Giraph-like BSP engine with a simulated cluster clock;
 //! * [`algorithms`] — PageRank, top-k ranking, semi-clustering, connected
-//!   components, neighborhood estimation, SSSP and the [`Workload`] trait;
+//!   components, neighborhood estimation, SSSP and the
+//!   [`Workload`](algorithms::Workload) trait;
 //! * [`predict`] — the PREDIcT pipeline itself (transform functions,
-//!   extrapolation, cost models, prediction).
+//!   extrapolation, cost models), decomposed into cached prediction
+//!   sessions and the concurrent `PredictService` front-end.
 //!
 //! The [`prelude`] pulls in the handful of types most applications need.
 //!
@@ -30,13 +32,15 @@
 //! // The workload whose runtime we want to predict.
 //! let workload = PageRankWorkload::with_epsilon(0.01, graph.num_vertices());
 //!
-//! // PREDIcT: BRJ sampling + transform function + cost model.
-//! let engine = BspEngine::new(BspConfig::default());
-//! let sampler = BiasedRandomJump::default();
-//! let predictor = Predictor::new(&engine, &sampler, PredictorConfig::single_ratio(0.1));
-//! let prediction = predictor
-//!     .predict(&workload, &graph, &HistoryStore::new(), "Wiki")
-//!     .expect("prediction succeeds");
+//! // PREDIcT session: BRJ sampling + transform function + cost model,
+//! // bound to the dataset once. Stage artifacts (sample draws, sample
+//! // runs, trained models) are cached across predictions.
+//! let session = Predictor::builder()
+//!     .engine(BspEngine::new(BspConfig::default()))
+//!     .sampler(BiasedRandomJump::default())
+//!     .config(PredictorConfig::single_ratio(0.1))
+//!     .bind(graph, "Wiki");
+//! let prediction = session.predict(&workload).expect("prediction succeeds");
 //!
 //! assert!(prediction.predicted_iterations > 0);
 //! assert!(prediction.predicted_superstep_ms > 0.0);
@@ -69,7 +73,8 @@ pub mod prelude {
     };
     pub use predict_bsp::{BspConfig, BspEngine, ClusterCostConfig, RunProfile};
     pub use predict_core::{
-        Evaluation, HistoryStore, KeyFeature, Prediction, Predictor, PredictorConfig,
+        Evaluation, HistoryStore, KeyFeature, PredictError, PredictRequest, PredictService,
+        Prediction, PredictionSession, Predictor, PredictorConfig, TrainingSource,
         TransformFunction,
     };
     pub use predict_graph::datasets::{Dataset, DatasetScale};
@@ -84,13 +89,29 @@ mod tests {
     #[test]
     fn prelude_exposes_an_end_to_end_workflow() {
         let graph = Dataset::LiveJournal.load_small();
+        let workload = PageRankWorkload::with_epsilon(0.01, graph.num_vertices());
+        let session = Predictor::builder()
+            .engine(BspEngine::new(BspConfig::with_workers(4)))
+            .sampler(BiasedRandomJump::default())
+            .config(PredictorConfig::single_ratio(0.1))
+            .bind(graph, "LJ");
+        let prediction = session.predict(&workload).expect("prediction succeeds");
+        assert!(prediction.predicted_iterations > 0);
+        // The legacy one-shot facade stays available for single predictions.
         let engine = BspEngine::new(BspConfig::with_workers(4));
         let sampler = BiasedRandomJump::default();
-        let workload = PageRankWorkload::with_epsilon(0.01, graph.num_vertices());
         let predictor = Predictor::new(&engine, &sampler, PredictorConfig::single_ratio(0.1));
-        let prediction = predictor
-            .predict(&workload, &graph, &HistoryStore::new(), "LJ")
+        let one_shot = predictor
+            .predict(
+                &workload,
+                &Dataset::LiveJournal.load_small(),
+                &HistoryStore::new(),
+                "LJ",
+            )
             .expect("prediction succeeds");
-        assert!(prediction.predicted_iterations > 0);
+        assert_eq!(
+            one_shot.predicted_iterations,
+            prediction.predicted_iterations
+        );
     }
 }

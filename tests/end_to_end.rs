@@ -1,5 +1,6 @@
 //! Cross-crate integration tests: the full PREDIcT pipeline on small-scale
-//! dataset analogs, for every workload of the paper's evaluation.
+//! dataset analogs, for every workload of the paper's evaluation, driven
+//! through the session API.
 //!
 //! These tests assert the *shape* of the paper's headline results rather than
 //! absolute numbers: predictions exist, iteration counts land in the right
@@ -8,10 +9,7 @@
 
 use predict_repro::algorithms::{SemiClusteringParams, TopKParams};
 use predict_repro::prelude::*;
-
-fn engine() -> BspEngine {
-    BspEngine::new(BspConfig::with_workers(8))
-}
+use std::sync::Arc;
 
 fn predictor_config() -> PredictorConfig {
     // The paper's training protocol: extrapolate from the 10% sample run,
@@ -20,16 +18,19 @@ fn predictor_config() -> PredictorConfig {
     PredictorConfig::default().with_seed(7)
 }
 
+fn session(dataset: Dataset, label: &str) -> PredictionSession {
+    Predictor::builder()
+        .engine(BspEngine::new(BspConfig::with_workers(8)))
+        .sampler(BiasedRandomJump::default())
+        .config(predictor_config())
+        .bind(dataset.load_small(), label)
+}
+
 #[test]
 fn pagerank_end_to_end_on_scale_free_analog() {
-    let graph = Dataset::Wikipedia.load_small();
-    let engine = engine();
-    let sampler = BiasedRandomJump::default();
-    let workload = PageRankWorkload::with_epsilon(0.001, graph.num_vertices());
-    let predictor = Predictor::new(&engine, &sampler, predictor_config());
-    let eval = predictor
-        .evaluate(&workload, &graph, &HistoryStore::new(), "Wiki")
-        .expect("prediction succeeds");
+    let session = session(Dataset::Wikipedia, "Wiki");
+    let workload = PageRankWorkload::with_epsilon(0.001, session.graph().num_vertices());
+    let eval = session.evaluate(&workload).expect("prediction succeeds");
 
     // Headline shape: iteration prediction within a factor of ~2 even on the
     // tiny test-scale analog (the synthetic analogs are far better mixed than
@@ -53,14 +54,9 @@ fn pagerank_end_to_end_on_scale_free_analog() {
 
 #[test]
 fn topk_end_to_end_has_bounded_feature_and_runtime_errors() {
-    let graph = Dataset::Uk2002.load_small();
-    let engine = engine();
-    let sampler = BiasedRandomJump::default();
+    let session = session(Dataset::Uk2002, "UK");
     let workload = TopKWorkload::new(TopKParams::new(5, 0.001), 0.01);
-    let predictor = Predictor::new(&engine, &sampler, predictor_config());
-    let eval = predictor
-        .evaluate(&workload, &graph, &HistoryStore::new(), "UK")
-        .expect("prediction succeeds");
+    let eval = session.evaluate(&workload).expect("prediction succeeds");
 
     assert!(eval.prediction.predicted_iterations >= 2);
     assert!(
@@ -86,14 +82,9 @@ fn topk_end_to_end_has_bounded_feature_and_runtime_errors() {
 
 #[test]
 fn semi_clustering_end_to_end_produces_a_prediction() {
-    let graph = Dataset::Wikipedia.load_small();
-    let engine = engine();
-    let sampler = BiasedRandomJump::default();
+    let session = session(Dataset::Wikipedia, "Wiki");
     let workload = SemiClusteringWorkload::new(SemiClusteringParams::default());
-    let predictor = Predictor::new(&engine, &sampler, predictor_config());
-    let eval = predictor
-        .evaluate(&workload, &graph, &HistoryStore::new(), "Wiki")
-        .expect("prediction succeeds");
+    let eval = session.evaluate(&workload).expect("prediction succeeds");
 
     assert!(eval.prediction.predicted_iterations >= 2);
     assert!(eval.prediction.predicted_superstep_ms > 0.0);
@@ -107,17 +98,14 @@ fn semi_clustering_end_to_end_produces_a_prediction() {
 
 #[test]
 fn connected_components_and_neighborhood_are_predictable() {
-    let graph = Dataset::Uk2002.load_small();
-    let engine = engine();
-    let sampler = BiasedRandomJump::default();
-    let predictor = Predictor::new(&engine, &sampler, predictor_config());
+    let session = session(Dataset::Uk2002, "UK");
 
     for workload in [
         Box::new(ConnectedComponentsWorkload) as Box<dyn Workload>,
         Box::new(NeighborhoodWorkload::default()) as Box<dyn Workload>,
     ] {
-        let eval = predictor
-            .evaluate(workload.as_ref(), &graph, &HistoryStore::new(), "UK")
+        let eval = session
+            .evaluate(workload.as_ref())
             .expect("prediction succeeds");
         assert!(
             eval.prediction.predicted_iterations >= 2,
@@ -130,6 +118,9 @@ fn connected_components_and_neighborhood_are_predictable() {
             workload.name()
         );
     }
+    // Both workloads shared the session's (ratio, seed) sample draws: at
+    // most one sampling artifact per configured ratio, not per workload.
+    assert!(session.stats().samples <= predictor_config().training_ratios.len() + 1);
 }
 
 #[test]
@@ -138,22 +129,22 @@ fn scale_free_analogs_predict_better_than_livejournal_on_average() {
     // hardest dataset for sample-based iteration prediction. Compare the mean
     // absolute iteration error of the scale-free analogs against LJ's over a
     // few seeds to keep the comparison stable.
-    let engine = engine();
-    let sampler = BiasedRandomJump::default();
+    let engine = Arc::new(BspEngine::new(BspConfig::with_workers(8)));
 
     let mean_error = |dataset: Dataset| -> f64 {
-        let graph = dataset.load_small();
-        let workload = PageRankWorkload::with_epsilon(0.001, graph.num_vertices());
+        let session = Predictor::builder()
+            .engine(Arc::clone(&engine))
+            .sampler(BiasedRandomJump::default())
+            .bind(dataset.load_small(), dataset.prefix());
+        let workload = PageRankWorkload::with_epsilon(0.001, session.graph().num_vertices());
         let mut total = 0.0;
         let seeds = [3u64, 11, 29];
         for &seed in &seeds {
-            let predictor = Predictor::new(
-                &engine,
-                &sampler,
-                PredictorConfig::single_ratio(0.1).with_seed(seed),
-            );
-            let eval = predictor
-                .evaluate(&workload, &graph, &HistoryStore::new(), dataset.prefix())
+            let eval = session
+                .evaluate_with(
+                    &workload,
+                    &PredictorConfig::single_ratio(0.1).with_seed(seed),
+                )
                 .expect("prediction succeeds");
             total += eval.iteration_error().abs();
         }

@@ -1,5 +1,5 @@
 //! Integration tests for the historical-run store and for end-to-end
-//! determinism of the pipeline.
+//! determinism of the pipeline, through the session API.
 
 use predict_repro::algorithms::TopKParams;
 use predict_repro::prelude::*;
@@ -11,7 +11,6 @@ fn engine() -> BspEngine {
 #[test]
 fn history_store_roundtrips_through_disk_and_feeds_predictions() {
     let engine = engine();
-    let sampler = BiasedRandomJump::default();
     let workload = TopKWorkload::new(TopKParams::new(5, 0.001), 0.01);
 
     // Record actual runs on two datasets.
@@ -31,23 +30,37 @@ fn history_store_roundtrips_through_disk_and_feeds_predictions() {
     assert_eq!(reloaded.len(), 2);
     std::fs::remove_file(&path).ok();
 
-    // Use the reloaded history to predict on a third dataset.
-    let graph = Dataset::Wikipedia.load_small();
-    let predictor = Predictor::new(&engine, &sampler, PredictorConfig::single_ratio(0.1));
-    let with_history = predictor
-        .predict(&workload, &graph, &reloaded, "Wiki")
+    // Bind a session on a third dataset with the reloaded history.
+    let with_history_session = Predictor::builder()
+        .engine(engine.clone())
+        .sampler(BiasedRandomJump::default())
+        .config(PredictorConfig::single_ratio(0.1))
+        .bind_with_history(Dataset::Wikipedia.load_small(), "Wiki", reloaded);
+    let with_history = with_history_session
+        .predict(&workload)
         .expect("prediction succeeds");
     assert!(with_history.cost_model.training_observations > 0);
     assert!(with_history.predicted_superstep_ms > 0.0);
+    assert_eq!(
+        with_history.training.source,
+        TrainingSource::SampleRunsWithHistory
+    );
 
     // History from other datasets adds training rows compared to sample-only.
-    let without_history = predictor
-        .predict(&workload, &graph, &HistoryStore::new(), "Wiki")
+    let without_history_session = Predictor::builder()
+        .engine(engine)
+        .sampler(BiasedRandomJump::default())
+        .config(PredictorConfig::single_ratio(0.1))
+        .bind(Dataset::Wikipedia.load_small(), "Wiki");
+    let without_history = without_history_session
+        .predict(&workload)
         .expect("prediction succeeds");
     assert!(
         with_history.cost_model.training_observations
             > without_history.cost_model.training_observations
     );
+    assert_eq!(without_history.training.source, TrainingSource::SampleRuns);
+    assert_eq!(without_history.training.history_observations, 0);
 }
 
 #[test]
@@ -80,25 +93,32 @@ fn same_seed_runs_serialize_to_byte_identical_history_json() {
     // `HistoryStore::to_json()` output, not just equal in-memory predictions.
     // This guards both the pipeline (no hidden nondeterminism in sampling or
     // the simulated clock) and the serializer (deterministic field and map
-    // ordering).
+    // ordering). One run goes through a cached session, the other through the
+    // legacy one-shot facade, so the two code paths are also pinned to each
+    // other.
     let engine = engine();
     let sampler = BiasedRandomJump::default();
     let graph = Dataset::LiveJournal.load_small();
     let workload = PageRankWorkload::with_epsilon(0.001, graph.num_vertices());
     let config = || PredictorConfig::single_ratio(0.1).with_seed(0xD5);
 
-    let history_json = || {
-        let predictor = Predictor::new(&engine, &sampler, config());
-        let prediction = predictor
-            .predict(&workload, &graph, &HistoryStore::new(), "LJ")
-            .expect("prediction succeeds");
+    let history_json = |prediction: Prediction| {
         let mut history = HistoryStore::new();
         history.record(workload.name(), "LJ", prediction.sample_profile);
         history.to_json().expect("history serializes")
     };
 
-    let a = history_json();
-    let b = history_json();
+    let session = Predictor::builder()
+        .engine(engine.clone())
+        .sampler(BiasedRandomJump::default())
+        .config(config())
+        .bind(graph.clone(), "LJ");
+    let a = history_json(session.predict(&workload).expect("prediction succeeds"));
+    let b = history_json(
+        Predictor::new(&engine, &sampler, config())
+            .predict(&workload, &graph, &HistoryStore::new(), "LJ")
+            .expect("prediction succeeds"),
+    );
     assert!(!a.is_empty());
     assert_eq!(a.as_bytes(), b.as_bytes(), "same-seed history JSON differs");
 }
@@ -107,20 +127,20 @@ fn same_seed_runs_serialize_to_byte_identical_history_json() {
 fn different_seeds_still_give_consistent_iteration_predictions() {
     // The prediction should be robust to the sampling seed: iteration
     // estimates across seeds must stay within a small band of each other.
-    let engine = engine();
-    let sampler = BiasedRandomJump::default();
-    let graph = Dataset::Uk2002.load_small();
-    let workload = PageRankWorkload::with_epsilon(0.001, graph.num_vertices());
+    // One session serves all seeds; each seed is a distinct cached artifact.
+    let session = Predictor::builder()
+        .engine(engine())
+        .sampler(BiasedRandomJump::default())
+        .bind(Dataset::Uk2002.load_small(), "UK");
+    let workload = PageRankWorkload::with_epsilon(0.001, session.graph().num_vertices());
 
     let mut iterations = Vec::new();
     for seed in [1u64, 2, 3, 4] {
-        let predictor = Predictor::new(
-            &engine,
-            &sampler,
-            PredictorConfig::single_ratio(0.1).with_seed(seed),
-        );
-        let p = predictor
-            .predict(&workload, &graph, &HistoryStore::new(), "UK")
+        let p = session
+            .predict_with(
+                &workload,
+                &PredictorConfig::single_ratio(0.1).with_seed(seed),
+            )
             .unwrap();
         iterations.push(p.predicted_iterations as f64);
     }

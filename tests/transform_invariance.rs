@@ -14,18 +14,18 @@ fn engine() -> BspEngine {
 fn transform_keeps_pagerank_iterations_closer_than_no_transform() {
     // Figure 2 / section 1.1: without scaling the threshold the sample run
     // converges after a different number of iterations than the actual run.
-    let graph = Dataset::Uk2002.load_small();
-    let engine = engine();
-    let sampler = BiasedRandomJump::default();
-    let workload = PageRankWorkload::with_epsilon(0.001, graph.num_vertices());
-    let actual = workload.run(&engine, &graph).iterations() as f64;
+    let session = Predictor::builder()
+        .engine(engine())
+        .sampler(BiasedRandomJump::default())
+        .bind(Dataset::Uk2002.load_small(), "UK");
+    let workload = PageRankWorkload::with_epsilon(0.001, session.graph().num_vertices());
+    let actual = session.actual_run(&workload).iterations() as f64;
 
     let error_with = |transform: Option<TransformFunction>| -> f64 {
         let mut config = PredictorConfig::single_ratio(0.1).with_seed(5);
         config.transform = transform;
-        let predictor = Predictor::new(&engine, &sampler, config);
-        let p = predictor
-            .predict(&workload, &graph, &HistoryStore::new(), "UK")
+        let p = session
+            .predict_with(&workload, &config)
             .expect("prediction succeeds");
         (p.predicted_iterations as f64 - actual).abs() / actual
     };
