@@ -1,0 +1,162 @@
+//! Scenario runner: executes every figure/table experiment binary and diffs
+//! its JSON output against the golden files under `crates/bench/golden/`.
+//!
+//! Every stage of the reproduction is deterministic — fixed experiment seeds,
+//! a seeded simulated cluster clock, and a BSP runtime that is byte-identical
+//! at every thread count — so each experiment's JSON is a stable artifact.
+//! The goldens pin them: any engine, sampling or prediction change that
+//! shifts a single byte of any figure shows up as a diff here, which is what
+//! lets the runtime be refactored aggressively (ROADMAP "Experiment harness
+//! scenarios").
+//!
+//! Usage:
+//!
+//! ```text
+//! scenario_runner              # run all scenarios, diff against goldens
+//! scenario_runner --bless      # run all scenarios, (re)write the goldens
+//! scenario_runner fig4 table3  # only scenarios whose name contains a filter
+//! ```
+//!
+//! Scenarios execute at `PREDICT_SCALE=small` (goldens are small-scale
+//! artifacts; override by exporting `PREDICT_SCALE` yourself) and honor
+//! `PREDICT_THREADS`, so CI can assert that 1-thread and 4-thread sweeps
+//! produce the same goldens. Exit code: 0 when every scenario matches, 1 on
+//! any mismatch or missing golden.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// The 13 figure/table experiment binaries; each emits
+/// `target/experiments/<name>.json`.
+const SCENARIOS: [&str; 13] = [
+    "fig4_pagerank_iterations",
+    "fig5_semiclustering_iterations",
+    "fig6_topk_features",
+    "fig7_semiclustering_runtime",
+    "fig8_topk_runtime",
+    "fig9_sampling_sensitivity",
+    "table2_datasets",
+    "table3_overhead",
+    "ablation_critical_path",
+    "ablation_extrapolation",
+    "ablation_transform",
+    "semiclustering_sensitivity",
+    "upper_bounds",
+];
+
+/// Directory of this binary's sibling experiment binaries.
+fn bin_dir() -> PathBuf {
+    let mut exe = std::env::current_exe().expect("current exe path");
+    exe.pop();
+    exe
+}
+
+/// The golden directory, resolved relative to the crate at compile time so
+/// the runner works from any working directory inside the repo.
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("golden")
+}
+
+fn run_scenario(name: &str) -> Result<String, String> {
+    let bin = bin_dir().join(name);
+    let scale = std::env::var("PREDICT_SCALE").unwrap_or_else(|_| "small".to_string());
+    let output = Command::new(&bin)
+        .env("PREDICT_SCALE", &scale)
+        .output()
+        .map_err(|e| format!("could not launch {}: {e}", bin.display()))?;
+    if !output.status.success() {
+        // Surface the tail of the child's stderr so a CI failure is
+        // debuggable without a local repro.
+        let stderr = String::from_utf8_lossy(&output.stderr);
+        let tail: Vec<&str> = stderr.lines().rev().take(5).collect();
+        let tail: Vec<&str> = tail.into_iter().rev().collect();
+        return Err(format!(
+            "{name} exited with {}; stderr tail:\n  {}",
+            output.status,
+            tail.join("\n  ")
+        ));
+    }
+    let json_path = predict_bench::output_dir().join(format!("{name}.json"));
+    std::fs::read_to_string(&json_path)
+        .map_err(|e| format!("{name} produced no {}: {e}", json_path.display()))
+}
+
+/// First line on which two strings differ, for a readable mismatch report.
+fn first_divergence(a: &str, b: &str) -> String {
+    for (i, (la, lb)) in a.lines().zip(b.lines()).enumerate() {
+        if la != lb {
+            return format!("line {}: golden `{la}` vs actual `{lb}`", i + 1);
+        }
+    }
+    format!(
+        "line count: golden {} vs actual {}",
+        a.lines().count(),
+        b.lines().count()
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let bless = args.iter().any(|a| a == "--bless");
+    let filters: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let selected: Vec<&str> = SCENARIOS
+        .iter()
+        .copied()
+        .filter(|name| filters.is_empty() || filters.iter().any(|f| name.contains(f.as_str())))
+        .collect();
+    if selected.is_empty() {
+        eprintln!("no scenario matches the given filters");
+        std::process::exit(1);
+    }
+
+    let golden = golden_dir();
+    if bless {
+        std::fs::create_dir_all(&golden).expect("create golden dir");
+    }
+
+    let mut failures = 0usize;
+    for name in &selected {
+        let actual = match run_scenario(name) {
+            Ok(json) => json,
+            Err(e) => {
+                println!("[FAIL] {name}: {e}");
+                failures += 1;
+                continue;
+            }
+        };
+        let golden_path = golden.join(format!("{name}.json"));
+        if bless {
+            std::fs::write(&golden_path, &actual).expect("write golden");
+            println!("[BLESS] {name} -> {}", golden_path.display());
+            continue;
+        }
+        match std::fs::read_to_string(&golden_path) {
+            Ok(expected) if expected == actual => println!("[OK] {name}"),
+            Ok(expected) => {
+                println!(
+                    "[FAIL] {name}: output differs from {} ({})",
+                    golden_path.display(),
+                    first_divergence(&expected, &actual)
+                );
+                failures += 1;
+            }
+            Err(_) => {
+                println!(
+                    "[FAIL] {name}: missing golden {} (run with --bless to create)",
+                    golden_path.display()
+                );
+                failures += 1;
+            }
+        }
+    }
+
+    println!(
+        "\n{} scenario(s), {} failure(s){}",
+        selected.len(),
+        failures,
+        if bless { " (blessed)" } else { "" }
+    );
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

@@ -85,6 +85,13 @@ impl Aggregates {
         self.values.is_empty()
     }
 
+    /// Removes every aggregator, returning the set to its freshly-created
+    /// state. The runtime reuses per-worker partial aggregate sets across
+    /// supersteps instead of reallocating them.
+    pub fn clear(&mut self) {
+        self.values.clear();
+    }
+
     /// Merges another aggregate set into this one (used by the master to
     /// combine per-worker partial aggregates; merge order does not change the
     /// result for min/max and only reorders floating-point sums within one

@@ -5,6 +5,16 @@
 //! memory and network volume. PREDIcT's feature counters are recorded at send
 //! time — before combining — exactly as Giraph's counters are, so installing a
 //! combiner changes delivery cost but not the profiled Table 1 features.
+//!
+//! The parallel runtime applies combiners during the delivery phase: a
+//! program that returns one from [`VertexProgram::combiner`] has every inbox
+//! reduced in place ([`combine_in_place`]) right after delivery, so its
+//! compute function sees at most one message per superstep. Combining folds
+//! left-to-right in delivery order — (source worker asc, source vertex asc,
+//! send order) — which keeps runs byte-identical across thread counts even
+//! for non-associative floating-point folds.
+//!
+//! [`VertexProgram::combiner`]: crate::program::VertexProgram::combiner
 
 /// Merges two messages bound for the same destination vertex into one.
 pub trait MessageCombiner<M>: Sync {
@@ -53,6 +63,24 @@ pub fn combine_all<M, C: MessageCombiner<M>>(combiner: &C, mut messages: Vec<M>)
     vec![acc]
 }
 
+/// Reduces `messages` in place to at most one message, folding left-to-right
+/// (delivery order) and consuming the originals (no clones). The vector's
+/// capacity is kept, so the runtime can reuse the same inbox buffer across
+/// supersteps. No-op for fewer than two entries.
+pub fn combine_in_place<M, C: MessageCombiner<M> + ?Sized>(combiner: &C, messages: &mut Vec<M>) {
+    if messages.len() < 2 {
+        return;
+    }
+    let mut acc: Option<M> = None;
+    for m in messages.drain(..) {
+        acc = Some(match acc {
+            None => m,
+            Some(a) => combiner.combine(a, m),
+        });
+    }
+    messages.push(acc.expect("checked non-empty"));
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -80,5 +108,29 @@ mod tests {
         assert!(out.is_empty());
         let out = combine_all(&SumCombiner, vec![5.0]);
         assert_eq!(out, vec![5.0]);
+    }
+
+    #[test]
+    fn combine_in_place_folds_left_to_right_and_keeps_capacity() {
+        let mut messages = Vec::with_capacity(16);
+        messages.extend([7u32, 3, 9, 1]);
+        combine_in_place(&MinCombiner, &mut messages);
+        assert_eq!(messages, vec![1]);
+        assert_eq!(messages.capacity(), 16, "inbox capacity must be kept");
+
+        let mut single = vec![5.0f64];
+        combine_in_place(&SumCombiner, &mut single);
+        assert_eq!(single, vec![5.0]);
+        let mut empty: Vec<f64> = Vec::new();
+        combine_in_place(&SumCombiner, &mut empty);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn combine_in_place_works_through_a_trait_object() {
+        let dynamic: &dyn MessageCombiner<u32> = &MinCombiner;
+        let mut messages = vec![4u32, 2, 8];
+        combine_in_place(dynamic, &mut messages);
+        assert_eq!(messages, vec![2]);
     }
 }

@@ -14,6 +14,77 @@ pub const DEFAULT_NUM_WORKERS: usize = 8;
 /// hang a run.
 pub const DEFAULT_MAX_SUPERSTEPS: usize = 500;
 
+/// Below this many vertices-plus-edges, automatic thread selection keeps a
+/// run on the calling thread regardless of available parallelism: PREDIcT
+/// executes thousands of tiny sample runs, and per-phase thread spawns
+/// (~tens of µs each) would dwarf the microseconds of per-shard work. An
+/// explicit `PREDICT_THREADS` or [`ExecutionMode::Parallel`] request always
+/// wins over this heuristic. Purely a scheduling decision — results are
+/// thread-count independent either way.
+pub const MIN_PARALLEL_WORK: usize = 1 << 14;
+
+/// How the runtime executes the compute phase of each superstep.
+///
+/// Execution mode is a pure performance knob: the runtime guarantees that a
+/// run produces byte-identical values, counters and simulated timings under
+/// every mode and thread count (see [`crate::runtime`] for the determinism
+/// contract).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ExecutionMode {
+    /// Pick automatically: honor the `PREDICT_THREADS` environment variable
+    /// when set (`1` means sequential), otherwise use the machine's available
+    /// parallelism, capped at the worker count — except for runs smaller
+    /// than [`MIN_PARALLEL_WORK`], which stay on the calling thread.
+    #[default]
+    Auto,
+    /// Run every worker's compute phase on the calling thread.
+    Sequential,
+    /// Run worker compute phases on `threads` scoped OS threads
+    /// (`threads == 0` behaves like [`ExecutionMode::Auto`] without the
+    /// environment override).
+    Parallel {
+        /// Number of OS threads the superstep phases are spread over.
+        threads: usize,
+    },
+}
+
+impl ExecutionMode {
+    /// Resolves the mode to a concrete thread count for a run over
+    /// `num_workers` workers with `run_work` total vertices-plus-edges.
+    /// Always at least 1 and never more than `num_workers` (extra threads
+    /// would have no worker to execute).
+    ///
+    /// Priority under [`ExecutionMode::Auto`]: an explicitly-set
+    /// `PREDICT_THREADS` wins unconditionally; otherwise runs below
+    /// [`MIN_PARALLEL_WORK`] stay on the calling thread; otherwise the
+    /// machine's available parallelism is used.
+    pub fn resolve_threads(self, num_workers: usize, run_work: usize) -> usize {
+        let available = || {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        };
+        let auto_no_env = || {
+            if run_work < MIN_PARALLEL_WORK {
+                1
+            } else {
+                available()
+            }
+        };
+        let threads = match self {
+            Self::Sequential => 1,
+            Self::Auto => std::env::var("PREDICT_THREADS")
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok())
+                .filter(|&t| t > 0)
+                .unwrap_or_else(auto_no_env),
+            Self::Parallel { threads: 0 } => auto_no_env(),
+            Self::Parallel { threads } => threads,
+        };
+        threads.clamp(1, num_workers.max(1))
+    }
+}
+
 /// Configuration of a [`BspEngine`](crate::engine::BspEngine).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BspConfig {
@@ -25,6 +96,12 @@ pub struct BspConfig {
     pub max_supersteps: usize,
     /// Cost coefficients of the simulated cluster clock.
     pub cost: ClusterCostConfig,
+    /// How superstep phases are executed (sequentially or on OS threads).
+    /// Never affects results — see [`crate::runtime`]. Defaults to
+    /// [`ExecutionMode::Auto`] when absent from serialized configs (configs
+    /// written before this field existed keep deserializing).
+    #[serde(default)]
+    pub execution: ExecutionMode,
 }
 
 impl Default for BspConfig {
@@ -34,6 +111,7 @@ impl Default for BspConfig {
             partition_strategy: PartitionStrategy::Hash,
             max_supersteps: DEFAULT_MAX_SUPERSTEPS,
             cost: ClusterCostConfig::default(),
+            execution: ExecutionMode::Auto,
         }
     }
 }
@@ -63,6 +141,12 @@ impl BspConfig {
     /// Replaces the superstep cap.
     pub fn with_max_supersteps(mut self, max: usize) -> Self {
         self.max_supersteps = max;
+        self
+    }
+
+    /// Replaces the execution mode.
+    pub fn with_execution(mut self, execution: ExecutionMode) -> Self {
+        self.execution = execution;
         self
     }
 
@@ -98,5 +182,79 @@ mod tests {
     #[test]
     fn paper_cluster_has_29_workers() {
         assert_eq!(BspConfig::paper_cluster().num_workers, 29);
+    }
+
+    /// A run large enough that the small-run heuristic never triggers.
+    const BIG_RUN: usize = MIN_PARALLEL_WORK * 2;
+
+    #[test]
+    fn execution_mode_resolves_to_bounded_thread_counts() {
+        assert_eq!(ExecutionMode::Sequential.resolve_threads(8, BIG_RUN), 1);
+        assert_eq!(
+            ExecutionMode::Parallel { threads: 4 }.resolve_threads(8, BIG_RUN),
+            4
+        );
+        // Never more threads than workers, never zero.
+        assert_eq!(
+            ExecutionMode::Parallel { threads: 9 }.resolve_threads(3, BIG_RUN),
+            3
+        );
+        assert_eq!(
+            ExecutionMode::Parallel { threads: 0 }.resolve_threads(1, BIG_RUN),
+            1
+        );
+        let auto = ExecutionMode::Auto.resolve_threads(64, BIG_RUN);
+        assert!((1..=64).contains(&auto));
+        assert_eq!(ExecutionMode::Sequential.resolve_threads(0, BIG_RUN), 1);
+    }
+
+    #[test]
+    fn small_runs_stay_sequential_unless_explicitly_parallel() {
+        // Below the work cutoff, Auto (without PREDICT_THREADS) and
+        // Parallel{0} stay on the calling thread...
+        assert_eq!(
+            ExecutionMode::Parallel { threads: 0 }.resolve_threads(8, MIN_PARALLEL_WORK - 1),
+            1
+        );
+        // ...but an explicit thread request is honored as given.
+        assert_eq!(
+            ExecutionMode::Parallel { threads: 4 }.resolve_threads(8, MIN_PARALLEL_WORK - 1),
+            4
+        );
+    }
+
+    #[test]
+    fn predict_threads_env_wins_over_the_small_run_heuristic() {
+        // Mutating the env var can race with concurrently running tests, but
+        // thread resolution only affects scheduling, never results (the
+        // runtime's determinism contract), so the brief override is safe.
+        let prev = std::env::var("PREDICT_THREADS").ok();
+        std::env::set_var("PREDICT_THREADS", "4");
+        let resolved = ExecutionMode::Auto.resolve_threads(8, MIN_PARALLEL_WORK - 1);
+        match prev {
+            Some(v) => std::env::set_var("PREDICT_THREADS", v),
+            None => std::env::remove_var("PREDICT_THREADS"),
+        }
+        assert_eq!(resolved, 4, "explicit PREDICT_THREADS must win");
+    }
+
+    #[test]
+    fn configs_serialized_before_the_execution_field_still_deserialize() {
+        let config = BspConfig::with_workers(2);
+        let json = serde_json::to_string(&config).unwrap();
+        let stripped = json.replace(",\"execution\":\"Auto\"", "");
+        assert_ne!(stripped, json, "execution field must be present and Auto");
+        let back: BspConfig = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back, config, "missing execution must default to Auto");
+    }
+
+    #[test]
+    fn execution_mode_serializes_with_the_config() {
+        let config =
+            BspConfig::with_workers(2).with_execution(ExecutionMode::Parallel { threads: 3 });
+        let json = serde_json::to_string(&config).unwrap();
+        let back: BspConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, config);
+        assert_eq!(back.execution, ExecutionMode::Parallel { threads: 3 });
     }
 }

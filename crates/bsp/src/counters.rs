@@ -39,6 +39,13 @@ impl WorkerCounters {
         }
     }
 
+    /// Resets the counters in place for a new superstep of a worker owning
+    /// `total_vertices` vertices. The runtime's shards reuse one accumulator
+    /// across supersteps instead of constructing a fresh one.
+    pub fn reset(&mut self, total_vertices: u64) {
+        *self = Self::new(total_vertices);
+    }
+
     /// Records one sent message of `bytes` bytes; `local` selects which pair
     /// of counters is incremented.
     pub fn record_message(&mut self, bytes: u64, local: bool) {

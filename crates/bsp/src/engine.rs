@@ -1,19 +1,23 @@
-//! The BSP engine: master loop, message delivery and profiling.
+//! The BSP engine: the public facade over the parallel runtime.
 //!
 //! [`BspEngine::run`] executes a [`VertexProgram`] on a graph the way Giraph
-//! does (section 2.2 of the paper): the master partitions the graph over
-//! workers, then repeats supersteps — compute phase on every worker, message
-//! delivery, barrier — until a termination condition holds. Every superstep is
-//! profiled with the per-worker Table 1 counters and timed with the simulated
-//! cluster clock, producing the [`RunProfile`] PREDIcT trains and predicts on.
+//! does (section 2.2 of the paper): the master shards the graph over workers,
+//! then repeats supersteps — compute phase on every worker, message delivery,
+//! barrier — until a termination condition holds. Every superstep is profiled
+//! with the per-worker Table 1 counters and timed with the simulated cluster
+//! clock, producing the [`RunProfile`] PREDIcT trains and predicts on.
+//!
+//! The loop itself lives in [`crate::runtime`]: the engine resolves its
+//! [`ExecutionMode`](crate::config::ExecutionMode) to a thread count, fetches
+//! the cached [`ShardLayout`](crate::runtime::ShardLayout) for
+//! `(num_vertices, num_workers, strategy)` and hands both to
+//! [`execute`](crate::runtime::execute). Results are byte-identical for every
+//! execution mode.
 
-use crate::aggregator::Aggregates;
 use crate::config::BspConfig;
-use crate::cost::ClusterClock;
-use crate::partition::Partitioning;
-use crate::profile::{RunProfile, SuperstepProfile};
+use crate::profile::RunProfile;
 use crate::program::VertexProgram;
-use crate::worker::run_worker_superstep;
+use crate::runtime::{self, LayoutCache};
 use predict_graph::CsrGraph;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -52,16 +56,20 @@ impl<V> BspRunResult<V> {
 
 /// A Giraph-like BSP execution engine with a simulated cluster clock.
 ///
-/// The engine keeps a cumulative count of executed runs behind an [`Arc`], so
-/// clones share the same counter. The prediction layer relies on this to
-/// measure how many engine invocations a cached prediction session actually
-/// performed (its amortization guarantee), and it is cheap enough to maintain
-/// unconditionally.
+/// The engine keeps a cumulative count of executed runs and a cache of shard
+/// layouts behind [`Arc`]s, so clones share both. The prediction layer relies
+/// on the run counter to measure how many engine invocations a cached
+/// prediction session actually performed (its amortization guarantee); the
+/// layout cache means repeated runs over same-sized graphs skip the
+/// per-run partitioning scan entirely.
 #[derive(Debug, Clone, Default)]
 pub struct BspEngine {
     config: BspConfig,
     /// Number of [`BspEngine::run`] invocations, shared across clones.
     runs: Arc<AtomicU64>,
+    /// Shard layouts keyed by `(num_vertices, num_workers, strategy)`,
+    /// shared across clones.
+    layouts: Arc<LayoutCache>,
 }
 
 impl BspEngine {
@@ -70,12 +78,27 @@ impl BspEngine {
         Self {
             config,
             runs: Arc::new(AtomicU64::new(0)),
+            layouts: Arc::new(LayoutCache::default()),
         }
     }
 
     /// The engine's configuration.
     pub fn config(&self) -> &BspConfig {
         &self.config
+    }
+
+    /// A clone of this engine with a different execution mode, sharing the
+    /// run counter and layout cache. This is how the prediction layer plumbs
+    /// an execution override down without re-keying any cache.
+    pub fn with_execution(&self, execution: crate::config::ExecutionMode) -> Self {
+        Self {
+            config: BspConfig {
+                execution,
+                ..self.config.clone()
+            },
+            runs: Arc::clone(&self.runs),
+            layouts: Arc::clone(&self.layouts),
+        }
     }
 
     /// Total number of runs this engine (and every clone sharing its counter)
@@ -85,118 +108,41 @@ impl BspEngine {
         self.runs.load(Ordering::Relaxed)
     }
 
+    /// `(hits, misses)` of the shared shard-layout cache.
+    pub fn layout_cache_stats(&self) -> (u64, u64) {
+        self.layouts.stats()
+    }
+
     /// Executes `program` on `graph` until convergence, full halt or the
     /// superstep cap, and returns the per-vertex values together with the run
     /// profile.
+    ///
+    /// This is a thin facade over [`runtime::execute`]; see [`crate::runtime`]
+    /// for the execution model and its determinism contract.
     pub fn run<P: VertexProgram>(
         &self,
         graph: &CsrGraph,
         program: &P,
     ) -> BspRunResult<P::VertexValue> {
         self.runs.fetch_add(1, Ordering::Relaxed);
-        let n = graph.num_vertices();
         let num_workers = self.config.num_workers.max(1);
-        let partitioning = Partitioning::new(graph, num_workers, self.config.partition_strategy);
-        let mut clock = ClusterClock::new(self.config.cost.clone());
-
-        // Setup and read phases.
-        let setup_ms = clock.setup_time_ms();
-        let read_ms = clock.read_time_ms(graph.num_edges(), num_workers);
-
-        // Per-vertex state.
-        let mut values: Vec<P::VertexValue> = graph
-            .vertices()
-            .map(|v| program.init_vertex(v, graph))
-            .collect();
-        let mut halted = vec![false; n];
-        let mut inboxes: Vec<Vec<P::Message>> = (0..n).map(|_| Vec::new()).collect();
-        let mut next_inboxes: Vec<Vec<P::Message>> = (0..n).map(|_| Vec::new()).collect();
-
-        let mut previous_aggregates = Aggregates::new();
-        let mut supersteps: Vec<SuperstepProfile> = Vec::new();
-        let mut halt_reason = HaltReason::MaxSupersteps;
-
-        for superstep in 0..self.config.max_supersteps {
-            // Compute phase: every worker processes its partition. Workers are
-            // executed in index order, which keeps message ordering, counter
-            // contents and aggregate accumulation fully deterministic.
-            let mut worker_counters = Vec::with_capacity(num_workers);
-            let mut aggregates = Aggregates::new();
-            let mut messages_sent = 0usize;
-            for w in 0..num_workers {
-                let out = run_worker_superstep(
-                    program,
-                    graph,
-                    &partitioning,
-                    w,
-                    superstep,
-                    &previous_aggregates,
-                    &mut values,
-                    &mut halted,
-                    &mut inboxes,
-                );
-                worker_counters.push(out.counters);
-                aggregates.merge(&out.partial_aggregates);
-                messages_sent += out.outbox.len();
-                // Messaging phase: deliver into the next superstep's inboxes.
-                for (dst, msg) in out.outbox {
-                    next_inboxes[dst as usize].push(msg);
-                }
-            }
-
-            // Synchronization phase: the simulated clock charges the critical
-            // path (slowest worker) plus fixed overhead and barrier.
-            let (wall_time_ms, worker_times_ms) = clock.superstep_time_ms(&worker_counters);
-            supersteps.push(SuperstepProfile {
-                superstep,
-                workers: worker_counters,
-                worker_times_ms,
-                wall_time_ms,
-                aggregates: aggregates.clone(),
-            });
-
-            // Swap message buffers for the next superstep.
-            std::mem::swap(&mut inboxes, &mut next_inboxes);
-            for inbox in &mut next_inboxes {
-                inbox.clear();
-            }
-
-            // Termination checks, in the same priority order as Giraph: the
-            // algorithm's global convergence condition first, then the
-            // "all halted and silent" default.
-            if program.master_halt(superstep, &aggregates) {
-                halt_reason = HaltReason::MasterConverged;
-                break;
-            }
-            if messages_sent == 0 && halted.iter().all(|&h| h) {
-                halt_reason = HaltReason::AllVerticesHalted;
-                break;
-            }
-            previous_aggregates = aggregates;
-        }
-
-        let write_ms = clock.write_time_ms(n, num_workers);
-        let profile = RunProfile {
-            algorithm: program.name().to_string(),
-            num_vertices: n,
-            num_edges: graph.num_edges(),
+        let layout = self.layouts.get_or_build(
+            graph.num_vertices(),
             num_workers,
-            setup_ms,
-            read_ms,
-            write_ms,
-            supersteps,
-        };
-        BspRunResult {
-            values,
-            profile,
-            halt_reason,
-        }
+            self.config.partition_strategy,
+        );
+        let threads = self
+            .config
+            .execution
+            .resolve_threads(num_workers, graph.num_vertices() + graph.num_edges());
+        runtime::execute(program, graph, &layout, &self.config, threads)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::aggregator::Aggregates;
     use crate::cost::ClusterCostConfig;
     use crate::program::ComputeContext;
     use predict_graph::generators::{chain, generate_rmat, RmatConfig};

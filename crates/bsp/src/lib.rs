@@ -10,6 +10,11 @@
 //! * a master/worker execution structure with hash partitioning
 //!   ([`Partitioning`]) and per-worker, per-superstep Table 1 feature counters
 //!   ([`WorkerCounters`]);
+//! * a **parallel deterministic runtime** ([`runtime`]) that shards all
+//!   per-vertex state by worker ([`WorkerShard`], cached [`ShardLayout`]s)
+//!   and fans superstep phases out over scoped OS threads
+//!   ([`ExecutionMode`]) while producing byte-identical profiles at every
+//!   thread count;
 //! * the phase breakdown of a Giraph job (setup / read / superstep / write)
 //!   recorded in a [`RunProfile`];
 //! * a **simulated cluster clock** ([`ClusterClock`]) that converts worker
@@ -58,14 +63,16 @@ pub mod engine;
 pub mod partition;
 pub mod profile;
 pub mod program;
+pub mod runtime;
 pub mod worker;
 
 pub use aggregator::{Aggregates, AggregatorKind};
-pub use combiner::{combine_all, MessageCombiner, MinCombiner, SumCombiner};
-pub use config::BspConfig;
+pub use combiner::{combine_all, combine_in_place, MessageCombiner, MinCombiner, SumCombiner};
+pub use config::{BspConfig, ExecutionMode};
 pub use cost::{ClusterClock, ClusterCostConfig};
 pub use counters::{sum_counters, WorkerCounters};
 pub use engine::{BspEngine, BspRunResult, HaltReason};
 pub use partition::{PartitionStrategy, Partitioning};
 pub use profile::{RunProfile, SuperstepProfile};
 pub use program::{ComputeContext, VertexProgram};
+pub use runtime::{LayoutCache, ShardLayout, WorkerShard};

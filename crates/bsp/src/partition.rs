@@ -11,7 +11,7 @@ use predict_graph::{CsrGraph, VertexId};
 use serde::{Deserialize, Serialize};
 
 /// Strategy for assigning vertices to workers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum PartitionStrategy {
     /// Giraph's default: vertex `v` goes to worker `hash(v) % num_workers`.
     /// With dense vertex ids this is implemented as a multiplicative hash so
@@ -24,6 +24,28 @@ pub enum PartitionStrategy {
     Modulo,
 }
 
+/// Assigns vertex `v` of an `n`-vertex graph to one of `num_workers` workers.
+///
+/// This is a pure function of `(v, n, num_workers, strategy)` — it never looks
+/// at the edges — which is what lets the runtime cache shard layouts across
+/// graphs of equal size (see [`crate::runtime`]).
+pub(crate) fn assign_vertex(
+    v: usize,
+    n: usize,
+    num_workers: usize,
+    strategy: PartitionStrategy,
+) -> u32 {
+    match strategy {
+        PartitionStrategy::Hash => {
+            // Fibonacci hashing of the vertex id.
+            let h = (v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            ((h >> 32) % num_workers as u64) as u32
+        }
+        PartitionStrategy::Range => ((v * num_workers) / n.max(1)) as u32,
+        PartitionStrategy::Modulo => (v % num_workers) as u32,
+    }
+}
+
 /// A concrete assignment of every vertex to a worker.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Partitioning {
@@ -31,11 +53,16 @@ pub struct Partitioning {
     num_workers: usize,
     assignment: Vec<u32>,
     vertices_per_worker: Vec<usize>,
+    outbound_edges_per_worker: Vec<usize>,
 }
 
 impl Partitioning {
     /// Partitions the vertices of `graph` over `num_workers` workers using
     /// `strategy`.
+    ///
+    /// The per-worker outbound-edge totals (the input of the paper's
+    /// critical-path model) are computed here, once, so repeated
+    /// [`Partitioning::critical_path_worker`] queries never rescan the CSR.
     ///
     /// # Panics
     ///
@@ -45,24 +72,19 @@ impl Partitioning {
         let n = graph.num_vertices();
         let mut assignment = vec![0u32; n];
         let mut vertices_per_worker = vec![0usize; num_workers];
+        let mut outbound_edges_per_worker = vec![0usize; num_workers];
         for (v, slot) in assignment.iter_mut().enumerate() {
-            let w = match strategy {
-                PartitionStrategy::Hash => {
-                    // Fibonacci hashing of the vertex id.
-                    let h = (v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-                    ((h >> 32) % num_workers as u64) as u32
-                }
-                PartitionStrategy::Range => ((v * num_workers) / n.max(1)) as u32,
-                PartitionStrategy::Modulo => (v % num_workers) as u32,
-            };
+            let w = assign_vertex(v, n, num_workers, strategy);
             *slot = w;
             vertices_per_worker[w as usize] += 1;
+            outbound_edges_per_worker[w as usize] += graph.out_degree(v as VertexId);
         }
         Self {
             strategy,
             num_workers,
             assignment,
             vertices_per_worker,
+            outbound_edges_per_worker,
         }
     }
 
@@ -96,20 +118,17 @@ impl Partitioning {
             .map(|(v, _)| v as VertexId)
     }
 
-    /// Total outbound edges of the vertices owned by each worker. The worker
-    /// with the largest count is the paper's critical-path worker.
-    pub fn outbound_edges_per_worker(&self, graph: &CsrGraph) -> Vec<usize> {
-        let mut edges = vec![0usize; self.num_workers];
-        for v in graph.vertices() {
-            edges[self.worker_of(v)] += graph.out_degree(v);
-        }
-        edges
+    /// Total outbound edges of the vertices owned by each worker, computed
+    /// once at construction. The worker with the largest count is the paper's
+    /// critical-path worker.
+    pub fn outbound_edges_per_worker(&self) -> &[usize] {
+        &self.outbound_edges_per_worker
     }
 
     /// Index of the worker with the most outbound edges (the critical-path
     /// worker of the paper's model). Returns 0 for an empty graph.
-    pub fn critical_path_worker(&self, graph: &CsrGraph) -> usize {
-        self.outbound_edges_per_worker(graph)
+    pub fn critical_path_worker(&self) -> usize {
+        self.outbound_edges_per_worker
             .iter()
             .enumerate()
             .max_by_key(|(_, &e)| e)
@@ -179,7 +198,7 @@ mod tests {
     fn outbound_edges_sum_to_edge_count() {
         let g = generate_rmat(&RmatConfig::new(9, 6).with_seed(5));
         let p = Partitioning::new(&g, 5, PartitionStrategy::Hash);
-        let sum: usize = p.outbound_edges_per_worker(&g).iter().sum();
+        let sum: usize = p.outbound_edges_per_worker().iter().sum();
         assert_eq!(sum, g.num_edges());
     }
 
@@ -189,7 +208,7 @@ mod tests {
         // must be the critical-path worker.
         let g = star(100);
         let p = Partitioning::new(&g, 4, PartitionStrategy::Modulo);
-        assert_eq!(p.critical_path_worker(&g), p.worker_of(0));
+        assert_eq!(p.critical_path_worker(), p.worker_of(0));
     }
 
     #[test]
@@ -197,7 +216,7 @@ mod tests {
         let g = generate_rmat(&RmatConfig::new(6, 4).with_seed(1));
         let p = Partitioning::new(&g, 1, PartitionStrategy::Hash);
         assert_eq!(p.vertices_of_worker(0), g.num_vertices());
-        assert_eq!(p.critical_path_worker(&g), 0);
+        assert_eq!(p.critical_path_worker(), 0);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! convergence condition — after every superstep.
 
 use crate::aggregator::Aggregates;
+use crate::combiner::MessageCombiner;
 use predict_graph::{CsrGraph, VertexId};
 
 /// A vertex-centric iterative algorithm.
@@ -49,6 +50,19 @@ pub trait VertexProgram: Sync {
     /// vertices halt or the superstep cap is reached).
     fn master_halt(&self, _superstep: usize, _aggregates: &Aggregates) -> bool {
         false
+    }
+
+    /// Optional message combiner applied by the runtime's delivery phase:
+    /// when `Some`, every vertex inbox is reduced to at most one message
+    /// before the next compute phase (see [`crate::combiner`]). Table 1
+    /// counters are recorded at send time and are unaffected.
+    ///
+    /// Only opt in when the program's semantics are combine-safe — i.e. its
+    /// compute function only consumes the combined reduction of its messages,
+    /// never their count or individual values. The default is no combining,
+    /// which preserves exact message multisets.
+    fn combiner(&self) -> Option<&dyn MessageCombiner<Self::Message>> {
+        None
     }
 }
 

@@ -1,0 +1,237 @@
+//! Cached shard layouts: the topology-independent half of a partitioning.
+//!
+//! Vertex-to-worker assignment is a pure function of `(num_vertices,
+//! num_workers, strategy)` — it never inspects edges (see
+//! [`crate::partition::assign_vertex`]). A [`ShardLayout`] therefore captures
+//! everything the runtime needs to shard per-vertex state — owner and
+//! shard-slot of every vertex plus the sorted vertex list of every shard —
+//! and can be cached and shared between runs, graphs of equal size, and
+//! engine clones. This replaces the per-run `Partitioning` scan the
+//! sequential engine used to redo on every invocation.
+
+use crate::partition::{assign_vertex, PartitionStrategy};
+use predict_graph::VertexId;
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// Per-worker decomposition of the vertex id space.
+///
+/// For every vertex `v` the layout knows its owning worker
+/// ([`ShardLayout::owner_of`]) and its dense index within that worker's shard
+/// ([`ShardLayout::slot_of`]); for every worker it knows the owned vertices in
+/// increasing id order ([`ShardLayout::shard_vertices`]). Shard-local slots
+/// follow vertex id order, which is what keeps sharded execution
+/// byte-identical to the old single-vector engine.
+#[derive(Debug)]
+pub struct ShardLayout {
+    num_vertices: usize,
+    num_workers: usize,
+    strategy: PartitionStrategy,
+    /// Vertex -> owning worker.
+    owner: Vec<u32>,
+    /// Vertex -> dense index within its owner's shard.
+    slot: Vec<u32>,
+    /// Worker -> owned vertices, ascending.
+    shards: Vec<Vec<VertexId>>,
+}
+
+impl ShardLayout {
+    /// Builds the layout for `num_vertices` vertices over `num_workers`
+    /// workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_workers == 0`.
+    pub fn build(num_vertices: usize, num_workers: usize, strategy: PartitionStrategy) -> Self {
+        assert!(num_workers > 0, "at least one worker is required");
+        let mut owner = vec![0u32; num_vertices];
+        let mut slot = vec![0u32; num_vertices];
+        let mut shards: Vec<Vec<VertexId>> = vec![Vec::new(); num_workers];
+        for v in 0..num_vertices {
+            let w = assign_vertex(v, num_vertices, num_workers, strategy);
+            owner[v] = w;
+            let shard = &mut shards[w as usize];
+            slot[v] = shard.len() as u32;
+            shard.push(v as VertexId);
+        }
+        Self {
+            num_vertices,
+            num_workers,
+            strategy,
+            owner,
+            slot,
+            shards,
+        }
+    }
+
+    /// Number of vertices the layout covers.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of workers the layout shards over.
+    pub fn num_workers(&self) -> usize {
+        self.num_workers
+    }
+
+    /// The strategy the layout was built with.
+    pub fn strategy(&self) -> PartitionStrategy {
+        self.strategy
+    }
+
+    /// Worker that owns vertex `v`.
+    #[inline]
+    pub fn owner_of(&self, v: VertexId) -> usize {
+        self.owner[v as usize] as usize
+    }
+
+    /// Dense index of vertex `v` within its owner's shard.
+    #[inline]
+    pub fn slot_of(&self, v: VertexId) -> usize {
+        self.slot[v as usize] as usize
+    }
+
+    /// Vertices owned by worker `w`, in increasing id order.
+    pub fn shard_vertices(&self, w: usize) -> &[VertexId] {
+        &self.shards[w]
+    }
+}
+
+/// Key of one cached layout.
+type LayoutKey = (usize, usize, PartitionStrategy);
+
+/// Bound on cached layouts per engine; beyond it the oldest entry is evicted
+/// (layouts are cheap to rebuild — the bound only caps memory for engines fed
+/// many distinct graph sizes).
+const LAYOUT_CACHE_CAP: usize = 32;
+
+/// A small FIFO-bounded cache of [`ShardLayout`]s, shared between clones of
+/// one engine (the engine holds it behind an [`Arc`], like its run counter).
+#[derive(Debug, Default)]
+pub struct LayoutCache {
+    inner: Mutex<LayoutCacheInner>,
+}
+
+#[derive(Debug, Default)]
+struct LayoutCacheInner {
+    map: HashMap<LayoutKey, Arc<ShardLayout>>,
+    order: VecDeque<LayoutKey>,
+    hits: u64,
+    misses: u64,
+}
+
+impl LayoutCache {
+    /// Returns the cached layout for the key, building and inserting it on a
+    /// miss.
+    pub fn get_or_build(
+        &self,
+        num_vertices: usize,
+        num_workers: usize,
+        strategy: PartitionStrategy,
+    ) -> Arc<ShardLayout> {
+        let key = (num_vertices, num_workers, strategy);
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(hit) = inner.map.get(&key).map(Arc::clone) {
+            inner.hits += 1;
+            return hit;
+        }
+        inner.misses += 1;
+        let layout = Arc::new(ShardLayout::build(num_vertices, num_workers, strategy));
+        while inner.order.len() >= LAYOUT_CACHE_CAP {
+            if let Some(oldest) = inner.order.pop_front() {
+                inner.map.remove(&oldest);
+            }
+        }
+        inner.order.push_back(key);
+        inner.map.insert(key, Arc::clone(&layout));
+        layout
+    }
+
+    /// `(hits, misses)` of the cache since construction. Tests use this to
+    /// assert that repeated runs stop rebuilding shard layouts.
+    pub fn stats(&self) -> (u64, u64) {
+        let inner = self.inner.lock().unwrap();
+        (inner.hits, inner.misses)
+    }
+
+    /// Number of layouts currently cached.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().map.len()
+    }
+
+    /// True when nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::Partitioning;
+    use predict_graph::generators::{generate_rmat, RmatConfig};
+
+    #[test]
+    fn layout_matches_partitioning_assignment() {
+        let g = generate_rmat(&RmatConfig::new(8, 4).with_seed(1));
+        for strategy in [
+            PartitionStrategy::Hash,
+            PartitionStrategy::Range,
+            PartitionStrategy::Modulo,
+        ] {
+            let p = Partitioning::new(&g, 5, strategy);
+            let l = ShardLayout::build(g.num_vertices(), 5, strategy);
+            for v in g.vertices() {
+                assert_eq!(l.owner_of(v), p.worker_of(v), "vertex {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn slots_are_dense_and_ordered_within_each_shard() {
+        let l = ShardLayout::build(100, 4, PartitionStrategy::Hash);
+        let mut seen = 0;
+        for w in 0..4 {
+            let vs = l.shard_vertices(w);
+            assert!(vs.windows(2).all(|p| p[0] < p[1]), "shard not sorted");
+            for (i, &v) in vs.iter().enumerate() {
+                assert_eq!(l.owner_of(v), w);
+                assert_eq!(l.slot_of(v), i);
+            }
+            seen += vs.len();
+        }
+        assert_eq!(seen, 100);
+    }
+
+    #[test]
+    fn cache_hits_on_repeated_keys_and_evicts_fifo() {
+        let cache = LayoutCache::default();
+        let a = cache.get_or_build(10, 2, PartitionStrategy::Hash);
+        let b = cache.get_or_build(10, 2, PartitionStrategy::Hash);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.stats(), (1, 1));
+        // Distinct keys are distinct entries.
+        cache.get_or_build(10, 3, PartitionStrategy::Hash);
+        cache.get_or_build(10, 2, PartitionStrategy::Modulo);
+        assert_eq!(cache.len(), 3);
+        // Flood past the cap: the earliest keys are evicted.
+        for n in 0..LAYOUT_CACHE_CAP {
+            cache.get_or_build(1000 + n, 2, PartitionStrategy::Hash);
+        }
+        assert_eq!(cache.len(), LAYOUT_CACHE_CAP);
+        let (_, misses_before) = cache.stats();
+        cache.get_or_build(10, 2, PartitionStrategy::Hash);
+        let (_, misses_after) = cache.stats();
+        assert_eq!(misses_after, misses_before + 1, "evicted key must rebuild");
+    }
+
+    #[test]
+    fn empty_layout_is_valid() {
+        let l = ShardLayout::build(0, 3, PartitionStrategy::Range);
+        assert_eq!(l.num_vertices(), 0);
+        for w in 0..3 {
+            assert!(l.shard_vertices(w).is_empty());
+        }
+    }
+}

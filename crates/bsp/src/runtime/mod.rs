@@ -1,0 +1,145 @@
+//! The parallel deterministic BSP runtime.
+//!
+//! This subsystem replaces the old sequential superstep loop inside
+//! [`BspEngine::run`](crate::engine::BspEngine::run). It owns three things:
+//!
+//! * **sharded worker state** ([`WorkerShard`]) — per-worker vertex values,
+//!   halt flags, inboxes and outbox buffers, laid out by a cached
+//!   [`ShardLayout`]. Layouts depend only on `(num_vertices, num_workers,
+//!   strategy)` (vertex assignment never inspects edges), so the engine's
+//!   [`LayoutCache`] shares them across runs and across graphs of equal size
+//!   instead of rebuilding a `Partitioning` scan per run;
+//! * **a scoped-thread executor** ([`execute`]) that fans each superstep's
+//!   compute and delivery phases out over OS threads, with per-worker
+//!   outboxes routed by destination worker and merged in a fixed order;
+//! * **buffer reuse** — inboxes, outboxes and the inbound transpose matrix
+//!   are allocated once per run and cleared in place; counter and aggregate
+//!   accumulators are reset, never reallocated.
+//!
+//! # Determinism contract
+//!
+//! A run's observable output — final vertex values, [`RunProfile`] (Table 1
+//! counters, aggregates, simulated [`ClusterClock`] timings) and halt reason
+//! — is **byte-identical for every [`ExecutionMode`] and thread count**,
+//! given the same graph, program and [`BspConfig`] seeds. Threads only change
+//! wall-clock time. This holds because every order-sensitive step is pinned:
+//!
+//! 1. within a shard, vertices compute in increasing vertex-id order (shard
+//!    slots follow vertex-id order by construction);
+//! 2. shards are disjoint: a worker's compute phase touches only its own
+//!    values, halt flags, inboxes and outboxes, so phase fan-out cannot race;
+//! 3. the master merges counters, float aggregate sums and `messages_sent`
+//!    in ascending worker order between phases, on one thread;
+//! 4. a vertex's inbox receives messages ordered by (source worker asc,
+//!    source vertex asc, send order) — exactly the order the old sequential
+//!    delivery produced;
+//! 5. the simulated clock consumes its deterministic noise stream in a fixed
+//!    call order (setup, read, per-superstep workers in ascending order,
+//!    write) on the master thread;
+//! 6. optional message combining ([`VertexProgram::combiner`]) folds each
+//!    inbox left-to-right in delivery order, after delivery, so it is
+//!    insensitive to phase scheduling too.
+//!
+//! Property (2) is also why the runtime exists at all: PREDIcT executes
+//! thousands of sample runs (see `PredictService::submit_batch`), and the
+//! compute phase dominates them end to end.
+//!
+//! [`BspConfig`]: crate::config::BspConfig
+//! [`ExecutionMode`]: crate::config::ExecutionMode
+//! [`ClusterClock`]: crate::cost::ClusterClock
+//! [`RunProfile`]: crate::profile::RunProfile
+//! [`VertexProgram::combiner`]: crate::program::VertexProgram::combiner
+
+mod executor;
+mod layout;
+mod shard;
+
+pub use executor::execute;
+pub use layout::{LayoutCache, ShardLayout};
+pub use shard::WorkerShard;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{BspConfig, ExecutionMode};
+    use crate::cost::ClusterCostConfig;
+    use crate::program::{ComputeContext, VertexProgram};
+    use predict_graph::generators::{generate_rmat, RmatConfig};
+    use predict_graph::{CsrGraph, VertexId};
+
+    /// Flood-style program exercising messages, aggregates and halting.
+    struct Ripple;
+
+    impl VertexProgram for Ripple {
+        type VertexValue = u64;
+        type Message = u32;
+
+        fn name(&self) -> &'static str {
+            "ripple"
+        }
+
+        fn init_vertex(&self, v: VertexId, _g: &CsrGraph) -> u64 {
+            v as u64
+        }
+
+        fn compute(&self, ctx: &mut ComputeContext<'_, u64, u32>, messages: &[u32]) {
+            *ctx.value += messages.len() as u64;
+            ctx.aggregate("touched", 1.0);
+            if ctx.superstep < 3 {
+                let v = ctx.vertex;
+                ctx.send_to_all_neighbors(v);
+            }
+            ctx.vote_to_halt();
+        }
+
+        fn message_size_bytes(&self, _m: &u32) -> u64 {
+            4
+        }
+    }
+
+    #[test]
+    fn thread_count_never_changes_the_run() {
+        let graph = generate_rmat(&RmatConfig::new(9, 6).with_seed(11));
+        let config = BspConfig::with_workers(7);
+        let layout = ShardLayout::build(graph.num_vertices(), 7, config.partition_strategy);
+        let baseline = execute(&Ripple, &graph, &layout, &config, 1);
+        for threads in [2usize, 3, 7] {
+            let run = execute(&Ripple, &graph, &layout, &config, threads);
+            assert_eq!(baseline.values, run.values, "{threads} threads");
+            assert_eq!(baseline.profile, run.profile, "{threads} threads");
+            assert_eq!(baseline.halt_reason, run.halt_reason, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn execution_mode_resolution_is_plumbed_through_the_engine() {
+        let graph = generate_rmat(&RmatConfig::new(8, 5).with_seed(3));
+        let seq = crate::engine::BspEngine::new(
+            BspConfig::with_workers(4)
+                .with_cost(ClusterCostConfig::default())
+                .with_execution(ExecutionMode::Sequential),
+        );
+        let par = crate::engine::BspEngine::new(
+            BspConfig::with_workers(4)
+                .with_cost(ClusterCostConfig::default())
+                .with_execution(ExecutionMode::Parallel { threads: 4 }),
+        );
+        let a = seq.run(&graph, &Ripple);
+        let b = par.run(&graph, &Ripple);
+        assert_eq!(a.values, b.values);
+        assert_eq!(a.profile, b.profile);
+    }
+
+    #[test]
+    fn engine_reuses_cached_layouts_across_runs() {
+        let graph = generate_rmat(&RmatConfig::new(8, 5).with_seed(3));
+        let engine = crate::engine::BspEngine::new(BspConfig::with_workers(4));
+        engine.run(&graph, &Ripple);
+        engine.run(&graph, &Ripple);
+        let clone = engine.clone();
+        clone.run(&graph, &Ripple);
+        let (hits, misses) = engine.layout_cache_stats();
+        assert_eq!(misses, 1, "layout must be built exactly once");
+        assert_eq!(hits, 2, "subsequent runs (and clones) must hit the cache");
+    }
+}

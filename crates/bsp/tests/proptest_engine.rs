@@ -2,8 +2,8 @@
 //! totals and determinism on arbitrary graphs.
 
 use predict_bsp::{
-    BspConfig, BspEngine, ClusterCostConfig, ComputeContext, PartitionStrategy, Partitioning,
-    VertexProgram,
+    BspConfig, BspEngine, ClusterCostConfig, ComputeContext, ExecutionMode, PartitionStrategy,
+    Partitioning, VertexProgram,
 };
 use predict_graph::{CsrGraph, EdgeList, VertexId};
 use proptest::prelude::*;
@@ -128,6 +128,30 @@ proptest! {
         prop_assert_eq!(a.profile, b.profile);
     }
 
+    /// Sequential and parallel execution are indistinguishable: for any
+    /// graph, worker count and thread count, the run produces identical
+    /// values, halt reason and full profile (counters, aggregates and
+    /// simulated timings) — the runtime's determinism contract.
+    #[test]
+    fn sequential_and_parallel_execution_are_identical(
+        graph in graph_strategy(48, 200),
+        workers in 1usize..8,
+        threads in 2usize..5,
+    ) {
+        let sequential = BspEngine::new(
+            BspConfig::with_workers(workers).with_execution(ExecutionMode::Sequential),
+        )
+        .run(&graph, &CountIncoming);
+        let parallel = BspEngine::new(
+            BspConfig::with_workers(workers)
+                .with_execution(ExecutionMode::Parallel { threads }),
+        )
+        .run(&graph, &CountIncoming);
+        prop_assert_eq!(sequential.values, parallel.values);
+        prop_assert_eq!(sequential.halt_reason, parallel.halt_reason);
+        prop_assert_eq!(sequential.profile, parallel.profile);
+    }
+
     /// Every partitioning strategy assigns each vertex to exactly one worker
     /// and its outbound-edge totals sum to the graph's edge count.
     #[test]
@@ -144,8 +168,8 @@ proptest! {
         let p = Partitioning::new(&graph, workers, strategy);
         let vertex_total: usize = (0..workers).map(|w| p.vertices_of_worker(w)).sum();
         prop_assert_eq!(vertex_total, graph.num_vertices());
-        let edge_total: usize = p.outbound_edges_per_worker(&graph).iter().sum();
+        let edge_total: usize = p.outbound_edges_per_worker().iter().sum();
         prop_assert_eq!(edge_total, graph.num_edges());
-        prop_assert!(p.critical_path_worker(&graph) < workers);
+        prop_assert!(p.critical_path_worker() < workers);
     }
 }

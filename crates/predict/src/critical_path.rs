@@ -11,7 +11,6 @@
 
 use crate::features::{FeatureSet, IterationObservation};
 use predict_bsp::{sum_counters, Partitioning, RunProfile, SuperstepProfile, WorkerCounters};
-use predict_graph::CsrGraph;
 use serde::{Deserialize, Serialize};
 
 /// Which worker's counters represent an iteration when extracting features
@@ -24,7 +23,7 @@ pub enum WorkerSelection {
     #[default]
     SlowestWorker,
     /// The fixed worker owning the most outbound edges, the paper's
-    /// before-execution heuristic (requires the graph and partitioning, see
+    /// before-execution heuristic (requires the partitioning, see
     /// [`critical_path_worker_by_edges`]).
     FixedWorker(usize),
     /// The average over all workers — an ablation that ignores skew.
@@ -32,9 +31,11 @@ pub enum WorkerSelection {
 }
 
 /// The paper's pre-execution critical-path heuristic: the worker with the
-/// largest total number of outbound edges for the given partitioning.
-pub fn critical_path_worker_by_edges(graph: &CsrGraph, partitioning: &Partitioning) -> usize {
-    partitioning.critical_path_worker(graph)
+/// largest total number of outbound edges for the given partitioning. The
+/// counts are cached inside [`Partitioning`] at construction, so this query
+/// never rescans the CSR.
+pub fn critical_path_worker_by_edges(partitioning: &Partitioning) -> usize {
+    partitioning.critical_path_worker()
 }
 
 fn mean_counters(workers: &[WorkerCounters]) -> WorkerCounters {
@@ -157,7 +158,7 @@ mod tests {
     fn edge_heuristic_picks_the_hub_owner_on_a_star() {
         let g = star(64);
         let p = Partitioning::new(&g, 4, PartitionStrategy::Modulo);
-        let w = critical_path_worker_by_edges(&g, &p);
+        let w = critical_path_worker_by_edges(&p);
         assert_eq!(w, p.worker_of(0));
     }
 }

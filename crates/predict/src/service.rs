@@ -20,7 +20,7 @@ use crate::error::PredictError;
 use crate::session::{Evaluation, Prediction, PredictionSession, PredictorConfig};
 use crate::Predictor;
 use predict_algorithms::Workload;
-use predict_bsp::BspEngine;
+use predict_bsp::{BspEngine, ExecutionMode};
 use predict_graph::CsrGraph;
 use predict_sampling::Sampler;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -78,6 +78,15 @@ pub struct PredictServiceConfig {
     pub sessions_per_shard: usize,
     /// Default pipeline configuration for requests without an override.
     pub predictor: PredictorConfig,
+    /// Engine execution override applied at construction: `Some(mode)`
+    /// replaces the execution mode of the engine the service was given
+    /// (sharing its run counter and layout cache), so every session's sample
+    /// and actual runs execute under `mode`. With it, `submit_batch`
+    /// parallelizes at both levels — requests across scoped threads *and*
+    /// each run's superstep phases across the engine's threads. `None` keeps
+    /// the engine as passed. Never changes results (see
+    /// `predict_bsp::runtime`).
+    pub execution: Option<ExecutionMode>,
 }
 
 impl Default for PredictServiceConfig {
@@ -86,6 +95,7 @@ impl Default for PredictServiceConfig {
             shards: 8,
             sessions_per_shard: 4,
             predictor: PredictorConfig::default(),
+            execution: None,
         }
     }
 }
@@ -124,8 +134,13 @@ impl PredictService {
         config: PredictServiceConfig,
     ) -> Self {
         let shards = config.shards.max(1);
+        let engine = engine.into();
+        let engine = match config.execution {
+            Some(mode) => Arc::new(engine.with_execution(mode)),
+            None => engine,
+        };
         Self {
-            engine: engine.into(),
+            engine,
             sampler,
             shards: (0..shards).map(|_| RwLock::new(Shard::default())).collect(),
             config,
@@ -360,6 +375,7 @@ mod tests {
                 shards: 1,
                 sessions_per_shard: 2,
                 predictor: PredictorConfig::single_ratio(0.2),
+                ..PredictServiceConfig::default()
             },
         );
         let graphs: Vec<Arc<CsrGraph>> = (0..3).map(|i| graph(10 + i)).collect();
@@ -381,6 +397,35 @@ mod tests {
         let s2 = svc.session_for("X", &g2);
         assert!(!Arc::ptr_eq(&s1, &s2), "stale session served for new graph");
         assert_eq!(svc.sessions_cached(), 1);
+    }
+
+    #[test]
+    fn execution_override_changes_no_bytes() {
+        use predict_bsp::ExecutionMode;
+        let g = graph(9);
+        let workload: Arc<dyn Workload> =
+            Arc::new(PageRankWorkload::with_epsilon(0.01, g.num_vertices()));
+        let mut predictions = Vec::new();
+        for mode in [
+            ExecutionMode::Sequential,
+            ExecutionMode::Parallel { threads: 2 },
+            ExecutionMode::Parallel { threads: 4 },
+        ] {
+            let svc = PredictService::with_config(
+                BspEngine::new(BspConfig::with_workers(4)),
+                Arc::new(BiasedRandomJump::default()),
+                PredictServiceConfig {
+                    predictor: PredictorConfig::single_ratio(0.1),
+                    execution: Some(mode),
+                    ..PredictServiceConfig::default()
+                },
+            );
+            let req = PredictRequest::new("Z", Arc::clone(&g), Arc::clone(&workload));
+            let p = svc.submit(&req).unwrap();
+            predictions.push(serde_json::to_string(&p).unwrap());
+        }
+        assert_eq!(predictions[0], predictions[1]);
+        assert_eq!(predictions[0], predictions[2]);
     }
 
     #[test]

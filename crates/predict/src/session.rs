@@ -53,7 +53,7 @@ use crate::history::HistoryStore;
 use crate::metrics::signed_relative_error;
 use crate::transform::TransformFunction;
 use predict_algorithms::{Workload, WorkloadRun};
-use predict_bsp::{BspEngine, RunProfile};
+use predict_bsp::{BspEngine, ExecutionMode, RunProfile};
 use predict_graph::CsrGraph;
 use predict_sampling::{BiasedRandomJump, Sampler};
 use serde::Serialize;
@@ -566,6 +566,7 @@ pub struct PredictorBuilder {
     engine: Arc<BspEngine>,
     sampler: Arc<dyn Sampler>,
     config: PredictorConfig,
+    execution: Option<ExecutionMode>,
 }
 
 impl Default for PredictorBuilder {
@@ -581,12 +582,23 @@ impl PredictorBuilder {
             engine: Arc::new(BspEngine::default()),
             sampler: Arc::new(BiasedRandomJump::default()),
             config: PredictorConfig::default(),
+            execution: None,
         }
     }
 
     /// Sets the BSP engine (owned or already shared).
     pub fn engine(mut self, engine: impl Into<Arc<BspEngine>>) -> Self {
         self.engine = engine.into();
+        self
+    }
+
+    /// Overrides how the engine executes superstep phases (sequentially or on
+    /// OS threads). Execution mode never changes prediction output — the
+    /// runtime's determinism contract guarantees byte-identical profiles at
+    /// every thread count — only how fast sample and actual runs execute.
+    /// The derived engine shares the original's run counter and layout cache.
+    pub fn execution(mut self, execution: ExecutionMode) -> Self {
+        self.execution = Some(execution);
         self
     }
 
@@ -625,8 +637,12 @@ impl PredictorBuilder {
         dataset: &str,
         history: HistoryStore,
     ) -> PredictionSession {
+        let engine = match self.execution {
+            Some(mode) => Arc::new(self.engine.with_execution(mode)),
+            None => self.engine,
+        };
         PredictionSession {
-            engine: self.engine,
+            engine,
             sampler: self.sampler,
             config: self.config,
             graph: graph.into(),

@@ -71,7 +71,7 @@ pub mod prelude {
         ConnectedComponentsWorkload, NeighborhoodWorkload, PageRankWorkload,
         SemiClusteringWorkload, TopKWorkload, Workload, WorkloadRun,
     };
-    pub use predict_bsp::{BspConfig, BspEngine, ClusterCostConfig, RunProfile};
+    pub use predict_bsp::{BspConfig, BspEngine, ClusterCostConfig, ExecutionMode, RunProfile};
     pub use predict_core::{
         Evaluation, HistoryStore, KeyFeature, PredictError, PredictRequest, PredictService,
         Prediction, PredictionSession, Predictor, PredictorConfig, TrainingSource,

@@ -98,6 +98,13 @@ pub fn get_field<'a>(entries: &'a [(String, Value)], key: &str) -> Result<&'a Va
         .ok_or_else(|| Error::msg(format!("missing field `{key}`")))
 }
 
+/// Looks up an optional struct field in serialized map entries; `None` means
+/// the field was absent (used by `#[serde(default)]` fields, which then fall
+/// back to `Default::default()`).
+pub fn get_field_opt<'a>(entries: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
 /// A type that can be converted into the [`Value`] data model.
 pub trait Serialize {
     /// Serializes `self` into a [`Value`] tree.

@@ -9,7 +9,9 @@
 //!   `Payload<'a, T>`), tuple structs and unit structs;
 //! * enums with unit, tuple and struct variants (serde's external tagging:
 //!   a unit variant becomes `"Name"`, a data variant `{"Name": ...}`);
-//! * no `#[serde(...)]` attributes.
+//! * the `#[serde(default)]` field attribute on named fields (an absent key
+//!   deserializes to `Default::default()`); all other `#[serde(...)]`
+//!   attributes are unsupported.
 //!
 //! Generated code refers to the framework via the `::serde` path, so any
 //! crate using the derives must depend on the vendored `serde`.
@@ -18,14 +20,14 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 /// Derives `serde::Serialize` by mapping the item onto the `serde::Value`
 /// data model.
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     expand(input, Mode::Serialize)
 }
 
 /// Derives `serde::Deserialize` by reconstructing the item from the
 /// `serde::Value` data model.
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     expand(input, Mode::Deserialize)
 }
@@ -65,10 +67,16 @@ enum Body {
     UnitStruct,
     /// `struct S(A, B);` with the field count.
     TupleStruct(usize),
-    /// `struct S { a: A, .. }` with the field names.
-    NamedStruct(Vec<String>),
+    /// `struct S { a: A, .. }` with the fields.
+    NamedStruct(Vec<Field>),
     /// `enum E { .. }`
     Enum(Vec<Variant>),
+}
+
+/// One named field and whether it carries `#[serde(default)]`.
+struct Field {
+    name: String,
+    default: bool,
 }
 
 struct Variant {
@@ -80,8 +88,8 @@ enum VariantKind {
     Unit,
     /// Tuple variant with the field count.
     Tuple(usize),
-    /// Struct variant with the field names.
-    Named(Vec<String>),
+    /// Struct variant with the fields.
+    Named(Vec<Field>),
 }
 
 // ---------------------------------------------------------------------------
@@ -136,11 +144,34 @@ fn parse_item(input: TokenStream) -> Item {
     }
 }
 
+/// True when the attribute bracket group after `#` at `tokens[i]` is a
+/// `#[serde(...)]` attribute of any shape.
+fn is_serde_attr(tokens: &[TokenTree], i: usize) -> bool {
+    match tokens.get(i + 1) {
+        Some(TokenTree::Group(bracket)) => matches!(
+            bracket.stream().into_iter().next(),
+            Some(TokenTree::Ident(id)) if id.to_string() == "serde"
+        ),
+        _ => false,
+    }
+}
+
 /// Skips any `#[...]` attributes and a `pub` / `pub(...)` visibility prefix.
+///
+/// # Panics
+///
+/// Fails fast on `#[serde(...)]` attributes: the only supported position is
+/// `#[serde(default)]` on a named field, which `parse_named_fields` consumes
+/// before delegating here. Anywhere else (container, variant), silently
+/// ignoring the attribute would change the serialized shape.
 fn skip_attributes_and_visibility(tokens: &[TokenTree], i: &mut usize) {
     loop {
         match tokens.get(*i) {
             Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                assert!(
+                    !is_serde_attr(tokens, *i),
+                    "serde_derive supports `#[serde(default)]` on named fields only"
+                );
                 *i += 2; // `#` and the bracket group
             }
             Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
@@ -248,17 +279,65 @@ fn split_top_level(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
     parts
 }
 
-/// Parses `name: Type, ...` named-field lists, returning the field names.
-fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+/// True when the attribute bracket group (the `[...]` after `#`) spells
+/// `serde(default)`.
+///
+/// # Panics
+///
+/// Fails fast on any other `#[serde(...)]` argument (`rename`, `skip`,
+/// `default = "path"`, ...): silently ignoring it would change the
+/// serialized shape with no diagnostic, which this stub never does.
+fn is_serde_default_attr(tokens: &[TokenTree], i: usize) -> bool {
+    let Some(TokenTree::Group(bracket)) = tokens.get(i + 1) else {
+        return false;
+    };
+    let inner: Vec<TokenTree> = bracket.stream().into_iter().collect();
+    match (inner.first(), inner.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args)))
+            if id.to_string() == "serde" && args.delimiter() == Delimiter::Parenthesis =>
+        {
+            let arg_tokens: Vec<TokenTree> = args.stream().into_iter().collect();
+            for segment in split_top_level(&arg_tokens) {
+                let bare_default = segment.len() == 1
+                    && matches!(&segment[0], TokenTree::Ident(id) if id.to_string() == "default");
+                assert!(
+                    bare_default,
+                    "serde_derive supports only the bare `default` field attribute, \
+                     got `#[serde({})]`",
+                    args.stream()
+                );
+            }
+            !arg_tokens.is_empty()
+        }
+        _ => false,
+    }
+}
+
+/// Parses `name: Type, ...` named-field lists, returning the fields with
+/// their `#[serde(default)]` markers.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let tokens: Vec<TokenTree> = stream.into_iter().collect();
     let mut names = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
+        // Inspect the field's attributes for `#[serde(default)]` before
+        // skipping them (doc comments and other attributes are ignored).
+        let mut default = false;
+        while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() != '#' {
+                break;
+            }
+            default = default || is_serde_default_attr(&tokens, i);
+            i += 2; // `#` and the bracket group
+        }
         skip_attributes_and_visibility(&tokens, &mut i);
         if i >= tokens.len() {
             break;
         }
-        names.push(expect_ident(&tokens, &mut i));
+        names.push(Field {
+            name: expect_ident(&tokens, &mut i),
+            default,
+        });
         match tokens.get(i) {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
             other => panic!("expected `:` after field name, got {other:?}"),
@@ -393,10 +472,13 @@ fn gen_serialize(item: &Item) -> String {
 
 /// `Value::Map(vec![("a", ser(&self.a)), ...])` for named fields accessed
 /// through `prefix` (`self.` for structs, empty for bound variant fields).
-fn gen_serialize_named_map(fields: &[String], prefix: &str) -> String {
+/// `#[serde(default)]` fields are always written; the attribute only relaxes
+/// deserialization.
+fn gen_serialize_named_map(fields: &[Field], prefix: &str) -> String {
     let entries: Vec<String> = fields
         .iter()
         .map(|f| {
+            let f = &f.name;
             format!(
                 "(::std::string::String::from(\"{f}\"), \
                  ::serde::Serialize::serialize_value(&{prefix}{f}))"
@@ -434,10 +516,11 @@ fn gen_serialize_variant(enum_name: &str, v: &Variant) -> String {
         }
         VariantKind::Named(fields) => {
             let map = gen_serialize_named_map(fields, "");
+            let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
             format!(
                 "{enum_name}::{vname} {{ {} }} => ::serde::Value::Map(::std::vec![(\
                  ::std::string::String::from(\"{vname}\"), {map})]),",
-                fields.join(", ")
+                binds.join(", ")
             )
         }
     }
@@ -483,14 +566,24 @@ fn gen_deserialize_tuple(ctor: &str, n: usize, value_expr: &str) -> String {
 }
 
 /// Builds `Ok(Name { a: de(get_field(entries, "a")?)?, ... })`.
-fn gen_deserialize_named(ctor: &str, fields: &[String], entries_expr: &str) -> String {
+fn gen_deserialize_named(ctor: &str, fields: &[Field], entries_expr: &str) -> String {
     let inits: Vec<String> = fields
         .iter()
         .map(|f| {
-            format!(
-                "{f}: ::serde::Deserialize::deserialize_value(\
-                 ::serde::get_field({entries_expr}, \"{f}\")?)?"
-            )
+            let name = &f.name;
+            if f.default {
+                format!(
+                    "{name}: match ::serde::get_field_opt({entries_expr}, \"{name}\") {{ \
+                     ::std::option::Option::Some(v) => \
+                     ::serde::Deserialize::deserialize_value(v)?, \
+                     ::std::option::Option::None => ::std::default::Default::default() }}"
+                )
+            } else {
+                format!(
+                    "{name}: ::serde::Deserialize::deserialize_value(\
+                     ::serde::get_field({entries_expr}, \"{name}\")?)?"
+                )
+            }
         })
         .collect();
     format!(
