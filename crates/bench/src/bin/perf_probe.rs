@@ -1,0 +1,302 @@
+//! Perf probe: the CI perf-tracking gate for the graph-substrate hot paths.
+//!
+//! PREDIcT's premise is that sample runs are cheap relative to the full run,
+//! so sampler walks and CSR/subgraph construction are *the* overhead the
+//! paper's Table 3 budgets. This binary times exactly those paths on pinned
+//! deterministic inputs (an R-MAT web-graph analog and a 2-D grid road
+//! network) and turns the numbers into a machine-readable trajectory:
+//!
+//! * every run writes `BENCH_PR4.json` — an array of
+//!   `{bench, median_ns, graph, commit}` entries (median of
+//!   `PERF_PROBE_REPEATS` repeats, default 9);
+//! * when a checked-in baseline (`crates/bench/perf_baseline.json`) exists,
+//!   the run **fails (exit 1) if any bench regressed more than 1.5x**
+//!   against it (override the factor with `PERF_PROBE_MAX_REGRESSION`) —
+//!   the `perf` CI job runs this on every push;
+//! * `--bless` (re)writes the baseline from the current run, which is how the
+//!   baseline follows intentional hardware or algorithm changes.
+//!
+//! Usage:
+//!
+//! ```text
+//! perf_probe                # measure, write BENCH_PR4.json, gate vs baseline
+//! perf_probe --bless        # measure and (re)write the baseline
+//! perf_probe --out foo.json # override the report path
+//! ```
+//!
+//! Timings are wall-clock and therefore hardware-dependent; the 1.5x gate is
+//! deliberately loose so that only genuine algorithmic regressions (not
+//! machine noise) trip it. The workloads are pinned by seed, so the *work*
+//! measured is identical across runs and machines.
+
+use predict_graph::generators::{generate_grid_road, generate_rmat, GridRoadConfig, RmatConfig};
+use predict_graph::{induced_subgraph, CsrGraph, EdgeList, VertexId};
+use predict_sampling::{BiasedRandomJump, ForestFire, Mhrw, RandomEdge, RandomJump, Sampler};
+use std::hint::black_box;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Seed for every pinned probe input; changing it invalidates the baseline.
+const PROBE_SEED: u64 = 0xBE;
+
+/// Default regression threshold of the CI gate: fail when `median_ns`
+/// exceeds the baseline by more than this factor. Override with the
+/// `PERF_PROBE_MAX_REGRESSION` environment variable — the baseline is
+/// hardware-specific, so a runner-class change may need a looser factor
+/// until the baseline is re-blessed from that hardware's own artifact.
+const DEFAULT_REGRESSION_FACTOR: f64 = 1.5;
+
+fn regression_factor() -> f64 {
+    std::env::var("PERF_PROBE_MAX_REGRESSION")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .filter(|&f: &f64| f.is_finite() && f >= 1.0)
+        .unwrap_or(DEFAULT_REGRESSION_FACTOR)
+}
+
+/// One measured probe, in the schema the issue pins:
+/// `{bench, median_ns, graph, commit}`.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+struct ProbeResult {
+    /// Name of the timed path (e.g. `csr_build`, `sampler_BRJ`).
+    bench: String,
+    /// Median wall-clock nanoseconds over the configured repeats.
+    median_ns: u64,
+    /// The pinned input graph the bench ran on.
+    graph: String,
+    /// Commit the numbers were measured at (`GITHUB_SHA`, `git rev-parse`,
+    /// or `unknown`).
+    commit: String,
+}
+
+/// Times `f` `repeats` times and returns the median in nanoseconds.
+fn median_ns<T>(repeats: usize, mut f: impl FnMut() -> T) -> u64 {
+    let mut samples: Vec<u64> = (0..repeats)
+        .map(|_| {
+            let start = Instant::now();
+            black_box(f());
+            start.elapsed().as_nanos() as u64
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn repeats() -> usize {
+    std::env::var("PERF_PROBE_REPEATS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(9)
+}
+
+fn commit() -> String {
+    if let Ok(sha) = std::env::var("GITHUB_SHA") {
+        if !sha.is_empty() {
+            return sha;
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// The checked-in baseline path, resolved relative to the crate so the gate
+/// works from any working directory inside the repo.
+fn baseline_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("perf_baseline.json")
+}
+
+/// One pinned input: a name plus the graph and the raw (duplicate-preserving)
+/// edge list the construction benches rebuild from.
+struct ProbeInput {
+    name: &'static str,
+    graph: CsrGraph,
+    raw_edges: EdgeList,
+}
+
+fn probe_inputs() -> Vec<ProbeInput> {
+    let mut inputs = Vec::new();
+
+    // Power-law web/social analog: the paper's primary regime (Table 2).
+    let rmat_cfg = RmatConfig::new(14, 8)
+        .with_seed(PROBE_SEED)
+        .keep_duplicates();
+    let rmat_raw = generate_rmat(&rmat_cfg).to_edge_list();
+    let rmat = generate_rmat(&RmatConfig::new(14, 8).with_seed(PROBE_SEED));
+    inputs.push(ProbeInput {
+        name: "rmat_s14_d8",
+        graph: rmat,
+        raw_edges: rmat_raw,
+    });
+
+    // High-diameter, hub-free regime: the grid road network.
+    let cfg = GridRoadConfig::new(128, 128).with_seed(PROBE_SEED);
+    let graph = generate_grid_road(&cfg);
+    let raw_edges = graph.to_edge_list();
+    inputs.push(ProbeInput {
+        name: "grid_128x128",
+        graph,
+        raw_edges,
+    });
+
+    inputs
+}
+
+fn run_probes() -> Vec<ProbeResult> {
+    let reps = repeats();
+    let commit = commit();
+    let mut results = Vec::new();
+    let mut push = |bench: &str, graph: &str, ns: u64| {
+        eprintln!("[probe] {bench:<18} {graph:<14} {ns:>12} ns");
+        results.push(ProbeResult {
+            bench: bench.to_string(),
+            median_ns: ns,
+            graph: graph.to_string(),
+            commit: commit.clone(),
+        });
+    };
+
+    for input in &probe_inputs() {
+        let g = &input.graph;
+        let raw = &input.raw_edges;
+        let n = g.num_vertices();
+
+        // CSR placement from a raw (duplicate-preserving) edge list.
+        push(
+            "csr_build",
+            input.name,
+            median_ns(reps, || CsrGraph::from_edge_list(raw)),
+        );
+        // Deduplication, the sort-shaped part of graph ingest.
+        push(
+            "edge_dedup",
+            input.name,
+            median_ns(reps, || {
+                let mut el = raw.clone();
+                el.dedup();
+                el
+            }),
+        );
+        // Full ingest (dedup + placement): the `GraphBuilder::build` path
+        // every generator takes.
+        push(
+            "csr_ingest",
+            input.name,
+            median_ns(reps, || {
+                let mut el = raw.clone();
+                el.dedup();
+                CsrGraph::from_edge_list(&el)
+            }),
+        );
+        // Undirected mirroring (mirror + dedup), the semi-clustering ingest path.
+        push(
+            "to_undirected",
+            input.name,
+            median_ns(reps, || raw.to_undirected()),
+        );
+        // Induced-subgraph extraction on a pinned 20% vertex set.
+        let selected: Vec<VertexId> =
+            BiasedRandomJump::default().sample_vertices(g, 0.2, PROBE_SEED);
+        push(
+            "subgraph_extract",
+            input.name,
+            median_ns(reps, || induced_subgraph(g, &selected)),
+        );
+
+        // Every walk-based sampler at the paper's headline 10% ratio.
+        let samplers: [(&str, &dyn Sampler); 5] = [
+            ("sampler_BRJ", &BiasedRandomJump::default()),
+            ("sampler_RJ", &RandomJump::default()),
+            ("sampler_MHRW", &Mhrw::default()),
+            ("sampler_FF", &ForestFire::default()),
+            ("sampler_RE", &RandomEdge),
+        ];
+        for (name, sampler) in samplers {
+            push(
+                name,
+                input.name,
+                median_ns(reps, || sampler.sample_vertices(g, 0.1, PROBE_SEED)),
+            );
+        }
+        let _ = n;
+    }
+    results
+}
+
+/// Compares `current` against the baseline; returns the regression report
+/// lines (empty = gate passes).
+fn regressions(current: &[ProbeResult], baseline: &[ProbeResult]) -> Vec<String> {
+    let max_factor = regression_factor();
+    let mut failures = Vec::new();
+    for cur in current {
+        let Some(base) = baseline
+            .iter()
+            .find(|b| b.bench == cur.bench && b.graph == cur.graph)
+        else {
+            // New benches have no baseline yet; they gate from the next bless.
+            continue;
+        };
+        let factor = cur.median_ns as f64 / (base.median_ns.max(1)) as f64;
+        if factor > max_factor {
+            failures.push(format!(
+                "{} on {}: {} ns -> {} ns ({factor:.2}x > {max_factor}x)",
+                cur.bench, cur.graph, base.median_ns, cur.median_ns
+            ));
+        }
+    }
+    failures
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let bless = args.iter().any(|a| a == "--bless");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("BENCH_PR4.json"));
+
+    let results = run_probes();
+    let json = serde_json::to_string_pretty(&results).expect("serialize probe results");
+    std::fs::write(&out_path, &json).expect("write probe report");
+    eprintln!("[saved] {}", out_path.display());
+
+    let baseline = baseline_path();
+    if bless {
+        std::fs::write(&baseline, &json).expect("write baseline");
+        eprintln!("[bless] {}", baseline.display());
+        return;
+    }
+    match std::fs::read_to_string(&baseline) {
+        Ok(text) => {
+            let base: Vec<ProbeResult> =
+                serde_json::from_str(&text).expect("parse perf baseline JSON");
+            let failures = regressions(&results, &base);
+            if failures.is_empty() {
+                eprintln!(
+                    "[gate] no bench regressed more than {}x; OK",
+                    regression_factor()
+                );
+            } else {
+                eprintln!("[gate] perf regressions against {}:", baseline.display());
+                for f in &failures {
+                    eprintln!("  {f}");
+                }
+                eprintln!("(re-baseline intentional changes with `perf_probe --bless`)");
+                std::process::exit(1);
+            }
+        }
+        Err(_) => {
+            eprintln!(
+                "[gate] no baseline at {} (run with --bless to create); skipping gate",
+                baseline.display()
+            );
+        }
+    }
+}

@@ -26,16 +26,18 @@
 use std::path::{Path, PathBuf};
 use std::process::Command;
 
-/// The 13 figure/table experiment binaries; each emits
+/// The figure/table experiment binaries; each emits
 /// `target/experiments/<name>.json`.
-const SCENARIOS: [&str; 13] = [
+const SCENARIOS: [&str; 15] = [
     "fig4_pagerank_iterations",
     "fig5_semiclustering_iterations",
     "fig6_topk_features",
     "fig7_semiclustering_runtime",
     "fig8_topk_runtime",
     "fig9_sampling_sensitivity",
+    "fig9_new_generators",
     "table2_datasets",
+    "table2_new_datasets",
     "table3_overhead",
     "ablation_critical_path",
     "ablation_extrapolation",
@@ -95,6 +97,39 @@ fn first_divergence(a: &str, b: &str) -> String {
     )
 }
 
+/// Number of lines that differ between two outputs (length mismatch counts
+/// the excess), quantifying a diff's blast radius in the summary table.
+fn divergent_lines(a: &str, b: &str) -> usize {
+    let differing = a.lines().zip(b.lines()).filter(|(la, lb)| la != lb).count();
+    differing + a.lines().count().abs_diff(b.lines().count())
+}
+
+/// Outcome of one scenario, collected for the end-of-run summary table.
+struct Outcome {
+    name: &'static str,
+    /// `OK` / `BLESSED` / a short failure description.
+    status: String,
+    failed: bool,
+}
+
+/// Prints the aligned status-per-scenario table every run ends with, so a CI
+/// log shows the full blast radius of a golden mismatch at a glance instead
+/// of only the first diff encountered.
+fn print_summary(outcomes: &[Outcome]) {
+    let width = outcomes.iter().map(|o| o.name.len()).max().unwrap_or(8);
+    println!("\n== scenario summary ==");
+    for o in outcomes {
+        println!(
+            "{:<width$}  {}  {}",
+            o.name,
+            if o.failed { "FAIL" } else { "ok  " },
+            o.status
+        );
+    }
+    let failures = outcomes.iter().filter(|o| o.failed).count();
+    println!("\n{} scenario(s), {} failure(s)", outcomes.len(), failures);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let bless = args.iter().any(|a| a == "--bless");
@@ -114,13 +149,20 @@ fn main() {
         std::fs::create_dir_all(&golden).expect("create golden dir");
     }
 
-    let mut failures = 0usize;
+    // Every selected scenario runs to completion — a diff in one bin never
+    // hides diffs in the others — and the run ends with a summary table plus
+    // a non-zero exit when anything diverged.
+    let mut outcomes: Vec<Outcome> = Vec::with_capacity(selected.len());
     for name in &selected {
         let actual = match run_scenario(name) {
             Ok(json) => json,
             Err(e) => {
                 println!("[FAIL] {name}: {e}");
-                failures += 1;
+                outcomes.push(Outcome {
+                    name,
+                    status: "did not produce output".to_string(),
+                    failed: true,
+                });
                 continue;
             }
         };
@@ -128,35 +170,54 @@ fn main() {
         if bless {
             std::fs::write(&golden_path, &actual).expect("write golden");
             println!("[BLESS] {name} -> {}", golden_path.display());
+            outcomes.push(Outcome {
+                name,
+                status: "BLESSED".to_string(),
+                failed: false,
+            });
             continue;
         }
         match std::fs::read_to_string(&golden_path) {
-            Ok(expected) if expected == actual => println!("[OK] {name}"),
+            Ok(expected) if expected == actual => {
+                println!("[OK] {name}");
+                outcomes.push(Outcome {
+                    name,
+                    status: "matches golden".to_string(),
+                    failed: false,
+                });
+            }
             Ok(expected) => {
                 println!(
                     "[FAIL] {name}: output differs from {} ({})",
                     golden_path.display(),
                     first_divergence(&expected, &actual)
                 );
-                failures += 1;
+                outcomes.push(Outcome {
+                    name,
+                    status: format!(
+                        "{} divergent line(s); first: {}",
+                        divergent_lines(&expected, &actual),
+                        first_divergence(&expected, &actual)
+                    ),
+                    failed: true,
+                });
             }
             Err(_) => {
                 println!(
                     "[FAIL] {name}: missing golden {} (run with --bless to create)",
                     golden_path.display()
                 );
-                failures += 1;
+                outcomes.push(Outcome {
+                    name,
+                    status: "missing golden (run with --bless)".to_string(),
+                    failed: true,
+                });
             }
         }
     }
 
-    println!(
-        "\n{} scenario(s), {} failure(s){}",
-        selected.len(),
-        failures,
-        if bless { " (blessed)" } else { "" }
-    );
-    if failures > 0 {
+    print_summary(&outcomes);
+    if outcomes.iter().any(|o| o.failed) {
         std::process::exit(1);
     }
 }

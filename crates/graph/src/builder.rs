@@ -98,6 +98,10 @@ impl GraphBuilder {
 
     /// Freezes the builder into a [`CsrGraph`], applying the configured
     /// policies (dedup, undirected mirroring).
+    ///
+    /// The whole freeze is sorting-free: deduplication orders edges with a
+    /// two-round counting (radix) sort and the CSR placement is a counting
+    /// build, so ingest costs `O(E + V)` rather than `O(E log E)`.
     pub fn build(self) -> CsrGraph {
         let mut edges = self.edges;
         if self.undirected {

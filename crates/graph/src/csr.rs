@@ -9,6 +9,7 @@
 use crate::edge_list::EdgeList;
 use crate::types::{Edge, VertexId};
 use serde::Serialize;
+use std::sync::OnceLock;
 
 /// Immutable directed graph in compressed-sparse-row form.
 ///
@@ -16,6 +17,11 @@ use serde::Serialize;
 /// `v` are `out_offsets[v]..out_offsets[v + 1]` into `out_targets`; the
 /// in-adjacency is stored symmetrically. Edge weights, when present, are
 /// aligned with `out_targets`.
+///
+/// Construction is sorting-free end to end: both adjacency directions are
+/// placed by a two-pass counting build (degree histogram → prefix offsets →
+/// direct placement), and the degree ordering consumed by Biased Random Jump
+/// seed selection is produced by a counting-bucket pass cached on the graph.
 #[derive(Debug, Clone, Serialize)]
 pub struct CsrGraph {
     num_vertices: usize,
@@ -24,6 +30,10 @@ pub struct CsrGraph {
     out_weights: Option<Vec<f32>>,
     in_offsets: Vec<usize>,
     in_sources: Vec<VertexId>,
+    /// Lazily computed [`Self::vertices_by_out_degree_desc`] cache. Derived
+    /// data: excluded from serialization and rebuilt on demand.
+    #[serde(skip)]
+    degree_order: OnceLock<Vec<VertexId>>,
 }
 
 impl CsrGraph {
@@ -89,6 +99,49 @@ impl CsrGraph {
             out_weights,
             in_offsets,
             in_sources,
+            degree_order: OnceLock::new(),
+        }
+    }
+
+    /// Builds a CSR graph directly from pre-assembled out-adjacency arrays
+    /// (offsets must be a valid prefix-sum over `num_vertices + 1` entries and
+    /// every target `< num_vertices`). The in-adjacency is derived with the
+    /// same counting pass [`Self::from_edges`] uses, visiting the out-edges in
+    /// CSR order — identical to building from the equivalent edge list. Used
+    /// by [`crate::subgraph::induced_subgraph`] to skip the intermediate
+    /// edge-list materialization.
+    pub(crate) fn from_csr_parts(
+        num_vertices: usize,
+        out_offsets: Vec<usize>,
+        out_targets: Vec<VertexId>,
+        out_weights: Option<Vec<f32>>,
+    ) -> Self {
+        debug_assert_eq!(out_offsets.len(), num_vertices + 1);
+        debug_assert_eq!(out_offsets.last().copied().unwrap_or(0), out_targets.len());
+
+        let mut in_degree = vec![0usize; num_vertices];
+        for &dst in &out_targets {
+            in_degree[dst as usize] += 1;
+        }
+        let in_offsets = prefix_sum(&in_degree);
+        let mut in_sources = vec![0 as VertexId; out_targets.len()];
+        let mut in_cursor = in_offsets.clone();
+        for v in 0..num_vertices {
+            for &dst in &out_targets[out_offsets[v]..out_offsets[v + 1]] {
+                let c = &mut in_cursor[dst as usize];
+                in_sources[*c] = v as VertexId;
+                *c += 1;
+            }
+        }
+
+        Self {
+            num_vertices,
+            out_offsets,
+            out_targets,
+            out_weights,
+            in_offsets,
+            in_sources,
+            degree_order: OnceLock::new(),
         }
     }
 
@@ -166,12 +219,38 @@ impl CsrGraph {
         }
     }
 
-    /// Vertices sorted by descending out-degree. Used by Biased Random Jump
-    /// seed selection and by the critical-path worker model.
-    pub fn vertices_by_out_degree_desc(&self) -> Vec<VertexId> {
-        let mut vs: Vec<VertexId> = self.vertices().collect();
-        vs.sort_by_key(|&v| std::cmp::Reverse(self.out_degree(v)));
-        vs
+    /// Vertices ordered by descending out-degree (ties by ascending vertex
+    /// id). Used by Biased Random Jump seed selection and by the
+    /// critical-path worker model.
+    ///
+    /// Computed once per graph by a stable counting-bucket pass (`O(V +
+    /// max_degree)`, no comparison sort) and cached, so samplers that restart
+    /// from the hub core pay for the ordering only on their first draw
+    /// instead of re-sorting the full graph on every sample.
+    pub fn vertices_by_out_degree_desc(&self) -> &[VertexId] {
+        self.degree_order.get_or_init(|| {
+            let max_degree = (0..self.num_vertices)
+                .map(|v| self.out_offsets[v + 1] - self.out_offsets[v])
+                .max()
+                .unwrap_or(0);
+            // Stable counting sort by `max_degree - degree`: descending
+            // degree, ties in ascending vertex order — exactly the order a
+            // stable `sort_by_key(Reverse(degree))` produces.
+            let mut counts = vec![0usize; max_degree + 1];
+            for v in 0..self.num_vertices {
+                let degree = self.out_offsets[v + 1] - self.out_offsets[v];
+                counts[max_degree - degree] += 1;
+            }
+            let mut cursor = prefix_sum(&counts);
+            let mut order = vec![0 as VertexId; self.num_vertices];
+            for v in 0..self.num_vertices {
+                let degree = self.out_offsets[v + 1] - self.out_offsets[v];
+                let c = &mut cursor[max_degree - degree];
+                order[*c] = v as VertexId;
+                *c += 1;
+            }
+            order
+        })
     }
 
     /// Converts back to an edge list (useful for re-sampling or re-weighting).
@@ -199,7 +278,7 @@ impl CsrGraph {
     }
 }
 
-fn prefix_sum(counts: &[usize]) -> Vec<usize> {
+pub(crate) fn prefix_sum(counts: &[usize]) -> Vec<usize> {
     let mut offsets = Vec::with_capacity(counts.len() + 1);
     let mut acc = 0usize;
     offsets.push(0);

@@ -23,10 +23,15 @@
 //! non-scale-free graph.
 
 use crate::csr::CsrGraph;
-use crate::generators::{generate_erdos_renyi, generate_rmat, ErdosRenyiConfig, RmatConfig};
+use crate::generators::{
+    generate_bipartite, generate_dcsbm, generate_erdos_renyi, generate_grid_road, generate_rmat,
+    BipartiteConfig, DcsbmConfig, ErdosRenyiConfig, GridRoadConfig, RmatConfig,
+};
 use crate::properties::GraphProperties;
 
-/// Identifier for one of the four dataset analogs of Table 2.
+/// Identifier for a dataset analog: the four graphs of the paper's Table 2
+/// plus the extended regimes the reproduction opens beyond it (road grid,
+/// bipartite web, degree-corrected block model).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Dataset {
     /// Analog of the LiveJournal social graph (prefix `LJ` in the paper).
@@ -42,10 +47,24 @@ pub enum Dataset {
     Twitter,
     /// Analog of the UK-2002 web crawl (prefix `UK`).
     Uk2002,
+    /// 2-D lattice road network
+    /// ([`generate_grid_road`]):
+    /// huge effective diameter, degree ≤ 4, no hub core — the structural
+    /// opposite of the Table 2 graphs.
+    GridRoad,
+    /// Two-mode web graph
+    /// ([`generate_bipartite`]):
+    /// every edge crosses between a uniform "user" side and a power-law
+    /// "site" side.
+    BipartiteWeb,
+    /// Degree-corrected stochastic block model
+    /// ([`generate_dcsbm`]): community
+    /// structure plus heavy-tailed degrees inside every block.
+    DcSbm,
 }
 
 impl Dataset {
-    /// All four datasets in the order of Table 2.
+    /// The four datasets of the paper's Table 2, in its order.
     pub const ALL: [Dataset; 4] = [
         Dataset::LiveJournal,
         Dataset::Wikipedia,
@@ -53,17 +72,26 @@ impl Dataset {
         Dataset::Uk2002,
     ];
 
-    /// The three scale-free datasets (everything but LiveJournal), i.e. the
-    /// graphs for which the paper reports its headline error bands.
+    /// The three scale-free paper datasets (everything in [`Dataset::ALL`]
+    /// but LiveJournal), i.e. the graphs for which the paper reports its
+    /// headline error bands.
     pub const SCALE_FREE: [Dataset; 3] = [Dataset::Wikipedia, Dataset::Twitter, Dataset::Uk2002];
 
-    /// Short prefix used in the paper's plots (LJ / Wiki / TW / UK).
+    /// The extended datasets beyond Table 2, swept by the
+    /// `table2_new_datasets` and `fig9_new_generators` experiment binaries.
+    pub const EXTENDED: [Dataset; 3] = [Dataset::GridRoad, Dataset::BipartiteWeb, Dataset::DcSbm];
+
+    /// Short prefix used in plots (the paper's LJ / Wiki / TW / UK, plus
+    /// ROAD / BIP / DCSBM for the extended datasets).
     pub fn prefix(&self) -> &'static str {
         match self {
             Dataset::LiveJournal => "LJ",
             Dataset::Wikipedia => "Wiki",
             Dataset::Twitter => "TW",
             Dataset::Uk2002 => "UK",
+            Dataset::GridRoad => "ROAD",
+            Dataset::BipartiteWeb => "BIP",
+            Dataset::DcSbm => "DCSBM",
         }
     }
 
@@ -74,23 +102,30 @@ impl Dataset {
             Dataset::Wikipedia => "Wikipedia",
             Dataset::Twitter => "Twitter",
             Dataset::Uk2002 => "UK-2002",
+            Dataset::GridRoad => "Grid road network",
+            Dataset::BipartiteWeb => "Bipartite web",
+            Dataset::DcSbm => "DC-SBM communities",
         }
     }
 
-    /// True for the datasets whose degree distribution is scale-free (all but
-    /// the LiveJournal analog).
+    /// True for the datasets whose out-degree distribution is heavy-tailed
+    /// (the paper analogs except LiveJournal; of the extended set, the
+    /// bipartite web's site side and the DC-SBM's propensity tail qualify,
+    /// the road grid's bounded degrees do not).
     pub fn is_scale_free(&self) -> bool {
-        !matches!(self, Dataset::LiveJournal)
+        !matches!(self, Dataset::LiveJournal | Dataset::GridRoad)
     }
 
     /// Characteristics of the *real* dataset as reported in Table 2 of the
-    /// paper: `(num_nodes, num_edges, size_gb)`.
+    /// paper: `(num_nodes, num_edges, size_gb)`. The extended datasets have
+    /// no Table 2 row and report zeros.
     pub fn paper_characteristics(&self) -> (u64, u64, f64) {
         match self {
             Dataset::LiveJournal => (4_847_571, 68_993_777, 1.0),
             Dataset::Wikipedia => (11_712_323, 97_652_232, 1.4),
             Dataset::Twitter => (40_103_281, 1_468_365_182, 25.0),
             Dataset::Uk2002 => (18_520_486, 298_113_762, 4.7),
+            Dataset::GridRoad | Dataset::BipartiteWeb | Dataset::DcSbm => (0, 0, 0.0),
         }
     }
 
@@ -150,10 +185,13 @@ impl DatasetConfig {
         // log2(num_vertices) at Default scale; Small is 3 levels smaller,
         // Large is 2 levels bigger.
         let base_log2 = match dataset {
-            Dataset::LiveJournal => 13, // 8k
-            Dataset::Wikipedia => 14,   // 16k
-            Dataset::Uk2002 => 14,      // 16k (real UK has more nodes than Wiki but similar order)
-            Dataset::Twitter => 15,     // 32k - the largest
+            Dataset::LiveJournal => 13,  // 8k
+            Dataset::Wikipedia => 14,    // 16k
+            Dataset::Uk2002 => 14,       // 16k (real UK has more nodes than Wiki but similar order)
+            Dataset::Twitter => 15,      // 32k - the largest
+            Dataset::GridRoad => 14,     // 16k intersections (128x128 grid)
+            Dataset::BipartiteWeb => 14, // 16k users + sites
+            Dataset::DcSbm => 14,        // 16k across 8 communities
         };
         let log2 = match scale {
             DatasetScale::Small => base_log2 - 3,
@@ -165,12 +203,18 @@ impl DatasetConfig {
             Dataset::Wikipedia => 8,
             Dataset::Uk2002 => 16,
             Dataset::Twitter => 37,
+            Dataset::GridRoad => 4, // lattice bound; the generator ignores it
+            Dataset::BipartiteWeb => 8,
+            Dataset::DcSbm => 10,
         };
         let seed = match dataset {
             Dataset::LiveJournal => 0xD1,
             Dataset::Wikipedia => 0xD2,
             Dataset::Twitter => 0xD3,
             Dataset::Uk2002 => 0xD4,
+            Dataset::GridRoad => 0xD5,
+            Dataset::BipartiteWeb => 0xD6,
+            Dataset::DcSbm => 0xD7,
         };
         Self {
             dataset,
@@ -184,6 +228,33 @@ impl DatasetConfig {
     /// Generates the analog graph. Deterministic for a given configuration.
     pub fn generate(&self) -> CsrGraph {
         let log2 = self.num_vertices.trailing_zeros();
+        match self.dataset {
+            Dataset::GridRoad => {
+                // Near-square grid covering exactly `num_vertices`
+                // intersections (both dimensions are powers of two).
+                let width = 1usize << (log2 / 2);
+                let height = self.num_vertices / width;
+                return generate_grid_road(
+                    &GridRoadConfig::new(width, height).with_seed(self.seed),
+                );
+            }
+            Dataset::BipartiteWeb => {
+                // Many "users", an eighth as many "sites"; edge budget follows
+                // the configured density.
+                let num_right = (self.num_vertices / 8).max(1);
+                let num_left = self.num_vertices - num_right;
+                return generate_bipartite(
+                    &BipartiteConfig::new(num_left, num_right, self.num_vertices * self.avg_degree)
+                        .with_seed(self.seed),
+                );
+            }
+            Dataset::DcSbm => {
+                return generate_dcsbm(
+                    &DcsbmConfig::new(self.num_vertices, 8, self.avg_degree).with_seed(self.seed),
+                );
+            }
+            _ => {}
+        }
         if self.dataset.is_scale_free() {
             // Strongly skewed quadrant probabilities: real web/social graphs
             // concentrate edges in a small core and mix slowly, which is what
@@ -195,7 +266,7 @@ impl DatasetConfig {
                 Dataset::Wikipedia => (0.65, 0.18, 0.12),
                 Dataset::Uk2002 => (0.68, 0.17, 0.10),
                 Dataset::Twitter => (0.62, 0.19, 0.14),
-                Dataset::LiveJournal => unreachable!(),
+                _ => unreachable!("non-R-MAT datasets are generated above"),
             };
             generate_rmat(
                 &RmatConfig::new(log2, self.avg_degree)
@@ -242,7 +313,14 @@ pub struct DatasetSummary {
 /// paper's Table 2 numbers. This is what the `table2_datasets` experiment
 /// binary prints.
 pub fn table2_summary(scale: DatasetScale) -> Vec<DatasetSummary> {
-    Dataset::ALL
+    dataset_summary(&Dataset::ALL, scale)
+}
+
+/// [`table2_summary`] for an arbitrary dataset selection — the
+/// `table2_new_datasets` binary runs it over [`Dataset::EXTENDED`] (whose
+/// `paper_*` columns are zero: those analogs have no Table 2 row).
+pub fn dataset_summary(datasets: &[Dataset], scale: DatasetScale) -> Vec<DatasetSummary> {
+    datasets
         .iter()
         .map(|&dataset| {
             let cfg = DatasetConfig::new(dataset, scale);
@@ -351,6 +429,59 @@ mod tests {
             p_lj.power_law_alpha,
             p_lj.power_law_ks
         );
+    }
+
+    #[test]
+    fn extended_datasets_generate_deterministically() {
+        for &d in &Dataset::EXTENDED {
+            let a = d.load_small();
+            let b = d.load_small();
+            assert_eq!(a.num_vertices(), b.num_vertices());
+            assert_eq!(a.num_edges(), b.num_edges());
+            for v in a.vertices() {
+                assert_eq!(a.out_neighbors(v), b.out_neighbors(v), "{}", d.name());
+            }
+            assert!(a.num_vertices() >= 1 << 10);
+            assert!(a.num_edges() > 0);
+        }
+    }
+
+    #[test]
+    fn extended_prefixes_and_characteristics() {
+        assert_eq!(Dataset::GridRoad.prefix(), "ROAD");
+        assert_eq!(Dataset::BipartiteWeb.prefix(), "BIP");
+        assert_eq!(Dataset::DcSbm.prefix(), "DCSBM");
+        for &d in &Dataset::EXTENDED {
+            assert!(!Dataset::ALL.contains(&d), "EXTENDED must stay off Table 2");
+            assert_eq!(d.paper_characteristics(), (0, 0, 0.0));
+        }
+        assert!(!Dataset::GridRoad.is_scale_free());
+    }
+
+    #[test]
+    fn grid_road_analog_has_bounded_degrees_and_large_diameter() {
+        let g = Dataset::GridRoad.load_small();
+        let max_deg = g.vertices().map(|v| g.out_degree(v)).max().unwrap();
+        assert!(max_deg <= 4);
+        let props = GraphProperties::analyze(&g, 1);
+        let wiki = GraphProperties::analyze(&Dataset::Wikipedia.load_small(), 1);
+        assert!(
+            props.effective_diameter > wiki.effective_diameter * 3.0,
+            "road grid should dwarf the web analog's diameter ({} vs {})",
+            props.effective_diameter,
+            wiki.effective_diameter
+        );
+    }
+
+    #[test]
+    fn dataset_summary_covers_extended_set() {
+        let rows = dataset_summary(&Dataset::EXTENDED, DatasetScale::Small);
+        assert_eq!(rows.len(), 3);
+        for row in &rows {
+            assert!(row.num_vertices > 0);
+            assert!(row.num_edges > 0);
+            assert_eq!(row.paper_nodes, 0);
+        }
     }
 
     #[test]

@@ -91,9 +91,29 @@ impl EdgeList {
     }
 
     /// Removes duplicate `(src, dst)` pairs in place, keeping the first
-    /// occurrence (and therefore its weight). Sorts the list as a side effect.
+    /// occurrence (and therefore its weight). Sorts the list by `(src, dst)`
+    /// as a side effect.
+    ///
+    /// The ordering pass is a two-round stable counting (LSD radix) sort —
+    /// `O(E + V)` instead of the `O(E log E)` comparison sort it replaces —
+    /// which produces exactly the permutation a stable
+    /// `sort_by_key(|e| (e.src, e.dst))` would: sorted by key, equal keys in
+    /// insertion order, so the kept first occurrence is the earliest pushed.
+    /// Edge lists whose vertex id space dwarfs their edge count fall back to
+    /// the comparison sort (same result) to avoid `O(V)` histograms.
     pub fn dedup(&mut self) {
-        self.edges.sort_by_key(|a| (a.src, a.dst));
+        let n = self.num_vertices;
+        if self.edges.len() > 1 {
+            if n <= self.edges.len().saturating_mul(4).max(64) {
+                let mut scratch = vec![Edge::new(0, 0); self.edges.len()];
+                // LSD radix: stable pass on the low key (dst), then a stable
+                // pass on the high key (src).
+                counting_sort_pass(&mut self.edges, &mut scratch, n, |e| e.dst as usize);
+                counting_sort_pass(&mut self.edges, &mut scratch, n, |e| e.src as usize);
+            } else {
+                self.edges.sort_by_key(|e| (e.src, e.dst));
+            }
+        }
         self.edges.dedup_by_key(|e| (e.src, e.dst));
     }
 
@@ -119,6 +139,30 @@ impl EdgeList {
     pub fn into_edges(self) -> Vec<Edge> {
         self.edges
     }
+}
+
+/// One stable counting-sort pass over `edges` by `key` (which must be
+/// `< num_keys` for every edge): histogram, prefix offsets, direct placement
+/// into `scratch`, then swap the buffers.
+fn counting_sort_pass(
+    edges: &mut Vec<Edge>,
+    scratch: &mut Vec<Edge>,
+    num_keys: usize,
+    key: impl Fn(&Edge) -> usize,
+) {
+    let mut counts = vec![0usize; num_keys + 1];
+    for e in edges.iter() {
+        counts[key(e) + 1] += 1;
+    }
+    for i in 1..counts.len() {
+        counts[i] += counts[i - 1];
+    }
+    for e in edges.iter() {
+        let slot = &mut counts[key(e)];
+        scratch[*slot] = *e;
+        *slot += 1;
+    }
+    std::mem::swap(edges, scratch);
 }
 
 impl FromIterator<(VertexId, VertexId)> for EdgeList {

@@ -19,16 +19,33 @@
 //!   the "degenerate graph structures" on which the paper states its
 //!   methodology does not apply, used for negative tests.
 //!
+//! Beyond the paper's Table 2 regime, three generators stress the samplers on
+//! structures the paper does not cover (swept by the `table2_new_datasets`
+//! and `fig9_new_generators` experiment binaries):
+//!
+//! * [`grid_road`] — 2-D lattice road networks: huge effective diameter,
+//!   bounded degrees, no hub core for BRJ to bias towards.
+//! * [`bipartite`] — web-style two-mode graphs: walks alternate between a
+//!   uniform "user" side and a power-law "site" side.
+//! * [`dcsbm`] — degree-corrected stochastic block models: community
+//!   structure plus heavy-tailed degrees inside every block.
+//!
 //! All generators are deterministic given a seed.
 
 pub mod barabasi_albert;
+pub mod bipartite;
+pub mod dcsbm;
 pub mod degenerate;
 pub mod erdos_renyi;
+pub mod grid_road;
 pub mod rmat;
 pub mod watts_strogatz;
 
 pub use barabasi_albert::{generate_barabasi_albert, BarabasiAlbertConfig};
+pub use bipartite::{generate_bipartite, BipartiteConfig};
+pub use dcsbm::{generate_dcsbm, DcsbmConfig};
 pub use degenerate::{binary_tree, chain, complete, cycle, star};
 pub use erdos_renyi::{generate_erdos_renyi, ErdosRenyiConfig};
+pub use grid_road::{generate_grid_road, GridRoadConfig};
 pub use rmat::{generate_rmat, RmatConfig};
 pub use watts_strogatz::{generate_watts_strogatz, WattsStrogatzConfig};

@@ -8,10 +8,13 @@
 //!   used by the BSP engine and the samplers.
 //! * [`EdgeList`] / [`GraphBuilder`] — mutable construction APIs.
 //! * [`generators`] — synthetic graph generators (R-MAT, Barabási–Albert,
-//!   Erdős–Rényi, Watts–Strogatz, degenerate chains) used to build scaled-down
-//!   analogs of the paper's datasets.
+//!   Erdős–Rényi, Watts–Strogatz, degenerate chains, plus grid road
+//!   networks, bipartite web graphs and degree-corrected block models) used
+//!   to build scaled-down analogs of the paper's datasets and regimes beyond
+//!   them.
 //! * [`datasets`] — presets mirroring Table 2 of the paper (LiveJournal,
-//!   Wikipedia, Twitter, UK-2002 analogs).
+//!   Wikipedia, Twitter, UK-2002 analogs) plus the extended
+//!   road/bipartite/DC-SBM datasets.
 //! * [`properties`] — graph property analysis (degree distributions, power-law
 //!   fit, effective diameter, clustering coefficient, connected components)
 //!   used to validate that samples preserve the properties the paper relies on.

@@ -9,7 +9,6 @@
 //! of the PageRank output).
 
 use crate::csr::CsrGraph;
-use crate::edge_list::EdgeList;
 use crate::types::VertexId;
 use serde::Serialize;
 
@@ -55,6 +54,15 @@ impl SubgraphMapping {
 
 /// Extracts the subgraph induced by `vertices` (duplicates are ignored; order
 /// determines the new dense ids). Edge weights are preserved.
+///
+/// The sample graph's CSR is assembled directly — no intermediate edge-list
+/// materialization. Because the selected vertices are visited in ascending
+/// new-id order and each adjacency in neighbor order, the surviving edges are
+/// emitted already grouped by source in CSR order: the out-adjacency is a
+/// single append pass, and the in-adjacency follows from the same counting
+/// build a full-graph construction uses. Neighbor order is byte-identical to
+/// building the equivalent edge list and freezing it (pinned by the
+/// `induced_subgraph_matches_edge_list_reference` property test).
 pub fn induced_subgraph(graph: &CsrGraph, vertices: &[VertexId]) -> (CsrGraph, SubgraphMapping) {
     let mut to_sample: Vec<Option<VertexId>> = vec![None; graph.num_vertices()];
     let mut to_original: Vec<VertexId> = Vec::with_capacity(vertices.len());
@@ -66,20 +74,45 @@ pub fn induced_subgraph(graph: &CsrGraph, vertices: &[VertexId]) -> (CsrGraph, S
         }
     }
 
-    let mut edges = EdgeList::new();
-    edges.ensure_vertices(to_original.len());
-    for (new_src, &orig_src) in to_original.iter().enumerate() {
-        let nbrs = graph.out_neighbors(orig_src);
-        let weights = graph.out_weights(orig_src);
-        for (i, &orig_dst) in nbrs.iter().enumerate() {
-            if let Some(new_dst) = to_sample[orig_dst as usize] {
-                let w = weights.map(|w| w[i]).unwrap_or(1.0);
-                edges.push_weighted(new_src as VertexId, new_dst, w);
-            }
-        }
+    // Upper bound on the surviving edge count: the selected vertices' full
+    // out-degrees.
+    let capacity: usize = to_original.iter().map(|&v| graph.out_degree(v)).sum();
+    let mut out_offsets: Vec<usize> = Vec::with_capacity(to_original.len() + 1);
+    out_offsets.push(0);
+    let mut out_targets: Vec<VertexId> = Vec::with_capacity(capacity);
+    // Weight storage mirrors `CsrGraph::from_edges`: the subgraph is weighted
+    // only when a surviving edge carries a non-unit weight.
+    let mut weight_buf: Vec<f32> = Vec::new();
+    let mut weighted = false;
+    if graph.is_weighted() {
+        weight_buf.reserve(capacity);
     }
 
-    let sub = CsrGraph::from_edge_list(&edges);
+    for &orig_src in &to_original {
+        let nbrs = graph.out_neighbors(orig_src);
+        match graph.out_weights(orig_src) {
+            Some(weights) => {
+                for (i, &orig_dst) in nbrs.iter().enumerate() {
+                    if let Some(new_dst) = to_sample[orig_dst as usize] {
+                        out_targets.push(new_dst);
+                        weight_buf.push(weights[i]);
+                        weighted |= weights[i] != 1.0;
+                    }
+                }
+            }
+            None => {
+                for &orig_dst in nbrs {
+                    if let Some(new_dst) = to_sample[orig_dst as usize] {
+                        out_targets.push(new_dst);
+                    }
+                }
+            }
+        }
+        out_offsets.push(out_targets.len());
+    }
+
+    let out_weights = weighted.then_some(weight_buf);
+    let sub = CsrGraph::from_csr_parts(to_original.len(), out_offsets, out_targets, out_weights);
     (
         sub,
         SubgraphMapping {
@@ -92,6 +125,7 @@ pub fn induced_subgraph(graph: &CsrGraph, vertices: &[VertexId]) -> (CsrGraph, S
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::edge_list::EdgeList;
     use crate::generators::{generate_rmat, RmatConfig};
 
     fn square() -> CsrGraph {

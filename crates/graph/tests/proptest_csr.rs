@@ -115,4 +115,125 @@ proptest! {
         let expected: f64 = pairs.iter().map(|&(_, _, w)| w as f64).sum();
         prop_assert!((total_weight - expected).abs() < 1e-3);
     }
+
+    /// The counting-sort CSR build equals a naive per-vertex reference build
+    /// edge for edge — same neighbor order, same in-adjacency order, same
+    /// weights — on random edge lists with duplicates and self-loops.
+    #[test]
+    fn counting_csr_matches_reference_adjacency(
+        triples in prop::collection::vec((0u32..48, 0u32..48, 1.0f32..4.0), 0..250),
+        weighted in any::<bool>(),
+    ) {
+        let n = 48usize;
+        let mut el = EdgeList::new();
+        el.ensure_vertices(n);
+        // `weighted == false` exercises the unweighted storage path too.
+        for &(s, d, w) in &triples {
+            el.push_edge(Edge::weighted(s, d, if weighted { w } else { 1.0 }));
+        }
+        let g = CsrGraph::from_edge_list(&el);
+
+        // Reference: adjacency assembled by per-vertex pushes in edge order.
+        let mut out_ref: Vec<Vec<(u32, f32)>> = vec![Vec::new(); n];
+        let mut in_ref: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for e in el.edges() {
+            out_ref[e.src as usize].push((e.dst, e.weight));
+            in_ref[e.dst as usize].push(e.src);
+        }
+        for v in g.vertices() {
+            let expected_out: Vec<u32> = out_ref[v as usize].iter().map(|&(d, _)| d).collect();
+            prop_assert_eq!(g.out_neighbors(v), expected_out.as_slice());
+            prop_assert_eq!(g.in_neighbors(v), in_ref[v as usize].as_slice());
+            if let Some(ws) = g.out_weights(v) {
+                let expected_w: Vec<f32> = out_ref[v as usize].iter().map(|&(_, w)| w).collect();
+                prop_assert_eq!(ws, expected_w.as_slice());
+            }
+        }
+    }
+
+    /// The radix-sort `EdgeList::dedup` equals the sort-based reference it
+    /// replaced (stable `sort_by_key` + keep-first `dedup_by_key`) on random
+    /// lists with duplicates and self-loops, including which weight survives.
+    #[test]
+    fn radix_dedup_matches_sort_based_reference(
+        triples in prop::collection::vec((0u32..24, 0u32..24, 0.5f32..8.0), 0..300),
+        extra_vertices in 0usize..64,
+    ) {
+        let mut el = EdgeList::new();
+        for &(s, d, w) in &triples {
+            el.push_edge(Edge::weighted(s, d, w));
+        }
+        // A large ensured id space exercises the comparison-sort fallback.
+        el.ensure_vertices(el.num_vertices() + extra_vertices);
+        let mut reference: Vec<Edge> = el.edges().to_vec();
+        reference.sort_by_key(|e| (e.src, e.dst));
+        reference.dedup_by_key(|e| (e.src, e.dst));
+
+        el.dedup();
+        prop_assert_eq!(el.num_edges(), reference.len());
+        for (a, b) in el.edges().iter().zip(&reference) {
+            prop_assert_eq!((a.src, a.dst), (b.src, b.dst));
+            prop_assert_eq!(a.weight, b.weight, "surviving weight differs for ({}, {})", a.src, a.dst);
+        }
+    }
+
+    /// The direct induced-subgraph CSR assembly equals the edge-list
+    /// reference path byte for byte: same neighbor order, same in-adjacency,
+    /// same weight storage decision.
+    #[test]
+    fn induced_subgraph_matches_edge_list_reference(
+        triples in prop::collection::vec((0u32..40, 0u32..40, 1.0f32..4.0), 0..220),
+        selector in prop::collection::vec(any::<bool>(), 40),
+        weighted in any::<bool>(),
+    ) {
+        let mut el = EdgeList::new();
+        el.ensure_vertices(40);
+        for &(s, d, w) in &triples {
+            el.push_edge(Edge::weighted(s, d, if weighted { w } else { 1.0 }));
+        }
+        let g = CsrGraph::from_edge_list(&el);
+        let selected: Vec<VertexId> = g
+            .vertices()
+            .filter(|&v| selector[v as usize])
+            .collect();
+        let (sub, mapping) = induced_subgraph(&g, &selected);
+
+        // Reference: the pre-optimization implementation — push surviving
+        // edges into an EdgeList and freeze it.
+        let mut ref_edges = EdgeList::new();
+        ref_edges.ensure_vertices(selected.len());
+        for (new_src, orig_src) in mapping.iter() {
+            let nbrs = g.out_neighbors(orig_src);
+            let ws = g.out_weights(orig_src);
+            for (i, &orig_dst) in nbrs.iter().enumerate() {
+                if let Some(new_dst) = mapping.sample_id(orig_dst) {
+                    let w = ws.map(|w| w[i]).unwrap_or(1.0);
+                    ref_edges.push_weighted(new_src, new_dst, w);
+                }
+            }
+        }
+        let reference = CsrGraph::from_edge_list(&ref_edges);
+
+        prop_assert_eq!(sub.num_vertices(), reference.num_vertices());
+        prop_assert_eq!(sub.num_edges(), reference.num_edges());
+        prop_assert_eq!(sub.is_weighted(), reference.is_weighted());
+        for v in sub.vertices() {
+            prop_assert_eq!(sub.out_neighbors(v), reference.out_neighbors(v));
+            prop_assert_eq!(sub.in_neighbors(v), reference.in_neighbors(v));
+            prop_assert_eq!(sub.out_weights(v), reference.out_weights(v));
+        }
+    }
+
+    /// The cached counting-bucket degree ordering equals a stable
+    /// comparison-sort reference: descending out-degree, ties in ascending
+    /// vertex order.
+    #[test]
+    fn degree_order_matches_stable_sort(el in edge_list(56, 300)) {
+        let g = CsrGraph::from_edge_list(&el);
+        let mut reference: Vec<VertexId> = g.vertices().collect();
+        reference.sort_by_key(|&v| std::cmp::Reverse(g.out_degree(v)));
+        prop_assert_eq!(g.vertices_by_out_degree_desc(), reference.as_slice());
+        // The cache returns the identical ordering on re-query.
+        prop_assert_eq!(g.vertices_by_out_degree_desc(), reference.as_slice());
+    }
 }

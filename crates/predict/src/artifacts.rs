@@ -92,7 +92,26 @@ impl SampleArtifact {
         ratio: f64,
         seed: u64,
     ) -> Result<Self, PredictError> {
-        let sample = sampler.sample(graph, ratio, seed);
+        Self::draw_with(
+            sampler,
+            graph,
+            ratio,
+            seed,
+            &mut predict_sampling::SampleScratch::new(),
+        )
+    }
+
+    /// [`SampleArtifact::draw`] reusing `scratch` for the sampler walk, so a
+    /// session drawing many samples amortizes the visited-set and buffer
+    /// allocations (the scratch never changes the drawn sample).
+    pub fn draw_with(
+        sampler: &dyn Sampler,
+        graph: &CsrGraph,
+        ratio: f64,
+        seed: u64,
+        scratch: &mut predict_sampling::SampleScratch,
+    ) -> Result<Self, PredictError> {
+        let sample = sampler.sample_with(graph, ratio, seed, scratch);
         if sample.graph.num_vertices() == 0 || sample.graph.num_edges() == 0 {
             return Err(PredictError::EmptySample {
                 technique: sampler.name().to_string(),

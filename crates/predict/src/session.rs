@@ -55,7 +55,7 @@ use crate::transform::TransformFunction;
 use predict_algorithms::{Workload, WorkloadRun};
 use predict_bsp::{BspEngine, ExecutionMode, RunProfile};
 use predict_graph::CsrGraph;
-use predict_sampling::{BiasedRandomJump, Sampler};
+use predict_sampling::{BiasedRandomJump, SampleScratch, Sampler};
 use serde::Serialize;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -272,6 +272,11 @@ pub(crate) struct ArtifactCaches {
     runs: Mutex<HashMap<RunKey, Arc<SampleRunArtifact>>>,
     models: Mutex<HashMap<ModelKey, Arc<TrainedModel>>>,
     actuals: Mutex<HashMap<String, Arc<WorkloadRun>>>,
+    /// Reusable sampler working memory (visited bitset + walk buffers),
+    /// shared by every sample the session draws. Scratch state never
+    /// influences the drawn sample, so contended draws simply fall back to a
+    /// throwaway scratch instead of serializing on the lock.
+    scratch: Mutex<SampleScratch>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -310,7 +315,16 @@ fn stage_sample(
         }
         caches.record(false);
     }
-    let artifact = Arc::new(SampleArtifact::draw(ctx.sampler, ctx.graph, ratio, seed)?);
+    let artifact = match ctx.caches.and_then(|c| c.scratch.try_lock().ok()) {
+        Some(mut scratch) => Arc::new(SampleArtifact::draw_with(
+            ctx.sampler,
+            ctx.graph,
+            ratio,
+            seed,
+            &mut scratch,
+        )?),
+        None => Arc::new(SampleArtifact::draw(ctx.sampler, ctx.graph, ratio, seed)?),
+    };
     if let Some(caches) = ctx.caches {
         // Concurrent misses may race here; both computed the same
         // deterministic artifact, so keeping the first insert is fine.

@@ -11,6 +11,7 @@
 
 use crate::random_jump::{walk_until, DEFAULT_RESTART_PROBABILITY};
 use crate::traits::{target_sample_size, Sampler};
+use crate::visited::SampleScratch;
 use predict_graph::{CsrGraph, VertexId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -62,15 +63,17 @@ impl BiasedRandomJump {
 
     /// The high-out-degree seed set BRJ jumps back to: the top
     /// `seed_fraction` of vertices by out-degree (at least one vertex).
-    pub fn seed_set(&self, graph: &CsrGraph) -> Vec<VertexId> {
+    ///
+    /// Borrows the graph's cached degree ordering, so repeated draws on the
+    /// same graph select their seeds in O(k) instead of re-sorting all
+    /// vertices per sample.
+    pub fn seed_set<'g>(&self, graph: &'g CsrGraph) -> &'g [VertexId] {
         if graph.num_vertices() == 0 {
-            return Vec::new();
+            return &[];
         }
         let k = ((graph.num_vertices() as f64 * self.seed_fraction).ceil() as usize)
             .clamp(1, graph.num_vertices());
-        let mut by_degree = graph.vertices_by_out_degree_desc();
-        by_degree.truncate(k);
-        by_degree
+        &graph.vertices_by_out_degree_desc()[..k]
     }
 }
 
@@ -79,7 +82,13 @@ impl Sampler for BiasedRandomJump {
         "BRJ"
     }
 
-    fn sample_vertices(&self, graph: &CsrGraph, ratio: f64, seed: u64) -> Vec<VertexId> {
+    fn sample_vertices_with(
+        &self,
+        graph: &CsrGraph,
+        ratio: f64,
+        seed: u64,
+        scratch: &mut SampleScratch,
+    ) -> Vec<VertexId> {
         let target = target_sample_size(graph.num_vertices(), ratio);
         if target == 0 {
             return Vec::new();
@@ -91,6 +100,7 @@ impl Sampler for BiasedRandomJump {
             target,
             self.restart_probability,
             &mut rng,
+            scratch,
             |rng, _graph| seeds[rng.gen_range(0..seeds.len())],
         )
     }

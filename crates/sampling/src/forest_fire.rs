@@ -9,10 +9,10 @@
 //! analysis and the sampler-quality test-suite.
 
 use crate::traits::{target_sample_size, Sampler};
+use crate::visited::SampleScratch;
 use predict_graph::{CsrGraph, VertexId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::VecDeque;
 
 /// Forest Fire sampler.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -55,33 +55,44 @@ impl Sampler for ForestFire {
         "FF"
     }
 
-    fn sample_vertices(&self, graph: &CsrGraph, ratio: f64, seed: u64) -> Vec<VertexId> {
+    fn sample_vertices_with(
+        &self,
+        graph: &CsrGraph,
+        ratio: f64,
+        seed: u64,
+        scratch: &mut SampleScratch,
+    ) -> Vec<VertexId> {
         let target = target_sample_size(graph.num_vertices(), ratio);
         if target == 0 {
             return Vec::new();
         }
         let n = graph.num_vertices();
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut burned = vec![false; n];
+        let SampleScratch {
+            visited: burned,
+            buf: unburned,
+            queue,
+        } = scratch;
+        burned.reset(n);
+        queue.clear();
         let mut picked: Vec<VertexId> = Vec::with_capacity(target);
-        let mut queue: VecDeque<VertexId> = VecDeque::new();
 
         while picked.len() < target {
             // Ignite a new fire at an unburned vertex chosen uniformly.
             let mut ignite = rng.gen_range(0..n) as VertexId;
             let mut attempts = 0;
-            while burned[ignite as usize] && attempts < 64 {
+            while burned.contains(ignite) && attempts < 64 {
                 ignite = rng.gen_range(0..n) as VertexId;
                 attempts += 1;
             }
-            if burned[ignite as usize] {
+            if burned.contains(ignite) {
                 // Densely burned already: fall back to a linear scan.
-                match (0..n as VertexId).find(|&v| !burned[v as usize]) {
+                match (0..n as VertexId).find(|&v| !burned.contains(v)) {
                     Some(v) => ignite = v,
                     None => break,
                 }
             }
-            burned[ignite as usize] = true;
+            burned.insert(ignite);
             picked.push(ignite);
             queue.clear();
             queue.push_back(ignite);
@@ -92,16 +103,18 @@ impl Sampler for ForestFire {
                 }
                 // Geometric number of neighbors to burn: keep burning while a
                 // biased coin keeps coming up heads.
-                let nbrs = graph.out_neighbors(v);
-                let mut unburned: Vec<VertexId> = nbrs
-                    .iter()
-                    .copied()
-                    .filter(|&u| !burned[u as usize])
-                    .collect();
+                unburned.clear();
+                unburned.extend(
+                    graph
+                        .out_neighbors(v)
+                        .iter()
+                        .copied()
+                        .filter(|&u| !burned.contains(u)),
+                );
                 while !unburned.is_empty() && rng.gen_bool(self.forward_probability) {
                     let idx = rng.gen_range(0..unburned.len());
                     let u = unburned.swap_remove(idx);
-                    burned[u as usize] = true;
+                    burned.insert(u);
                     picked.push(u);
                     queue.push_back(u);
                     if picked.len() >= target {

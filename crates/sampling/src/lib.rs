@@ -19,6 +19,12 @@
 //! plus [`quality`] metrics for ranking techniques by how well their samples
 //! preserve graph properties.
 //!
+//! Sampler walks are the hot path of PREDIcT sample runs, so all per-draw
+//! state lives in a reusable [`SampleScratch`] (a [`VisitedSet`] bitset with
+//! O(set-bits) reset plus walk buffers) threaded through
+//! [`Sampler::sample_vertices_with`]; prediction sessions reuse one scratch
+//! across every draw, and the scratch never changes a drawn sample.
+//!
 //! # Example
 //!
 //! ```
@@ -38,6 +44,7 @@ pub mod quality;
 pub mod random_jump;
 pub mod random_node;
 pub mod traits;
+pub mod visited;
 
 pub use biased_random_jump::BiasedRandomJump;
 pub use forest_fire::ForestFire;
@@ -46,6 +53,7 @@ pub use quality::{rank_samplers, SampleQualityReport};
 pub use random_jump::RandomJump;
 pub use random_node::{RandomEdge, RandomNode};
 pub use traits::{target_sample_size, GraphSample, Sampler};
+pub use visited::{SampleScratch, VisitedSet};
 
 /// All sampling techniques evaluated in the paper's Figure 9 sensitivity
 /// analysis (BRJ, RJ, MHRW), with the paper's default parameters

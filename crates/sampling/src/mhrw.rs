@@ -10,6 +10,7 @@
 
 use crate::random_jump::DEFAULT_RESTART_PROBABILITY;
 use crate::traits::{target_sample_size, Sampler};
+use crate::visited::{SampleScratch, VisitedSet};
 use predict_graph::{CsrGraph, VertexId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -71,24 +72,30 @@ impl Sampler for Mhrw {
         "MHRW"
     }
 
-    fn sample_vertices(&self, graph: &CsrGraph, ratio: f64, seed: u64) -> Vec<VertexId> {
+    fn sample_vertices_with(
+        &self,
+        graph: &CsrGraph,
+        ratio: f64,
+        seed: u64,
+        scratch: &mut SampleScratch,
+    ) -> Vec<VertexId> {
         let target = target_sample_size(graph.num_vertices(), ratio);
         if target == 0 {
             return Vec::new();
         }
         let n = graph.num_vertices();
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut visited = vec![false; n];
+        let SampleScratch { visited, buf, .. } = scratch;
+        visited.reset(n);
         let mut picked = Vec::with_capacity(target);
-        let visit = |v: VertexId, visited: &mut Vec<bool>, picked: &mut Vec<VertexId>| {
-            if !visited[v as usize] {
-                visited[v as usize] = true;
+        let visit = |v: VertexId, visited: &mut VisitedSet, picked: &mut Vec<VertexId>| {
+            if visited.insert(v) {
                 picked.push(v);
             }
         };
 
         let mut current = rng.gen_range(0..n) as VertexId;
-        visit(current, &mut visited, &mut picked);
+        visit(current, visited, &mut picked);
 
         let max_steps = n.saturating_mul(400).max(10_000);
         let mut steps = 0usize;
@@ -97,7 +104,7 @@ impl Sampler for Mhrw {
             let deg_v = undirected_degree(graph, current);
             if deg_v == 0 || rng.gen_bool(self.restart_probability) {
                 current = rng.gen_range(0..n) as VertexId;
-                visit(current, &mut visited, &mut picked);
+                visit(current, visited, &mut picked);
                 continue;
             }
             let proposal = undirected_neighbor(graph, current, rng.gen_range(0..deg_v));
@@ -106,19 +113,19 @@ impl Sampler for Mhrw {
             let accept = deg_w <= deg_v || rng.gen_bool(deg_v as f64 / deg_w as f64);
             if accept {
                 current = proposal;
-                visit(current, &mut visited, &mut picked);
+                visit(current, visited, &mut picked);
             }
         }
 
         // Fill up from the unvisited remainder if the walk stalled.
         if picked.len() < target {
-            let mut remaining: Vec<VertexId> = (0..n as VertexId)
-                .filter(|&v| !visited[v as usize])
-                .collect();
+            let remaining = buf;
+            remaining.clear();
+            remaining.extend((0..n as VertexId).filter(|&v| !visited.contains(v)));
             while picked.len() < target && !remaining.is_empty() {
                 let idx = rng.gen_range(0..remaining.len());
                 let v = remaining.swap_remove(idx);
-                visit(v, &mut visited, &mut picked);
+                visit(v, visited, &mut picked);
             }
         }
         picked

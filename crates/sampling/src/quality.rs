@@ -134,10 +134,12 @@ pub fn rank_samplers(
     seed: u64,
 ) -> Vec<SampleQualityReport> {
     let full_props = GraphProperties::analyze(graph, seed);
+    // One scratch serves every technique in the comparison.
+    let mut scratch = crate::visited::SampleScratch::new();
     let mut reports: Vec<SampleQualityReport> = samplers
         .iter()
         .map(|s| {
-            let sample = s.sample(graph, ratio, seed);
+            let sample = s.sample_with(graph, ratio, seed, &mut scratch);
             SampleQualityReport::evaluate_with_full_properties(graph, &full_props, &sample, seed)
         })
         .collect();

@@ -8,6 +8,7 @@
 //! preserves connectivity inside each walk.
 
 use crate::traits::{target_sample_size, Sampler};
+use crate::visited::{SampleScratch, VisitedSet};
 use predict_graph::{CsrGraph, VertexId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -53,7 +54,13 @@ impl Sampler for RandomJump {
         "RJ"
     }
 
-    fn sample_vertices(&self, graph: &CsrGraph, ratio: f64, seed: u64) -> Vec<VertexId> {
+    fn sample_vertices_with(
+        &self,
+        graph: &CsrGraph,
+        ratio: f64,
+        seed: u64,
+        scratch: &mut SampleScratch,
+    ) -> Vec<VertexId> {
         let target = target_sample_size(graph.num_vertices(), ratio);
         let mut rng = StdRng::seed_from_u64(seed);
         walk_until(
@@ -61,6 +68,7 @@ impl Sampler for RandomJump {
             target,
             self.restart_probability,
             &mut rng,
+            scratch,
             |rng, graph| rng.gen_range(0..graph.num_vertices()) as VertexId,
         )
     }
@@ -68,29 +76,31 @@ impl Sampler for RandomJump {
 
 /// Runs restart-based random walks over out-edges until `target` distinct
 /// vertices have been visited, using `pick_seed` to choose the start of every
-/// new walk. Shared by Random Jump and Biased Random Jump.
+/// new walk. Shared by Random Jump and Biased Random Jump. All per-walk state
+/// lives in `scratch` (reset here), so repeated draws reuse one allocation.
 pub(crate) fn walk_until(
     graph: &CsrGraph,
     target: usize,
     restart_probability: f64,
     rng: &mut StdRng,
+    scratch: &mut SampleScratch,
     mut pick_seed: impl FnMut(&mut StdRng, &CsrGraph) -> VertexId,
 ) -> Vec<VertexId> {
     if target == 0 || graph.num_vertices() == 0 {
         return Vec::new();
     }
 
-    let mut visited = vec![false; graph.num_vertices()];
+    let SampleScratch { visited, buf, .. } = scratch;
+    visited.reset(graph.num_vertices());
     let mut picked: Vec<VertexId> = Vec::with_capacity(target);
-    let visit = |v: VertexId, visited: &mut Vec<bool>, picked: &mut Vec<VertexId>| {
-        if !visited[v as usize] {
-            visited[v as usize] = true;
+    let visit = |v: VertexId, visited: &mut VisitedSet, picked: &mut Vec<VertexId>| {
+        if visited.insert(v) {
             picked.push(v);
         }
     };
 
     let mut current = pick_seed(rng, graph);
-    visit(current, &mut visited, &mut picked);
+    visit(current, visited, &mut picked);
 
     // Safety valve: a hard cap on the number of steps so that pathological
     // graphs (e.g. a single giant sink) cannot loop forever. The cap is far
@@ -111,19 +121,19 @@ pub(crate) fn walk_until(
         } else {
             nbrs[rng.gen_range(0..nbrs.len())]
         };
-        visit(current, &mut visited, &mut picked);
+        visit(current, visited, &mut picked);
     }
 
     // If the walk stalled (graph with many unreachable vertices), fill up the
     // remainder uniformly at random so the requested ratio is honoured.
     if picked.len() < target {
-        let mut remaining: Vec<VertexId> = (0..graph.num_vertices() as VertexId)
-            .filter(|&v| !visited[v as usize])
-            .collect();
+        let remaining = buf;
+        remaining.clear();
+        remaining.extend((0..graph.num_vertices() as VertexId).filter(|&v| !visited.contains(v)));
         while picked.len() < target && !remaining.is_empty() {
             let idx = rng.gen_range(0..remaining.len());
             let v = remaining.swap_remove(idx);
-            visit(v, &mut visited, &mut picked);
+            visit(v, visited, &mut picked);
         }
     }
 

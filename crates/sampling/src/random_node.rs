@@ -7,6 +7,7 @@
 //! (section 3.2.1) are designed to avoid.
 
 use crate::traits::{target_sample_size, Sampler};
+use crate::visited::{SampleScratch, VisitedSet};
 use predict_graph::{CsrGraph, VertexId};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -21,7 +22,13 @@ impl Sampler for RandomNode {
         "RN"
     }
 
-    fn sample_vertices(&self, graph: &CsrGraph, ratio: f64, seed: u64) -> Vec<VertexId> {
+    fn sample_vertices_with(
+        &self,
+        graph: &CsrGraph,
+        ratio: f64,
+        seed: u64,
+        _scratch: &mut SampleScratch,
+    ) -> Vec<VertexId> {
         let target = target_sample_size(graph.num_vertices(), ratio);
         let mut rng = StdRng::seed_from_u64(seed);
         let mut vertices: Vec<VertexId> = graph.vertices().collect();
@@ -42,17 +49,27 @@ impl Sampler for RandomEdge {
         "RE"
     }
 
-    fn sample_vertices(&self, graph: &CsrGraph, ratio: f64, seed: u64) -> Vec<VertexId> {
+    fn sample_vertices_with(
+        &self,
+        graph: &CsrGraph,
+        ratio: f64,
+        seed: u64,
+        scratch: &mut SampleScratch,
+    ) -> Vec<VertexId> {
         let target = target_sample_size(graph.num_vertices(), ratio);
         if target == 0 {
             return Vec::new();
         }
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut selected = vec![false; graph.num_vertices()];
+        let SampleScratch {
+            visited: selected,
+            buf,
+            ..
+        } = scratch;
+        selected.reset(graph.num_vertices());
         let mut picked: Vec<VertexId> = Vec::with_capacity(target);
-        let visit = |v: VertexId, selected: &mut Vec<bool>, picked: &mut Vec<VertexId>| {
-            if !selected[v as usize] {
-                selected[v as usize] = true;
+        let visit = |v: VertexId, selected: &mut VisitedSet, picked: &mut Vec<VertexId>| {
+            if selected.insert(v) {
                 picked.push(v);
             }
         };
@@ -73,21 +90,21 @@ impl Sampler for RandomEdge {
                 continue;
             }
             let u = nbrs[rng.gen_range(0..nbrs.len())];
-            visit(v, &mut selected, &mut picked);
+            visit(v, selected, &mut picked);
             if picked.len() < target {
-                visit(u, &mut selected, &mut picked);
+                visit(u, selected, &mut picked);
             }
         }
         if picked.len() < target {
-            let mut remaining: Vec<VertexId> = (0..n as VertexId)
-                .filter(|&v| !selected[v as usize])
-                .collect();
+            let remaining = buf;
+            remaining.clear();
+            remaining.extend((0..n as VertexId).filter(|&v| !selected.contains(v)));
             remaining.shuffle(&mut rng);
-            for v in remaining {
+            for &v in remaining.iter() {
                 if picked.len() >= target {
                     break;
                 }
-                visit(v, &mut selected, &mut picked);
+                visit(v, selected, &mut picked);
             }
         }
         picked

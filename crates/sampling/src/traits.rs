@@ -5,6 +5,7 @@
 //! that set (section 3.2.1 of the paper). All techniques are deterministic
 //! given a seed so experiments are reproducible.
 
+use crate::visited::SampleScratch;
 use predict_graph::{induced_subgraph, CsrGraph, SubgraphMapping, VertexId};
 use serde::Serialize;
 
@@ -54,16 +55,40 @@ pub trait Sampler: Send + Sync {
     /// Short name of the technique (used in reports and plots, e.g. "BRJ").
     fn name(&self) -> &'static str;
 
-    /// Selects approximately `ratio * num_vertices` vertices from `graph`.
+    /// Selects approximately `ratio * num_vertices` vertices from `graph`,
+    /// using `scratch` for all per-draw working memory (visited bitset,
+    /// vertex buffers).
     ///
     /// The returned ids are unique and refer to the original graph. The
-    /// requested ratio is clamped to `[0, 1]`.
-    fn sample_vertices(&self, graph: &CsrGraph, ratio: f64, seed: u64) -> Vec<VertexId>;
+    /// requested ratio is clamped to `[0, 1]`. Implementations must reset
+    /// whatever scratch state they use, so passing a scratch left over from
+    /// any previous draw produces exactly the same selection as a fresh one —
+    /// the scratch only amortizes allocations across the repeated draws of a
+    /// prediction session.
+    fn sample_vertices_with(
+        &self,
+        graph: &CsrGraph,
+        ratio: f64,
+        seed: u64,
+        scratch: &mut SampleScratch,
+    ) -> Vec<VertexId>;
 
-    /// Selects vertices and extracts the induced sample graph.
-    fn sample(&self, graph: &CsrGraph, ratio: f64, seed: u64) -> GraphSample {
+    /// [`Sampler::sample_vertices_with`] with a fresh throwaway scratch.
+    fn sample_vertices(&self, graph: &CsrGraph, ratio: f64, seed: u64) -> Vec<VertexId> {
+        self.sample_vertices_with(graph, ratio, seed, &mut SampleScratch::new())
+    }
+
+    /// Selects vertices and extracts the induced sample graph, reusing
+    /// `scratch` for the selection walk.
+    fn sample_with(
+        &self,
+        graph: &CsrGraph,
+        ratio: f64,
+        seed: u64,
+        scratch: &mut SampleScratch,
+    ) -> GraphSample {
         let ratio = ratio.clamp(0.0, 1.0);
-        let vertices = self.sample_vertices(graph, ratio, seed);
+        let vertices = self.sample_vertices_with(graph, ratio, seed, scratch);
         let (sub, mapping) = induced_subgraph(graph, &vertices);
         let achieved_ratio = if graph.num_vertices() == 0 {
             0.0
@@ -77,6 +102,11 @@ pub trait Sampler: Send + Sync {
             achieved_ratio,
             technique: self.name(),
         }
+    }
+
+    /// [`Sampler::sample_with`] with a fresh throwaway scratch.
+    fn sample(&self, graph: &CsrGraph, ratio: f64, seed: u64) -> GraphSample {
+        self.sample_with(graph, ratio, seed, &mut SampleScratch::new())
     }
 }
 
@@ -101,7 +131,13 @@ mod tests {
         fn name(&self) -> &'static str {
             "FirstK"
         }
-        fn sample_vertices(&self, graph: &CsrGraph, ratio: f64, _seed: u64) -> Vec<VertexId> {
+        fn sample_vertices_with(
+            &self,
+            graph: &CsrGraph,
+            ratio: f64,
+            _seed: u64,
+            _scratch: &mut SampleScratch,
+        ) -> Vec<VertexId> {
             let k = target_sample_size(graph.num_vertices(), ratio);
             (0..k as VertexId).collect()
         }

@@ -24,9 +24,15 @@ impl Sampler for CountingSampler {
         self.inner.name()
     }
 
-    fn sample_vertices(&self, graph: &CsrGraph, ratio: f64, seed: u64) -> Vec<VertexId> {
+    fn sample_vertices_with(
+        &self,
+        graph: &CsrGraph,
+        ratio: f64,
+        seed: u64,
+        scratch: &mut predict_repro::sampling::SampleScratch,
+    ) -> Vec<VertexId> {
         self.calls.fetch_add(1, Ordering::Relaxed);
-        self.inner.sample_vertices(graph, ratio, seed)
+        self.inner.sample_vertices_with(graph, ratio, seed, scratch)
     }
 }
 

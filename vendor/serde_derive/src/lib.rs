@@ -10,8 +10,10 @@
 //! * enums with unit, tuple and struct variants (serde's external tagging:
 //!   a unit variant becomes `"Name"`, a data variant `{"Name": ...}`);
 //! * the `#[serde(default)]` field attribute on named fields (an absent key
-//!   deserializes to `Default::default()`); all other `#[serde(...)]`
-//!   attributes are unsupported.
+//!   deserializes to `Default::default()`) and the `#[serde(skip)]` field
+//!   attribute on named fields (the field is never serialized and
+//!   deserializes to `Default::default()`, e.g. for derived caches); all
+//!   other `#[serde(...)]` attributes are unsupported.
 //!
 //! Generated code refers to the framework via the `::serde` path, so any
 //! crate using the derives must depend on the vendored `serde`.
@@ -73,10 +75,12 @@ enum Body {
     Enum(Vec<Variant>),
 }
 
-/// One named field and whether it carries `#[serde(default)]`.
+/// One named field and whether it carries `#[serde(default)]` /
+/// `#[serde(skip)]`.
 struct Field {
     name: String,
     default: bool,
+    skip: bool,
 }
 
 struct Variant {
@@ -160,17 +164,19 @@ fn is_serde_attr(tokens: &[TokenTree], i: usize) -> bool {
 ///
 /// # Panics
 ///
-/// Fails fast on `#[serde(...)]` attributes: the only supported position is
-/// `#[serde(default)]` on a named field, which `parse_named_fields` consumes
-/// before delegating here. Anywhere else (container, variant), silently
-/// ignoring the attribute would change the serialized shape.
+/// Fails fast on `#[serde(...)]` attributes: the only supported positions
+/// are `#[serde(default)]` / `#[serde(skip)]` on a named field, which
+/// `parse_named_fields` consumes before delegating here. Anywhere else
+/// (container, variant), silently ignoring the attribute would change the
+/// serialized shape.
 fn skip_attributes_and_visibility(tokens: &[TokenTree], i: &mut usize) {
     loop {
         match tokens.get(*i) {
             Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
                 assert!(
                     !is_serde_attr(tokens, *i),
-                    "serde_derive supports `#[serde(default)]` on named fields only"
+                    "serde_derive supports `#[serde(default)]`/`#[serde(skip)]` \
+                     on named fields only"
                 );
                 *i += 2; // `#` and the bracket group
             }
@@ -279,17 +285,25 @@ fn split_top_level(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
     parts
 }
 
-/// True when the attribute bracket group (the `[...]` after `#`) spells
-/// `serde(default)`.
+/// Field-level serde markers parsed from one `#[serde(...)]` attribute.
+#[derive(Clone, Copy, Default)]
+struct FieldAttrs {
+    default: bool,
+    skip: bool,
+}
+
+/// Parses the attribute bracket group (the `[...]` after `#`) when it spells
+/// `serde(default)` and/or `serde(skip)`.
 ///
 /// # Panics
 ///
-/// Fails fast on any other `#[serde(...)]` argument (`rename`, `skip`,
+/// Fails fast on any other `#[serde(...)]` argument (`rename`,
 /// `default = "path"`, ...): silently ignoring it would change the
 /// serialized shape with no diagnostic, which this stub never does.
-fn is_serde_default_attr(tokens: &[TokenTree], i: usize) -> bool {
+fn parse_serde_field_attr(tokens: &[TokenTree], i: usize) -> FieldAttrs {
+    let mut attrs = FieldAttrs::default();
     let Some(TokenTree::Group(bracket)) = tokens.get(i + 1) else {
-        return false;
+        return attrs;
     };
     let inner: Vec<TokenTree> = bracket.stream().into_iter().collect();
     match (inner.first(), inner.get(1)) {
@@ -298,36 +312,43 @@ fn is_serde_default_attr(tokens: &[TokenTree], i: usize) -> bool {
         {
             let arg_tokens: Vec<TokenTree> = args.stream().into_iter().collect();
             for segment in split_top_level(&arg_tokens) {
-                let bare_default = segment.len() == 1
-                    && matches!(&segment[0], TokenTree::Ident(id) if id.to_string() == "default");
-                assert!(
-                    bare_default,
-                    "serde_derive supports only the bare `default` field attribute, \
-                     got `#[serde({})]`",
-                    args.stream()
-                );
+                let word = match segment.as_slice() {
+                    [TokenTree::Ident(id)] => id.to_string(),
+                    _ => String::new(),
+                };
+                match word.as_str() {
+                    "default" => attrs.default = true,
+                    "skip" => attrs.skip = true,
+                    _ => panic!(
+                        "serde_derive supports only the bare `default` and `skip` \
+                         field attributes, got `#[serde({})]`",
+                        args.stream()
+                    ),
+                }
             }
-            !arg_tokens.is_empty()
+            attrs
         }
-        _ => false,
+        _ => attrs,
     }
 }
 
 /// Parses `name: Type, ...` named-field lists, returning the fields with
-/// their `#[serde(default)]` markers.
+/// their `#[serde(default)]` / `#[serde(skip)]` markers.
 fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let tokens: Vec<TokenTree> = stream.into_iter().collect();
     let mut names = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        // Inspect the field's attributes for `#[serde(default)]` before
-        // skipping them (doc comments and other attributes are ignored).
-        let mut default = false;
+        // Inspect the field's attributes for serde markers before skipping
+        // them (doc comments and other attributes are ignored).
+        let mut attrs = FieldAttrs::default();
         while let Some(TokenTree::Punct(p)) = tokens.get(i) {
             if p.as_char() != '#' {
                 break;
             }
-            default = default || is_serde_default_attr(&tokens, i);
+            let parsed = parse_serde_field_attr(&tokens, i);
+            attrs.default = attrs.default || parsed.default;
+            attrs.skip = attrs.skip || parsed.skip;
             i += 2; // `#` and the bracket group
         }
         skip_attributes_and_visibility(&tokens, &mut i);
@@ -336,7 +357,8 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
         }
         names.push(Field {
             name: expect_ident(&tokens, &mut i),
-            default,
+            default: attrs.default,
+            skip: attrs.skip,
         });
         match tokens.get(i) {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
@@ -473,10 +495,11 @@ fn gen_serialize(item: &Item) -> String {
 /// `Value::Map(vec![("a", ser(&self.a)), ...])` for named fields accessed
 /// through `prefix` (`self.` for structs, empty for bound variant fields).
 /// `#[serde(default)]` fields are always written; the attribute only relaxes
-/// deserialization.
+/// deserialization. `#[serde(skip)]` fields are omitted entirely.
 fn gen_serialize_named_map(fields: &[Field], prefix: &str) -> String {
     let entries: Vec<String> = fields
         .iter()
+        .filter(|f| !f.skip)
         .map(|f| {
             let f = &f.name;
             format!(
@@ -516,7 +539,18 @@ fn gen_serialize_variant(enum_name: &str, v: &Variant) -> String {
         }
         VariantKind::Named(fields) => {
             let map = gen_serialize_named_map(fields, "");
-            let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+            // Skipped fields are bound to `_` so the generated match arm does
+            // not trigger unused-variable warnings.
+            let binds: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    if f.skip {
+                        format!("{}: _", f.name)
+                    } else {
+                        f.name.clone()
+                    }
+                })
+                .collect();
             format!(
                 "{enum_name}::{vname} {{ {} }} => ::serde::Value::Map(::std::vec![(\
                  ::std::string::String::from(\"{vname}\"), {map})]),",
@@ -571,7 +605,9 @@ fn gen_deserialize_named(ctor: &str, fields: &[Field], entries_expr: &str) -> St
         .iter()
         .map(|f| {
             let name = &f.name;
-            if f.default {
+            if f.skip {
+                format!("{name}: ::std::default::Default::default()")
+            } else if f.default {
                 format!(
                     "{name}: match ::serde::get_field_opt({entries_expr}, \"{name}\") {{ \
                      ::std::option::Option::Some(v) => \
