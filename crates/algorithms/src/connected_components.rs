@@ -8,7 +8,7 @@
 //! runtimes can vary by orders of magnitude. The algorithm runs to a fixed
 //! point (no tunable convergence threshold).
 
-use predict_bsp::{BspEngine, ComputeContext, VertexProgram};
+use predict_bsp::{BspEngine, ComputeContext, InitContext, VertexProgram};
 use predict_graph::{CsrGraph, VertexId};
 
 /// Aggregator counting label updates per superstep.
@@ -67,7 +67,7 @@ impl VertexProgram for ConnectedComponents {
         "connected-components"
     }
 
-    fn init_vertex(&self, vertex: VertexId, _graph: &CsrGraph) -> VertexId {
+    fn init_vertex(&self, vertex: VertexId, _ctx: &InitContext<'_>) -> VertexId {
         vertex
     }
 

@@ -10,7 +10,7 @@
 //! the size of the `h`-hop neighborhood. The run converges when the total
 //! estimated neighborhood size stops growing by more than a ratio `τ`.
 
-use predict_bsp::{Aggregates, BspEngine, ComputeContext, VertexProgram};
+use predict_bsp::{Aggregates, BspEngine, ComputeContext, InitContext, VertexProgram};
 use predict_graph::{CsrGraph, VertexId};
 use serde::{Deserialize, Serialize};
 
@@ -176,7 +176,7 @@ impl VertexProgram for NeighborhoodEstimation {
         "neighborhood-estimation"
     }
 
-    fn init_vertex(&self, vertex: VertexId, _graph: &CsrGraph) -> NeighborhoodSketch {
+    fn init_vertex(&self, vertex: VertexId, _ctx: &InitContext<'_>) -> NeighborhoodSketch {
         let bitmasks = (0..self.params.num_sketches)
             .map(|s| 1u64 << fm_bit(vertex, s, self.params.seed))
             .collect();
@@ -253,11 +253,18 @@ mod tests {
     fn sketch_estimate_grows_with_unions() {
         let params = NeighborhoodParams::new(8, 0.01);
         let program = NeighborhoodEstimation::new(params);
-        let g = complete(4);
-        let mut sketch = program.init_vertex(0, &g);
+        // Initialization only reads the vertex id, so a bare context works
+        // for ids beyond the toy graph's range.
+        let ctx = InitContext {
+            num_vertices: 4,
+            num_edges: 12,
+            out_neighbors: &[],
+            out_weights: None,
+        };
+        let mut sketch = program.init_vertex(0, &ctx);
         let single = sketch.estimate();
         for v in 1..500u32 {
-            let other = program.init_vertex(v, &g);
+            let other = program.init_vertex(v, &ctx);
             sketch.union_with(&other);
         }
         let many = sketch.estimate();

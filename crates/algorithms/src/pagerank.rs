@@ -7,7 +7,7 @@
 //! absolute rank change per vertex drops below a user threshold `τ`, which the
 //! paper typically sets to `τ = ε / N` for a tolerance level `ε`.
 
-use predict_bsp::{Aggregates, BspEngine, ComputeContext, VertexProgram};
+use predict_bsp::{Aggregates, BspEngine, ComputeContext, InitContext, VertexProgram};
 use predict_graph::{CsrGraph, VertexId};
 use serde::{Deserialize, Serialize};
 
@@ -110,8 +110,8 @@ impl VertexProgram for PageRank {
         "pagerank"
     }
 
-    fn init_vertex(&self, _vertex: VertexId, graph: &CsrGraph) -> f64 {
-        1.0 / graph.num_vertices().max(1) as f64
+    fn init_vertex(&self, _vertex: VertexId, ctx: &InitContext<'_>) -> f64 {
+        1.0 / ctx.num_vertices.max(1) as f64
     }
 
     fn compute(&self, ctx: &mut ComputeContext<'_, f64, f64>, messages: &[f64]) {

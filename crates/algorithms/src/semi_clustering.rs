@@ -13,7 +13,7 @@
 //! stops when the fraction of semi-clusters that were updated during the
 //! iteration drops below `τ`.
 
-use predict_bsp::{Aggregates, BspEngine, ComputeContext, VertexProgram};
+use predict_bsp::{Aggregates, BspEngine, ComputeContext, InitContext, VertexProgram};
 use predict_graph::{CsrGraph, VertexId};
 use serde::{Deserialize, Serialize};
 
@@ -276,11 +276,11 @@ impl VertexProgram for SemiClustering {
         "semi-clustering"
     }
 
-    fn init_vertex(&self, vertex: VertexId, graph: &CsrGraph) -> SemiClusterList {
-        let incident: f64 = graph
-            .out_weights(vertex)
+    fn init_vertex(&self, vertex: VertexId, ctx: &InitContext<'_>) -> SemiClusterList {
+        let incident: f64 = ctx
+            .out_weights
             .map(|ws| ws.iter().map(|&w| w as f64).sum())
-            .unwrap_or(graph.out_degree(vertex) as f64);
+            .unwrap_or(ctx.out_degree() as f64);
         SemiClusterList {
             clusters: vec![SemiCluster::singleton(vertex, incident)],
         }

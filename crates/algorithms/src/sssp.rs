@@ -7,7 +7,7 @@
 //! belongs to the "sparse computation" family with highly variable
 //! per-iteration work.
 
-use predict_bsp::{BspEngine, ComputeContext, VertexProgram};
+use predict_bsp::{BspEngine, ComputeContext, InitContext, VertexProgram};
 use predict_graph::{CsrGraph, VertexId};
 
 /// Aggregator counting distance relaxations per superstep.
@@ -60,7 +60,7 @@ impl VertexProgram for ShortestPaths {
         "sssp"
     }
 
-    fn init_vertex(&self, vertex: VertexId, _graph: &CsrGraph) -> f64 {
+    fn init_vertex(&self, vertex: VertexId, _ctx: &InitContext<'_>) -> f64 {
         if vertex == self.source {
             0.0
         } else {

@@ -11,7 +11,7 @@
 //! Convergence uses a size-invariant ratio: the run stops when the fraction
 //! of vertices that performed an update drops below `τ`.
 
-use predict_bsp::{Aggregates, BspEngine, ComputeContext, VertexProgram};
+use predict_bsp::{Aggregates, BspEngine, ComputeContext, InitContext, VertexProgram};
 use predict_graph::{CsrGraph, VertexId};
 use serde::{Deserialize, Serialize};
 
@@ -133,7 +133,7 @@ impl VertexProgram for TopKRanking {
         "topk-ranking"
     }
 
-    fn init_vertex(&self, vertex: VertexId, _graph: &CsrGraph) -> TopKState {
+    fn init_vertex(&self, vertex: VertexId, _ctx: &InitContext<'_>) -> TopKState {
         let own_rank = self.ranks.get(vertex as usize).copied().unwrap_or(0.0);
         TopKState {
             own_rank,

@@ -2,9 +2,11 @@
 //! minimal message-heavy vertex program, as a function of worker count.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use predict_bsp::{BspConfig, BspEngine, ClusterCostConfig, ComputeContext, VertexProgram};
+use predict_bsp::{
+    BspConfig, BspEngine, ClusterCostConfig, ComputeContext, InitContext, VertexProgram,
+};
 use predict_graph::generators::{generate_rmat, RmatConfig};
-use predict_graph::{CsrGraph, VertexId};
+use predict_graph::VertexId;
 
 /// Floods every edge with one 8-byte message for a fixed number of supersteps.
 struct Flood {
@@ -19,7 +21,7 @@ impl VertexProgram for Flood {
         "flood"
     }
 
-    fn init_vertex(&self, _v: VertexId, _g: &CsrGraph) -> u64 {
+    fn init_vertex(&self, _v: VertexId, _ctx: &InitContext<'_>) -> u64 {
         0
     }
 

@@ -10,10 +10,11 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use predict_bsp::{
-    BspConfig, BspEngine, ClusterCostConfig, ComputeContext, ExecutionMode, VertexProgram,
+    BspConfig, BspEngine, ClusterCostConfig, ComputeContext, ExecutionMode, InitContext,
+    VertexProgram,
 };
 use predict_graph::generators::{generate_rmat, RmatConfig};
-use predict_graph::{CsrGraph, VertexId};
+use predict_graph::VertexId;
 
 /// Floods every edge with one 8-byte message for a fixed number of supersteps.
 struct Flood {
@@ -28,7 +29,7 @@ impl VertexProgram for Flood {
         "flood"
     }
 
-    fn init_vertex(&self, _v: VertexId, _g: &CsrGraph) -> u64 {
+    fn init_vertex(&self, _v: VertexId, _ctx: &InitContext<'_>) -> u64 {
         0
     }
 

@@ -29,6 +29,7 @@
 //! machine noise) trip it. The workloads are pinned by seed, so the *work*
 //! measured is identical across runs and machines.
 
+use predict_bsp::{GraphStorage, PartitionStrategy};
 use predict_graph::generators::{generate_grid_road, generate_rmat, GridRoadConfig, RmatConfig};
 use predict_graph::{induced_subgraph, CsrGraph, EdgeList, VertexId};
 use predict_sampling::{BiasedRandomJump, ForestFire, Mhrw, RandomEdge, RandomJump, Sampler};
@@ -167,10 +168,21 @@ fn run_probes() -> Vec<ProbeResult> {
         let n = g.num_vertices();
 
         // CSR placement from a raw (duplicate-preserving) edge list.
-        push(
-            "csr_build",
+        let unified_build_ns = median_ns(reps, || CsrGraph::from_edge_list(raw));
+        push("csr_build", input.name, unified_build_ns);
+        // The same edge list placed directly into one `ShardedCsr` per
+        // worker (8 workers, the default engine configuration) — the
+        // storage path that never materializes a unified allocation. The
+        // `perf` CI job compares this row against `csr_build` in its
+        // uploaded artifact.
+        let sharded_build_ns = median_ns(reps, || {
+            GraphStorage::shard_edge_list(raw, 8, PartitionStrategy::Hash)
+        });
+        push("sharded_csr_build", input.name, sharded_build_ns);
+        eprintln!(
+            "[probe] sharded/unified construction on {}: {:.2}x",
             input.name,
-            median_ns(reps, || CsrGraph::from_edge_list(raw)),
+            sharded_build_ns as f64 / unified_build_ns.max(1) as f64
         );
         // Deduplication, the sort-shaped part of graph ingest.
         push(

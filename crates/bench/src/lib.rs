@@ -1,9 +1,9 @@
 //! Shared harness for the experiment binaries that regenerate every table and
 //! figure of the paper.
 //!
-//! Each binary in `src/bin/` reproduces one table or figure (see DESIGN.md's
-//! experiment index). They all follow the same protocol, which this library
-//! factors out:
+//! Each binary in `src/bin/` reproduces one table or figure (the
+//! architecture book, `docs/ARCHITECTURE.md`, has the index). They all
+//! follow the same protocol, which this library factors out:
 //!
 //! 1. build the dataset analogs (Table 2) at the scale selected by the
 //!    `PREDICT_SCALE` environment variable (`small`, `default` or `large`);

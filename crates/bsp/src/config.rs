@@ -2,6 +2,7 @@
 
 use crate::cost::ClusterCostConfig;
 use crate::partition::PartitionStrategy;
+use crate::storage::StorageMode;
 use serde::{Deserialize, Serialize};
 
 /// Default number of workers. The paper's deployment runs 29 workers plus one
@@ -102,6 +103,13 @@ pub struct BspConfig {
     /// written before this field existed keep deserializing).
     #[serde(default)]
     pub execution: ExecutionMode,
+    /// How [`BspEngine::run`](crate::BspEngine::run) stores the graph: one
+    /// unified CSR allocation or one [`ShardedCsr`](predict_graph::ShardedCsr)
+    /// per worker. Never affects results — see [`crate::storage`]. Defaults
+    /// to [`StorageMode::Auto`] (honor `PREDICT_STORAGE`) when absent from
+    /// serialized configs.
+    #[serde(default)]
+    pub storage: StorageMode,
 }
 
 impl Default for BspConfig {
@@ -112,6 +120,7 @@ impl Default for BspConfig {
             max_supersteps: DEFAULT_MAX_SUPERSTEPS,
             cost: ClusterCostConfig::default(),
             execution: ExecutionMode::Auto,
+            storage: StorageMode::Auto,
         }
     }
 }
@@ -147,6 +156,12 @@ impl BspConfig {
     /// Replaces the execution mode.
     pub fn with_execution(mut self, execution: ExecutionMode) -> Self {
         self.execution = execution;
+        self
+    }
+
+    /// Replaces the graph storage mode.
+    pub fn with_storage(mut self, storage: StorageMode) -> Self {
+        self.storage = storage;
         self
     }
 
@@ -246,6 +261,24 @@ mod tests {
         assert_ne!(stripped, json, "execution field must be present and Auto");
         let back: BspConfig = serde_json::from_str(&stripped).unwrap();
         assert_eq!(back, config, "missing execution must default to Auto");
+    }
+
+    #[test]
+    fn configs_serialized_before_the_storage_field_still_deserialize() {
+        let config = BspConfig::with_workers(2);
+        let json = serde_json::to_string(&config).unwrap();
+        let stripped = json.replace(",\"storage\":\"Auto\"", "");
+        assert_ne!(stripped, json, "storage field must be present and Auto");
+        let back: BspConfig = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back, config, "missing storage must default to Auto");
+    }
+
+    #[test]
+    fn storage_mode_round_trips_with_the_config() {
+        let config = BspConfig::with_workers(2).with_storage(StorageMode::Sharded);
+        let json = serde_json::to_string(&config).unwrap();
+        let back: BspConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.storage, StorageMode::Sharded);
     }
 
     #[test]

@@ -18,6 +18,7 @@ use crate::config::BspConfig;
 use crate::profile::RunProfile;
 use crate::program::VertexProgram;
 use crate::runtime::{self, LayoutCache};
+use crate::storage::{GraphStorage, StorageRef};
 use predict_graph::CsrGraph;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -101,6 +102,20 @@ impl BspEngine {
         }
     }
 
+    /// A clone of this engine with a different graph storage mode, sharing
+    /// the run counter and layout cache — the storage counterpart of
+    /// [`BspEngine::with_execution`].
+    pub fn with_storage(&self, storage: crate::storage::StorageMode) -> Self {
+        Self {
+            config: BspConfig {
+                storage,
+                ..self.config.clone()
+            },
+            runs: Arc::clone(&self.runs),
+            layouts: Arc::clone(&self.layouts),
+        }
+    }
+
     /// Total number of runs this engine (and every clone sharing its counter)
     /// has executed. Used by tests and benchmarks to assert how many engine
     /// invocations a prediction-session cache saved.
@@ -117,25 +132,86 @@ impl BspEngine {
     /// superstep cap, and returns the per-vertex values together with the run
     /// profile.
     ///
-    /// This is a thin facade over [`runtime::execute`]; see [`crate::runtime`]
-    /// for the execution model and its determinism contract.
+    /// The graph is stored according to [`BspConfig::storage`]: under
+    /// [`StorageMode::Sharded`](crate::storage::StorageMode::Sharded) (or
+    /// `Auto` with `PREDICT_STORAGE=sharded`) the engine first splits `graph`
+    /// into one [`ShardedCsr`](predict_graph::ShardedCsr) per worker and runs
+    /// against the shards — byte-identical results, per-worker memory shape
+    /// (see [`crate::storage`]). Callers that execute many runs over one
+    /// graph should pre-build a [`GraphStorage`] and use
+    /// [`BspEngine::run_storage`] to pay the shard construction once.
+    ///
+    /// This is a thin facade over [`runtime::execute_on`]; see
+    /// [`crate::runtime`] for the execution model and its determinism
+    /// contract.
     pub fn run<P: VertexProgram>(
         &self,
         graph: &CsrGraph,
         program: &P,
     ) -> BspRunResult<P::VertexValue> {
+        if self.config.storage.resolve_sharded() {
+            let storage = GraphStorage::shard_graph(
+                graph,
+                self.config.num_workers.max(1),
+                self.config.partition_strategy,
+            );
+            return self.run_storage(&storage, program);
+        }
+        self.run_on(StorageRef::Unified(graph), program)
+    }
+
+    /// Executes `program` against pre-built [`GraphStorage`] — the unified
+    /// CSR or one shard per worker.
+    ///
+    /// Sharded storage must have been built for this engine's worker count
+    /// and partition strategy (e.g. via [`GraphStorage::shard_graph`] with
+    /// the same settings); the engine validates shard ownership against its
+    /// layout and panics on a mismatch rather than run a partition that
+    /// would silently misroute messages.
+    pub fn run_storage<P: VertexProgram>(
+        &self,
+        storage: &GraphStorage,
+        program: &P,
+    ) -> BspRunResult<P::VertexValue> {
+        self.run_on(storage.as_storage_ref(), program)
+    }
+
+    fn run_on<P: VertexProgram>(
+        &self,
+        storage: StorageRef<'_>,
+        program: &P,
+    ) -> BspRunResult<P::VertexValue> {
         self.runs.fetch_add(1, Ordering::Relaxed);
         let num_workers = self.config.num_workers.max(1);
         let layout = self.layouts.get_or_build(
-            graph.num_vertices(),
+            storage.num_vertices(),
             num_workers,
             self.config.partition_strategy,
         );
+        if let StorageRef::Sharded(shards) = storage {
+            assert_eq!(
+                shards.len(),
+                num_workers,
+                "storage sharded over {} workers, engine configured for {num_workers}",
+                shards.len(),
+            );
+            for (w, shard) in shards.iter().enumerate() {
+                // Full ownership comparison, not just counts: two strategies
+                // can produce equal shard sizes with different vertex sets,
+                // and running such storage would silently misroute adjacency.
+                // O(V) once per run, dwarfed by the run itself.
+                assert_eq!(
+                    shard.owned(),
+                    layout.shard_vertices(w),
+                    "shard {w} ownership does not match the engine's partition strategy",
+                );
+            }
+        }
         let threads = self
             .config
             .execution
-            .resolve_threads(num_workers, graph.num_vertices() + graph.num_edges());
-        runtime::execute(program, graph, &layout, &self.config, threads)
+            .resolve_threads(num_workers, storage.num_vertices() + storage.num_edges());
+        runtime::execute_on(program, storage, &layout, &self.config, threads)
     }
 }
 
@@ -144,7 +220,7 @@ mod tests {
     use super::*;
     use crate::aggregator::Aggregates;
     use crate::cost::ClusterCostConfig;
-    use crate::program::ComputeContext;
+    use crate::program::{ComputeContext, InitContext};
     use predict_graph::generators::{chain, generate_rmat, RmatConfig};
     use predict_graph::{CsrGraph, EdgeList, VertexId};
 
@@ -160,7 +236,7 @@ mod tests {
             "max-id"
         }
 
-        fn init_vertex(&self, v: VertexId, _g: &CsrGraph) -> u32 {
+        fn init_vertex(&self, v: VertexId, _ctx: &InitContext<'_>) -> u32 {
             v
         }
 
@@ -194,7 +270,7 @@ mod tests {
             "count-down"
         }
 
-        fn init_vertex(&self, _v: VertexId, _g: &CsrGraph) -> u32 {
+        fn init_vertex(&self, _v: VertexId, _ctx: &InitContext<'_>) -> u32 {
             0
         }
 

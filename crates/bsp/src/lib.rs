@@ -15,17 +15,23 @@
 //!   and fans superstep phases out over scoped OS threads
 //!   ([`ExecutionMode`]) while producing byte-identical profiles at every
 //!   thread count;
+//! * **per-worker graph storage** ([`storage`]): a run executes against
+//!   either one unified CSR allocation or one
+//!   [`ShardedCsr`](predict_graph::ShardedCsr) per worker
+//!   ([`GraphStorage`], [`StorageMode`]) — byte-identical results under
+//!   both, so a graph never needs to exist as one allocation;
 //! * the phase breakdown of a Giraph job (setup / read / superstep / write)
 //!   recorded in a [`RunProfile`];
 //! * a **simulated cluster clock** ([`ClusterClock`]) that converts worker
 //!   counters into superstep wall times with a hidden, network-dominant cost
-//!   function — the stand-in for the paper's 10-node cluster (see DESIGN.md
-//!   for why this substitution preserves the evaluation).
+//!   function — the stand-in for the paper's 10-node cluster (see
+//!   `docs/ARCHITECTURE.md` for why this substitution preserves the
+//!   evaluation).
 //!
 //! # Example
 //!
 //! ```
-//! use predict_bsp::{BspConfig, BspEngine, ComputeContext, VertexProgram};
+//! use predict_bsp::{BspConfig, BspEngine, ComputeContext, InitContext, VertexProgram};
 //! use predict_graph::{CsrGraph, EdgeList, VertexId};
 //!
 //! /// Count the in-degree of every vertex by messaging over each edge once.
@@ -36,7 +42,7 @@
 //!     type Message = u8;
 //!
 //!     fn name(&self) -> &'static str { "in-degree" }
-//!     fn init_vertex(&self, _v: VertexId, _g: &CsrGraph) -> u64 { 0 }
+//!     fn init_vertex(&self, _v: VertexId, _ctx: &InitContext<'_>) -> u64 { 0 }
 //!     fn compute(&self, ctx: &mut ComputeContext<'_, u64, u8>, messages: &[u8]) {
 //!         if ctx.superstep == 0 {
 //!             ctx.send_to_all_neighbors(1);
@@ -64,6 +70,7 @@ pub mod partition;
 pub mod profile;
 pub mod program;
 pub mod runtime;
+pub mod storage;
 pub mod worker;
 
 pub use aggregator::{Aggregates, AggregatorKind};
@@ -74,5 +81,6 @@ pub use counters::{sum_counters, WorkerCounters};
 pub use engine::{BspEngine, BspRunResult, HaltReason};
 pub use partition::{PartitionStrategy, Partitioning};
 pub use profile::{RunProfile, SuperstepProfile};
-pub use program::{ComputeContext, VertexProgram};
+pub use program::{ComputeContext, InitContext, VertexProgram};
 pub use runtime::{LayoutCache, ShardLayout, WorkerShard};
+pub use storage::{GraphStorage, StorageMode};

@@ -12,6 +12,45 @@ use crate::aggregator::Aggregates;
 use crate::combiner::MessageCombiner;
 use predict_graph::{CsrGraph, VertexId};
 
+/// What a vertex program may observe while initializing one vertex's value:
+/// global graph totals plus the vertex's own out-adjacency.
+///
+/// This is deliberately *not* a full [`CsrGraph`]: under sharded storage
+/// (see [`crate::storage::GraphStorage`]) a worker holds only its own
+/// [`ShardedCsr`](predict_graph::ShardedCsr) slice, so initialization — like
+/// [`VertexProgram::compute`] — can only read the local adjacency of the
+/// vertex being initialized. Every algorithm in `predict_algorithms` needs
+/// exactly this much (PageRank reads `num_vertices`, semi-clustering reads
+/// the vertex's incident weights).
+pub struct InitContext<'a> {
+    /// Number of vertices in the whole graph.
+    pub num_vertices: usize,
+    /// Number of edges in the whole graph.
+    pub num_edges: usize,
+    /// Out-neighbors of the vertex being initialized.
+    pub out_neighbors: &'a [VertexId],
+    /// Weights aligned with `out_neighbors` (`None` for unweighted graphs).
+    pub out_weights: Option<&'a [f32]>,
+}
+
+impl<'a> InitContext<'a> {
+    /// The context for vertex `v` of a unified graph. Handy in tests and in
+    /// direct [`VertexProgram::init_vertex`] invocations outside the engine.
+    pub fn for_vertex(graph: &'a CsrGraph, v: VertexId) -> Self {
+        Self {
+            num_vertices: graph.num_vertices(),
+            num_edges: graph.num_edges(),
+            out_neighbors: graph.out_neighbors(v),
+            out_weights: graph.out_weights(v),
+        }
+    }
+
+    /// Out-degree of the vertex being initialized.
+    pub fn out_degree(&self) -> usize {
+        self.out_neighbors.len()
+    }
+}
+
 /// A vertex-centric iterative algorithm.
 ///
 /// Implementations must be deterministic: the engine may execute workers in
@@ -26,8 +65,10 @@ pub trait VertexProgram: Sync {
     /// Human-readable algorithm name (used in run profiles and reports).
     fn name(&self) -> &'static str;
 
-    /// Initial value of vertex `v`. Called once per vertex before superstep 0.
-    fn init_vertex(&self, vertex: VertexId, graph: &CsrGraph) -> Self::VertexValue;
+    /// Initial value of vertex `v`. Called once per vertex before superstep 0;
+    /// `ctx` exposes the graph totals and the vertex's own out-adjacency
+    /// (all a worker can see under sharded storage).
+    fn init_vertex(&self, vertex: VertexId, ctx: &InitContext<'_>) -> Self::VertexValue;
 
     /// The compute function executed for every active vertex in every
     /// superstep. `messages` contains the messages sent to this vertex during
@@ -143,7 +184,7 @@ mod tests {
             "broadcast"
         }
 
-        fn init_vertex(&self, vertex: VertexId, _graph: &CsrGraph) -> u32 {
+        fn init_vertex(&self, vertex: VertexId, _ctx: &InitContext<'_>) -> u32 {
             vertex
         }
 
@@ -170,7 +211,7 @@ mod tests {
         let mut outbox = Vec::new();
         let mut partial = Aggregates::new();
         let mut halted = false;
-        let mut value = program.init_vertex(0, &g);
+        let mut value = program.init_vertex(0, &InitContext::for_vertex(&g, 0));
 
         let mut ctx = ComputeContext {
             vertex: 0,

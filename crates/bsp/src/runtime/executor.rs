@@ -23,6 +23,7 @@ use crate::profile::{RunProfile, SuperstepProfile};
 use crate::program::VertexProgram;
 use crate::runtime::layout::ShardLayout;
 use crate::runtime::shard::WorkerShard;
+use crate::storage::StorageRef;
 use predict_graph::{CsrGraph, VertexId};
 
 /// One row of the inbound transpose matrix: the message buffers destined for
@@ -63,14 +64,35 @@ fn for_each_chunked<T: Send, F: Fn(&mut T) + Sync>(items: &mut [T], threads: usi
     });
 }
 
-/// Executes `program` on `graph` over the sharded state described by
-/// `layout`, spreading per-shard phases over `threads` OS threads.
+/// Executes `program` on a unified `graph` over the sharded state described
+/// by `layout`, spreading per-shard phases over `threads` OS threads.
 ///
-/// This is the engine's whole run loop; [`crate::BspEngine::run`] is a thin
-/// facade over it. The output is byte-identical for every `threads` value.
+/// Storage-generic callers use [`execute_on`]; this thin wrapper keeps the
+/// original unified-graph signature for direct runtime users and tests.
 pub fn execute<P: VertexProgram>(
     program: &P,
     graph: &CsrGraph,
+    layout: &ShardLayout,
+    config: &BspConfig,
+    threads: usize,
+) -> BspRunResult<P::VertexValue> {
+    execute_on(program, StorageRef::Unified(graph), layout, config, threads)
+}
+
+/// Executes `program` against `storage` — the unified CSR or one
+/// [`ShardedCsr`](predict_graph::ShardedCsr) per worker — over the sharded
+/// state described by `layout`, spreading per-shard phases over `threads` OS
+/// threads.
+///
+/// This is the engine's whole run loop; [`crate::BspEngine::run`] and
+/// [`crate::BspEngine::run_storage`] are thin facades over it. The output is
+/// byte-identical for every `threads` value *and* for both storage layouts:
+/// under sharded storage each worker's phases read only its own shard's
+/// adjacency, which holds exactly the bytes the unified CSR holds for the
+/// worker's owned vertices.
+pub fn execute_on<P: VertexProgram>(
+    program: &P,
+    storage: StorageRef<'_>,
     layout: &ShardLayout,
     config: &BspConfig,
     threads: usize,
@@ -80,14 +102,14 @@ pub fn execute<P: VertexProgram>(
 
     // Setup and read phases.
     let setup_ms = clock.setup_time_ms();
-    let read_ms = clock.read_time_ms(graph.num_edges(), num_workers);
+    let read_ms = clock.read_time_ms(storage.num_edges(), num_workers);
 
     // Per-worker sharded state; value initialization fans out like a phase.
     let mut shards: Vec<WorkerShard<P>> = (0..num_workers)
         .map(|w| WorkerShard::init_empty(w, layout))
         .collect();
     for_each_chunked(&mut shards, threads, |shard| {
-        shard.init_values(program, graph, layout);
+        shard.init_values(program, storage.worker_graph(shard.worker), layout);
     });
 
     // Inbound matrix: `inbound[dst][src]` buffers circulate between the
@@ -103,12 +125,19 @@ pub fn execute<P: VertexProgram>(
     let mut halt_reason = HaltReason::MaxSupersteps;
 
     for superstep in 0..config.max_supersteps {
-        // Compute phase: every shard processes its vertices. Shards are
-        // disjoint; the fan-out cannot reorder anything observable.
+        // Compute phase: every shard processes its vertices against its own
+        // view of the graph. Shards are disjoint; the fan-out cannot reorder
+        // anything observable.
         {
             let previous_aggregates = &previous_aggregates;
             for_each_chunked(&mut shards, threads, |shard| {
-                shard.run_superstep(program, graph, layout, superstep, previous_aggregates);
+                shard.run_superstep(
+                    program,
+                    storage.worker_graph(shard.worker),
+                    layout,
+                    superstep,
+                    previous_aggregates,
+                );
             });
         }
 
@@ -166,7 +195,7 @@ pub fn execute<P: VertexProgram>(
         previous_aggregates = aggregates;
     }
 
-    let n = graph.num_vertices();
+    let n = storage.num_vertices();
     let write_ms = clock.write_time_ms(n, num_workers);
 
     // Scatter shard values back into a dense vertex-indexed vector. Shard
@@ -185,7 +214,7 @@ pub fn execute<P: VertexProgram>(
     let profile = RunProfile {
         algorithm: program.name().to_string(),
         num_vertices: n,
-        num_edges: graph.num_edges(),
+        num_edges: storage.num_edges(),
         num_workers,
         setup_ms,
         read_ms,

@@ -54,7 +54,7 @@ mod executor;
 mod layout;
 mod shard;
 
-pub use executor::execute;
+pub use executor::{execute, execute_on};
 pub use layout::{LayoutCache, ShardLayout};
 pub use shard::WorkerShard;
 
@@ -63,9 +63,9 @@ mod tests {
     use super::*;
     use crate::config::{BspConfig, ExecutionMode};
     use crate::cost::ClusterCostConfig;
-    use crate::program::{ComputeContext, VertexProgram};
+    use crate::program::{ComputeContext, InitContext, VertexProgram};
     use predict_graph::generators::{generate_rmat, RmatConfig};
-    use predict_graph::{CsrGraph, VertexId};
+    use predict_graph::VertexId;
 
     /// Flood-style program exercising messages, aggregates and halting.
     struct Ripple;
@@ -78,7 +78,7 @@ mod tests {
             "ripple"
         }
 
-        fn init_vertex(&self, v: VertexId, _g: &CsrGraph) -> u64 {
+        fn init_vertex(&self, v: VertexId, _ctx: &InitContext<'_>) -> u64 {
             v as u64
         }
 
@@ -128,6 +128,73 @@ mod tests {
         let b = par.run(&graph, &Ripple);
         assert_eq!(a.values, b.values);
         assert_eq!(a.profile, b.profile);
+    }
+
+    #[test]
+    fn sharded_storage_is_byte_identical_to_unified() {
+        let graph = generate_rmat(&RmatConfig::new(9, 6).with_seed(13));
+        let engine = crate::engine::BspEngine::new(
+            BspConfig::with_workers(5).with_cost(ClusterCostConfig::default()),
+        );
+        let unified = engine.run(&graph, &Ripple);
+        let sharded_engine = engine.with_storage(crate::storage::StorageMode::Sharded);
+        let sharded = sharded_engine.run(&graph, &Ripple);
+        assert_eq!(unified.values, sharded.values);
+        assert_eq!(unified.profile, sharded.profile);
+        assert_eq!(unified.halt_reason, sharded.halt_reason);
+        // Pre-built storage takes the same path.
+        let storage = crate::storage::GraphStorage::shard_graph(
+            &graph,
+            5,
+            engine.config().partition_strategy,
+        );
+        let prebuilt = engine.run_storage(&storage, &Ripple);
+        assert_eq!(unified.values, prebuilt.values);
+        assert_eq!(unified.profile, prebuilt.profile);
+    }
+
+    #[test]
+    fn sharded_storage_is_thread_count_independent() {
+        let graph = generate_rmat(&RmatConfig::new(9, 6).with_seed(17));
+        let config = BspConfig::with_workers(6);
+        let storage =
+            crate::storage::GraphStorage::shard_graph(&graph, 6, config.partition_strategy);
+        let layout = ShardLayout::build(graph.num_vertices(), 6, config.partition_strategy);
+        let baseline = execute_on(&Ripple, storage.as_storage_ref(), &layout, &config, 1);
+        for threads in [2usize, 4, 6] {
+            let run = execute_on(&Ripple, storage.as_storage_ref(), &layout, &config, threads);
+            assert_eq!(baseline.values, run.values, "{threads} threads");
+            assert_eq!(baseline.profile, run.profile, "{threads} threads");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ownership does not match")]
+    fn mismatched_partition_strategy_is_rejected() {
+        use crate::partition::PartitionStrategy;
+        let graph = generate_rmat(&RmatConfig::new(7, 4).with_seed(1));
+        let engine = crate::engine::BspEngine::new(
+            BspConfig::with_workers(4).with_partition_strategy(PartitionStrategy::Range),
+        );
+        // Same worker count, different strategy: shard sizes can coincide,
+        // but ownership cannot — the engine must reject it even in release
+        // builds instead of silently misrouting adjacency.
+        let storage =
+            crate::storage::GraphStorage::shard_graph(&graph, 4, PartitionStrategy::Modulo);
+        let _ = engine.run_storage(&storage, &Ripple);
+    }
+
+    #[test]
+    #[should_panic(expected = "sharded over")]
+    fn mismatched_shard_count_is_rejected() {
+        let graph = generate_rmat(&RmatConfig::new(7, 4).with_seed(1));
+        let engine = crate::engine::BspEngine::new(BspConfig::with_workers(4));
+        let storage = crate::storage::GraphStorage::shard_graph(
+            &graph,
+            3,
+            engine.config().partition_strategy,
+        );
+        let _ = engine.run_storage(&storage, &Ripple);
     }
 
     #[test]

@@ -14,9 +14,10 @@
 
 use crate::aggregator::Aggregates;
 use crate::counters::WorkerCounters;
-use crate::program::VertexProgram;
+use crate::program::{InitContext, VertexProgram};
 use crate::runtime::layout::ShardLayout;
-use predict_graph::{CsrGraph, VertexId};
+use crate::storage::WorkerGraph;
+use predict_graph::VertexId;
 
 /// All mutable state of one worker during a run, indexed by shard slot
 /// (see [`ShardLayout::slot_of`]).
@@ -63,19 +64,31 @@ impl<P: VertexProgram> WorkerShard<P> {
     }
 
     /// Initializes every owned vertex's value via
-    /// [`VertexProgram::init_vertex`], in increasing vertex-id order.
-    pub fn init_values(&mut self, program: &P, graph: &CsrGraph, layout: &ShardLayout) {
+    /// [`VertexProgram::init_vertex`], in increasing vertex-id order. The
+    /// `graph` view resolves adjacency from the unified CSR or from this
+    /// worker's own [`ShardedCsr`](predict_graph::ShardedCsr) slice.
+    pub fn init_values(&mut self, program: &P, graph: WorkerGraph<'_>, layout: &ShardLayout) {
         self.values.clear();
-        self.values.extend(
-            layout
-                .shard_vertices(self.worker)
-                .iter()
-                .map(|&v| program.init_vertex(v, graph)),
-        );
+        self.values
+            .extend(
+                layout
+                    .shard_vertices(self.worker)
+                    .iter()
+                    .enumerate()
+                    .map(|(slot, &v)| {
+                        let ctx = InitContext {
+                            num_vertices: graph.num_vertices(),
+                            num_edges: graph.num_edges(),
+                            out_neighbors: graph.out_neighbors(slot, v),
+                            out_weights: graph.out_weights(slot, v),
+                        };
+                        program.init_vertex(v, &ctx)
+                    }),
+            );
     }
 
     /// Creates the fully-initialized shard of worker `worker`.
-    pub fn init(program: &P, graph: &CsrGraph, layout: &ShardLayout, worker: usize) -> Self {
+    pub fn init(program: &P, graph: WorkerGraph<'_>, layout: &ShardLayout, worker: usize) -> Self {
         let mut shard = Self::init_empty(worker, layout);
         shard.init_values(program, graph, layout);
         shard

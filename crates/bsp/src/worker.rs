@@ -23,7 +23,8 @@ use crate::aggregator::Aggregates;
 use crate::combiner::{combine_in_place, MessageCombiner};
 use crate::program::{ComputeContext, VertexProgram};
 use crate::runtime::{ShardLayout, WorkerShard};
-use predict_graph::{CsrGraph, VertexId};
+use crate::storage::WorkerGraph;
+use predict_graph::VertexId;
 
 impl<P: VertexProgram> WorkerShard<P> {
     /// Executes the compute phase of superstep `superstep` for this shard.
@@ -31,11 +32,14 @@ impl<P: VertexProgram> WorkerShard<P> {
     /// Runs [`VertexProgram::compute`] for every active owned vertex in
     /// increasing vertex-id order, maintains the Table 1 counters, and routes
     /// the produced messages into the per-destination-worker buffers
-    /// (`self.routed`), preserving production order.
+    /// (`self.routed`), preserving production order. `graph` is this worker's
+    /// view of the graph — the whole CSR under unified storage, only the
+    /// worker's own shard under sharded storage; the phase never reads
+    /// adjacency outside the owned vertices either way.
     pub fn run_superstep(
         &mut self,
         program: &P,
-        graph: &CsrGraph,
+        graph: WorkerGraph<'_>,
         layout: &ShardLayout,
         superstep: usize,
         previous_aggregates: &Aggregates,
@@ -61,8 +65,8 @@ impl<P: VertexProgram> WorkerShard<P> {
                     vertex: v,
                     superstep,
                     value: &mut self.values[i],
-                    out_neighbors: graph.out_neighbors(v),
-                    out_weights: graph.out_weights(v),
+                    out_neighbors: graph.out_neighbors(i, v),
+                    out_weights: graph.out_weights(i, v),
                     num_vertices: graph.num_vertices(),
                     num_edges: graph.num_edges(),
                     previous_aggregates,
@@ -123,7 +127,8 @@ mod tests {
     use super::*;
     use crate::combiner::MinCombiner;
     use crate::partition::PartitionStrategy;
-    use predict_graph::EdgeList;
+    use crate::program::InitContext;
+    use predict_graph::{CsrGraph, EdgeList};
 
     /// Every vertex sends its id to all out-neighbors in superstep 0, then
     /// halts; reactivated vertices sum what they received.
@@ -137,7 +142,7 @@ mod tests {
             "sum-ids"
         }
 
-        fn init_vertex(&self, _v: VertexId, _g: &CsrGraph) -> u64 {
+        fn init_vertex(&self, _v: VertexId, _ctx: &InitContext<'_>) -> u64 {
             0
         }
 
@@ -170,8 +175,14 @@ mod tests {
         let (g, l) = two_worker_setup();
         let program = SumIds;
         // Worker 0 owns vertices 0 and 2 (modulo layout).
-        let mut shard = WorkerShard::init(&program, &g, &l, 0);
-        shard.run_superstep(&program, &g, &l, 0, &Aggregates::new());
+        let mut shard = WorkerShard::init(&program, WorkerGraph::Unified(&g), &l, 0);
+        shard.run_superstep(
+            &program,
+            WorkerGraph::Unified(&g),
+            &l,
+            0,
+            &Aggregates::new(),
+        );
 
         assert_eq!(shard.counters.active_vertices, 2);
         assert_eq!(shard.counters.total_vertices, 2);
@@ -191,9 +202,15 @@ mod tests {
     fn halted_vertices_without_messages_are_skipped() {
         let (g, l) = two_worker_setup();
         let program = SumIds;
-        let mut shard = WorkerShard::init(&program, &g, &l, 0);
+        let mut shard = WorkerShard::init(&program, WorkerGraph::Unified(&g), &l, 0);
         shard.halted = vec![true; 2];
-        shard.run_superstep(&program, &g, &l, 1, &Aggregates::new());
+        shard.run_superstep(
+            &program,
+            WorkerGraph::Unified(&g),
+            &l,
+            1,
+            &Aggregates::new(),
+        );
         assert_eq!(shard.counters.active_vertices, 0);
         assert!(shard.routed.iter().all(|r| r.is_empty()));
     }
@@ -203,13 +220,19 @@ mod tests {
         let (g, l) = two_worker_setup();
         let program = SumIds;
         // Worker 1 owns vertices 1 and 3.
-        let mut shard = WorkerShard::init(&program, &g, &l, 1);
+        let mut shard = WorkerShard::init(&program, WorkerGraph::Unified(&g), &l, 1);
         shard.halted = vec![true; 2];
         let mut inbound = vec![vec![(3u32, 1u32), (3, 2)], Vec::new()];
         shard.deliver(&l, &mut inbound, None);
         assert!(inbound[0].is_empty(), "inbound buffers must be drained");
 
-        shard.run_superstep(&program, &g, &l, 1, &Aggregates::new());
+        shard.run_superstep(
+            &program,
+            WorkerGraph::Unified(&g),
+            &l,
+            1,
+            &Aggregates::new(),
+        );
         assert_eq!(shard.counters.active_vertices, 1);
         assert_eq!(shard.values[l.slot_of(3)], 3);
         assert!(
@@ -225,7 +248,7 @@ mod tests {
     fn deliver_applies_the_combiner_per_inbox() {
         let (g, l) = two_worker_setup();
         let program = SumIds;
-        let mut shard = WorkerShard::<SumIds>::init(&program, &g, &l, 1);
+        let mut shard = WorkerShard::<SumIds>::init(&program, WorkerGraph::Unified(&g), &l, 1);
         let mut inbound = vec![vec![(3u32, 9u32), (3, 4), (1, 7)], vec![(3, 6)]];
         shard.deliver(&l, &mut inbound, Some(&MinCombiner));
         // Vertex 3 received 9, 4, 6 -> combined to the minimum.
@@ -238,12 +261,24 @@ mod tests {
     fn buffers_keep_their_capacity_across_supersteps() {
         let (g, l) = two_worker_setup();
         let program = SumIds;
-        let mut shard = WorkerShard::init(&program, &g, &l, 0);
-        shard.run_superstep(&program, &g, &l, 0, &Aggregates::new());
+        let mut shard = WorkerShard::init(&program, WorkerGraph::Unified(&g), &l, 0);
+        shard.run_superstep(
+            &program,
+            WorkerGraph::Unified(&g),
+            &l,
+            0,
+            &Aggregates::new(),
+        );
         // Superstep 0 produced 3 messages through the outbox scratch.
         let capacity = shard.outbox.capacity();
         assert!(capacity >= 3);
-        shard.run_superstep(&program, &g, &l, 1, &Aggregates::new());
+        shard.run_superstep(
+            &program,
+            WorkerGraph::Unified(&g),
+            &l,
+            1,
+            &Aggregates::new(),
+        );
         assert_eq!(
             shard.outbox.capacity(),
             capacity,

@@ -94,24 +94,33 @@ impl EdgeList {
     /// occurrence (and therefore its weight). Sorts the list by `(src, dst)`
     /// as a side effect.
     ///
-    /// The ordering pass is a two-round stable counting (LSD radix) sort —
-    /// `O(E + V)` instead of the `O(E log E)` comparison sort it replaces —
-    /// which produces exactly the permutation a stable
-    /// `sort_by_key(|e| (e.src, e.dst))` would: sorted by key, equal keys in
-    /// insertion order, so the kept first occurrence is the earliest pushed.
-    /// Edge lists whose vertex id space dwarfs their edge count fall back to
-    /// the comparison sort (same result) to avoid `O(V)` histograms.
+    /// The ordering pass is adaptive. The default path is a two-round stable
+    /// counting (LSD radix) sort — `O(E + V)` instead of the `O(E log E)`
+    /// comparison sort it replaced — which produces exactly the permutation
+    /// a stable `sort_by_key(|e| (e.src, e.dst))` would: sorted by key,
+    /// equal keys in insertion order, so the kept first occurrence is the
+    /// earliest pushed. Two stream shapes fall back to that comparison sort
+    /// (same result, different constant factors):
+    ///
+    /// * **nearly-sorted streams** — a single `O(E)` presortedness probe
+    ///   counts adjacent inversions; below 1/32 of the edge count
+    ///   the std stable sort's run detection finishes in near-linear time
+    ///   and beats the radix's two full placement passes (the grid-road
+    ///   lattice regression the ROADMAP records: its CSR-ordered edge stream
+    ///   deduped 3.5x slower on the radix path);
+    /// * **sparse id spaces** — vertex id spaces that dwarf the edge count
+    ///   would pay `O(V)` histograms per radix round.
     pub fn dedup(&mut self) {
         let n = self.num_vertices;
         if self.edges.len() > 1 {
-            if n <= self.edges.len().saturating_mul(4).max(64) {
+            if nearly_sorted(&self.edges) || n > self.edges.len().saturating_mul(4).max(64) {
+                self.edges.sort_by_key(|e| (e.src, e.dst));
+            } else {
                 let mut scratch = vec![Edge::new(0, 0); self.edges.len()];
                 // LSD radix: stable pass on the low key (dst), then a stable
                 // pass on the high key (src).
                 counting_sort_pass(&mut self.edges, &mut scratch, n, |e| e.dst as usize);
                 counting_sort_pass(&mut self.edges, &mut scratch, n, |e| e.src as usize);
-            } else {
-                self.edges.sort_by_key(|e| (e.src, e.dst));
             }
         }
         self.edges.dedup_by_key(|e| (e.src, e.dst));
@@ -139,6 +148,30 @@ impl EdgeList {
     pub fn into_edges(self) -> Vec<Edge> {
         self.edges
     }
+}
+
+/// Presortedness threshold: a stream whose adjacent-inversion count is below
+/// `len / NEARLY_SORTED_INVERSION_DIV` is handled by the std stable sort
+/// (whose run detection makes nearly-sorted input near-`O(E)`) instead of
+/// the radix path. 32 keeps genuinely shuffled streams (≈50% inversions) on
+/// the radix path while catching CSR-ordered and append-mostly streams.
+const NEARLY_SORTED_INVERSION_DIV: usize = 32;
+
+/// The adaptive-dedup presortedness probe: one linear scan counting adjacent
+/// pairs out of `(src, dst)` order, with an early exit once the stream is
+/// provably not nearly-sorted.
+fn nearly_sorted(edges: &[Edge]) -> bool {
+    let budget = edges.len() / NEARLY_SORTED_INVERSION_DIV;
+    let mut inversions = 0usize;
+    for pair in edges.windows(2) {
+        if (pair[0].src, pair[0].dst) > (pair[1].src, pair[1].dst) {
+            inversions += 1;
+            if inversions > budget {
+                return false;
+            }
+        }
+    }
+    true
 }
 
 /// One stable counting-sort pass over `edges` by `key` (which must be
@@ -217,6 +250,51 @@ mod tests {
         el.dedup();
         assert_eq!(el.num_edges(), 1);
         assert_eq!(el.edges()[0].weight, 2.0);
+    }
+
+    #[test]
+    fn presortedness_probe_classifies_streams() {
+        // CSR-ordered (fully sorted) stream.
+        let sorted: Vec<Edge> = (0..1000u32)
+            .flat_map(|s| [(s, s + 1), (s, s + 2)])
+            .map(|(s, d)| Edge::new(s, d))
+            .collect();
+        assert!(nearly_sorted(&sorted));
+        // A few displaced edges stay under the budget.
+        let mut few_swaps = sorted.clone();
+        few_swaps.swap(10, 500);
+        few_swaps.swap(900, 1200);
+        assert!(nearly_sorted(&few_swaps));
+        // A reversed stream is maximally inverted.
+        let mut reversed = sorted.clone();
+        reversed.reverse();
+        assert!(!nearly_sorted(&reversed));
+    }
+
+    #[test]
+    fn dedup_on_nearly_sorted_stream_matches_reference() {
+        // Sorted-with-duplicates plus a handful of out-of-place edges: the
+        // probe routes this to the comparison path; results must equal the
+        // stable-sort + keep-first reference regardless.
+        let mut el = EdgeList::new();
+        for s in 0..200u32 {
+            el.push_weighted(s, s + 1, s as f32);
+            el.push_weighted(s, s + 1, 999.0); // duplicate, must be dropped
+        }
+        el.push_weighted(5, 2, 7.0); // out-of-order stragglers
+        el.push_weighted(0, 1, 123.0); // duplicate of the very first edge
+        let mut reference: Vec<Edge> = el.edges().to_vec();
+        reference.sort_by_key(|e| (e.src, e.dst));
+        reference.dedup_by_key(|e| (e.src, e.dst));
+
+        el.dedup();
+        assert_eq!(el.num_edges(), reference.len());
+        for (a, b) in el.edges().iter().zip(&reference) {
+            assert_eq!((a.src, a.dst, a.weight), (b.src, b.dst, b.weight));
+        }
+        // The surviving weight of (0, 1) is the first pushed, not the late
+        // duplicate.
+        assert_eq!(el.edges()[0].weight, 0.0);
     }
 
     #[test]

@@ -6,6 +6,9 @@
 //! * [`CsrGraph`] — an immutable, compressed-sparse-row directed graph with
 //!   optional edge weights and both out- and in-adjacency, the representation
 //!   used by the BSP engine and the samplers.
+//! * [`ShardedCsr`] — the per-worker slice of a graph (local CSR over the
+//!   owned vertices plus remote-edge cut lists), so a graph partitioned over
+//!   BSP workers never needs to exist as one contiguous allocation.
 //! * [`EdgeList`] / [`GraphBuilder`] — mutable construction APIs.
 //! * [`generators`] — synthetic graph generators (R-MAT, Barabási–Albert,
 //!   Erdős–Rényi, Watts–Strogatz, degenerate chains, plus grid road
@@ -42,11 +45,13 @@ pub mod edge_list;
 pub mod generators;
 pub mod io;
 pub mod properties;
+pub mod sharded;
 pub mod subgraph;
 pub mod types;
 
 pub use builder::GraphBuilder;
 pub use csr::CsrGraph;
 pub use edge_list::EdgeList;
+pub use sharded::{shard_csr, shard_edge_list, ShardedCsr};
 pub use subgraph::{induced_subgraph, SubgraphMapping};
 pub use types::{Edge, EdgeCount, VertexCount, VertexId};

@@ -1,0 +1,537 @@
+//! Per-worker sharded CSR graph storage.
+//!
+//! PREDIcT's methodology assumes the BSP engine partitions the input graph
+//! across workers (section 2.2 of the paper) and that per-worker key input
+//! features — messages, bytes, active vertices — fall out of that partition.
+//! A [`ShardedCsr`] makes the partition structural: it is the slice of a
+//! graph owned by *one* worker, holding only the out-adjacency of the
+//! vertices assigned to that worker, plus the cut lists of edges whose
+//! destination lives on a peer worker. A graph sharded over `W` workers is a
+//! `Vec<ShardedCsr>` whose shards together cover every edge exactly once —
+//! and the graph never needs to exist as one contiguous allocation.
+//!
+//! Shards are built by the same counting machinery as
+//! [`CsrGraph`](crate::csr::CsrGraph) (degree histogram → prefix offsets →
+//! direct placement, no sorting), either straight from an [`EdgeList`]
+//! ([`shard_edge_list`]) or by slicing an already-frozen CSR
+//! ([`shard_csr`]). Both preserve per-source edge order, so a shard's
+//! adjacency of vertex `v` is byte-identical to the unified
+//! `CsrGraph::out_neighbors(v)` — the property that lets the BSP runtime
+//! guarantee byte-identical results under either storage (see
+//! `predict_bsp::runtime`).
+//!
+//! Ownership is expressed as a plain `owner(v) -> worker` function so this
+//! crate stays partitioning-agnostic; `predict_bsp` supplies its
+//! `PartitionStrategy` assignment when building storage for an engine.
+
+use crate::csr::prefix_sum;
+use crate::edge_list::EdgeList;
+use crate::types::{Edge, VertexId};
+use serde::Serialize;
+
+/// The slice of a graph owned by one worker: a local CSR over the worker's
+/// owned vertices plus the remote-edge cut lists.
+///
+/// * **Owned vertices** — ascending global vertex ids assigned to this
+///   worker; local *slot* `i` is the `i`-th owned vertex, the same dense
+///   order `predict_bsp`'s shard layout uses.
+/// * **Local CSR** — `out_offsets`/`out_targets` indexed by slot; targets are
+///   *global* vertex ids (a message can leave the shard, the adjacency
+///   cannot).
+/// * **Cut lists** — for every peer worker `w`, the positions (indices into
+///   `out_targets`) of the out-edges whose destination is owned by `w`.
+///   These make the per-worker remote-edge totals of the paper's
+///   critical-path model (section 3.4) a structural fact of the storage
+///   instead of a per-run scan.
+#[derive(Debug, Clone, Serialize)]
+pub struct ShardedCsr {
+    worker: usize,
+    num_workers: usize,
+    /// Vertices of the *whole* graph, not of this shard.
+    global_vertices: usize,
+    /// Edges of the *whole* graph, not of this shard.
+    global_edges: usize,
+    /// Owned global vertex ids, ascending. Slot `i` is `owned[i]`.
+    owned: Vec<VertexId>,
+    /// Slot-indexed prefix offsets into `out_targets` (`owned.len() + 1`).
+    out_offsets: Vec<usize>,
+    /// Out-neighbors (global ids) of the owned vertices, grouped by slot.
+    out_targets: Vec<VertexId>,
+    /// Weights aligned with `out_targets`; `None` when the graph is
+    /// unweighted (the decision is global, matching `CsrGraph`).
+    out_weights: Option<Vec<f32>>,
+    /// `cut[w]` = indices into `out_targets` of edges destined for peer
+    /// worker `w`; `cut[self.worker]` is always empty (local edges are
+    /// implicit).
+    cut: Vec<Vec<u32>>,
+}
+
+impl ShardedCsr {
+    /// Index of the worker this shard belongs to.
+    pub fn worker(&self) -> usize {
+        self.worker
+    }
+
+    /// Number of workers the graph was sharded over.
+    pub fn num_workers(&self) -> usize {
+        self.num_workers
+    }
+
+    /// Vertices of the whole graph (across all shards).
+    pub fn global_vertices(&self) -> usize {
+        self.global_vertices
+    }
+
+    /// Edges of the whole graph (across all shards).
+    pub fn global_edges(&self) -> usize {
+        self.global_edges
+    }
+
+    /// Owned global vertex ids, ascending; slot `i` is `owned()[i]`.
+    pub fn owned(&self) -> &[VertexId] {
+        &self.owned
+    }
+
+    /// Number of vertices this shard owns.
+    pub fn num_local_vertices(&self) -> usize {
+        self.owned.len()
+    }
+
+    /// Number of out-edges leaving this shard's owned vertices.
+    pub fn num_local_edges(&self) -> usize {
+        self.out_targets.len()
+    }
+
+    /// True when the graph stores per-edge weights.
+    pub fn is_weighted(&self) -> bool {
+        self.out_weights.is_some()
+    }
+
+    /// Out-neighbors (global ids) of the owned vertex at `slot`.
+    pub fn out_neighbors_at(&self, slot: usize) -> &[VertexId] {
+        &self.out_targets[self.out_offsets[slot]..self.out_offsets[slot + 1]]
+    }
+
+    /// Weights of the out-edges of the owned vertex at `slot`, aligned with
+    /// [`Self::out_neighbors_at`]; `None` for unweighted graphs.
+    pub fn out_weights_at(&self, slot: usize) -> Option<&[f32]> {
+        self.out_weights
+            .as_ref()
+            .map(|w| &w[self.out_offsets[slot]..self.out_offsets[slot + 1]])
+    }
+
+    /// Out-degree of the owned vertex at `slot`.
+    pub fn out_degree_at(&self, slot: usize) -> usize {
+        self.out_offsets[slot + 1] - self.out_offsets[slot]
+    }
+
+    /// Positions (indices into the shard's edge array) of the out-edges cut
+    /// to peer worker `peer`. Empty for `peer == self.worker()`.
+    pub fn cut_to(&self, peer: usize) -> &[u32] {
+        &self.cut[peer]
+    }
+
+    /// Number of out-edges whose destination is owned by another worker.
+    pub fn remote_edges(&self) -> usize {
+        self.cut.iter().map(Vec::len).sum()
+    }
+
+    /// Number of out-edges whose destination this shard also owns.
+    pub fn local_edges(&self) -> usize {
+        self.num_local_edges() - self.remote_edges()
+    }
+
+    /// Rough in-memory footprint of the shard in bytes, the per-worker
+    /// analog of [`CsrGraph::size_bytes`](crate::csr::CsrGraph::size_bytes).
+    pub fn size_bytes(&self) -> usize {
+        self.owned.len() * std::mem::size_of::<VertexId>()
+            + self.out_offsets.len() * std::mem::size_of::<usize>()
+            + self.out_targets.len() * std::mem::size_of::<VertexId>()
+            + self
+                .out_weights
+                .as_ref()
+                .map(|w| w.len() * std::mem::size_of::<f32>())
+                .unwrap_or(0)
+            + self
+                .cut
+                .iter()
+                .map(|c| c.len() * std::mem::size_of::<u32>())
+                .sum::<usize>()
+    }
+}
+
+/// Dense vertex-to-worker assignment shared by both shard builders: owner and
+/// slot of every vertex plus the ascending owned list per worker. This is the
+/// same decomposition `predict_bsp`'s shard layout computes; rebuilding it
+/// here keeps the crates decoupled (the closure is the only coupling point).
+struct Assignment {
+    owner: Vec<u32>,
+    slot: Vec<u32>,
+    owned: Vec<Vec<VertexId>>,
+}
+
+fn assign(
+    num_vertices: usize,
+    num_workers: usize,
+    owner_of: impl Fn(VertexId) -> usize,
+) -> Assignment {
+    assert!(num_workers > 0, "at least one worker is required");
+    let mut owner = vec![0u32; num_vertices];
+    let mut slot = vec![0u32; num_vertices];
+    let mut owned: Vec<Vec<VertexId>> = vec![Vec::new(); num_workers];
+    for v in 0..num_vertices {
+        let w = owner_of(v as VertexId);
+        assert!(w < num_workers, "owner {w} of vertex {v} out of range");
+        owner[v] = w as u32;
+        let shard = &mut owned[w];
+        slot[v] = shard.len() as u32;
+        shard.push(v as VertexId);
+    }
+    Assignment { owner, slot, owned }
+}
+
+/// Fills every shard's cut lists from its placed adjacency.
+fn build_cuts(shards: &mut [ShardedCsr], owner: &[u32]) {
+    for shard in shards.iter_mut() {
+        for (i, &dst) in shard.out_targets.iter().enumerate() {
+            let peer = owner[dst as usize] as usize;
+            if peer != shard.worker {
+                shard.cut[peer].push(i as u32);
+            }
+        }
+    }
+}
+
+/// Shards `list` over `num_workers` workers without ever materializing the
+/// unified CSR: one degree-counting pass, one placement pass — the same
+/// counting build [`CsrGraph::from_edges`](crate::csr::CsrGraph::from_edges)
+/// uses, split per worker. Per-source edge order (insertion order) is
+/// preserved, so each shard's adjacency matches the unified graph's.
+///
+/// `owner_of` maps every vertex id below `list.num_vertices()` to its worker
+/// (must be `< num_workers`).
+///
+/// # Panics
+///
+/// Panics if `num_workers == 0` or `owner_of` returns an out-of-range worker.
+pub fn shard_edge_list(
+    list: &EdgeList,
+    num_workers: usize,
+    owner_of: impl Fn(VertexId) -> usize,
+) -> Vec<ShardedCsr> {
+    let n = list.num_vertices();
+    let edges = list.edges();
+    let a = assign(n, num_workers, owner_of);
+    let weighted = edges.iter().any(|e| e.weight != 1.0);
+
+    // Per-shard slot degree histograms.
+    let mut degrees: Vec<Vec<usize>> = a.owned.iter().map(|o| vec![0usize; o.len()]).collect();
+    for e in edges {
+        let w = a.owner[e.src as usize] as usize;
+        degrees[w][a.slot[e.src as usize] as usize] += 1;
+    }
+
+    let mut shards: Vec<ShardedCsr> = (0..num_workers)
+        .map(|w| {
+            let out_offsets = prefix_sum(&degrees[w]);
+            let local_edges = *out_offsets.last().unwrap_or(&0);
+            ShardedCsr {
+                worker: w,
+                num_workers,
+                global_vertices: n,
+                global_edges: edges.len(),
+                owned: a.owned[w].clone(),
+                out_targets: vec![0 as VertexId; local_edges],
+                out_weights: weighted.then(|| vec![1.0f32; local_edges]),
+                out_offsets,
+                cut: vec![Vec::new(); num_workers],
+            }
+        })
+        .collect();
+
+    // Placement pass in input order: per-source insertion order survives,
+    // exactly as in the unified counting build.
+    let mut cursors: Vec<Vec<usize>> = shards.iter().map(|s| s.out_offsets.clone()).collect();
+    for e in edges {
+        let w = a.owner[e.src as usize] as usize;
+        let slot = a.slot[e.src as usize] as usize;
+        let c = &mut cursors[w][slot];
+        shards[w].out_targets[*c] = e.dst;
+        if let Some(ws) = shards[w].out_weights.as_mut() {
+            ws[*c] = e.weight;
+        }
+        *c += 1;
+    }
+
+    build_cuts(&mut shards, &a.owner);
+    shards
+}
+
+/// Shards an already-frozen [`CsrGraph`](crate::csr::CsrGraph) by copying
+/// each owned vertex's adjacency slice into its worker's shard. Cheaper than
+/// [`shard_edge_list`] when the unified CSR already exists (no per-edge owner
+/// lookups on the source side), and produces the identical shards.
+///
+/// # Panics
+///
+/// Panics if `num_workers == 0` or `owner_of` returns an out-of-range worker.
+pub fn shard_csr(
+    graph: &crate::csr::CsrGraph,
+    num_workers: usize,
+    owner_of: impl Fn(VertexId) -> usize,
+) -> Vec<ShardedCsr> {
+    let n = graph.num_vertices();
+    let a = assign(n, num_workers, owner_of);
+    let weighted = graph.is_weighted();
+
+    let mut shards: Vec<ShardedCsr> = (0..num_workers)
+        .map(|w| {
+            let degrees: Vec<usize> = a.owned[w].iter().map(|&v| graph.out_degree(v)).collect();
+            let out_offsets = prefix_sum(&degrees);
+            let local_edges = *out_offsets.last().unwrap_or(&0);
+            ShardedCsr {
+                worker: w,
+                num_workers,
+                global_vertices: n,
+                global_edges: graph.num_edges(),
+                owned: a.owned[w].clone(),
+                out_targets: Vec::with_capacity(local_edges),
+                out_weights: weighted.then(|| Vec::with_capacity(local_edges)),
+                out_offsets,
+                cut: vec![Vec::new(); num_workers],
+            }
+        })
+        .collect();
+
+    for shard in shards.iter_mut() {
+        for &v in &shard.owned {
+            shard.out_targets.extend_from_slice(graph.out_neighbors(v));
+            if let Some(ws) = shard.out_weights.as_mut() {
+                ws.extend_from_slice(graph.out_weights(v).expect("weighted graph has weights"));
+            }
+        }
+    }
+
+    build_cuts(&mut shards, &a.owner);
+    shards
+}
+
+/// Reassembles the unified edge multiset from a set of shards, in ascending
+/// `(worker, slot, edge)` order. Used by tests and by callers that need to
+/// hand a sharded graph to an API that still wants one allocation.
+pub fn unshard_to_edge_list(shards: &[ShardedCsr]) -> EdgeList {
+    let global_vertices = shards.first().map(|s| s.global_vertices).unwrap_or(0);
+    let mut el = EdgeList::with_capacity(shards.iter().map(|s| s.num_local_edges()).sum());
+    el.ensure_vertices(global_vertices);
+    for shard in shards {
+        for slot in 0..shard.num_local_vertices() {
+            let src = shard.owned[slot];
+            let nbrs = shard.out_neighbors_at(slot);
+            match shard.out_weights_at(slot) {
+                Some(ws) => {
+                    for (&dst, &w) in nbrs.iter().zip(ws) {
+                        el.push_edge(Edge::weighted(src, dst, w));
+                    }
+                }
+                None => {
+                    for &dst in nbrs {
+                        el.push(src, dst);
+                    }
+                }
+            }
+        }
+    }
+    el
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::CsrGraph;
+    use crate::generators::{generate_rmat, RmatConfig};
+
+    fn modulo(workers: usize) -> impl Fn(VertexId) -> usize {
+        move |v| v as usize % workers
+    }
+
+    fn diamond() -> EdgeList {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        [(0u32, 1u32), (0, 2), (1, 3), (2, 3)].into_iter().collect()
+    }
+
+    #[test]
+    fn shards_partition_vertices_and_edges() {
+        let el = diamond();
+        let shards = shard_edge_list(&el, 2, modulo(2));
+        assert_eq!(shards.len(), 2);
+        // Worker 0 owns 0, 2; worker 1 owns 1, 3.
+        assert_eq!(shards[0].owned(), &[0, 2]);
+        assert_eq!(shards[1].owned(), &[1, 3]);
+        assert_eq!(shards[0].num_local_edges() + shards[1].num_local_edges(), 4);
+        for s in &shards {
+            assert_eq!(s.global_vertices(), 4);
+            assert_eq!(s.global_edges(), 4);
+        }
+    }
+
+    #[test]
+    fn shard_adjacency_matches_unified_csr() {
+        let g = generate_rmat(&RmatConfig::new(8, 4).with_seed(7));
+        let el = g.to_edge_list();
+        for workers in [1usize, 3, 5] {
+            let shards = shard_edge_list(&el, workers, modulo(workers));
+            for shard in &shards {
+                for (slot, &v) in shard.owned().iter().enumerate() {
+                    assert_eq!(
+                        shard.out_neighbors_at(slot),
+                        g.out_neighbors(v),
+                        "worker {} vertex {v}",
+                        shard.worker()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shard_csr_equals_shard_edge_list() {
+        let g = generate_rmat(&RmatConfig::new(8, 4).with_seed(9));
+        let el = g.to_edge_list();
+        let from_list = shard_edge_list(&el, 4, modulo(4));
+        let from_csr = shard_csr(&g, 4, modulo(4));
+        for (a, b) in from_list.iter().zip(&from_csr) {
+            assert_eq!(a.owned(), b.owned());
+            assert_eq!(a.out_offsets, b.out_offsets);
+            assert_eq!(a.out_targets, b.out_targets);
+            assert_eq!(a.out_weights, b.out_weights);
+            assert_eq!(a.cut, b.cut);
+        }
+    }
+
+    #[test]
+    fn cut_lists_identify_remote_edges() {
+        let el = diamond();
+        let shards = shard_edge_list(&el, 2, modulo(2));
+        // Worker 0 owns {0, 2}: edges 0->1 (remote), 0->2 (local), 2->3
+        // (remote).
+        assert_eq!(shards[0].remote_edges(), 2);
+        assert_eq!(shards[0].local_edges(), 1);
+        assert_eq!(shards[0].cut_to(0), &[] as &[u32]);
+        // Worker 1 owns {1, 3}: edge 1->3 is local.
+        assert_eq!(shards[1].remote_edges(), 0);
+        assert_eq!(shards[1].local_edges(), 1);
+        // Cut positions point at the actual remote targets.
+        for &i in shards[0].cut_to(1) {
+            let dst = shards[0].out_targets[i as usize];
+            assert_eq!(dst as usize % 2, 1);
+        }
+    }
+
+    #[test]
+    fn single_worker_owns_everything_with_empty_cuts() {
+        let g = generate_rmat(&RmatConfig::new(7, 4).with_seed(3));
+        let shards = shard_csr(&g, 1, modulo(1));
+        assert_eq!(shards.len(), 1);
+        assert_eq!(shards[0].num_local_vertices(), g.num_vertices());
+        assert_eq!(shards[0].num_local_edges(), g.num_edges());
+        assert_eq!(shards[0].remote_edges(), 0);
+        assert_eq!(shards[0].local_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn more_workers_than_vertices_leaves_empty_shards() {
+        let el: EdgeList = [(0u32, 1u32), (1, 2)].into_iter().collect();
+        let shards = shard_edge_list(&el, 8, modulo(8));
+        assert_eq!(shards.len(), 8);
+        for (w, s) in shards.iter().enumerate() {
+            if w < 3 {
+                assert_eq!(s.num_local_vertices(), 1);
+            } else {
+                assert_eq!(s.num_local_vertices(), 0, "worker {w} must own nothing");
+                assert_eq!(s.num_local_edges(), 0);
+                assert_eq!(s.out_offsets, vec![0]);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_graph_shards_are_empty() {
+        let el = EdgeList::new();
+        let shards = shard_edge_list(&el, 3, modulo(3));
+        assert_eq!(shards.len(), 3);
+        for s in &shards {
+            assert_eq!(s.global_vertices(), 0);
+            assert_eq!(s.global_edges(), 0);
+            assert_eq!(s.num_local_vertices(), 0);
+        }
+    }
+
+    #[test]
+    fn cross_shard_weighted_edges_keep_their_weights() {
+        let mut el = EdgeList::new();
+        el.push_weighted(0, 1, 0.25); // worker 0 -> worker 1
+        el.push_weighted(1, 2, 4.0); // worker 1 -> worker 0
+        el.push_weighted(2, 0, 1.0); // worker 0 -> worker 0 (local)
+        let shards = shard_edge_list(&el, 2, modulo(2));
+        assert!(shards.iter().all(ShardedCsr::is_weighted));
+        let g = CsrGraph::from_edge_list(&el);
+        for shard in &shards {
+            for (slot, &v) in shard.owned().iter().enumerate() {
+                assert_eq!(
+                    shard.out_weights_at(slot).unwrap(),
+                    g.out_weights(v).unwrap()
+                );
+            }
+        }
+        // The cut edge 0 -> 1 carries its weight on worker 0's shard.
+        let cut = shards[0].cut_to(1);
+        assert_eq!(cut.len(), 1);
+        assert_eq!(
+            shards[0].out_weights.as_ref().unwrap()[cut[0] as usize],
+            0.25
+        );
+    }
+
+    #[test]
+    fn parallel_edges_are_preserved_per_shard() {
+        let mut el = EdgeList::new();
+        el.push(0, 1);
+        el.push(0, 1);
+        let shards = shard_edge_list(&el, 2, modulo(2));
+        assert_eq!(shards[0].num_local_edges(), 2);
+        assert_eq!(shards[0].out_neighbors_at(0), &[1, 1]);
+    }
+
+    #[test]
+    fn unshard_round_trips_to_the_same_graph() {
+        let g = generate_rmat(&RmatConfig::new(8, 4).with_seed(5));
+        let shards = shard_csr(&g, 4, modulo(4));
+        let el = unshard_to_edge_list(&shards);
+        let g2 = CsrGraph::from_edge_list(&el);
+        assert_eq!(g2.num_vertices(), g.num_vertices());
+        assert_eq!(g2.num_edges(), g.num_edges());
+        for v in g.vertices() {
+            assert_eq!(g2.out_neighbors(v), g.out_neighbors(v));
+        }
+    }
+
+    #[test]
+    fn size_bytes_sums_to_sharded_footprint() {
+        let g = generate_rmat(&RmatConfig::new(8, 4).with_seed(5));
+        let shards = shard_csr(&g, 4, modulo(4));
+        assert!(shards.iter().map(ShardedCsr::size_bytes).sum::<usize>() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_panics() {
+        let _ = shard_edge_list(&EdgeList::new(), 0, modulo(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_owner_panics() {
+        let el = diamond();
+        let _ = shard_edge_list(&el, 2, |_| 7);
+    }
+}

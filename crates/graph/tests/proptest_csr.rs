@@ -1,7 +1,9 @@
 //! Property-based tests for the CSR graph representation and the induced
 //! subgraph extraction — the invariants every other crate relies on.
 
-use predict_graph::{induced_subgraph, CsrGraph, Edge, EdgeList, VertexId};
+use predict_graph::{
+    induced_subgraph, shard_csr, shard_edge_list, CsrGraph, Edge, EdgeList, ShardedCsr, VertexId,
+};
 use proptest::prelude::*;
 
 /// Strategy: an arbitrary edge list over up to `max_vertices` vertices.
@@ -221,6 +223,110 @@ proptest! {
             prop_assert_eq!(sub.out_neighbors(v), reference.out_neighbors(v));
             prop_assert_eq!(sub.in_neighbors(v), reference.in_neighbors(v));
             prop_assert_eq!(sub.out_weights(v), reference.out_weights(v));
+        }
+    }
+
+    /// The adaptive dedup (presortedness probe -> comparison sort on
+    /// nearly-sorted streams, radix otherwise) equals the stable-sort
+    /// reference on *nearly-sorted* inputs: a sorted-with-duplicates stream
+    /// perturbed by a bounded number of random swaps, the shape the probe
+    /// routes to the comparison path.
+    #[test]
+    fn adaptive_dedup_on_nearly_sorted_streams_matches_reference(
+        base in prop::collection::vec((0u32..32, 0u32..32, 0.5f32..8.0), 1..250),
+        swaps in prop::collection::vec((0usize..250, 0usize..250), 0..6),
+    ) {
+        let mut edges: Vec<Edge> = base
+            .iter()
+            .map(|&(s, d, w)| Edge::weighted(s, d, w))
+            .collect();
+        // Sort first (keeping first-occurrence order for equal keys), then
+        // displace a few edges: a nearly-sorted stream with duplicates.
+        edges.sort_by_key(|e| (e.src, e.dst));
+        let len = edges.len();
+        for &(i, j) in &swaps {
+            edges.swap(i % len, j % len);
+        }
+        let mut el = EdgeList::new();
+        for &e in &edges {
+            el.push_edge(e);
+        }
+        let mut reference = edges.clone();
+        reference.sort_by_key(|e| (e.src, e.dst));
+        reference.dedup_by_key(|e| (e.src, e.dst));
+
+        el.dedup();
+        prop_assert_eq!(el.num_edges(), reference.len());
+        for (a, b) in el.edges().iter().zip(&reference) {
+            prop_assert_eq!((a.src, a.dst, a.weight), (b.src, b.dst, b.weight));
+        }
+    }
+
+    /// Sharding is a pure re-layout: for any (possibly weighted) edge list,
+    /// worker count and modulo ownership, every shard's per-slot adjacency
+    /// and weights equal the unified CSR's for the owned vertex, cut lists
+    /// point exactly at the cross-shard edges, and shard totals partition
+    /// the graph. Covers empty worker ranges (more workers than vertices)
+    /// and cross-shard weighted edges by construction.
+    #[test]
+    fn sharded_csr_matches_unified_reference(
+        pairs in prop::collection::vec((0u32..40, 0u32..40, 0.5f32..4.0), 0..160),
+        workers in 1usize..9,
+        weighted in any::<bool>(),
+    ) {
+        let mut el = EdgeList::new();
+        for (s, d, w) in pairs {
+            el.push_edge(Edge::weighted(s, d, if weighted { w } else { 1.0 }));
+        }
+        let g = CsrGraph::from_edge_list(&el);
+        let owner = |v: VertexId| v as usize % workers;
+        let shards = shard_edge_list(&el, workers, owner);
+
+        prop_assert_eq!(shards.len(), workers);
+        let vertex_total: usize = shards.iter().map(ShardedCsr::num_local_vertices).sum();
+        let edge_total: usize = shards.iter().map(ShardedCsr::num_local_edges).sum();
+        prop_assert_eq!(vertex_total, g.num_vertices());
+        prop_assert_eq!(edge_total, g.num_edges());
+
+        for shard in &shards {
+            prop_assert_eq!(shard.is_weighted(), g.is_weighted());
+            for (slot, &v) in shard.owned().iter().enumerate() {
+                prop_assert_eq!(owner(v), shard.worker());
+                prop_assert_eq!(shard.out_neighbors_at(slot), g.out_neighbors(v));
+                prop_assert_eq!(shard.out_weights_at(slot), g.out_weights(v));
+            }
+            // Cut lists: every listed edge crosses to exactly that peer, and
+            // local + remote accounts for every local edge.
+            let mut remote = 0usize;
+            for peer in 0..workers {
+                for &_idx in shard.cut_to(peer) {
+                    prop_assert!(peer != shard.worker());
+                }
+                remote += shard.cut_to(peer).len();
+            }
+            prop_assert_eq!(shard.remote_edges(), remote);
+            prop_assert_eq!(shard.local_edges() + remote, shard.num_local_edges());
+            // Every slot's neighbors that live elsewhere appear in a cut.
+            let cut_total: usize = (0..shard.num_local_vertices())
+                .map(|slot| {
+                    shard
+                        .out_neighbors_at(slot)
+                        .iter()
+                        .filter(|&&d| owner(d) != shard.worker())
+                        .count()
+                })
+                .sum();
+            prop_assert_eq!(cut_total, remote);
+        }
+
+        // Sharding the frozen CSR produces the same shards.
+        let from_csr = shard_csr(&g, workers, owner);
+        for (a, b) in shards.iter().zip(&from_csr) {
+            prop_assert_eq!(a.owned(), b.owned());
+            for slot in 0..a.num_local_vertices() {
+                prop_assert_eq!(a.out_neighbors_at(slot), b.out_neighbors_at(slot));
+                prop_assert_eq!(a.out_weights_at(slot), b.out_weights_at(slot));
+            }
         }
     }
 

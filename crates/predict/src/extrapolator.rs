@@ -22,8 +22,9 @@ pub struct Extrapolator {
     pub edge_factor: f64,
 }
 
-/// Ablation variants of the extrapolation rule (DESIGN.md section 5): the
-/// paper's per-feature choice versus scaling everything by one factor.
+/// Ablation variants of the extrapolation rule: the paper's per-feature
+/// choice versus scaling everything by one factor (compared by the
+/// `ablation_extrapolation` experiment binary).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ExtrapolationRule {
     /// Table 1's per-feature rule: vertices by `e_V`, messages by `e_E`

@@ -50,6 +50,41 @@ impl<'a> Predictor<'a> {
     /// Starts a fluent [`PredictorBuilder`] for the session-based API: bind
     /// a dataset once, then predict many workloads/configurations against it
     /// with sample runs and trained models cached across calls.
+    ///
+    /// # Examples
+    ///
+    /// Bind a dataset and predict two workloads; both share the same cached
+    /// sampling artifact, and repeating a prediction re-runs nothing:
+    ///
+    /// ```
+    /// use predict_algorithms::{PageRankWorkload, TopKWorkload};
+    /// use predict_bsp::{BspConfig, BspEngine, ExecutionMode, StorageMode};
+    /// use predict_core::{Predictor, PredictorConfig};
+    /// use predict_graph::generators::{generate_rmat, RmatConfig};
+    /// use predict_sampling::BiasedRandomJump;
+    ///
+    /// let graph = generate_rmat(&RmatConfig::new(10, 8).with_seed(7));
+    /// let pagerank = PageRankWorkload::with_epsilon(0.01, graph.num_vertices());
+    ///
+    /// let session = Predictor::builder()
+    ///     .engine(BspEngine::new(BspConfig::with_workers(8)))
+    ///     .sampler(BiasedRandomJump::default())
+    ///     .config(PredictorConfig::single_ratio(0.1))
+    ///     // Performance knobs, never result knobs: superstep phases on OS
+    ///     // threads, graph stored as one `ShardedCsr` per worker.
+    ///     .execution(ExecutionMode::Auto)
+    ///     .storage(StorageMode::Sharded)
+    ///     .bind(graph, "my-dataset");
+    ///
+    /// let first = session.predict(&pagerank).unwrap();
+    /// session.predict(&TopKWorkload::default()).unwrap();
+    /// let runs_after_two_workloads = session.engine().runs_executed();
+    ///
+    /// // Re-predicting hits the artifact caches: no new engine runs.
+    /// let again = session.predict(&pagerank).unwrap();
+    /// assert_eq!(first.predicted_superstep_ms, again.predicted_superstep_ms);
+    /// assert_eq!(session.engine().runs_executed(), runs_after_two_workloads);
+    /// ```
     pub fn builder() -> PredictorBuilder {
         PredictorBuilder::new()
     }

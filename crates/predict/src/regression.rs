@@ -5,9 +5,9 @@
 //! linear model whose coefficients can be interpreted as the cost values of
 //! each input feature and whose residual `r` absorbs fixed per-iteration
 //! overheads. The model is fit by ordinary least squares on the training
-//! observations; a ridge-regularized variant is provided as the robustness
-//! extension called out in DESIGN.md (useful when training rows are few and
-//! collinear, e.g. very short sample runs).
+//! observations; a ridge-regularized variant is provided as a robustness
+//! extension (useful when training rows are few and collinear, e.g. very
+//! short sample runs).
 
 use serde::{Deserialize, Serialize};
 

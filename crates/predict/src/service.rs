@@ -20,7 +20,7 @@ use crate::error::PredictError;
 use crate::session::{Evaluation, Prediction, PredictionSession, PredictorConfig};
 use crate::Predictor;
 use predict_algorithms::Workload;
-use predict_bsp::{BspEngine, ExecutionMode};
+use predict_bsp::{BspEngine, ExecutionMode, StorageMode};
 use predict_graph::CsrGraph;
 use predict_sampling::Sampler;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -87,6 +87,12 @@ pub struct PredictServiceConfig {
     /// the engine as passed. Never changes results (see
     /// `predict_bsp::runtime`).
     pub execution: Option<ExecutionMode>,
+    /// Engine graph-storage override applied at construction: `Some(mode)`
+    /// makes every session's sample and actual runs execute against the
+    /// chosen layout (unified CSR or one `ShardedCsr` per worker — see
+    /// `predict_bsp::storage`). `None` keeps the engine as passed. Never
+    /// changes results.
+    pub storage: Option<StorageMode>,
 }
 
 impl Default for PredictServiceConfig {
@@ -96,6 +102,7 @@ impl Default for PredictServiceConfig {
             sessions_per_shard: 4,
             predictor: PredictorConfig::default(),
             execution: None,
+            storage: None,
         }
     }
 }
@@ -137,6 +144,10 @@ impl PredictService {
         let engine = engine.into();
         let engine = match config.execution {
             Some(mode) => Arc::new(engine.with_execution(mode)),
+            None => engine,
+        };
+        let engine = match config.storage {
+            Some(mode) => Arc::new(engine.with_storage(mode)),
             None => engine,
         };
         Self {
@@ -255,6 +266,46 @@ impl PredictService {
     /// The output is deterministic: result `i` depends only on request `i`
     /// (every stage is deterministic and cached artifacts are immutable), so
     /// thread count and interleaving change wall-clock time, never results.
+    ///
+    /// # Examples
+    ///
+    /// A scheduler asking for the same dataset under two workloads: both
+    /// requests route to one cached session, so the expensive sampling stage
+    /// runs once, and a 1-thread batch returns the same bytes as an N-thread
+    /// batch:
+    ///
+    /// ```
+    /// use predict_algorithms::{PageRankWorkload, TopKWorkload, Workload};
+    /// use predict_bsp::{BspConfig, BspEngine};
+    /// use predict_core::{PredictRequest, PredictService};
+    /// use predict_graph::generators::{generate_rmat, RmatConfig};
+    /// use predict_sampling::BiasedRandomJump;
+    /// use std::sync::Arc;
+    ///
+    /// let graph = Arc::new(generate_rmat(&RmatConfig::new(10, 8).with_seed(7)));
+    /// let service = PredictService::new(
+    ///     BspEngine::new(BspConfig::with_workers(8)),
+    ///     Arc::new(BiasedRandomJump::default()),
+    /// );
+    /// let requests: Vec<PredictRequest> = [
+    ///     Arc::new(PageRankWorkload::with_epsilon(0.01, graph.num_vertices()))
+    ///         as Arc<dyn Workload>,
+    ///     Arc::new(TopKWorkload::default()),
+    /// ]
+    /// .into_iter()
+    /// .map(|w| PredictRequest::new("web-analog", Arc::clone(&graph), w))
+    /// .collect();
+    ///
+    /// let parallel = service.submit_batch(&requests, 2);
+    /// assert!(parallel.iter().all(Result::is_ok));
+    /// // Warm re-submission on one thread: identical results, same session.
+    /// let sequential = service.submit_batch(&requests, 1);
+    /// assert_eq!(service.sessions_cached(), 1);
+    /// for (p, s) in parallel.iter().zip(&sequential) {
+    ///     let (p, s) = (p.as_ref().unwrap(), s.as_ref().unwrap());
+    ///     assert_eq!(p.predicted_superstep_ms, s.predicted_superstep_ms);
+    /// }
+    /// ```
     pub fn submit_batch(
         &self,
         requests: &[PredictRequest],

@@ -53,7 +53,7 @@ use crate::history::HistoryStore;
 use crate::metrics::signed_relative_error;
 use crate::transform::TransformFunction;
 use predict_algorithms::{Workload, WorkloadRun};
-use predict_bsp::{BspEngine, ExecutionMode, RunProfile};
+use predict_bsp::{BspEngine, ExecutionMode, RunProfile, StorageMode};
 use predict_graph::CsrGraph;
 use predict_sampling::{BiasedRandomJump, SampleScratch, Sampler};
 use serde::Serialize;
@@ -581,6 +581,7 @@ pub struct PredictorBuilder {
     sampler: Arc<dyn Sampler>,
     config: PredictorConfig,
     execution: Option<ExecutionMode>,
+    storage: Option<StorageMode>,
 }
 
 impl Default for PredictorBuilder {
@@ -597,6 +598,7 @@ impl PredictorBuilder {
             sampler: Arc::new(BiasedRandomJump::default()),
             config: PredictorConfig::default(),
             execution: None,
+            storage: None,
         }
     }
 
@@ -613,6 +615,18 @@ impl PredictorBuilder {
     /// The derived engine shares the original's run counter and layout cache.
     pub fn execution(mut self, execution: ExecutionMode) -> Self {
         self.execution = Some(execution);
+        self
+    }
+
+    /// Overrides how the engine stores graphs during sample and actual runs
+    /// (one unified CSR allocation or one `ShardedCsr` per worker — see
+    /// `predict_bsp::storage`). Like [`PredictorBuilder::execution`], this
+    /// never changes prediction output: runs are byte-identical under either
+    /// storage; only the memory layout (and shard-construction cost per run)
+    /// differs. The derived engine shares the original's run counter and
+    /// layout cache.
+    pub fn storage(mut self, storage: StorageMode) -> Self {
+        self.storage = Some(storage);
         self
     }
 
@@ -654,6 +668,10 @@ impl PredictorBuilder {
         let engine = match self.execution {
             Some(mode) => Arc::new(self.engine.with_execution(mode)),
             None => self.engine,
+        };
+        let engine = match self.storage {
+            Some(mode) => Arc::new(engine.with_storage(mode)),
+            None => engine,
         };
         PredictionSession {
             engine,

@@ -9,7 +9,7 @@
 //! the convergence trend better than unbiased jumps — especially at small
 //! sampling ratios.
 
-use crate::random_jump::{walk_until, DEFAULT_RESTART_PROBABILITY};
+use crate::random_jump::{default_step_budget, walk_until, DEFAULT_RESTART_PROBABILITY};
 use crate::traits::{target_sample_size, Sampler};
 use crate::visited::SampleScratch;
 use predict_graph::{CsrGraph, VertexId};
@@ -19,6 +19,19 @@ use rand::{Rng, SeedableRng};
 /// Default fraction of vertices used as seed set (`k = 1%` of vertices,
 /// section 5.3 of the paper).
 pub const DEFAULT_SEED_FRACTION: f64 = 0.01;
+
+/// Hub threshold of the degree-aware step budget: a graph whose maximum
+/// out-degree is at least this multiple of its average out-degree has the
+/// hub core BRJ's restarts rely on. Web/social analogs (R-MAT, preferential
+/// attachment, DC-SBM) sit far above it; regular lattices such as the grid
+/// road network sit near 1.
+pub const HUB_DEGREE_RATIO: f64 = 4.0;
+
+/// Step budget multiplier (steps per vertex) on hub-free graphs. Generous
+/// enough that any walk that *can* reach its target does, while capping the
+/// pathological case — hub-biased restarts on a lattice with no hubs — at
+/// a small multiple of `V` instead of the 200x default safety valve.
+pub const HUB_FREE_STEPS_PER_VERTEX: usize = 8;
 
 /// Biased Random Jump sampler.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -75,6 +88,36 @@ impl BiasedRandomJump {
             .clamp(1, graph.num_vertices());
         &graph.vertices_by_out_degree_desc()[..k]
     }
+
+    /// The walk step budget BRJ grants itself on `graph`, chosen by degree
+    /// skew (ROADMAP "degree-aware step budget").
+    ///
+    /// BRJ's premise is a hub core: restarts jump to the highest out-degree
+    /// vertices and the walk radiates from them. On a graph whose maximum
+    /// degree is within [`HUB_DEGREE_RATIO`] of the average — a road-network
+    /// lattice, a chain — there are no hubs to find, every restart lands in
+    /// an ordinary neighborhood, and the walk crawls; burning the full
+    /// default safety valve (200 steps per vertex) before the uniform fill
+    /// kicks in is pure waste. Such graphs get
+    /// [`HUB_FREE_STEPS_PER_VERTEX`] steps per vertex instead. Hub-bearing
+    /// graphs keep the default budget, which their walks never exhaust —
+    /// so samples there are unchanged.
+    pub fn step_budget(&self, graph: &CsrGraph) -> usize {
+        let max_degree = graph
+            .vertices_by_out_degree_desc()
+            .first()
+            .map(|&v| graph.out_degree(v))
+            .unwrap_or(0);
+        let hub_free = (max_degree as f64) < HUB_DEGREE_RATIO * graph.avg_degree().max(1.0);
+        if hub_free {
+            graph
+                .num_vertices()
+                .saturating_mul(HUB_FREE_STEPS_PER_VERTEX)
+                .max(10_000)
+        } else {
+            default_step_budget(graph)
+        }
+    }
 }
 
 impl Sampler for BiasedRandomJump {
@@ -99,6 +142,7 @@ impl Sampler for BiasedRandomJump {
             graph,
             target,
             self.restart_probability,
+            self.step_budget(graph),
             &mut rng,
             scratch,
             |rng, _graph| seeds[rng.gen_range(0..seeds.len())],
@@ -211,6 +255,41 @@ mod tests {
             "BRJ degree D-stat too large: {}",
             report.mean_degree_dstat()
         );
+    }
+
+    #[test]
+    fn step_budget_is_degree_aware() {
+        use predict_graph::generators::{generate_grid_road, GridRoadConfig};
+        let brj = BiasedRandomJump::default();
+        // Hub-bearing web analog: the full default safety valve.
+        let rmat = generate_rmat(&RmatConfig::new(10, 8).with_seed(3));
+        assert_eq!(
+            brj.step_budget(&rmat),
+            crate::random_jump::default_step_budget(&rmat),
+            "hub-bearing graphs must keep the default budget"
+        );
+        // Hub-free lattice: the reduced budget.
+        let grid = generate_grid_road(&GridRoadConfig::new(40, 40).with_seed(3));
+        assert_eq!(
+            brj.step_budget(&grid),
+            grid.num_vertices() * HUB_FREE_STEPS_PER_VERTEX,
+            "hub-free graphs must get the reduced budget"
+        );
+        assert!(brj.step_budget(&grid) < crate::random_jump::default_step_budget(&grid));
+    }
+
+    #[test]
+    fn hub_free_graphs_still_honor_the_target_size() {
+        use predict_graph::generators::{generate_grid_road, GridRoadConfig};
+        let grid = generate_grid_road(&GridRoadConfig::new(32, 32).with_seed(7));
+        for ratio in [0.05, 0.1, 0.25] {
+            let s = BiasedRandomJump::default().sample_vertices(&grid, ratio, 11);
+            assert_eq!(
+                s.len(),
+                (grid.num_vertices() as f64 * ratio).round() as usize,
+                "ratio {ratio}"
+            );
+        }
     }
 
     #[test]

@@ -67,6 +67,7 @@ impl Sampler for RandomJump {
             graph,
             target,
             self.restart_probability,
+            default_step_budget(graph),
             &mut rng,
             scratch,
             |rng, graph| rng.gen_range(0..graph.num_vertices()) as VertexId,
@@ -74,14 +75,29 @@ impl Sampler for RandomJump {
     }
 }
 
+/// The default walk step budget: a hard cap on the number of steps so that
+/// pathological graphs (e.g. a single giant sink) cannot loop forever. The
+/// cap is far above what any real walk on a hub-bearing graph needs; walks
+/// that exhaust it fall back to the uniform fill.
+pub(crate) fn default_step_budget(graph: &CsrGraph) -> usize {
+    graph
+        .num_vertices()
+        .saturating_mul(200)
+        .max(graph.num_edges().saturating_mul(4))
+        .max(10_000)
+}
+
 /// Runs restart-based random walks over out-edges until `target` distinct
-/// vertices have been visited, using `pick_seed` to choose the start of every
-/// new walk. Shared by Random Jump and Biased Random Jump. All per-walk state
-/// lives in `scratch` (reset here), so repeated draws reuse one allocation.
+/// vertices have been visited or `max_steps` walk steps were taken, using
+/// `pick_seed` to choose the start of every new walk. Shared by Random Jump
+/// and Biased Random Jump (which passes a degree-aware budget). All per-walk
+/// state lives in `scratch` (reset here), so repeated draws reuse one
+/// allocation.
 pub(crate) fn walk_until(
     graph: &CsrGraph,
     target: usize,
     restart_probability: f64,
+    max_steps: usize,
     rng: &mut StdRng,
     scratch: &mut SampleScratch,
     mut pick_seed: impl FnMut(&mut StdRng, &CsrGraph) -> VertexId,
@@ -102,14 +118,6 @@ pub(crate) fn walk_until(
     let mut current = pick_seed(rng, graph);
     visit(current, visited, &mut picked);
 
-    // Safety valve: a hard cap on the number of steps so that pathological
-    // graphs (e.g. a single giant sink) cannot loop forever. The cap is far
-    // above what any real walk needs.
-    let max_steps = graph
-        .num_vertices()
-        .saturating_mul(200)
-        .max(graph.num_edges().saturating_mul(4))
-        .max(10_000);
     let mut steps = 0usize;
 
     while picked.len() < target && steps < max_steps {

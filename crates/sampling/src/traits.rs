@@ -65,6 +65,29 @@ pub trait Sampler: Send + Sync {
     /// any previous draw produces exactly the same selection as a fresh one —
     /// the scratch only amortizes allocations across the repeated draws of a
     /// prediction session.
+    ///
+    /// # Examples
+    ///
+    /// Drawing repeatedly through one scratch: allocations are reused, and a
+    /// dirty scratch never changes what is drawn:
+    ///
+    /// ```
+    /// use predict_graph::generators::{generate_rmat, RmatConfig};
+    /// use predict_sampling::{BiasedRandomJump, SampleScratch, Sampler};
+    ///
+    /// let graph = generate_rmat(&RmatConfig::new(10, 8).with_seed(1));
+    /// let sampler = BiasedRandomJump::default();
+    ///
+    /// let mut scratch = SampleScratch::new();
+    /// let first = sampler.sample_vertices_with(&graph, 0.1, 42, &mut scratch);
+    /// assert_eq!(first.len(), (graph.num_vertices() as f64 * 0.1).round() as usize);
+    ///
+    /// // Same (ratio, seed) through the now-dirty scratch: same selection.
+    /// let again = sampler.sample_vertices_with(&graph, 0.1, 42, &mut scratch);
+    /// assert_eq!(first, again);
+    /// // And identical to a fresh-scratch draw.
+    /// assert_eq!(first, sampler.sample_vertices(&graph, 0.1, 42));
+    /// ```
     fn sample_vertices_with(
         &self,
         graph: &CsrGraph,

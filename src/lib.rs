@@ -71,7 +71,10 @@ pub mod prelude {
         ConnectedComponentsWorkload, NeighborhoodWorkload, PageRankWorkload,
         SemiClusteringWorkload, TopKWorkload, Workload, WorkloadRun,
     };
-    pub use predict_bsp::{BspConfig, BspEngine, ClusterCostConfig, ExecutionMode, RunProfile};
+    pub use predict_bsp::{
+        BspConfig, BspEngine, ClusterCostConfig, ExecutionMode, GraphStorage, RunProfile,
+        StorageMode,
+    };
     pub use predict_core::{
         Evaluation, HistoryStore, KeyFeature, PredictError, PredictRequest, PredictService,
         Prediction, PredictionSession, Predictor, PredictorConfig, TrainingSource,
