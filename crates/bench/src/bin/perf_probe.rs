@@ -29,7 +29,9 @@
 //! machine noise) trip it. The workloads are pinned by seed, so the *work*
 //! measured is identical across runs and machines.
 
-use predict_bsp::{GraphStorage, PartitionStrategy};
+use predict_algorithms::{ConnectedComponentsWorkload, PageRankWorkload, TopKWorkload, Workload};
+use predict_bsp::{BspConfig, BspEngine, GraphStorage, PartitionStrategy, PoolMode};
+use predict_core::{PredictRequest, PredictService, PredictorConfig};
 use predict_graph::generators::{generate_grid_road, generate_rmat, GridRoadConfig, RmatConfig};
 use predict_graph::{induced_subgraph, CsrGraph, EdgeList, VertexId};
 use predict_sampling::{BiasedRandomJump, ForestFire, Mhrw, RandomEdge, RandomJump, Sampler};
@@ -236,6 +238,48 @@ fn run_probes() -> Vec<ProbeResult> {
             );
         }
         let _ = n;
+    }
+
+    // Warm-service probe: batches scheduled onto the persistent worker pool.
+    // `pool_warm_batch` tracks the latency of a fully cached 3-request batch
+    // (pure service/scheduling overhead — no engine work); the companion
+    // `pool_warm_batch_spawns` row records how many OS threads those warm
+    // batches spawned, and hard-asserts the tentpole contract: **zero**.
+    {
+        use std::sync::Arc;
+        let graph = Arc::new(generate_rmat(&RmatConfig::new(11, 8).with_seed(PROBE_SEED)));
+        let engine = BspEngine::new(BspConfig::with_workers(4).with_pool(PoolMode::On));
+        let service = PredictService::new(engine.clone(), Arc::new(BiasedRandomJump::default()));
+        let config = PredictorConfig::single_ratio(0.1);
+        let requests: Vec<PredictRequest> = [
+            Arc::new(PageRankWorkload::with_epsilon(0.01, graph.num_vertices()))
+                as Arc<dyn Workload>,
+            Arc::new(TopKWorkload::default()),
+            Arc::new(ConnectedComponentsWorkload),
+        ]
+        .into_iter()
+        .map(|w| PredictRequest::new("probe", Arc::clone(&graph), w).with_config(config.clone()))
+        .collect();
+        // Warm every cache (and the pool) before timing.
+        for r in service.submit_batch(&requests, requests.len()) {
+            r.expect("warm-up prediction failed");
+        }
+        let spawned_after_warmup = engine.pool_threads_spawned();
+        push(
+            "pool_warm_batch",
+            "rmat_s11_d8",
+            median_ns(reps, || {
+                for r in service.submit_batch(&requests, requests.len()) {
+                    r.expect("warm prediction failed");
+                }
+            }),
+        );
+        let warm_spawns = engine.pool_threads_spawned() - spawned_after_warmup;
+        assert_eq!(
+            warm_spawns, 0,
+            "warm submit_batch spawned {warm_spawns} threads; the pool contract is zero"
+        );
+        push("pool_warm_batch_spawns", "rmat_s11_d8", warm_spawns);
     }
     results
 }

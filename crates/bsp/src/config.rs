@@ -86,6 +86,43 @@ impl ExecutionMode {
     }
 }
 
+/// Whether parallel phases run on the engine's persistent
+/// [`WorkerPool`](crate::runtime::WorkerPool) or on per-use scoped threads.
+///
+/// Like [`ExecutionMode`], this is a pure scheduling knob: runs are
+/// byte-identical pool on or off (see [`crate::runtime`] for the determinism
+/// contract). The scoped-thread path exists as an escape hatch and as the
+/// baseline the pool's spawn-counter benches compare against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum PoolMode {
+    /// Honor the `PREDICT_POOL` environment variable: `off`, `0` or `false`
+    /// (case-insensitive) selects scoped threads; anything else — including
+    /// the variable being unset — selects the persistent pool.
+    #[default]
+    Auto,
+    /// Always schedule parallel phases on the persistent worker pool.
+    On,
+    /// Always spawn scoped OS threads per parallel phase (pre-pool behavior).
+    Off,
+}
+
+impl PoolMode {
+    /// Resolves the mode to "use the persistent pool?".
+    pub fn resolve_enabled(self) -> bool {
+        match self {
+            Self::On => true,
+            Self::Off => false,
+            Self::Auto => !matches!(
+                std::env::var("PREDICT_POOL")
+                    .ok()
+                    .map(|v| v.trim().to_ascii_lowercase())
+                    .as_deref(),
+                Some("off") | Some("0") | Some("false")
+            ),
+        }
+    }
+}
+
 /// Configuration of a [`BspEngine`](crate::engine::BspEngine).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BspConfig {
@@ -110,6 +147,12 @@ pub struct BspConfig {
     /// serialized configs.
     #[serde(default)]
     pub storage: StorageMode,
+    /// Whether parallel phases use the engine's persistent worker pool or
+    /// per-use scoped threads. Never affects results — see
+    /// [`crate::runtime`]. Defaults to [`PoolMode::Auto`] (honor
+    /// `PREDICT_POOL`) when absent from serialized configs.
+    #[serde(default)]
+    pub pool: PoolMode,
 }
 
 impl Default for BspConfig {
@@ -121,6 +164,7 @@ impl Default for BspConfig {
             cost: ClusterCostConfig::default(),
             execution: ExecutionMode::Auto,
             storage: StorageMode::Auto,
+            pool: PoolMode::Auto,
         }
     }
 }
@@ -162,6 +206,12 @@ impl BspConfig {
     /// Replaces the graph storage mode.
     pub fn with_storage(mut self, storage: StorageMode) -> Self {
         self.storage = storage;
+        self
+    }
+
+    /// Replaces the worker-pool mode.
+    pub fn with_pool(mut self, pool: PoolMode) -> Self {
+        self.pool = pool;
         self
     }
 
@@ -271,6 +321,30 @@ mod tests {
         assert_ne!(stripped, json, "storage field must be present and Auto");
         let back: BspConfig = serde_json::from_str(&stripped).unwrap();
         assert_eq!(back, config, "missing storage must default to Auto");
+    }
+
+    #[test]
+    fn configs_serialized_before_the_pool_field_still_deserialize() {
+        let config = BspConfig::with_workers(2);
+        let json = serde_json::to_string(&config).unwrap();
+        let stripped = json.replace(",\"pool\":\"Auto\"", "");
+        assert_ne!(stripped, json, "pool field must be present and Auto");
+        let back: BspConfig = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back, config, "missing pool must default to Auto");
+    }
+
+    #[test]
+    fn pool_mode_forced_variants_ignore_the_environment() {
+        assert!(PoolMode::On.resolve_enabled());
+        assert!(!PoolMode::Off.resolve_enabled());
+    }
+
+    #[test]
+    fn pool_mode_round_trips_with_the_config() {
+        let config = BspConfig::with_workers(2).with_pool(PoolMode::Off);
+        let json = serde_json::to_string(&config).unwrap();
+        let back: BspConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.pool, PoolMode::Off);
     }
 
     #[test]

@@ -17,7 +17,7 @@
 use crate::config::BspConfig;
 use crate::profile::RunProfile;
 use crate::program::VertexProgram;
-use crate::runtime::{self, LayoutCache};
+use crate::runtime::{self, LayoutCache, WorkerPool};
 use crate::storage::{GraphStorage, StorageRef};
 use predict_graph::CsrGraph;
 use serde::{Deserialize, Serialize};
@@ -57,12 +57,14 @@ impl<V> BspRunResult<V> {
 
 /// A Giraph-like BSP execution engine with a simulated cluster clock.
 ///
-/// The engine keeps a cumulative count of executed runs and a cache of shard
-/// layouts behind [`Arc`]s, so clones share both. The prediction layer relies
-/// on the run counter to measure how many engine invocations a cached
-/// prediction session actually performed (its amortization guarantee); the
-/// layout cache means repeated runs over same-sized graphs skip the
-/// per-run partitioning scan entirely.
+/// The engine keeps a cumulative count of executed runs, a cache of shard
+/// layouts and a persistent [`WorkerPool`] behind [`Arc`]s, so clones share
+/// all three. The prediction layer relies on the run counter to measure how
+/// many engine invocations a cached prediction session actually performed
+/// (its amortization guarantee); the layout cache means repeated runs over
+/// same-sized graphs skip the per-run partitioning scan entirely; the shared
+/// pool means warm parallel runs — and whole service batches scheduled onto
+/// it — spawn zero OS threads.
 #[derive(Debug, Clone, Default)]
 pub struct BspEngine {
     config: BspConfig,
@@ -71,6 +73,8 @@ pub struct BspEngine {
     /// Shard layouts keyed by `(num_vertices, num_workers, strategy)`,
     /// shared across clones.
     layouts: Arc<LayoutCache>,
+    /// Persistent worker pool for parallel phases, shared across clones.
+    pool: Arc<WorkerPool>,
 }
 
 impl BspEngine {
@@ -80,6 +84,7 @@ impl BspEngine {
             config,
             runs: Arc::new(AtomicU64::new(0)),
             layouts: Arc::new(LayoutCache::default()),
+            pool: Arc::new(WorkerPool::default()),
         }
     }
 
@@ -99,6 +104,7 @@ impl BspEngine {
             },
             runs: Arc::clone(&self.runs),
             layouts: Arc::clone(&self.layouts),
+            pool: Arc::clone(&self.pool),
         }
     }
 
@@ -113,7 +119,38 @@ impl BspEngine {
             },
             runs: Arc::clone(&self.runs),
             layouts: Arc::clone(&self.layouts),
+            pool: Arc::clone(&self.pool),
         }
+    }
+
+    /// A clone of this engine with a different worker-pool mode, sharing the
+    /// run counter, layout cache and pool — the pool counterpart of
+    /// [`BspEngine::with_execution`].
+    pub fn with_pool(&self, pool_mode: crate::config::PoolMode) -> Self {
+        Self {
+            config: BspConfig {
+                pool: pool_mode,
+                ..self.config.clone()
+            },
+            runs: Arc::clone(&self.runs),
+            layouts: Arc::clone(&self.layouts),
+            pool: Arc::clone(&self.pool),
+        }
+    }
+
+    /// The engine's persistent worker pool when [`BspConfig::pool`] resolves
+    /// to enabled, `None` under [`PoolMode::Off`](crate::config::PoolMode).
+    /// The prediction service schedules whole request batches onto this same
+    /// pool, so request stages and superstep phases interleave on one set of
+    /// warm threads.
+    pub fn worker_pool(&self) -> Option<&Arc<WorkerPool>> {
+        self.config.pool.resolve_enabled().then_some(&self.pool)
+    }
+
+    /// OS threads the engine's pool has spawned over its lifetime (flat
+    /// across warm runs — the basis of the zero-spawn warm-batch tests).
+    pub fn pool_threads_spawned(&self) -> u64 {
+        self.pool.threads_spawned()
     }
 
     /// Total number of runs this engine (and every clone sharing its counter)
@@ -211,7 +248,12 @@ impl BspEngine {
             .config
             .execution
             .resolve_threads(num_workers, storage.num_vertices() + storage.num_edges());
-        runtime::execute_on(program, storage, &layout, &self.config, threads)
+        let pool = self
+            .config
+            .pool
+            .resolve_enabled()
+            .then_some(self.pool.as_ref());
+        runtime::execute_pooled(program, storage, &layout, &self.config, threads, pool)
     }
 }
 

@@ -22,6 +22,7 @@ use crate::engine::{BspRunResult, HaltReason};
 use crate::profile::{RunProfile, SuperstepProfile};
 use crate::program::VertexProgram;
 use crate::runtime::layout::ShardLayout;
+use crate::runtime::pool::{self, WorkerPool};
 use crate::runtime::shard::WorkerShard;
 use crate::storage::StorageRef;
 use predict_graph::{CsrGraph, VertexId};
@@ -31,13 +32,21 @@ use predict_graph::{CsrGraph, VertexId};
 type MessageRow<M> = Vec<Vec<(VertexId, M)>>;
 
 /// Splits `items` into at most `threads` contiguous chunks and runs `f` on
-/// every item, fanning the chunks out over scoped OS threads. The first chunk
-/// runs on the calling thread, so `threads == 1` degenerates to a plain
-/// in-place loop with no spawn at all.
+/// every item. With a pool, the chunks are scheduled as one scope on the
+/// persistent workers (zero spawns once warm); without one, they fan out
+/// over per-phase scoped OS threads — the pre-pool behavior, kept as the
+/// `PoolMode::Off` escape hatch and counted so spawn-based benches can
+/// compare the two. `threads == 1` degenerates to a plain in-place loop
+/// with no spawn and no pool interaction at all.
 ///
 /// `f` must be safe to run concurrently on distinct items; chunk boundaries
 /// never affect results, only wall-clock time.
-fn for_each_chunked<T: Send, F: Fn(&mut T) + Sync>(items: &mut [T], threads: usize, f: F) {
+fn for_each_chunked<T: Send, F: Fn(&mut T) + Sync>(
+    items: &mut [T],
+    threads: usize,
+    pool: Option<&WorkerPool>,
+    f: F,
+) {
     if threads <= 1 || items.len() <= 1 {
         for item in items {
             f(item);
@@ -45,23 +54,40 @@ fn for_each_chunked<T: Send, F: Fn(&mut T) + Sync>(items: &mut [T], threads: usi
         return;
     }
     let chunk_size = items.len().div_ceil(threads);
-    std::thread::scope(|scope| {
-        let mut chunks = items.chunks_mut(chunk_size);
-        let first = chunks.next();
-        let f = &f;
-        for chunk in chunks {
-            scope.spawn(move || {
+    match pool {
+        Some(pool) => {
+            let f = &f;
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = items
+                .chunks_mut(chunk_size)
+                .map(|chunk| {
+                    Box::new(move || {
+                        for item in chunk {
+                            f(item);
+                        }
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            pool.run_scoped(threads, tasks);
+        }
+        None => std::thread::scope(|scope| {
+            let mut chunks = items.chunks_mut(chunk_size);
+            let first = chunks.next();
+            let f = &f;
+            for chunk in chunks {
+                pool::record_external_spawn();
+                scope.spawn(move || {
+                    for item in chunk {
+                        f(item);
+                    }
+                });
+            }
+            if let Some(chunk) = first {
                 for item in chunk {
                     f(item);
                 }
-            });
-        }
-        if let Some(chunk) = first {
-            for item in chunk {
-                f(item);
             }
-        }
-    });
+        }),
+    }
 }
 
 /// Executes `program` on a unified `graph` over the sharded state described
@@ -97,6 +123,23 @@ pub fn execute_on<P: VertexProgram>(
     config: &BspConfig,
     threads: usize,
 ) -> BspRunResult<P::VertexValue> {
+    execute_pooled(program, storage, layout, config, threads, None)
+}
+
+/// [`execute_on`], with parallel phases scheduled on `pool` when one is
+/// given. The engine resolves its [`PoolMode`](crate::config::PoolMode) and
+/// passes its persistent pool here; `None` falls back to per-phase scoped
+/// threads. Pool or not, the output is byte-identical — the pool only
+/// changes which OS thread runs a chunk, never the chunking, the merge
+/// order, or anything else the determinism contract pins.
+pub fn execute_pooled<P: VertexProgram>(
+    program: &P,
+    storage: StorageRef<'_>,
+    layout: &ShardLayout,
+    config: &BspConfig,
+    threads: usize,
+    pool: Option<&WorkerPool>,
+) -> BspRunResult<P::VertexValue> {
     let num_workers = layout.num_workers();
     let mut clock = ClusterClock::new(config.cost.clone());
 
@@ -108,7 +151,7 @@ pub fn execute_on<P: VertexProgram>(
     let mut shards: Vec<WorkerShard<P>> = (0..num_workers)
         .map(|w| WorkerShard::init_empty(w, layout))
         .collect();
-    for_each_chunked(&mut shards, threads, |shard| {
+    for_each_chunked(&mut shards, threads, pool, |shard| {
         shard.init_values(program, storage.worker_graph(shard.worker), layout);
     });
 
@@ -130,7 +173,7 @@ pub fn execute_on<P: VertexProgram>(
         // anything observable.
         {
             let previous_aggregates = &previous_aggregates;
-            for_each_chunked(&mut shards, threads, |shard| {
+            for_each_chunked(&mut shards, threads, pool, |shard| {
                 shard.run_superstep(
                     program,
                     storage.worker_graph(shard.worker),
@@ -165,7 +208,7 @@ pub fn execute_on<P: VertexProgram>(
         {
             let mut pairs: Vec<(&mut WorkerShard<P>, &mut MessageRow<P::Message>)> =
                 shards.iter_mut().zip(inbound.iter_mut()).collect();
-            for_each_chunked(&mut pairs, threads, |(shard, row)| {
+            for_each_chunked(&mut pairs, threads, pool, |(shard, row)| {
                 shard.deliver(layout, row, combiner);
             });
         }

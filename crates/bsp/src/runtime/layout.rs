@@ -101,13 +101,17 @@ impl ShardLayout {
 /// Key of one cached layout.
 type LayoutKey = (usize, usize, PartitionStrategy);
 
-/// Bound on cached layouts per engine; beyond it the oldest entry is evicted
-/// (layouts are cheap to rebuild — the bound only caps memory for engines fed
-/// many distinct graph sizes).
+/// Bound on cached layouts per engine; beyond it the least-recently-used
+/// entry is evicted (layouts are cheap to rebuild — the bound only caps
+/// memory for engines fed many distinct graph sizes).
 const LAYOUT_CACHE_CAP: usize = 32;
 
-/// A small FIFO-bounded cache of [`ShardLayout`]s, shared between clones of
+/// A small LRU-bounded cache of [`ShardLayout`]s, shared between clones of
 /// one engine (the engine holds it behind an [`Arc`], like its run counter).
+/// Hits refresh an entry's position, so a layout in steady use — the sample
+/// graphs a prediction service replays constantly — survives a flood of
+/// one-off sizes past the cap (FIFO, the original policy, evicted exactly
+/// the hottest entries first under that mix).
 #[derive(Debug, Default)]
 pub struct LayoutCache {
     inner: Mutex<LayoutCacheInner>,
@@ -134,6 +138,11 @@ impl LayoutCache {
         let mut inner = self.inner.lock().unwrap();
         if let Some(hit) = inner.map.get(&key).map(Arc::clone) {
             inner.hits += 1;
+            // LRU touch: move the key to the back of the eviction order.
+            if let Some(pos) = inner.order.iter().position(|k| *k == key) {
+                inner.order.remove(pos);
+                inner.order.push_back(key);
+            }
             return hit;
         }
         inner.misses += 1;
@@ -205,7 +214,7 @@ mod tests {
     }
 
     #[test]
-    fn cache_hits_on_repeated_keys_and_evicts_fifo() {
+    fn cache_hits_on_repeated_keys_and_evicts_least_recently_used() {
         let cache = LayoutCache::default();
         let a = cache.get_or_build(10, 2, PartitionStrategy::Hash);
         let b = cache.get_or_build(10, 2, PartitionStrategy::Hash);
@@ -215,7 +224,8 @@ mod tests {
         cache.get_or_build(10, 3, PartitionStrategy::Hash);
         cache.get_or_build(10, 2, PartitionStrategy::Modulo);
         assert_eq!(cache.len(), 3);
-        // Flood past the cap: the earliest keys are evicted.
+        // Flood past the cap with one-off keys, never touching the first
+        // three again: they are now the least recently used and get evicted.
         for n in 0..LAYOUT_CACHE_CAP {
             cache.get_or_build(1000 + n, 2, PartitionStrategy::Hash);
         }
@@ -224,6 +234,31 @@ mod tests {
         cache.get_or_build(10, 2, PartitionStrategy::Hash);
         let (_, misses_after) = cache.stats();
         assert_eq!(misses_after, misses_before + 1, "evicted key must rebuild");
+    }
+
+    #[test]
+    fn a_repeatedly_used_layout_survives_inserts_past_the_cap() {
+        // The prediction-service access pattern: one hot sample-graph layout
+        // interleaved with a stream of one-off sizes. Under the old FIFO
+        // policy the hot key aged out purely by insertion time; under LRU
+        // every touch refreshes it.
+        let cache = LayoutCache::default();
+        let hot = (10usize, 2usize, PartitionStrategy::Hash);
+        let first = cache.get_or_build(hot.0, hot.1, hot.2);
+        for n in 0..(3 * LAYOUT_CACHE_CAP) {
+            cache.get_or_build(1000 + n, 2, PartitionStrategy::Hash);
+            let again = cache.get_or_build(hot.0, hot.1, hot.2);
+            assert!(
+                Arc::ptr_eq(&first, &again),
+                "hot layout must never be evicted (insert {n})"
+            );
+        }
+        let (_, misses) = cache.stats();
+        assert_eq!(
+            misses as usize,
+            1 + 3 * LAYOUT_CACHE_CAP,
+            "the hot layout must have been built exactly once"
+        );
     }
 
     #[test]

@@ -9,9 +9,15 @@
 //!   strategy)` (vertex assignment never inspects edges), so the engine's
 //!   [`LayoutCache`] shares them across runs and across graphs of equal size
 //!   instead of rebuilding a `Partitioning` scan per run;
-//! * **a scoped-thread executor** ([`execute`]) that fans each superstep's
-//!   compute and delivery phases out over OS threads, with per-worker
-//!   outboxes routed by destination worker and merged in a fixed order;
+//! * **a parallel executor** ([`execute`]) that fans each superstep's
+//!   compute and delivery phases out over OS threads — onto the engine's
+//!   persistent [`WorkerPool`] by default, or per-phase scoped threads under
+//!   [`PoolMode::Off`](crate::config::PoolMode) — with per-worker outboxes
+//!   routed by destination worker and merged in a fixed order;
+//! * **a persistent worker pool** ([`WorkerPool`]) — long-lived threads with
+//!   per-worker injector deques, work stealing and scoped task latches, so a
+//!   warm service batch runs its supersteps with zero thread spawns (see
+//!   [`pool`](self) module docs for lifecycle and barrier semantics);
 //! * **buffer reuse** — inboxes, outboxes and the inbound transpose matrix
 //!   are allocated once per run and cleared in place; counter and aggregate
 //!   accumulators are reset, never reallocated.
@@ -20,9 +26,10 @@
 //!
 //! A run's observable output — final vertex values, [`RunProfile`] (Table 1
 //! counters, aggregates, simulated [`ClusterClock`] timings) and halt reason
-//! — is **byte-identical for every [`ExecutionMode`] and thread count**,
-//! given the same graph, program and [`BspConfig`] seeds. Threads only change
-//! wall-clock time. This holds because every order-sensitive step is pinned:
+//! — is **byte-identical for every [`ExecutionMode`], thread count and
+//! [`PoolMode`](crate::config::PoolMode)**, given the same graph, program and
+//! [`BspConfig`] seeds. Threads — pooled or scoped — only change wall-clock
+//! time. This holds because every order-sensitive step is pinned:
 //!
 //! 1. within a shard, vertices compute in increasing vertex-id order (shard
 //!    slots follow vertex-id order by construction);
@@ -38,7 +45,12 @@
 //!    write) on the master thread;
 //! 6. optional message combining ([`VertexProgram::combiner`]) folds each
 //!    inbox left-to-right in delivery order, after delivery, so it is
-//!    insensitive to phase scheduling too.
+//!    insensitive to phase scheduling too;
+//! 7. the worker pool only changes *which OS thread* executes a chunk
+//!    closure: chunk boundaries still come from the resolved thread count,
+//!    chunks write disjoint state, and the scope latch joins all of them
+//!    before the master proceeds — so pooled and scoped scheduling are
+//!    observationally identical.
 //!
 //! Property (2) is also why the runtime exists at all: PREDIcT executes
 //! thousands of sample runs (see `PredictService::submit_batch`), and the
@@ -52,10 +64,12 @@
 
 mod executor;
 mod layout;
+mod pool;
 mod shard;
 
-pub use executor::{execute, execute_on};
+pub use executor::{execute, execute_on, execute_pooled};
 pub use layout::{LayoutCache, ShardLayout};
+pub use pool::{process_threads_spawned, record_external_spawn, WorkerPool, DEFAULT_POOL_CAPACITY};
 pub use shard::WorkerShard;
 
 #[cfg(test)]
@@ -195,6 +209,48 @@ mod tests {
             engine.config().partition_strategy,
         );
         let _ = engine.run_storage(&storage, &Ripple);
+    }
+
+    #[test]
+    fn pooled_execution_is_byte_identical_to_scoped_threads() {
+        let graph = generate_rmat(&RmatConfig::new(9, 6).with_seed(19));
+        let config = BspConfig::with_workers(6);
+        let layout = ShardLayout::build(graph.num_vertices(), 6, config.partition_strategy);
+        let scoped = execute_pooled(
+            &Ripple,
+            crate::storage::StorageRef::Unified(&graph),
+            &layout,
+            &config,
+            4,
+            None,
+        );
+        let pool = WorkerPool::new(4);
+        for threads in [1usize, 2, 4] {
+            let pooled = execute_pooled(
+                &Ripple,
+                crate::storage::StorageRef::Unified(&graph),
+                &layout,
+                &config,
+                threads,
+                Some(&pool),
+            );
+            assert_eq!(scoped.values, pooled.values, "{threads} pooled threads");
+            assert_eq!(scoped.profile, pooled.profile, "{threads} pooled threads");
+            assert_eq!(scoped.halt_reason, pooled.halt_reason);
+        }
+        // Repeated pooled runs reuse the warm workers instead of spawning.
+        let warm = pool.threads_spawned();
+        for _ in 0..3 {
+            let _ = execute_pooled(
+                &Ripple,
+                crate::storage::StorageRef::Unified(&graph),
+                &layout,
+                &config,
+                4,
+                Some(&pool),
+            );
+        }
+        assert_eq!(pool.threads_spawned(), warm, "warm runs must not spawn");
     }
 
     #[test]

@@ -43,6 +43,15 @@ pub enum PredictError {
     },
     /// The cost model could not be trained on the assembled training set.
     CostModel(RegressionError),
+    /// A service worker panicked while evaluating this request. The panic is
+    /// caught at the request boundary so one poisoned request cannot take
+    /// down its batch (or the service): the other requests in the batch
+    /// complete normally and this one reports the payload here.
+    WorkerPanicked {
+        /// The panic payload rendered as text, or `"non-string panic
+        /// payload"` when the payload was not a string.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for PredictError {
@@ -64,6 +73,9 @@ impl std::fmt::Display for PredictError {
                 "no training data beyond the extrapolation sample run for {workload} on {dataset}"
             ),
             PredictError::CostModel(e) => write!(f, "cost model training failed: {e}"),
+            PredictError::WorkerPanicked { message } => {
+                write!(f, "prediction worker panicked: {message}")
+            }
         }
     }
 }
@@ -75,6 +87,18 @@ impl PredictError {
     /// regardless of which technique/ratio/seed produced it.
     pub fn is_empty_sample(&self) -> bool {
         matches!(self, PredictError::EmptySample { .. })
+    }
+
+    /// Converts a caught panic payload (from `std::panic::catch_unwind`)
+    /// into [`PredictError::WorkerPanicked`], preserving `panic!` message
+    /// strings.
+    pub fn from_panic(payload: Box<dyn std::any::Any + Send>) -> Self {
+        let message = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        PredictError::WorkerPanicked { message }
     }
 }
 
@@ -102,6 +126,23 @@ mod tests {
 
         let e = PredictError::InvalidConfig("sampling ratio must be positive".to_string());
         assert!(e.to_string().contains("positive"));
+    }
+
+    #[test]
+    fn panic_payloads_convert_to_worker_panicked() {
+        let static_str = std::panic::catch_unwind(|| panic!("boom")).unwrap_err();
+        assert_eq!(
+            PredictError::from_panic(static_str),
+            PredictError::WorkerPanicked {
+                message: "boom".to_string()
+            }
+        );
+        let formatted = std::panic::catch_unwind(|| panic!("bad ratio {}", 0.5)).unwrap_err();
+        let e = PredictError::from_panic(formatted);
+        assert!(e.to_string().contains("bad ratio 0.5"), "{e}");
+        let opaque = std::panic::catch_unwind(|| std::panic::panic_any(17u32)).unwrap_err();
+        let e = PredictError::from_panic(opaque);
+        assert!(e.to_string().contains("non-string"), "{e}");
     }
 
     #[test]

@@ -172,6 +172,22 @@ mod tests {
     }
 
     #[test]
+    fn a_non_finite_timing_survives_the_json_roundtrip() {
+        // Non-finite floats serialize as `null` (JSON has no NaN literal); a
+        // store containing one must still load — it comes back as NaN rather
+        // than poisoning the whole history file with a deserialization error.
+        let mut store = HistoryStore::new();
+        let mut p = profile("pagerank", 1);
+        p.supersteps[0].wall_time_ms = f64::NAN;
+        store.record("PR", "Wiki", p);
+        let json = store.to_json().unwrap();
+        assert!(json.contains("null"), "{json}");
+        let back = HistoryStore::from_json(&json).expect("null float failed to deserialize");
+        assert!(back.runs()[0].profile.supersteps[0].wall_time_ms.is_nan());
+        assert_eq!(back.len(), 1);
+    }
+
+    #[test]
     fn file_roundtrip() {
         let mut store = HistoryStore::new();
         store.record("PR", "TW", profile("pagerank", 2));

@@ -8,12 +8,21 @@
 //! while requests against different datasets proceed without contending on a
 //! single lock.
 //!
-//! Batches run on scoped threads: [`PredictService::submit_batch`] evaluates
-//! independent requests concurrently and returns results in request order.
-//! Because every pipeline stage is deterministic and cache values are
-//! immutable artifacts, the output is identical regardless of thread count
-//! or interleaving — a 1-thread batch and an N-thread batch produce the same
+//! Batches run on the engine's persistent [`predict_bsp::WorkerPool`]:
+//! [`PredictService::submit_batch`] schedules independent requests as pool
+//! tasks and returns results in request order, so a warm service evaluates
+//! batch after batch without spawning a single OS thread (when the pool is
+//! disabled via [`predict_bsp::PoolMode::Off`] or `PREDICT_POOL=off`, it
+//! falls back to scoped threads per batch). Because every pipeline stage is
+//! deterministic and cache values are immutable artifacts, the output is
+//! identical regardless of thread count, scheduling substrate or
+//! interleaving — a 1-thread batch and an N-thread batch produce the same
 //! bytes.
+//!
+//! Robustness: a panic inside one request is caught at the request boundary
+//! and surfaced as [`PredictError::WorkerPanicked`] for that request alone —
+//! the rest of the batch completes, and the session-cache shard locks
+//! recover from poisoning so the service keeps serving afterwards.
 
 use crate::artifacts::stable_fingerprint;
 use crate::error::PredictError;
@@ -118,6 +127,21 @@ struct Shard {
     entries: Vec<ShardEntry>,
 }
 
+/// Locks a shard for reading, recovering from poisoning. Shard state is a
+/// plain entry list that is never left half-edited across an unwind (each
+/// mutation completes before stage code — the only thing that can panic —
+/// runs), so a poisoned lock only means *some* request died mid-hold; the
+/// data is still consistent and refusing to serve forever would turn one bad
+/// request into a permanent outage.
+fn shard_read(shard: &RwLock<Shard>) -> std::sync::RwLockReadGuard<'_, Shard> {
+    shard.read().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Write-lock counterpart of [`shard_read`]; same poisoning rationale.
+fn shard_write(shard: &RwLock<Shard>) -> std::sync::RwLockWriteGuard<'_, Shard> {
+    shard.write().unwrap_or_else(|e| e.into_inner())
+}
+
 /// A `Sync` prediction front-end holding per-dataset sessions behind a
 /// sharded, LRU-bounded cache. See the [module documentation](self).
 pub struct PredictService {
@@ -189,7 +213,7 @@ impl PredictService {
     pub fn session_for(&self, dataset: &str, graph: &Arc<CsrGraph>) -> Arc<PredictionSession> {
         let shard = &self.shards[self.shard_index(dataset)];
         {
-            let guard = shard.read().unwrap();
+            let guard = shard_read(shard);
             if let Some(entry) = guard
                 .entries
                 .iter()
@@ -200,7 +224,18 @@ impl PredictService {
             }
         }
 
-        let mut guard = shard.write().unwrap();
+        // Build the session before taking the write lock: construction is
+        // cheap (binding is lazy), and keeping panic-prone code outside the
+        // critical section means the lock is never poisoned mid-mutation.
+        let session = Arc::new(
+            Predictor::builder()
+                .engine(Arc::clone(&self.engine))
+                .sampler_arc(Arc::clone(&self.sampler))
+                .config(self.config.predictor.clone())
+                .bind(Arc::clone(graph), dataset),
+        );
+
+        let mut guard = shard_write(shard);
         // Double-checked: another writer may have created the session while
         // we waited for the write lock.
         if let Some(entry) = guard
@@ -213,14 +248,6 @@ impl PredictService {
         }
         // A label re-bound to a different graph drops the stale session.
         guard.entries.retain(|e| e.dataset != dataset);
-
-        let session = Arc::new(
-            Predictor::builder()
-                .engine(Arc::clone(&self.engine))
-                .sampler_arc(Arc::clone(&self.sampler))
-                .config(self.config.predictor.clone())
-                .bind(Arc::clone(graph), dataset),
-        );
         guard.entries.push(ShardEntry {
             dataset: dataset.to_string(),
             session: Arc::clone(&session),
@@ -260,12 +287,31 @@ impl PredictService {
         }
     }
 
-    /// Evaluates independent requests on up to `threads` scoped threads and
-    /// returns the results in request order.
+    /// Evaluates one request with panics contained to the request boundary:
+    /// an unwinding stage becomes [`PredictError::WorkerPanicked`] for this
+    /// request instead of propagating into (and killing) a batch.
+    fn submit_caught(&self, request: &PredictRequest) -> Result<Prediction, PredictError> {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.submit(request)))
+            .unwrap_or_else(|payload| Err(PredictError::from_panic(payload)))
+    }
+
+    /// Evaluates independent requests concurrently (up to `threads` wide)
+    /// and returns the results in request order.
+    ///
+    /// Requests are scheduled onto the engine's persistent
+    /// [`predict_bsp::WorkerPool`], so a warm service spawns **zero** OS
+    /// threads per batch and successive batches pipeline through the same
+    /// workers as each run's superstep phases. When the pool is disabled
+    /// ([`predict_bsp::PoolMode::Off`] or `PREDICT_POOL=off`) the batch
+    /// falls back to scoped threads, one stride per thread.
+    ///
+    /// A panicking request yields `Err(`[`PredictError::WorkerPanicked`]`)`
+    /// in its slot; the other requests still complete.
     ///
     /// The output is deterministic: result `i` depends only on request `i`
     /// (every stage is deterministic and cached artifacts are immutable), so
-    /// thread count and interleaving change wall-clock time, never results.
+    /// thread count, scheduling substrate and interleaving change wall-clock
+    /// time, never results.
     ///
     /// # Examples
     ///
@@ -313,33 +359,65 @@ impl PredictService {
     ) -> Vec<Result<Prediction, PredictError>> {
         let threads = threads.clamp(1, requests.len().max(1));
         if threads == 1 {
-            return requests.iter().map(|r| self.submit(r)).collect();
+            return requests.iter().map(|r| self.submit_caught(r)).collect();
         }
         let mut results: Vec<Option<Result<Prediction, PredictError>>> =
             (0..requests.len()).map(|_| None).collect();
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(threads);
-            for t in 0..threads {
-                handles.push(scope.spawn(move || {
-                    // Stride partitioning: thread t takes requests t, t+T, ...
-                    requests
-                        .iter()
-                        .enumerate()
-                        .skip(t)
-                        .step_by(threads)
-                        .map(|(i, r)| (i, self.submit(r)))
-                        .collect::<Vec<_>>()
-                }));
-            }
-            for handle in handles {
-                for (i, result) in handle.join().expect("batch worker panicked") {
-                    results[i] = Some(result);
+        if let Some(pool) = self.engine.worker_pool() {
+            // One pool task per request: the pool's work-stealing deques
+            // balance uneven request costs, and `run_scoped`'s caller
+            // participation keeps this deadlock-free even when a request's
+            // own superstep phases fan out onto the same pool.
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = results
+                .iter_mut()
+                .zip(requests)
+                .map(|(slot, request)| {
+                    let task: Box<dyn FnOnce() + Send + '_> =
+                        Box::new(move || *slot = Some(self.submit_caught(request)));
+                    task
+                })
+                .collect();
+            pool.run_scoped(threads, tasks);
+        } else {
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(threads);
+                for t in 0..threads {
+                    predict_bsp::record_external_spawn();
+                    handles.push(scope.spawn(move || {
+                        // Stride partitioning: thread t takes requests t, t+T, ...
+                        requests
+                            .iter()
+                            .enumerate()
+                            .skip(t)
+                            .step_by(threads)
+                            .map(|(i, r)| (i, self.submit_caught(r)))
+                            .collect::<Vec<_>>()
+                    }));
                 }
-            }
-        });
+                for handle in handles {
+                    let worker_results = match handle.join() {
+                        Ok(worker_results) => worker_results,
+                        // submit_caught contains request panics, so an
+                        // unwound worker can only be a harness-level bug;
+                        // still, degrade to per-request errors rather than
+                        // killing the whole batch.
+                        Err(_) => continue,
+                    };
+                    for (i, result) in worker_results {
+                        results[i] = Some(result);
+                    }
+                }
+            });
+        }
         results
             .into_iter()
-            .map(|r| r.expect("every request index was assigned to a worker"))
+            .map(|r| {
+                r.unwrap_or_else(|| {
+                    Err(PredictError::WorkerPanicked {
+                        message: "batch worker died before filling this slot".to_string(),
+                    })
+                })
+            })
             .collect()
     }
 
@@ -347,7 +425,7 @@ impl PredictService {
     pub fn sessions_cached(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.read().unwrap().entries.len())
+            .map(|s| shard_read(s).entries.len())
             .sum()
     }
 }
@@ -477,6 +555,124 @@ mod tests {
         }
         assert_eq!(predictions[0], predictions[1]);
         assert_eq!(predictions[0], predictions[2]);
+    }
+
+    /// A workload whose run stage always panics — the in-process stand-in
+    /// for a stage bug, used to pin the batch-isolation contract.
+    #[derive(Debug, Clone, Copy)]
+    struct PanickingWorkload;
+
+    impl Workload for PanickingWorkload {
+        fn name(&self) -> &'static str {
+            "PANIC"
+        }
+        fn convergence(&self) -> predict_algorithms::ConvergenceKind {
+            predict_algorithms::ConvergenceKind::FixedPoint
+        }
+        fn threshold(&self) -> f64 {
+            0.0
+        }
+        fn with_threshold(&self, _threshold: f64) -> Box<dyn Workload> {
+            Box::new(*self)
+        }
+        fn run(
+            &self,
+            _engine: &BspEngine,
+            _graph: &predict_graph::CsrGraph,
+        ) -> predict_algorithms::WorkloadRun {
+            panic!("injected workload failure")
+        }
+    }
+
+    #[test]
+    fn a_panicking_request_fails_alone_and_the_batch_survives() {
+        let svc = service();
+        let g = graph(21);
+        let n = g.num_vertices();
+        let requests: Vec<PredictRequest> = vec![
+            PredictRequest::new(
+                "A",
+                Arc::clone(&g),
+                Arc::new(PageRankWorkload::with_epsilon(0.01, n)),
+            ),
+            PredictRequest::new("A", Arc::clone(&g), Arc::new(PanickingWorkload)),
+            PredictRequest::new("A", Arc::clone(&g), Arc::new(TopKWorkload::default())),
+        ];
+        for threads in [1, 3] {
+            let results = svc.submit_batch(&requests, threads);
+            assert!(results[0].is_ok(), "{:?}", results[0]);
+            assert!(results[2].is_ok(), "{:?}", results[2]);
+            match &results[1] {
+                Err(PredictError::WorkerPanicked { message }) => {
+                    assert!(message.contains("injected workload failure"), "{message}");
+                }
+                other => panic!("expected WorkerPanicked, got {other:?}"),
+            }
+        }
+        // The service keeps serving after the panic.
+        assert!(svc.submit(&requests[0]).is_ok());
+    }
+
+    #[test]
+    fn the_service_keeps_serving_after_a_shard_lock_is_poisoned() {
+        let svc = service();
+        let g = graph(22);
+        let dataset = "poisoned";
+        let shard = &svc.shards[svc.shard_index(dataset)];
+        // Panic while holding the write lock: without recovery, every later
+        // lock() on this shard would return Err(Poisoned) forever.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = shard.write().unwrap();
+            panic!("poison the shard lock");
+        }));
+        assert!(shard.is_poisoned(), "test setup failed to poison the lock");
+        let req = PredictRequest::new(
+            dataset,
+            Arc::clone(&g),
+            Arc::new(PageRankWorkload::with_epsilon(0.01, g.num_vertices())),
+        );
+        let prediction = svc
+            .submit(&req)
+            .expect("poisoned shard stopped the service");
+        assert!(prediction.predicted_superstep_ms.is_finite());
+        assert_eq!(svc.sessions_cached(), 1);
+    }
+
+    #[test]
+    fn pooled_batches_match_scoped_thread_batches() {
+        use predict_bsp::PoolMode;
+        let g = graph(23);
+        let n = g.num_vertices();
+        let mut rendered = Vec::new();
+        for pool in [PoolMode::On, PoolMode::Off] {
+            let svc = PredictService::with_config(
+                BspEngine::new(BspConfig::with_workers(4).with_pool(pool)),
+                Arc::new(BiasedRandomJump::default()),
+                PredictServiceConfig {
+                    predictor: PredictorConfig::single_ratio(0.1),
+                    ..PredictServiceConfig::default()
+                },
+            );
+            let requests: Vec<PredictRequest> = vec![
+                PredictRequest::new(
+                    "A",
+                    Arc::clone(&g),
+                    Arc::new(PageRankWorkload::with_epsilon(0.01, n)),
+                ),
+                PredictRequest::new("A", Arc::clone(&g), Arc::new(TopKWorkload::default())),
+                PredictRequest::new("A", Arc::clone(&g), Arc::new(ConnectedComponentsWorkload)),
+            ];
+            let results: Vec<String> = svc
+                .submit_batch(&requests, 3)
+                .into_iter()
+                .map(|r| match r {
+                    Ok(p) => serde_json::to_string(&p).unwrap(),
+                    Err(e) => e.to_string(),
+                })
+                .collect();
+            rendered.push(results);
+        }
+        assert_eq!(rendered[0], rendered[1], "PoolMode changed batch results");
     }
 
     #[test]

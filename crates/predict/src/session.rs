@@ -42,7 +42,7 @@
 
 use crate::artifacts::{
     stable_fingerprint, ModelKey, RunKey, SampleArtifact, SampleKey, SampleRunArtifact,
-    TrainedModel, TrainingProvenance, TrainingSource,
+    StorageCache, TrainedModel, TrainingProvenance, TrainingSource,
 };
 use crate::cost_model::{CostModel, CostModelConfig};
 use crate::critical_path::WorkerSelection;
@@ -55,7 +55,7 @@ use crate::transform::TransformFunction;
 use predict_algorithms::{Workload, WorkloadRun};
 use predict_bsp::{BspEngine, ExecutionMode, RunProfile, StorageMode};
 use predict_graph::CsrGraph;
-use predict_sampling::{BiasedRandomJump, SampleScratch, Sampler};
+use predict_sampling::{BiasedRandomJump, Sampler, ScratchPool};
 use serde::Serialize;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -273,10 +273,15 @@ pub(crate) struct ArtifactCaches {
     models: Mutex<HashMap<ModelKey, Arc<TrainedModel>>>,
     actuals: Mutex<HashMap<String, Arc<WorkloadRun>>>,
     /// Reusable sampler working memory (visited bitset + walk buffers),
-    /// shared by every sample the session draws. Scratch state never
-    /// influences the drawn sample, so contended draws simply fall back to a
-    /// throwaway scratch instead of serializing on the lock.
-    scratch: Mutex<SampleScratch>,
+    /// pooled so concurrent draws each check out their own scratch instead
+    /// of either serializing on one lock or silently falling back to a
+    /// throwaway allocation per draw (the bug the old `try_lock` fallback
+    /// hid). Scratch state never influences the drawn sample.
+    scratch: ScratchPool,
+    /// Cached sharded storage of the session's *full* graph, so repeated
+    /// actual runs under sharded storage pay shard construction once — the
+    /// full-graph counterpart of `SampleArtifact`'s per-sample cache.
+    storage: StorageCache,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -289,6 +294,16 @@ impl ArtifactCaches {
             self.misses.fetch_add(1, Ordering::Relaxed);
         }
     }
+}
+
+/// Acquires a cache mutex, recovering the guard if a previous holder
+/// panicked. Cache maps stay internally consistent under panic (inserts are
+/// single `entry().or_insert` calls; a torn value is never published), and a
+/// worker panic is already reported per-request by the service — letting
+/// the poison flag wedge every later prediction would turn one failed
+/// request into a permanently dead session.
+fn cache_lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 /// Borrowed inputs of one prediction: the execution substrate plus an
@@ -309,32 +324,32 @@ fn stage_sample(
 ) -> Result<Arc<SampleArtifact>, PredictError> {
     let key = SampleKey::new(ctx.sampler.name(), ratio, seed);
     if let Some(caches) = ctx.caches {
-        if let Some(hit) = caches.samples.lock().unwrap().get(&key) {
+        if let Some(hit) = cache_lock(&caches.samples).get(&key) {
             caches.record(true);
             return Ok(Arc::clone(hit));
         }
         caches.record(false);
     }
-    let artifact = match ctx.caches.and_then(|c| c.scratch.try_lock().ok()) {
-        Some(mut scratch) => Arc::new(SampleArtifact::draw_with(
-            ctx.sampler,
-            ctx.graph,
-            ratio,
-            seed,
-            &mut scratch,
-        )?),
+    let artifact = match ctx.caches {
+        Some(caches) => {
+            // Each concurrent draw checks out its own pooled scratch; once
+            // the pool is warm (peak concurrency reached) no draw allocates.
+            let mut scratch = caches.scratch.acquire();
+            Arc::new(SampleArtifact::draw_with(
+                ctx.sampler,
+                ctx.graph,
+                ratio,
+                seed,
+                &mut scratch,
+            )?)
+        }
         None => Arc::new(SampleArtifact::draw(ctx.sampler, ctx.graph, ratio, seed)?),
     };
     if let Some(caches) = ctx.caches {
         // Concurrent misses may race here; both computed the same
         // deterministic artifact, so keeping the first insert is fine.
         return Ok(Arc::clone(
-            caches
-                .samples
-                .lock()
-                .unwrap()
-                .entry(key)
-                .or_insert(artifact),
+            cache_lock(&caches.samples).entry(key).or_insert(artifact),
         ));
     }
     Ok(artifact)
@@ -350,7 +365,7 @@ fn stage_run(
 ) -> Arc<SampleRunArtifact> {
     let key = RunKey::new(&sample.key, workload, transform);
     if let Some(caches) = ctx.caches {
-        if let Some(hit) = caches.runs.lock().unwrap().get(&key) {
+        if let Some(hit) = cache_lock(&caches.runs).get(&key) {
             caches.record(true);
             return Arc::clone(hit);
         }
@@ -360,7 +375,7 @@ fn stage_run(
         ctx.engine, workload, transform, sample,
     ));
     if let Some(caches) = ctx.caches {
-        return Arc::clone(caches.runs.lock().unwrap().entry(key).or_insert(artifact));
+        return Arc::clone(cache_lock(&caches.runs).entry(key).or_insert(artifact));
     }
     artifact
 }
@@ -389,7 +404,7 @@ fn stage_model(
         history_version,
     };
     if let Some(caches) = ctx.caches {
-        if let Some(hit) = caches.models.lock().unwrap().get(&key) {
+        if let Some(hit) = cache_lock(&caches.models).get(&key) {
             caches.record(true);
             return Ok(Arc::clone(hit));
         }
@@ -453,7 +468,7 @@ fn stage_model(
     });
     if let Some(caches) = ctx.caches {
         return Ok(Arc::clone(
-            caches.models.lock().unwrap().entry(key).or_insert(model),
+            cache_lock(&caches.models).entry(key).or_insert(model),
         ));
     }
     Ok(model)
@@ -463,15 +478,23 @@ fn stage_model(
 fn stage_actual(ctx: &StageCtx<'_>, workload: &dyn Workload) -> Arc<WorkloadRun> {
     let key = workload.cache_token();
     if let Some(caches) = ctx.caches {
-        if let Some(hit) = caches.actuals.lock().unwrap().get(&key) {
+        if let Some(hit) = cache_lock(&caches.actuals).get(&key) {
             caches.record(true);
             return Arc::clone(hit);
         }
         caches.record(false);
     }
-    let run = Arc::new(workload.run(ctx.engine, ctx.graph));
+    // Sharded engines run against the session's cached full-graph storage,
+    // so back-to-back actual runs skip the per-run shard construction.
+    let storage = ctx
+        .caches
+        .and_then(|caches| caches.storage.get_or_shard(ctx.engine, ctx.graph));
+    let run = Arc::new(match storage {
+        Some(storage) => workload.run_storage(ctx.engine, ctx.graph, &storage),
+        None => workload.run(ctx.engine, ctx.graph),
+    });
     if let Some(caches) = ctx.caches {
-        return Arc::clone(caches.actuals.lock().unwrap().entry(key).or_insert(run));
+        return Arc::clone(cache_lock(&caches.actuals).entry(key).or_insert(run));
     }
     run
 }
@@ -711,6 +734,13 @@ pub struct SessionStats {
     pub hits: u64,
     /// Total cache misses across all stages.
     pub misses: u64,
+    /// Sampler scratch buffers ever allocated by this session's scratch
+    /// pool — bounded by the peak number of concurrent draws, flat once the
+    /// pool is warm (the warm-service tests assert this).
+    pub scratch_allocations: u64,
+    /// Shard constructions of the session's full graph (sharded storage
+    /// only) — at most one per engine configuration the session has seen.
+    pub full_storage_builds: u64,
 }
 
 /// A thread-safe prediction session bound to one dataset.
@@ -765,7 +795,7 @@ impl PredictionSession {
     /// in-flight predictions (and cannot serialize other readers behind a
     /// waiting writer).
     fn history_snapshot(&self) -> (Arc<HistoryStore>, u64) {
-        let history = self.history.read().unwrap();
+        let history = self.history.read().unwrap_or_else(|e| e.into_inner());
         (Arc::clone(&history.store), history.version)
     }
 
@@ -865,30 +895,39 @@ impl PredictionSession {
     /// the previous store; only the first record after a snapshot clones the
     /// underlying data.
     pub fn record_history(&self, workload: &str, dataset: &str, profile: RunProfile) {
-        let mut history = self.history.write().unwrap();
+        let mut history = self.history.write().unwrap_or_else(|e| e.into_inner());
         Arc::make_mut(&mut history.store).record(workload, dataset, profile);
         history.version += 1;
     }
 
     /// The current history version (starts at 0, +1 per recorded run).
     pub fn history_version(&self) -> u64 {
-        self.history.read().unwrap().version
+        self.history
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .version
     }
 
     /// Number of historical runs the session currently holds.
     pub fn history_len(&self) -> usize {
-        self.history.read().unwrap().store.len()
+        self.history
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .store
+            .len()
     }
 
     /// Cache occupancy and hit statistics.
     pub fn stats(&self) -> SessionStats {
         SessionStats {
-            samples: self.caches.samples.lock().unwrap().len(),
-            sample_runs: self.caches.runs.lock().unwrap().len(),
-            models: self.caches.models.lock().unwrap().len(),
-            actual_runs: self.caches.actuals.lock().unwrap().len(),
+            samples: cache_lock(&self.caches.samples).len(),
+            sample_runs: cache_lock(&self.caches.runs).len(),
+            models: cache_lock(&self.caches.models).len(),
+            actual_runs: cache_lock(&self.caches.actuals).len(),
             hits: self.caches.hits.load(Ordering::Relaxed),
             misses: self.caches.misses.load(Ordering::Relaxed),
+            scratch_allocations: self.caches.scratch.allocations(),
+            full_storage_builds: self.caches.storage.builds(),
         }
     }
 }

@@ -13,6 +13,9 @@
 
 use predict_graph::VertexId;
 use std::collections::VecDeque;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// A fixed-universe bitset over vertex ids with O(set-bits) reset.
 ///
@@ -130,6 +133,91 @@ impl SampleScratch {
     }
 }
 
+/// A pool of [`SampleScratch`] buffers for concurrent draws.
+///
+/// One shared `Mutex<SampleScratch>` forces concurrent samplers to either
+/// serialize or fall back to a fresh allocation per draw — which silently
+/// re-pays exactly the cost the scratch exists to amortize whenever a
+/// service batch draws samples in parallel. The pool instead hands each
+/// draw its own scratch: [`ScratchPool::acquire`] pops a pooled buffer (or
+/// creates one only when every buffer is in use) and the returned guard
+/// pushes it back on drop, so the pool's size converges to the peak draw
+/// concurrency and then stays allocation-free. [`ScratchPool::allocations`]
+/// counts the scratches ever created; warm-service tests assert it stays
+/// flat.
+#[derive(Debug, Default)]
+pub struct ScratchPool {
+    free: Mutex<Vec<SampleScratch>>,
+    created: AtomicU64,
+}
+
+impl ScratchPool {
+    /// Creates an empty pool; scratches are created on first demand.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Checks out a scratch, creating one only if none is free. The guard
+    /// returns it to the pool when dropped.
+    pub fn acquire(&self) -> ScratchGuard<'_> {
+        let pooled = self.free.lock().unwrap_or_else(|e| e.into_inner()).pop();
+        let scratch = pooled.unwrap_or_else(|| {
+            self.created.fetch_add(1, Ordering::SeqCst);
+            SampleScratch::new()
+        });
+        ScratchGuard {
+            scratch: Some(scratch),
+            pool: self,
+        }
+    }
+
+    /// Total scratches this pool has ever created — flat once the pool is
+    /// warm (bounded by the peak number of concurrent draws).
+    pub fn allocations(&self) -> u64 {
+        self.created.load(Ordering::SeqCst)
+    }
+
+    /// Scratches currently checked in (idle).
+    pub fn idle(&self) -> usize {
+        self.free.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+}
+
+/// Exclusive checkout of one [`SampleScratch`] from a [`ScratchPool`];
+/// dereferences to the scratch and checks it back in on drop (including
+/// during a panic unwind, so a failed draw never leaks its buffer).
+#[derive(Debug)]
+pub struct ScratchGuard<'a> {
+    scratch: Option<SampleScratch>,
+    pool: &'a ScratchPool,
+}
+
+impl Deref for ScratchGuard<'_> {
+    type Target = SampleScratch;
+
+    fn deref(&self) -> &SampleScratch {
+        self.scratch.as_ref().expect("scratch present until drop")
+    }
+}
+
+impl DerefMut for ScratchGuard<'_> {
+    fn deref_mut(&mut self) -> &mut SampleScratch {
+        self.scratch.as_mut().expect("scratch present until drop")
+    }
+}
+
+impl Drop for ScratchGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(scratch) = self.scratch.take() {
+            self.pool
+                .free
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(scratch);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -214,5 +302,39 @@ mod tests {
         let mut set = VisitedSet::new();
         set.reset(0);
         set.insert(0);
+    }
+
+    #[test]
+    fn scratch_pool_reuses_buffers_once_warm() {
+        let pool = ScratchPool::new();
+        assert_eq!(pool.allocations(), 0);
+        {
+            let mut a = pool.acquire();
+            a.visited.reset(100);
+            a.visited.insert(7);
+            let _b = pool.acquire();
+            assert_eq!(pool.allocations(), 2, "two concurrent checkouts");
+        }
+        assert_eq!(pool.idle(), 2);
+        // Sequential reuse never allocates again.
+        for _ in 0..10 {
+            let mut s = pool.acquire();
+            s.visited.reset(50);
+            s.visited.insert(3);
+        }
+        assert_eq!(pool.allocations(), 2, "warm pool must not allocate");
+    }
+
+    #[test]
+    fn scratch_pool_recovers_buffers_from_panicking_draws() {
+        let pool = ScratchPool::new();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _s = pool.acquire();
+            panic!("draw failed");
+        }));
+        assert!(caught.is_err());
+        assert_eq!(pool.idle(), 1, "the guard must check the scratch back in");
+        let _again = pool.acquire();
+        assert_eq!(pool.allocations(), 1, "the recovered scratch is reused");
     }
 }

@@ -72,8 +72,8 @@ pub mod prelude {
         SemiClusteringWorkload, TopKWorkload, Workload, WorkloadRun,
     };
     pub use predict_bsp::{
-        BspConfig, BspEngine, ClusterCostConfig, ExecutionMode, GraphStorage, RunProfile,
-        StorageMode,
+        BspConfig, BspEngine, ClusterCostConfig, ExecutionMode, GraphStorage, PoolMode, RunProfile,
+        StorageMode, WorkerPool,
     };
     pub use predict_core::{
         Evaluation, HistoryStore, KeyFeature, PredictError, PredictRequest, PredictService,

@@ -202,6 +202,14 @@ macro_rules! impl_float {
                     Value::Float(f) => Ok(*f as $t),
                     Value::UInt(n) => Ok(*n as $t),
                     Value::Int(n) => Ok(*n as $t),
+                    // JSON has no NaN/Infinity literal, so the writer emits
+                    // non-finite floats as `null` (matching serde_json's
+                    // behavior). Read `null` back as NaN so a struct with a
+                    // non-finite float field (e.g. an undefined ratio)
+                    // round-trips instead of failing to deserialize.
+                    // `Option<f64>` is unaffected: its impl matches `Null`
+                    // before ever delegating here.
+                    Value::Null => Ok(<$t>::NAN),
                     other => Err(Error::msg(format!("expected number, got {other:?}"))),
                 }
             }
@@ -420,6 +428,17 @@ mod tests {
         let opt: Option<u64> = None;
         assert_eq!(opt.serialize_value(), Value::Null);
         let round: Option<u64> = Deserialize::deserialize_value(&Value::Null).unwrap();
+        assert_eq!(round, None);
+    }
+
+    #[test]
+    fn non_finite_floats_roundtrip_through_null() {
+        // Writers emit non-finite floats as `null`; reading `null` back
+        // yields NaN rather than a deserialization error.
+        assert!(f64::deserialize_value(&Value::Null).unwrap().is_nan());
+        assert!(f32::deserialize_value(&Value::Null).unwrap().is_nan());
+        // Option<f64> still treats `null` as None, not Some(NaN).
+        let round: Option<f64> = Deserialize::deserialize_value(&Value::Null).unwrap();
         assert_eq!(round, None);
     }
 

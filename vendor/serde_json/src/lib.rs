@@ -466,6 +466,26 @@ mod tests {
     }
 
     #[test]
+    fn non_finite_floats_roundtrip_as_nan() {
+        // A bare f64 field (not Option<f64>) whose value was non-finite is
+        // written as `null`; deserializing must yield NaN, not an error —
+        // otherwise any artifact holding an undefined ratio could be saved
+        // but never loaded.
+        for f in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let json = to_string(&f).unwrap();
+            assert_eq!(json, "null");
+            let back: f64 = from_str(&json).unwrap();
+            assert!(back.is_nan(), "{f} came back as {back}");
+        }
+        // And inside a struct-shaped map, via the Value layer.
+        let v = Value::Map(vec![("ratio".to_string(), Value::Float(f64::NAN))]);
+        let json = to_string(&v).unwrap();
+        assert_eq!(json, r#"{"ratio":null}"#);
+        let back: Value = from_str(&json).unwrap();
+        assert_eq!(back, Value::Map(vec![("ratio".to_string(), Value::Null)]));
+    }
+
+    #[test]
     fn pretty_output_is_indented() {
         let v = json!({"a": 1u32, "b": {"c": true}});
         let pretty = to_string_pretty(&v).unwrap();
