@@ -41,14 +41,16 @@ pub mod workload;
 
 pub use connected_components::{ConnectedComponents, ConnectedComponentsResult};
 pub use convergence::ConvergenceKind;
-pub use neighborhood::{NeighborhoodEstimation, NeighborhoodParams, NeighborhoodResult};
+pub use neighborhood::{
+    NeighborhoodEstimation, NeighborhoodParams, NeighborhoodResult, NeighborhoodSketch,
+};
 pub use pagerank::{PageRank, PageRankParams, PageRankResult};
 pub use semi_clustering::{
-    SemiCluster, SemiClustering, SemiClusteringParams, SemiClusteringResult,
+    SemiCluster, SemiClusterList, SemiClustering, SemiClusteringParams, SemiClusteringResult,
 };
 pub use sssp::{ShortestPaths, ShortestPathsResult};
 pub use topk::{TopKParams, TopKRanking, TopKResult, TopKState};
 pub use workload::{
-    ConnectedComponentsWorkload, NeighborhoodWorkload, PageRankWorkload, SemiClusteringWorkload,
-    TopKWorkload, Workload, WorkloadRun,
+    to_undirected, ConnectedComponentsWorkload, NeighborhoodWorkload, PageRankWorkload,
+    SemiClusteringWorkload, TopKWorkload, Workload, WorkloadRun, WorkloadSpec,
 };

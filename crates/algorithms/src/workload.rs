@@ -18,6 +18,7 @@ use crate::semi_clustering::{SemiClustering, SemiClusteringParams};
 use crate::topk::{TopKParams, TopKRanking};
 use predict_bsp::{BspEngine, GraphStorage, HaltReason, RunProfile};
 use predict_graph::CsrGraph;
+use serde::{Deserialize, Serialize};
 
 /// Result of executing a workload on one graph.
 #[derive(Debug, Clone)]
@@ -88,9 +89,53 @@ pub trait Workload: Send + Sync + std::fmt::Debug {
         let _ = storage;
         self.run(engine, graph)
     }
+
+    /// A serializable description of this workload's configuration, when one
+    /// exists. Executors that ship work across a process boundary (the
+    /// cluster transports) send this spec to worker processes instead of the
+    /// trait object; the five workloads of this crate all return `Some`.
+    /// External `Workload` implementations may return `None` (the default),
+    /// in which case remote execution falls back to in-memory.
+    fn spec(&self) -> Option<WorkloadSpec> {
+        None
+    }
 }
 
-fn to_undirected(graph: &CsrGraph) -> CsrGraph {
+/// Serializable configuration of one of this crate's five workloads — the
+/// wire-transportable counterpart of the `dyn Workload` trait objects (see
+/// [`Workload::spec`]). A spec plus a graph fully determines a run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WorkloadSpec {
+    /// [`PageRankWorkload`].
+    PageRank {
+        /// PageRank parameters.
+        params: PageRankParams,
+    },
+    /// [`TopKWorkload`].
+    TopK {
+        /// Top-k parameters.
+        params: TopKParams,
+        /// Tolerance level of the PageRank pre-pass.
+        pagerank_epsilon: f64,
+    },
+    /// [`SemiClusteringWorkload`].
+    SemiClustering {
+        /// Semi-clustering parameters.
+        params: SemiClusteringParams,
+    },
+    /// [`ConnectedComponentsWorkload`].
+    ConnectedComponents {},
+    /// [`NeighborhoodWorkload`].
+    Neighborhood {
+        /// Neighborhood-estimation parameters.
+        params: NeighborhoodParams,
+    },
+}
+
+/// Undirected form of `graph`, built the way SC and CC build it before they
+/// run (every edge mirrored, then re-frozen). Public so out-of-process
+/// executors can reproduce exactly the graph those workloads execute on.
+pub fn to_undirected(graph: &CsrGraph) -> CsrGraph {
     CsrGraph::from_edge_list(&graph.to_edge_list().to_undirected())
 }
 
@@ -133,6 +178,12 @@ impl Workload for PageRankWorkload {
     fn with_threshold(&self, threshold: f64) -> Box<dyn Workload> {
         Box::new(Self {
             params: self.params.with_tolerance(threshold),
+        })
+    }
+
+    fn spec(&self) -> Option<WorkloadSpec> {
+        Some(WorkloadSpec::PageRank {
+            params: self.params,
         })
     }
 
@@ -213,6 +264,13 @@ impl Workload for TopKWorkload {
         })
     }
 
+    fn spec(&self) -> Option<WorkloadSpec> {
+        Some(WorkloadSpec::TopK {
+            params: self.params,
+            pagerank_epsilon: self.pagerank_epsilon,
+        })
+    }
+
     fn run(&self, engine: &BspEngine, graph: &CsrGraph) -> WorkloadRun {
         let ranks = PageRank::new(PageRankParams::with_epsilon(
             self.pagerank_epsilon,
@@ -282,6 +340,12 @@ impl Workload for SemiClusteringWorkload {
         })
     }
 
+    fn spec(&self) -> Option<WorkloadSpec> {
+        Some(WorkloadSpec::SemiClustering {
+            params: self.params,
+        })
+    }
+
     fn run(&self, engine: &BspEngine, graph: &CsrGraph) -> WorkloadRun {
         let undirected = to_undirected(graph);
         let result = SemiClustering::new(self.params).run(engine, &undirected);
@@ -312,6 +376,10 @@ impl Workload for ConnectedComponentsWorkload {
 
     fn with_threshold(&self, _threshold: f64) -> Box<dyn Workload> {
         Box::new(Self)
+    }
+
+    fn spec(&self) -> Option<WorkloadSpec> {
+        Some(WorkloadSpec::ConnectedComponents {})
     }
 
     fn run(&self, engine: &BspEngine, graph: &CsrGraph) -> WorkloadRun {
@@ -354,6 +422,12 @@ impl Workload for NeighborhoodWorkload {
     fn with_threshold(&self, threshold: f64) -> Box<dyn Workload> {
         Box::new(Self {
             params: self.params.with_tolerance(threshold),
+        })
+    }
+
+    fn spec(&self) -> Option<WorkloadSpec> {
+        Some(WorkloadSpec::Neighborhood {
+            params: self.params,
         })
     }
 

@@ -1,0 +1,112 @@
+//! Cluster timing: simulated versus measured superstep cost.
+//!
+//! The whole reproduction runs on a *simulated* cluster clock — the paper's
+//! cost-model inputs are deterministic per-superstep times derived from the
+//! Table 1 counters. The cluster subsystem adds the first *measured* numbers
+//! in the stack: a transport-backed run records the driver-observed wall
+//! time of every superstep round plus per-worker compute time and serialized
+//! bytes on the wire. This experiment drives the same pinned PageRank run
+//! through the in-process channel transport and the OS-process transport and
+//! prints both timelines side by side, which is what lets the simulated cost
+//! model be sanity-checked against an actual message-passing execution.
+//!
+//! The run's *results* are byte-identical across transports (runtime
+//! determinism contract point 8); only the timing columns differ. Measured
+//! wall-clock numbers vary run to run and machine to machine, so this
+//! binary is deliberately **not** one of the golden `scenario_runner`
+//! scenarios — it is a report, not a regression artifact.
+
+use predict_algorithms::{PageRank, PageRankParams};
+use predict_bench::{experiment_scale, load_dataset, ResultTable};
+use predict_bsp::{BspConfig, MeasuredRun, RunProfile};
+use predict_cluster::{drive, DriveOptions, ProgramSpec, TransportKind};
+use predict_graph::datasets::Dataset;
+use serde::Serialize;
+
+/// Everything the report records for one transport's run.
+#[derive(Debug, Serialize)]
+struct TransportTiming {
+    transport: String,
+    supersteps: usize,
+    /// Simulated superstep-phase time from the cluster clock (ms).
+    simulated_superstep_ms: f64,
+    /// Measured superstep-phase wall time as seen by the driver (ms).
+    measured_superstep_ms: f64,
+    /// Measured wall time of the whole run, setup through value collection (ms).
+    measured_total_ms: f64,
+    /// Total serialized bytes that crossed the wire.
+    wire_bytes: u64,
+    /// Per-superstep `(simulated_ms, measured_ms)` pairs.
+    per_superstep: Vec<(f64, f64)>,
+}
+
+fn timing_of(profile: &RunProfile, measured: &MeasuredRun) -> TransportTiming {
+    let per_superstep: Vec<(f64, f64)> = profile
+        .supersteps
+        .iter()
+        .zip(&measured.supersteps)
+        .map(|(sim, m)| (sim.wall_time_ms, m.wall_ns as f64 / 1e6))
+        .collect();
+    TransportTiming {
+        transport: measured.transport.clone(),
+        supersteps: profile.supersteps.len(),
+        simulated_superstep_ms: profile.superstep_phase_ms(),
+        measured_superstep_ms: measured.superstep_phase_ms(),
+        measured_total_ms: measured.total_wall_ns as f64 / 1e6,
+        wire_bytes: measured.total_wire_bytes(),
+        per_superstep,
+    }
+}
+
+fn main() {
+    let scale = experiment_scale();
+    let graph = load_dataset(Dataset::LiveJournal, scale);
+    let params = PageRankParams::with_epsilon(0.01, graph.num_vertices());
+    let program = PageRank::new(params);
+    let spec = ProgramSpec::PageRank { params };
+    let config = BspConfig::with_workers(4);
+
+    let mut table = ResultTable::new(
+        "Simulated vs measured superstep cost (PageRank on LJ analog)",
+        &[
+            "transport",
+            "supersteps",
+            "sim superstep ms",
+            "meas superstep ms",
+            "meas total ms",
+            "wire KB",
+        ],
+    );
+    let mut points: Vec<TransportTiming> = Vec::new();
+
+    for kind in [TransportKind::InProc, TransportKind::Process] {
+        let opts = DriveOptions::new(kind);
+        let result =
+            drive(&program, &spec, &[], &graph, &config, &opts).expect("cluster drive succeeds");
+        let measured = result
+            .profile
+            .measured
+            .as_ref()
+            .expect("transport-backed runs record measured timings");
+        let timing = timing_of(&result.profile, measured);
+        table.push_row(vec![
+            timing.transport.clone(),
+            timing.supersteps.to_string(),
+            format!("{:.3}", timing.simulated_superstep_ms),
+            format!("{:.3}", timing.measured_superstep_ms),
+            format!("{:.3}", timing.measured_total_ms),
+            format!("{:.1}", timing.wire_bytes as f64 / 1024.0),
+        ]);
+        points.push(timing);
+    }
+
+    // The determinism contract makes the simulated columns transport-
+    // independent; assert it so the report can't silently drift.
+    assert_eq!(
+        points[0].simulated_superstep_ms, points[1].simulated_superstep_ms,
+        "simulated timings must be identical across transports"
+    );
+    assert_eq!(points[0].supersteps, points[1].supersteps);
+
+    table.emit("cluster_timing", &points);
+}

@@ -281,6 +281,65 @@ fn run_probes() -> Vec<ProbeResult> {
         );
         push("pool_warm_batch_spawns", "rmat_s11_d8", warm_spawns);
     }
+
+    // Cluster transport probes: the wire format's encode/decode cost on a
+    // representative PageRank message batch, and the channel transport's
+    // whole-run overhead against the in-memory executor on an identical
+    // pinned PageRank run (same graph, same convergence, byte-identical
+    // output — the delta is pure framing + scheduling cost).
+    {
+        use predict_algorithms::{PageRank, PageRankParams};
+        use predict_cluster::{
+            decode_exact, drive, encode_to_vec, DriveOptions, ProgramSpec, TransportKind, WireBatch,
+        };
+
+        // A dense-ish batch: 4096 destination vertices, 4 f64 messages each,
+        // the shape a hub-heavy R-MAT superstep produces.
+        let batch = WireBatch::<f64> {
+            superstep: 3,
+            src: 1,
+            dst: 2,
+            seq: 7,
+            runs: (0..4096u32)
+                .map(|v| (v, vec![0.25f64, 0.5, 0.125, 0.0625]))
+                .collect(),
+        };
+        let bytes = encode_to_vec(&batch);
+        eprintln!("[probe] wire batch payload: {} bytes", bytes.len());
+        push(
+            "wire_encode_batch",
+            "pagerank_4096x4",
+            median_ns(reps, || encode_to_vec(&batch)),
+        );
+        push(
+            "wire_decode_batch",
+            "pagerank_4096x4",
+            median_ns(reps, || {
+                decode_exact::<WireBatch<f64>>(&bytes).expect("round-trip decodes")
+            }),
+        );
+
+        let graph = generate_rmat(&RmatConfig::new(10, 8).with_seed(PROBE_SEED));
+        let params = PageRankParams::with_epsilon(0.01, graph.num_vertices());
+        let program = PageRank::new(params);
+        let config = BspConfig::with_workers(4);
+        let engine = BspEngine::new(config.clone());
+        let inmem_ns = median_ns(reps, || engine.run(&graph, &program));
+        push("bsp_run_inmem", "rmat_s10_d8", inmem_ns);
+        let spec = ProgramSpec::PageRank { params };
+        let opts = DriveOptions::new(TransportKind::InProc);
+        // Warm the worker pool so the probe times steady-state supersteps,
+        // not thread spawns.
+        drive(&program, &spec, &[], &graph, &config, &opts).expect("warm-up drive succeeds");
+        let inproc_ns = median_ns(reps, || {
+            drive(&program, &spec, &[], &graph, &config, &opts).expect("inproc drive succeeds")
+        });
+        push("bsp_run_inproc", "rmat_s10_d8", inproc_ns);
+        eprintln!(
+            "[probe] inproc/in-memory run overhead on rmat_s10_d8: {:.2}x",
+            inproc_ns as f64 / inmem_ns.max(1) as f64
+        );
+    }
     results
 }
 

@@ -19,9 +19,14 @@
 //!
 //! Scenarios execute at `PREDICT_SCALE=small` (goldens are small-scale
 //! artifacts; override by exporting `PREDICT_SCALE` yourself) and honor
-//! `PREDICT_THREADS`, so CI can assert that 1-thread and 4-thread sweeps
-//! produce the same goldens. Exit code: 0 when every scenario matches, 1 on
-//! any mismatch or missing golden.
+//! `PREDICT_THREADS` and `PREDICT_TRANSPORT`, so CI can assert that 1-thread
+//! and 4-thread sweeps — and the in-memory, in-process and OS-process
+//! transports — all produce the same goldens. The summary table carries a
+//! transport column recording which transport each scenario ran under, and a
+//! scenario that dies mid-run (e.g. a killed cluster worker) surfaces the
+//! tail of its stderr, which includes the worker id, superstep and worker
+//! stderr carried by the structured cluster error. Exit code: 0 when every
+//! scenario matches, 1 on any mismatch or missing golden.
 
 use std::path::{Path, PathBuf};
 use std::process::Command;
@@ -68,9 +73,12 @@ fn run_scenario(name: &str) -> Result<String, String> {
         .map_err(|e| format!("could not launch {}: {e}", bin.display()))?;
     if !output.status.success() {
         // Surface the tail of the child's stderr so a CI failure is
-        // debuggable without a local repro.
+        // debuggable without a local repro. Cluster-transport failures land
+        // here too: a killed worker aborts the experiment with a structured
+        // error naming the worker, the superstep and the worker's own stderr
+        // tail, so the tail is deep enough to carry all of it.
         let stderr = String::from_utf8_lossy(&output.stderr);
-        let tail: Vec<&str> = stderr.lines().rev().take(5).collect();
+        let tail: Vec<&str> = stderr.lines().rev().take(20).collect();
         let tail: Vec<&str> = tail.into_iter().rev().collect();
         return Err(format!(
             "{name} exited with {}; stderr tail:\n  {}",
@@ -114,15 +122,23 @@ struct Outcome {
 
 /// Prints the aligned status-per-scenario table every run ends with, so a CI
 /// log shows the full blast radius of a golden mismatch at a glance instead
-/// of only the first diff encountered.
-fn print_summary(outcomes: &[Outcome]) {
+/// of only the first diff encountered. The transport column records which
+/// executor produced each artifact — goldens are transport-independent, so
+/// the same table must read `ok` under every column value.
+fn print_summary(outcomes: &[Outcome], transport: &str) {
     let width = outcomes.iter().map(|o| o.name.len()).max().unwrap_or(8);
+    let twidth = transport.len().max("transport".len());
     println!("\n== scenario summary ==");
+    println!(
+        "{:<width$}  stat  {:<twidth$}  detail",
+        "scenario", "transport"
+    );
     for o in outcomes {
         println!(
-            "{:<width$}  {}  {}",
+            "{:<width$}  {}  {:<twidth$}  {}",
             o.name,
             if o.failed { "FAIL" } else { "ok  " },
+            transport,
             o.status
         );
     }
@@ -143,6 +159,11 @@ fn main() {
         eprintln!("no scenario matches the given filters");
         std::process::exit(1);
     }
+
+    // The transport every child scenario inherits through the environment;
+    // parsed with the same knob rules the engine itself applies.
+    let transport = predict_bsp::env_transport().name();
+    println!("transport: {transport} (set PREDICT_TRANSPORT=inmem|inproc|process)");
 
     let golden = golden_dir();
     if bless {
@@ -216,7 +237,7 @@ fn main() {
         }
     }
 
-    print_summary(&outcomes);
+    print_summary(&outcomes, transport);
     if outcomes.iter().any(|o| o.failed) {
         std::process::exit(1);
     }

@@ -107,6 +107,17 @@ impl Aggregates {
     pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
         self.values.iter().map(|(k, (_, v))| (k.as_str(), *v))
     }
+
+    /// Iterates over `(name, kind, value)` triples in lexicographic name
+    /// order — the full state of the set, enough to reconstruct it through
+    /// [`Aggregates::combine`]. The cluster wire format serializes aggregate
+    /// sets through this accessor (values as exact `f64` bits, no text
+    /// round-trip).
+    pub fn entries(&self) -> impl Iterator<Item = (&str, AggregatorKind, f64)> {
+        self.values
+            .iter()
+            .map(|(k, (kind, v))| (k.as_str(), *kind, *v))
+    }
 }
 
 #[cfg(test)]

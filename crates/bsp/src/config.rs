@@ -1,7 +1,9 @@
 //! Engine configuration.
 
 use crate::cost::ClusterCostConfig;
+use crate::knobs;
 use crate::partition::PartitionStrategy;
+use crate::remote::TransportMode;
 use crate::storage::StorageMode;
 use serde::{Deserialize, Serialize};
 
@@ -74,11 +76,7 @@ impl ExecutionMode {
         };
         let threads = match self {
             Self::Sequential => 1,
-            Self::Auto => std::env::var("PREDICT_THREADS")
-                .ok()
-                .and_then(|v| v.trim().parse::<usize>().ok())
-                .filter(|&t| t > 0)
-                .unwrap_or_else(auto_no_env),
+            Self::Auto => knobs::env_threads().unwrap_or_else(auto_no_env),
             Self::Parallel { threads: 0 } => auto_no_env(),
             Self::Parallel { threads } => threads,
         };
@@ -112,13 +110,7 @@ impl PoolMode {
         match self {
             Self::On => true,
             Self::Off => false,
-            Self::Auto => !matches!(
-                std::env::var("PREDICT_POOL")
-                    .ok()
-                    .map(|v| v.trim().to_ascii_lowercase())
-                    .as_deref(),
-                Some("off") | Some("0") | Some("false")
-            ),
+            Self::Auto => knobs::env_pool_enabled(),
         }
     }
 }
@@ -153,6 +145,13 @@ pub struct BspConfig {
     /// `PREDICT_POOL`) when absent from serialized configs.
     #[serde(default)]
     pub pool: PoolMode,
+    /// Which executor runs the supersteps: the in-memory runtime or a
+    /// transport-backed worker cluster (interpreted by `predict_cluster`,
+    /// which sits above this crate). Never affects results — see
+    /// [`crate::remote`]. Defaults to [`TransportMode::Auto`] (honor
+    /// `PREDICT_TRANSPORT`) when absent from serialized configs.
+    #[serde(default)]
+    pub transport: TransportMode,
 }
 
 impl Default for BspConfig {
@@ -165,6 +164,7 @@ impl Default for BspConfig {
             execution: ExecutionMode::Auto,
             storage: StorageMode::Auto,
             pool: PoolMode::Auto,
+            transport: TransportMode::Auto,
         }
     }
 }
@@ -212,6 +212,12 @@ impl BspConfig {
     /// Replaces the worker-pool mode.
     pub fn with_pool(mut self, pool: PoolMode) -> Self {
         self.pool = pool;
+        self
+    }
+
+    /// Replaces the transport mode.
+    pub fn with_transport(mut self, transport: TransportMode) -> Self {
+        self.transport = transport;
         self
     }
 
@@ -331,6 +337,24 @@ mod tests {
         assert_ne!(stripped, json, "pool field must be present and Auto");
         let back: BspConfig = serde_json::from_str(&stripped).unwrap();
         assert_eq!(back, config, "missing pool must default to Auto");
+    }
+
+    #[test]
+    fn configs_serialized_before_the_transport_field_still_deserialize() {
+        let config = BspConfig::with_workers(2);
+        let json = serde_json::to_string(&config).unwrap();
+        let stripped = json.replace(",\"transport\":\"Auto\"", "");
+        assert_ne!(stripped, json, "transport field must be present and Auto");
+        let back: BspConfig = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back, config, "missing transport must default to Auto");
+    }
+
+    #[test]
+    fn transport_mode_round_trips_with_the_config() {
+        let config = BspConfig::with_workers(2).with_transport(TransportMode::InProc);
+        let json = serde_json::to_string(&config).unwrap();
+        let back: BspConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.transport, TransportMode::InProc);
     }
 
     #[test]

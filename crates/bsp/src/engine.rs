@@ -138,6 +138,34 @@ impl BspEngine {
         }
     }
 
+    /// A clone of this engine with a different transport mode, sharing the
+    /// run counter, layout cache and pool — the transport counterpart of
+    /// [`BspEngine::with_execution`]. The engine itself never reads the
+    /// transport knob (its own runs are always in-memory); the cluster
+    /// runner (`predict_cluster`) resolves it to decide whether a workload
+    /// executes in-process or over spawned worker processes.
+    pub fn with_transport(&self, transport: crate::remote::TransportMode) -> Self {
+        Self {
+            config: BspConfig {
+                transport,
+                ..self.config.clone()
+            },
+            runs: Arc::clone(&self.runs),
+            layouts: Arc::clone(&self.layouts),
+            pool: Arc::clone(&self.pool),
+        }
+    }
+
+    /// Counts one engine run that was executed outside [`BspEngine::run`] —
+    /// the cluster runner drives supersteps through its own transport but
+    /// still reports each drive here, so
+    /// [`runs_executed`](BspEngine::runs_executed) keeps its meaning (and the
+    /// prediction layer's cache-amortization accounting stays comparable)
+    /// across transports.
+    pub fn record_external_run(&self) {
+        self.runs.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// The engine's persistent worker pool when [`BspConfig::pool`] resolves
     /// to enabled, `None` under [`PoolMode::Off`](crate::config::PoolMode).
     /// The prediction service schedules whole request batches onto this same

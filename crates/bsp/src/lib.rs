@@ -66,9 +66,11 @@ pub mod config;
 pub mod cost;
 pub mod counters;
 pub mod engine;
+pub mod knobs;
 pub mod partition;
 pub mod profile;
 pub mod program;
+pub mod remote;
 pub mod runtime;
 pub mod storage;
 pub mod worker;
@@ -79,9 +81,11 @@ pub use config::{BspConfig, ExecutionMode, PoolMode};
 pub use cost::{ClusterClock, ClusterCostConfig};
 pub use counters::{sum_counters, WorkerCounters};
 pub use engine::{BspEngine, BspRunResult, HaltReason};
+pub use knobs::{env_transport, TransportChoice};
 pub use partition::{PartitionStrategy, Partitioning};
 pub use profile::{RunProfile, SuperstepProfile};
 pub use program::{ComputeContext, InitContext, VertexProgram};
+pub use remote::{MeasuredRun, MeasuredSuperstep, TransportMode};
 pub use runtime::{
     process_threads_spawned, record_external_spawn, LayoutCache, ShardLayout, WorkerPool,
     WorkerShard,

@@ -73,6 +73,14 @@ pub struct RunProfile {
     pub write_ms: f64,
     /// One entry per executed superstep.
     pub supersteps: Vec<SuperstepProfile>,
+    /// Measured wall-clock and wire-byte timings when the run executed over
+    /// a real transport (`predict_cluster`'s driver fills this); `None` on
+    /// in-memory runs. Deliberately excluded from serialization: measured
+    /// times differ run to run, while serialized profiles are pinned
+    /// byte-for-byte by the golden scenarios and the history store, so this
+    /// field must never reach the JSON (see [`crate::remote`]).
+    #[serde(skip)]
+    pub measured: Option<crate::remote::MeasuredRun>,
 }
 
 impl RunProfile {
@@ -163,6 +171,7 @@ mod tests {
                     aggregates: Aggregates::new(),
                 },
             ],
+            measured: None,
         }
     }
 
@@ -216,6 +225,7 @@ mod tests {
             read_ms: 0.0,
             write_ms: 0.0,
             supersteps: vec![],
+            measured: None,
         };
         assert_eq!(p.num_iterations(), 0);
         assert_eq!(p.superstep_phase_ms(), 0.0);

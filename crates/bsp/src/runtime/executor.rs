@@ -263,6 +263,7 @@ pub fn execute_pooled<P: VertexProgram>(
         read_ms,
         write_ms,
         supersteps,
+        measured: None,
     };
     BspRunResult {
         values,

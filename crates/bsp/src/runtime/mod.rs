@@ -50,7 +50,18 @@
 //!    closure: chunk boundaries still come from the resolved thread count,
 //!    chunks write disjoint state, and the scope latch joins all of them
 //!    before the master proceeds — so pooled and scoped scheduling are
-//!    observationally identical.
+//!    observationally identical;
+//! 8. the contract extends across the process boundary: the cluster
+//!    transports (`predict_cluster`, selected by
+//!    [`TransportMode`](crate::remote::TransportMode)) replay this exact
+//!    loop with each shard behind a message channel or an OS pipe. Message
+//!    batches are sequenced by (source worker, batch sequence number) and
+//!    runs within a batch are stably grouped by destination vertex, so every
+//!    inbox sees the order of point (4); the master merges `StepDone`
+//!    replies in ascending worker order and drives the same clock call
+//!    order, so values, [`RunProfile`] and halt reason stay byte-identical
+//!    under in-memory, in-process-channel and spawned-process execution
+//!    (pinned by the golden scenarios run under `PREDICT_TRANSPORT`).
 //!
 //! Property (2) is also why the runtime exists at all: PREDIcT executes
 //! thousands of sample runs (see `PredictService::submit_batch`), and the

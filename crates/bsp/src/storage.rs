@@ -57,9 +57,7 @@ impl StorageMode {
         match self {
             Self::Unified => false,
             Self::Sharded => true,
-            Self::Auto => std::env::var("PREDICT_STORAGE")
-                .map(|v| v.trim().eq_ignore_ascii_case("sharded"))
-                .unwrap_or(false),
+            Self::Auto => crate::knobs::env_storage_sharded(),
         }
     }
 }

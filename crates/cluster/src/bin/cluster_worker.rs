@@ -1,0 +1,18 @@
+//! Long-lived BSP worker process.
+//!
+//! Speaks the framed cluster protocol over stdin/stdout (which is why
+//! nothing here may ever print to stdout) and serves episodes until the
+//! driver closes the pipe or sends `Shutdown`. Diagnostics go to stderr,
+//! where the driver tails them into failure reports.
+
+use predict_cluster::{serve, StdioEndpoint};
+
+fn main() {
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut ep = StdioEndpoint::new(stdin.lock(), stdout.lock());
+    if let Err(message) = serve(&mut ep, true) {
+        eprintln!("cluster_worker: {message}");
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,325 @@
+//! The cluster driver: the BSP master over a transport boundary.
+//!
+//! [`drive`] runs one vertex program to completion against a group of
+//! workers, mirroring the in-memory executor
+//! (`predict_bsp::runtime`) phase for phase: the same clock call order, the
+//! same ascending-worker merges, the same halt priority — which is what
+//! makes the result byte-identical to an in-memory run (determinism contract
+//! point 8). What the in-memory executor does with buffer swaps, the driver
+//! does with `Step`/`StepDone` frames; everything order-sensitive still
+//! happens on this thread.
+//!
+//! On top of the simulated [`ClusterClock`] timings the driver records what
+//! the paper's simulated clock cannot see: *measured* per-superstep wall
+//! time, per-worker compute time and bytes-on-the-wire, attached to the
+//! returned [`RunProfile`] as a [`MeasuredRun`].
+
+use crate::error::ClusterError;
+use crate::protocol::{self, tag, FaultSpec, InitHeader, ProgramSpec, StepBody, StepDoneBody};
+use crate::transport::{self, Connection, TransportKind, WorkerGroup};
+use crate::wire::{decode_exact, encode_to_vec, Wire, WireBatch};
+use predict_bsp::runtime::ShardLayout;
+use predict_bsp::{
+    Aggregates, BspConfig, BspRunResult, ClusterClock, GraphStorage, HaltReason, MeasuredRun,
+    MeasuredSuperstep, RunProfile, SuperstepProfile, VertexProgram,
+};
+use predict_graph::{CsrGraph, ShardedCsr, VertexId};
+use std::time::{Duration, Instant};
+
+/// How a cluster drive runs: backend, read deadline, injected fault.
+#[derive(Debug, Clone)]
+pub struct DriveOptions {
+    /// Transport backend to run the workers on.
+    pub kind: TransportKind,
+    /// Driver-side read deadline per expected frame. A worker that sends
+    /// nothing for this long fails the drive with [`ClusterError::Timeout`]
+    /// instead of hanging it.
+    pub timeout: Duration,
+    /// Fault injected into one worker `(worker, fault)` — robustness tests
+    /// only. Faulted drives always use a fresh worker group and never
+    /// return it to the pool.
+    pub fault: Option<(usize, FaultSpec)>,
+}
+
+impl DriveOptions {
+    /// Options for a normal (fault-free) drive on `kind`.
+    pub fn new(kind: TransportKind) -> Self {
+        Self {
+            kind,
+            timeout: Duration::from_secs(120),
+            fault: None,
+        }
+    }
+}
+
+/// Runs `program` over `graph` on a worker group, returning the same
+/// [`BspRunResult`] the in-memory engine returns — byte-identical values,
+/// profile and halt reason — plus measured timings in
+/// [`RunProfile::measured`].
+///
+/// `spec` must describe the same program as `program` (the driver keeps its
+/// own instance for the master-side halt check; the workers build theirs
+/// from the spec). `ranks` is the TOP-K input ranking and empty for every
+/// other program.
+pub fn drive<P>(
+    program: &P,
+    spec: &ProgramSpec,
+    ranks: &[f64],
+    graph: &CsrGraph,
+    config: &BspConfig,
+    opts: &DriveOptions,
+) -> Result<BspRunResult<P::VertexValue>, ClusterError>
+where
+    P: VertexProgram,
+    P::Message: Wire,
+    P::VertexValue: Wire,
+{
+    // Faulted groups die by design; never take one from (or return one to)
+    // the shared pool.
+    let mut group = if opts.fault.is_some() {
+        WorkerGroup::spawn(opts.kind, config.num_workers)?
+    } else {
+        transport::checkout(opts.kind, config.num_workers)?
+    };
+    let result = drive_on_group(program, spec, ranks, graph, config, opts, &mut group);
+    if result.is_ok() && opts.fault.is_none() {
+        transport::checkin(group);
+    }
+    // On error (or after a faulted drive) the group drops here, killing its
+    // workers; its protocol state is unknown and must not be reused.
+    result
+}
+
+/// Receives one frame from `conn`, requiring tag `want`; `Error` frames
+/// become [`ClusterError::Remote`], anything else [`ClusterError::Protocol`].
+fn expect_frame(
+    conn: &mut Connection,
+    want: u8,
+    timeout: Duration,
+) -> Result<Vec<u8>, ClusterError> {
+    let (got, body) = conn.recv(timeout)?;
+    if got == tag::ERROR {
+        let message: String =
+            decode_exact(&body).unwrap_or_else(|_| "<undecodable error frame>".into());
+        return Err(ClusterError::Remote {
+            worker: conn.worker(),
+            message,
+        });
+    }
+    if got != want {
+        return Err(ClusterError::Protocol {
+            worker: conn.worker(),
+            detail: format!("expected frame tag {want:#04x}, got {got:#04x}"),
+        });
+    }
+    Ok(body)
+}
+
+fn drive_on_group<P>(
+    program: &P,
+    spec: &ProgramSpec,
+    ranks: &[f64],
+    graph: &CsrGraph,
+    config: &BspConfig,
+    opts: &DriveOptions,
+    group: &mut WorkerGroup,
+) -> Result<BspRunResult<P::VertexValue>, ClusterError>
+where
+    P: VertexProgram,
+    P::Message: Wire,
+    P::VertexValue: Wire,
+{
+    let num_workers = config.num_workers;
+    let n = graph.num_vertices();
+    let layout = ShardLayout::build(n, num_workers, config.partition_strategy);
+    let run_start = Instant::now();
+
+    // Same clock call order as the in-memory executor: setup, read, one
+    // superstep call per superstep, write — so simulated times (including
+    // their deterministic noise stream) match bit for bit.
+    let mut clock = ClusterClock::new(config.cost.clone());
+    let setup_ms = clock.setup_time_ms();
+    let read_ms = clock.read_time_ms(graph.num_edges(), num_workers);
+
+    let GraphStorage::Sharded(shards) =
+        GraphStorage::shard_graph(graph, num_workers, config.partition_strategy)
+    else {
+        unreachable!("shard_graph always builds sharded storage")
+    };
+
+    // Init every worker, then collect InitOk in ascending worker order.
+    for (w, shard) in shards.iter().enumerate() {
+        let header = InitHeader {
+            protocol_version: protocol::PROTOCOL_VERSION,
+            worker: w,
+            num_workers,
+            strategy: config.partition_strategy,
+            program: spec.clone(),
+            fault: match &opts.fault {
+                Some((fw, fault)) if *fw == w => Some(*fault),
+                _ => None,
+            },
+        };
+        let body = protocol::encode_init(&header, shard, ranks);
+        group.connections[w].send(tag::INIT, &body)?;
+    }
+    drop(shards);
+    for conn in &mut group.connections {
+        expect_frame(conn, tag::INIT_OK, opts.timeout)?;
+    }
+
+    // Undelivered batches per destination worker. Filled from `StepDone`
+    // replies in ascending source order, drained into the next `Step`.
+    let mut pending: Vec<Vec<WireBatch<P::Message>>> =
+        (0..num_workers).map(|_| Vec::new()).collect();
+    let mut previous_aggregates = Aggregates::new();
+    let mut supersteps: Vec<SuperstepProfile> = Vec::new();
+    let mut measured: Vec<MeasuredSuperstep> = Vec::new();
+    let mut halt_reason = HaltReason::MaxSupersteps;
+
+    for superstep in 0..config.max_supersteps {
+        let step_start = Instant::now();
+        let mut wire_bytes = vec![0u64; num_workers];
+
+        // Fan the step out to every worker before reading any reply, so
+        // workers compute concurrently.
+        for w in 0..num_workers {
+            let step = StepBody {
+                superstep: superstep as u64,
+                previous_aggregates: previous_aggregates.clone(),
+                batches: std::mem::take(&mut pending[w]),
+            };
+            let body = encode_to_vec(&step);
+            wire_bytes[w] += body.len() as u64;
+            group.connections[w]
+                .send(tag::STEP, &body)
+                .map_err(|e| e.at_superstep(superstep))?;
+        }
+
+        // Barrier: collect StepDone in ascending worker order and merge in
+        // that order, as the in-memory master does.
+        let mut worker_counters = Vec::with_capacity(num_workers);
+        let mut worker_compute_ns = Vec::with_capacity(num_workers);
+        let mut aggregates = Aggregates::new();
+        let mut messages_sent = 0u64;
+        let mut all_halted = true;
+        for (w, wire) in wire_bytes.iter_mut().enumerate() {
+            let body = expect_frame(&mut group.connections[w], tag::STEP_DONE, opts.timeout)
+                .map_err(|e| e.at_superstep(superstep))?;
+            *wire += body.len() as u64;
+            let done: StepDoneBody<P::Message> =
+                decode_exact(&body).map_err(|e| ClusterError::from_wire(w, e))?;
+            worker_counters.push(done.counters);
+            worker_compute_ns.push(done.compute_ns);
+            aggregates.merge(&done.partial_aggregates);
+            messages_sent += done.counters.total_messages();
+            all_halted &= done.all_halted;
+            // Route the worker's outbound batches; sources arrive ascending
+            // and each source's batches are ascending by destination, so
+            // every pending list stays sorted by source worker.
+            for batch in done.batches {
+                let dst = batch.dst as usize;
+                if dst >= num_workers || dst == w {
+                    return Err(ClusterError::Protocol {
+                        worker: w,
+                        detail: format!("batch addressed to invalid worker {dst}"),
+                    });
+                }
+                pending[dst].push(batch);
+            }
+        }
+
+        let (wall_time_ms, worker_times_ms) = clock.superstep_time_ms(&worker_counters);
+        supersteps.push(SuperstepProfile {
+            superstep,
+            workers: worker_counters,
+            worker_times_ms,
+            wall_time_ms,
+            aggregates: aggregates.clone(),
+        });
+        measured.push(MeasuredSuperstep {
+            wall_ns: step_start.elapsed().as_nanos() as u64,
+            worker_compute_ns,
+            wire_bytes,
+        });
+
+        // Halt checks in the executor's priority order. The batches still
+        // pending after a halt are never delivered; the in-memory executor
+        // delivers them into inboxes no compute phase will ever read, so
+        // values and profile are unaffected.
+        if program.master_halt(superstep, &aggregates) {
+            halt_reason = HaltReason::MasterConverged;
+            break;
+        }
+        if messages_sent == 0 && all_halted {
+            halt_reason = HaltReason::AllVerticesHalted;
+            break;
+        }
+        previous_aggregates = aggregates;
+    }
+
+    let write_ms = clock.write_time_ms(n, num_workers);
+
+    // Collect final values: one slot-ordered vector per worker, scattered
+    // back to vertex order through one cursor per shard.
+    for conn in &mut group.connections {
+        conn.send(tag::FINISH, &[])?;
+    }
+    let mut cursors = Vec::with_capacity(num_workers);
+    for w in 0..num_workers {
+        let body = expect_frame(&mut group.connections[w], tag::VALUES, opts.timeout)?;
+        let values: Vec<P::VertexValue> =
+            decode_exact(&body).map_err(|e| ClusterError::from_wire(w, e))?;
+        if values.len() != layout.shard_vertices(w).len() {
+            return Err(ClusterError::Protocol {
+                worker: w,
+                detail: format!(
+                    "expected {} values, got {}",
+                    layout.shard_vertices(w).len(),
+                    values.len()
+                ),
+            });
+        }
+        cursors.push(values.into_iter());
+    }
+    let mut values: Vec<P::VertexValue> = Vec::with_capacity(n);
+    for v in 0..n {
+        values.push(
+            cursors[layout.owner_of(v as VertexId)]
+                .next()
+                .expect("value counts verified per shard"),
+        );
+    }
+
+    let profile = RunProfile {
+        algorithm: program.name().to_string(),
+        num_vertices: n,
+        num_edges: graph.num_edges(),
+        num_workers,
+        setup_ms,
+        read_ms,
+        write_ms,
+        supersteps,
+        measured: Some(MeasuredRun {
+            transport: opts.kind.name().to_string(),
+            supersteps: measured,
+            total_wall_ns: run_start.elapsed().as_nanos() as u64,
+        }),
+    };
+    Ok(BspRunResult {
+        values,
+        profile,
+        halt_reason,
+    })
+}
+
+/// Builds the shard this driver would send to `worker` — exposed for tests
+/// and benches that exercise the wire format against real shards.
+pub fn shard_for(graph: &CsrGraph, config: &BspConfig, worker: usize) -> ShardedCsr {
+    let GraphStorage::Sharded(mut shards) =
+        GraphStorage::shard_graph(graph, config.num_workers, config.partition_strategy)
+    else {
+        unreachable!("shard_graph always builds sharded storage")
+    };
+    shards.swap_remove(worker)
+}

@@ -1,0 +1,56 @@
+//! Out-of-process BSP workers over the cut lists: a transport-abstracted
+//! mini-Giraph.
+//!
+//! The in-memory engine (`predict_bsp`) simulates a cluster: shards, cut
+//! lists and per-worker counters all exist, but every "worker" is a thread
+//! reading shared memory and the clock is synthetic. This crate makes the
+//! distribution real. Each worker owns its
+//! [`ShardedCsr`](predict_graph::ShardedCsr) shard behind an explicit
+//! transport boundary, peer messages travel as encoded batches over the cut,
+//! and every superstep's wall time and bytes-on-the-wire are *measured*, not
+//! simulated — the numbers the paper's simulated clock
+//! (`predict_bsp::ClusterClock`) can then be judged against.
+//!
+//! Three layers:
+//!
+//! * [`wire`] — a compact, versioned, length-delimited encoding of
+//!   everything that crosses a worker boundary: message batches as sorted
+//!   per-vertex runs ([`WireBatch`]), counters, aggregates, shards, values.
+//!   Pure bytes; no transport anywhere in sight.
+//! * [`protocol`] + [`transport`] + [`endpoint`] — framed star-topology
+//!   superstep protocol (`Init`/`Step`/`StepDone`/`Finish`), spoken over two
+//!   interchangeable backends: in-process worker threads over channels
+//!   ([`TransportKind::InProc`]) and long-lived `cluster_worker` OS
+//!   processes over stdin/stdout pipes ([`TransportKind::Process`]).
+//!   Barrier, halt voting and aggregate exchange ride the same frames.
+//! * [`driver`] + [`runner`] — the BSP master over a worker group, mirroring
+//!   the in-memory executor's merge and clock order so results are
+//!   *byte-identical* to in-memory runs (the engine's determinism contract,
+//!   point 8), while recording a [`MeasuredRun`](predict_bsp::MeasuredRun)
+//!   into the profile. [`run_workload`] is the drop-in workload entry point
+//!   the prediction pipeline uses; `PREDICT_TRANSPORT=inproc|process`
+//!   switches executors without touching results.
+//!
+//! Failure is structured, not silent: a worker that dies or hangs
+//! mid-superstep surfaces as a [`ClusterError`] naming the worker, the
+//! superstep and the tail of its stderr.
+
+pub mod driver;
+pub mod endpoint;
+pub mod error;
+pub mod protocol;
+pub mod runner;
+pub mod transport;
+pub mod wire;
+pub mod worker;
+
+pub use driver::{drive, shard_for, DriveOptions};
+pub use endpoint::{ChannelEndpoint, Endpoint, StdioEndpoint};
+pub use error::{ClusterError, WireError};
+pub use protocol::{FaultSpec, InitHeader, ProgramSpec, StepBody, StepDoneBody, PROTOCOL_VERSION};
+pub use runner::{run_spec, run_workload};
+pub use transport::{checkin, checkout, worker_bin_path, Connection, TransportKind, WorkerGroup};
+pub use wire::{
+    batch_from_routed, batch_into_row, decode_exact, encode_to_vec, Wire, WireBatch, WIRE_VERSION,
+};
+pub use worker::serve;

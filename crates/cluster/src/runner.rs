@@ -1,0 +1,152 @@
+//! Workload-level entry point: run a `Workload` on whichever executor the
+//! engine's transport mode selects.
+//!
+//! [`run_workload`] is what the prediction pipeline calls instead of
+//! `Workload::run` directly. It resolves the engine's
+//! [`TransportMode`](predict_bsp::TransportMode) (honoring the
+//! `PREDICT_TRANSPORT` env knob under `Auto`); `InMemory` — and any workload
+//! without a [`WorkloadSpec`] — dispatches straight to the in-memory trait
+//! method, while `InProc`/`Process` replays the workload's preparation steps
+//! (undirected conversion for SC and CC, the PageRank pre-pass for TOP-K)
+//! around [`drive`] calls, so the cluster path runs exactly the graph and
+//! program sequence the in-memory path runs. Every cluster drive is counted
+//! through [`BspEngine::record_external_run`], keeping the engine's
+//! `runs_executed` statistic comparable across executors (the TOP-K
+//! workload is two runs on either path).
+
+use crate::driver::{drive, DriveOptions};
+use crate::error::ClusterError;
+use crate::protocol::ProgramSpec;
+use crate::transport::TransportKind;
+use predict_algorithms::{
+    to_undirected, ConnectedComponents, NeighborhoodEstimation, PageRank, PageRankParams,
+    SemiClustering, TopKRanking, Workload, WorkloadRun, WorkloadSpec,
+};
+use predict_bsp::{BspEngine, BspRunResult, GraphStorage};
+use predict_graph::CsrGraph;
+
+/// Runs `workload` on `graph` under the engine's resolved transport.
+///
+/// `storage` is an optional pre-built sharded/unified store of `graph`,
+/// forwarded to the in-memory path when that path is taken (the cluster
+/// path ships shards of its own). The in-memory path cannot fail; every
+/// error is a cluster-transport failure.
+pub fn run_workload(
+    engine: &BspEngine,
+    workload: &dyn Workload,
+    graph: &CsrGraph,
+    storage: Option<&GraphStorage>,
+) -> Result<WorkloadRun, ClusterError> {
+    let choice = engine.config().transport.resolve();
+    let (Some(kind), Some(spec)) = (TransportKind::from_choice(choice), workload.spec()) else {
+        return Ok(match storage {
+            Some(storage) => workload.run_storage(engine, graph, storage),
+            None => workload.run(engine, graph),
+        });
+    };
+    let opts = DriveOptions::new(kind);
+    run_spec(engine, &spec, graph, &opts)
+}
+
+/// Runs a [`WorkloadSpec`] over the cluster transport in `opts`, replaying
+/// the in-memory workloads' preparation steps.
+pub fn run_spec(
+    engine: &BspEngine,
+    spec: &WorkloadSpec,
+    graph: &CsrGraph,
+    opts: &DriveOptions,
+) -> Result<WorkloadRun, ClusterError> {
+    let config = engine.config();
+    match spec {
+        WorkloadSpec::PageRank { params } => {
+            let program = PageRank::new(*params);
+            let result = drive(
+                &program,
+                &ProgramSpec::PageRank { params: *params },
+                &[],
+                graph,
+                config,
+                opts,
+            )?;
+            engine.record_external_run();
+            Ok(into_run(result))
+        }
+        WorkloadSpec::TopK {
+            params,
+            pagerank_epsilon,
+        } => {
+            // The PageRank pre-pass that produces the input ranking; only
+            // the top-k phase below is profiled, as in the in-memory path.
+            let pr_params = PageRankParams::with_epsilon(*pagerank_epsilon, graph.num_vertices());
+            let pre = PageRank::new(pr_params);
+            let ranks = drive(
+                &pre,
+                &ProgramSpec::PageRank { params: pr_params },
+                &[],
+                graph,
+                config,
+                opts,
+            )?
+            .values;
+            engine.record_external_run();
+            let program = TopKRanking::new(*params, ranks.clone());
+            let result = drive(
+                &program,
+                &ProgramSpec::TopK { params: *params },
+                &ranks,
+                graph,
+                config,
+                opts,
+            )?;
+            engine.record_external_run();
+            Ok(into_run(result))
+        }
+        WorkloadSpec::SemiClustering { params } => {
+            let undirected = to_undirected(graph);
+            let program = SemiClustering::new(*params);
+            let result = drive(
+                &program,
+                &ProgramSpec::SemiClustering { params: *params },
+                &[],
+                &undirected,
+                config,
+                opts,
+            )?;
+            engine.record_external_run();
+            Ok(into_run(result))
+        }
+        WorkloadSpec::ConnectedComponents {} => {
+            let undirected = to_undirected(graph);
+            let result = drive(
+                &ConnectedComponents,
+                &ProgramSpec::ConnectedComponents {},
+                &[],
+                &undirected,
+                config,
+                opts,
+            )?;
+            engine.record_external_run();
+            Ok(into_run(result))
+        }
+        WorkloadSpec::Neighborhood { params } => {
+            let program = NeighborhoodEstimation::new(*params);
+            let result = drive(
+                &program,
+                &ProgramSpec::Neighborhood { params: *params },
+                &[],
+                graph,
+                config,
+                opts,
+            )?;
+            engine.record_external_run();
+            Ok(into_run(result))
+        }
+    }
+}
+
+fn into_run<V>(result: BspRunResult<V>) -> WorkloadRun {
+    WorkloadRun {
+        profile: result.profile,
+        halt_reason: result.halt_reason,
+    }
+}

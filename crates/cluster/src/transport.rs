@@ -1,0 +1,427 @@
+//! Driver-side transports: in-process worker threads and worker OS processes.
+//!
+//! A [`Connection`] is the driver's handle to one worker. Both backends
+//! expose the same three operations — send a frame, receive a frame with a
+//! deadline, read the worker's stderr tail — so the cluster driver
+//! ([`crate::driver`]) is transport-agnostic:
+//!
+//! * [`TransportKind::InProc`] spawns a thread running the same serve loop
+//!   the worker binary runs, connected by mpsc channel pairs. A panicking or
+//!   crashing worker drops its sender, which the driver observes as a
+//!   disconnect — the thread-level analogue of a dead process.
+//! * [`TransportKind::Process`] spawns a long-lived `cluster_worker` OS
+//!   process and speaks the framed protocol over its stdin/stdout. A reader
+//!   thread pumps stdout frames into a channel (so receives can time out
+//!   without platform-specific pipe tricks) and a second thread tails stderr
+//!   into a bounded ring buffer that failure reports quote.
+//!
+//! Workers survive across runs — after serving one episode they loop back to
+//! waiting for the next `Init` — so [`WorkerGroup`]s are pooled globally,
+//! keyed by `(kind, num_workers)`, and process spawn cost is paid once, not
+//! per prediction run. A group that errors is dropped, never re-pooled.
+
+use crate::endpoint::{ChannelEndpoint, Frame};
+use crate::error::ClusterError;
+use crate::worker::serve;
+use predict_bsp::TransportChoice;
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::PathBuf;
+use std::process::{Child, ChildStdin, Command, Stdio};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+use crate::protocol::{read_frame, tag, write_frame};
+
+/// Lines of worker stderr kept for failure reports.
+const STDERR_TAIL_LINES: usize = 40;
+
+/// Which backend a [`Connection`] runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransportKind {
+    /// Worker threads in this process, talking over channels.
+    InProc,
+    /// Worker OS processes, talking over stdin/stdout pipes.
+    Process,
+}
+
+impl TransportKind {
+    /// Maps a resolved env-knob choice to a transport kind; `InMemory` has
+    /// no transport and returns `None`.
+    pub fn from_choice(choice: TransportChoice) -> Option<Self> {
+        match choice {
+            TransportChoice::InMemory => None,
+            TransportChoice::InProc => Some(Self::InProc),
+            TransportChoice::Process => Some(Self::Process),
+        }
+    }
+
+    /// Lower-case name used in profiles and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::InProc => "inproc",
+            Self::Process => "process",
+        }
+    }
+}
+
+/// Bounded ring buffer of a worker process's stderr lines.
+#[derive(Default)]
+struct StderrRing {
+    lines: VecDeque<String>,
+}
+
+impl StderrRing {
+    fn push(&mut self, line: String) {
+        if self.lines.len() == STDERR_TAIL_LINES {
+            self.lines.pop_front();
+        }
+        self.lines.push_back(line);
+    }
+
+    fn tail(&self) -> String {
+        self.lines.iter().cloned().collect::<Vec<_>>().join("\n")
+    }
+}
+
+/// The driver's handle to one worker.
+pub struct Connection {
+    worker: usize,
+    inner: ConnInner,
+}
+
+enum ConnInner {
+    InProc {
+        tx: Sender<Frame>,
+        rx: Receiver<Frame>,
+    },
+    Process {
+        child: Child,
+        stdin: BufWriter<ChildStdin>,
+        /// Frames pumped off the child's stdout; the pump thread closes the
+        /// channel on EOF or read error.
+        rx: Receiver<Frame>,
+        stderr: Arc<Mutex<StderrRing>>,
+    },
+}
+
+impl Connection {
+    /// Spawns an in-process worker thread serving the standard loop.
+    pub fn spawn_inproc(worker: usize) -> Self {
+        let (to_worker, worker_rx) = mpsc::channel::<Frame>();
+        let (worker_tx, from_worker) = mpsc::channel::<Frame>();
+        std::thread::Builder::new()
+            .name(format!("cluster-worker-{worker}"))
+            .spawn(move || {
+                let mut ep = ChannelEndpoint {
+                    rx: worker_rx,
+                    tx: worker_tx,
+                };
+                // An Err return just drops the endpoint: the driver sees a
+                // disconnect, exactly like a process death.
+                let _ = serve(&mut ep, false);
+            })
+            .expect("spawning an OS thread");
+        Self {
+            worker,
+            inner: ConnInner::InProc {
+                tx: to_worker,
+                rx: from_worker,
+            },
+        }
+    }
+
+    /// Spawns a `cluster_worker` process and wires up its pipes.
+    pub fn spawn_process(worker: usize) -> Result<Self, ClusterError> {
+        let bin = worker_bin_path().map_err(|detail| ClusterError::Spawn { worker, detail })?;
+        let mut child = Command::new(&bin)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .map_err(|e| ClusterError::Spawn {
+                worker,
+                detail: format!("{}: {e}", bin.display()),
+            })?;
+        let stdin = BufWriter::new(child.stdin.take().expect("piped stdin"));
+        let stdout = child.stdout.take().expect("piped stdout");
+        let child_stderr = child.stderr.take().expect("piped stderr");
+
+        let (frame_tx, rx) = mpsc::channel::<Frame>();
+        std::thread::Builder::new()
+            .name(format!("cluster-stdout-{worker}"))
+            .spawn(move || {
+                let mut reader = BufReader::new(stdout);
+                while let Ok(Some(frame)) = read_frame(&mut reader) {
+                    if frame_tx.send(frame).is_err() {
+                        break; // driver dropped the connection
+                    }
+                }
+                // EOF or read error: dropping frame_tx signals disconnect.
+            })
+            .expect("spawning an OS thread");
+
+        let stderr = Arc::new(Mutex::new(StderrRing::default()));
+        let ring = Arc::clone(&stderr);
+        std::thread::Builder::new()
+            .name(format!("cluster-stderr-{worker}"))
+            .spawn(move || {
+                for line in BufReader::new(child_stderr).lines() {
+                    match line {
+                        Ok(line) => ring.lock().unwrap().push(line),
+                        Err(_) => break,
+                    }
+                }
+            })
+            .expect("spawning an OS thread");
+
+        Ok(Self {
+            worker,
+            inner: ConnInner::Process {
+                child,
+                stdin,
+                rx,
+                stderr,
+            },
+        })
+    }
+
+    /// Worker index this connection leads to.
+    pub fn worker(&self) -> usize {
+        self.worker
+    }
+
+    /// Last lines of the worker's stderr (always empty for in-process
+    /// workers, which share the driver's stderr).
+    pub fn stderr_tail(&self) -> String {
+        match &self.inner {
+            ConnInner::InProc { .. } => String::new(),
+            ConnInner::Process { stderr, .. } => stderr.lock().unwrap().tail(),
+        }
+    }
+
+    /// Sends one frame to the worker. A send failure means the worker is
+    /// gone and is reported as [`ClusterError::WorkerDied`].
+    pub fn send(&mut self, tag: u8, body: &[u8]) -> Result<(), ClusterError> {
+        let sent = match &mut self.inner {
+            ConnInner::InProc { tx, .. } => tx.send((tag, body.to_vec())).is_ok(),
+            ConnInner::Process { stdin, .. } => write_frame(stdin, tag, body).is_ok(),
+        };
+        if sent {
+            Ok(())
+        } else {
+            Err(ClusterError::WorkerDied {
+                worker: self.worker,
+                superstep: None,
+                stderr_tail: self.stderr_tail(),
+            })
+        }
+    }
+
+    /// Receives the next frame, waiting at most `timeout`.
+    ///
+    /// A disconnect (dead process, panicked thread) is
+    /// [`ClusterError::WorkerDied`]; an elapsed deadline with the worker
+    /// still alive is [`ClusterError::Timeout`] — for processes the child is
+    /// polled to tell the two apart. Both carry the stderr tail.
+    pub fn recv(&mut self, timeout: Duration) -> Result<Frame, ClusterError> {
+        let received = match &self.inner {
+            ConnInner::InProc { rx, .. } => rx.recv_timeout(timeout),
+            ConnInner::Process { rx, .. } => rx.recv_timeout(timeout),
+        };
+        match received {
+            Ok(frame) => Ok(frame),
+            Err(RecvTimeoutError::Disconnected) => Err(ClusterError::WorkerDied {
+                worker: self.worker,
+                superstep: None,
+                stderr_tail: self.stderr_tail(),
+            }),
+            Err(RecvTimeoutError::Timeout) => {
+                // A process that died instants ago may still race the pump
+                // thread; report a death as a death, not a timeout.
+                if let ConnInner::Process { child, .. } = &mut self.inner {
+                    if matches!(child.try_wait(), Ok(Some(_))) {
+                        return Err(ClusterError::WorkerDied {
+                            worker: self.worker,
+                            superstep: None,
+                            stderr_tail: self.stderr_tail(),
+                        });
+                    }
+                }
+                Err(ClusterError::Timeout {
+                    worker: self.worker,
+                    superstep: None,
+                    timeout,
+                    stderr_tail: self.stderr_tail(),
+                })
+            }
+        }
+    }
+}
+
+impl Drop for Connection {
+    fn drop(&mut self) {
+        match &mut self.inner {
+            ConnInner::InProc { tx, .. } => {
+                // Ask the thread to exit; if it already died this is a no-op.
+                let _ = tx.send((tag::SHUTDOWN, Vec::new()));
+            }
+            ConnInner::Process { child, stdin, .. } => {
+                let _ = write_frame(stdin, tag::SHUTDOWN, &[]);
+                let _ = stdin.flush();
+                // Give the process no reason to linger: kill unconditionally
+                // (a worker that honored Shutdown is already gone) and reap.
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+        }
+    }
+}
+
+/// Locates the `cluster_worker` binary.
+///
+/// `PREDICT_CLUSTER_WORKER` overrides explicitly; otherwise the binary is
+/// expected next to the current executable or one directory up — which
+/// covers both `target/<profile>/` (bins, examples) and
+/// `target/<profile>/deps/` (test binaries).
+pub fn worker_bin_path() -> Result<PathBuf, String> {
+    if let Some(path) = std::env::var_os("PREDICT_CLUSTER_WORKER") {
+        let path = PathBuf::from(path);
+        return if path.is_file() {
+            Ok(path)
+        } else {
+            Err(format!(
+                "PREDICT_CLUSTER_WORKER points to a missing file: {}",
+                path.display()
+            ))
+        };
+    }
+    let exe = std::env::current_exe().map_err(|e| format!("cannot locate current exe: {e}"))?;
+    let name = format!("cluster_worker{}", std::env::consts::EXE_SUFFIX);
+    let mut dir = exe.parent();
+    for _ in 0..2 {
+        if let Some(d) = dir {
+            let candidate = d.join(&name);
+            if candidate.is_file() {
+                return Ok(candidate);
+            }
+            dir = d.parent();
+        }
+    }
+    Err(format!(
+        "no {name} binary found near {} (build it with `cargo build -p predict_cluster` \
+         or set PREDICT_CLUSTER_WORKER)",
+        exe.display()
+    ))
+}
+
+/// A full set of worker connections for one cluster drive, one per worker,
+/// in worker order.
+pub struct WorkerGroup {
+    kind: TransportKind,
+    /// One connection per worker, ascending worker index.
+    pub connections: Vec<Connection>,
+}
+
+impl WorkerGroup {
+    /// Spawns a fresh group of `num_workers` workers on `kind`.
+    pub fn spawn(kind: TransportKind, num_workers: usize) -> Result<Self, ClusterError> {
+        let mut connections = Vec::with_capacity(num_workers);
+        for w in 0..num_workers {
+            connections.push(match kind {
+                TransportKind::InProc => Connection::spawn_inproc(w),
+                TransportKind::Process => Connection::spawn_process(w)?,
+            });
+        }
+        Ok(Self { kind, connections })
+    }
+
+    /// The backend this group runs on.
+    pub fn kind(&self) -> TransportKind {
+        self.kind
+    }
+}
+
+/// Global pool of idle worker groups, keyed by `(kind, num_workers)`.
+///
+/// Workers loop back to awaiting `Init` after each episode, so a checked-in
+/// group is immediately reusable. Groups that errored mid-drive must be
+/// dropped (their protocol state is unknown), which the driver does by
+/// simply not checking them back in.
+type GroupPool = Mutex<HashMap<(TransportKind, usize), Vec<WorkerGroup>>>;
+
+fn pool() -> &'static GroupPool {
+    static POOL: OnceLock<GroupPool> = OnceLock::new();
+    POOL.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Takes an idle group from the pool, or spawns a fresh one.
+pub fn checkout(kind: TransportKind, num_workers: usize) -> Result<WorkerGroup, ClusterError> {
+    let pooled = pool()
+        .lock()
+        .unwrap()
+        .get_mut(&(kind, num_workers))
+        .and_then(Vec::pop);
+    match pooled {
+        Some(group) => Ok(group),
+        None => WorkerGroup::spawn(kind, num_workers),
+    }
+}
+
+/// Returns a healthy group to the pool for the next drive to reuse.
+pub fn checkin(group: WorkerGroup) {
+    let key = (group.kind, group.connections.len());
+    pool().lock().unwrap().entry(key).or_default().push(group);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stderr_ring_keeps_only_the_tail() {
+        let mut ring = StderrRing::default();
+        for i in 0..(STDERR_TAIL_LINES + 5) {
+            ring.push(format!("line {i}"));
+        }
+        let tail = ring.tail();
+        assert!(!tail.contains("line 0\n"));
+        assert!(tail.ends_with(&format!("line {}", STDERR_TAIL_LINES + 4)));
+        assert_eq!(tail.lines().count(), STDERR_TAIL_LINES);
+    }
+
+    #[test]
+    fn inproc_worker_disconnect_is_a_death_not_a_timeout() {
+        let mut conn = Connection::spawn_inproc(2);
+        // An unknown tag makes the worker error out and drop its endpoint.
+        conn.send(0x66, &[]).unwrap();
+        let err = loop {
+            match conn.recv(Duration::from_secs(5)) {
+                Ok(_) => continue, // drain the Error frame the worker sends
+                Err(e) => break e,
+            }
+        };
+        match err {
+            ClusterError::WorkerDied {
+                worker,
+                superstep,
+                stderr_tail,
+            } => {
+                assert_eq!(worker, 2);
+                assert_eq!(superstep, None);
+                assert!(stderr_tail.is_empty());
+            }
+            other => panic!("expected WorkerDied, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn checkout_prefers_pooled_groups() {
+        let group = WorkerGroup::spawn(TransportKind::InProc, 3).unwrap();
+        checkin(group);
+        let group = checkout(TransportKind::InProc, 3).unwrap();
+        assert_eq!(group.connections.len(), 3);
+        assert_eq!(group.kind(), TransportKind::InProc);
+    }
+}

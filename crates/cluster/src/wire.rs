@@ -1,0 +1,603 @@
+//! The compact versioned wire format.
+//!
+//! Everything the cluster transports exchange — superstep message batches,
+//! counters, aggregates, whole graph shards, final values — is encoded by
+//! the [`Wire`] trait: little-endian fixed-width primitives, `u32`
+//! length-prefixed sequences, no padding, no self-description. The format is
+//! independent of any transport; [`crate::protocol`] wraps encoded payloads
+//! in length-prefixed frames, and the proptest suite round-trips arbitrary
+//! values and rejects truncations and version mismatches.
+//!
+//! The unit of superstep traffic is the [`WireBatch`]: all messages one
+//! worker produced for one destination worker in one superstep, led by the
+//! format version ([`WIRE_VERSION`]) and sequenced by `(src, seq)`. Inside a
+//! batch, messages are grouped into per-destination-vertex *runs*, sorted by
+//! destination vertex id, stably — message order within a run is production
+//! order. Because the runtime's inboxes are per-vertex, this regrouping
+//! preserves exactly what the in-memory delivery phase observes: each inbox
+//! receives its messages in the same order, so delivered state is
+//! byte-identical (point 8 of the `predict_bsp::runtime` determinism
+//! contract).
+//!
+//! Floats travel as their IEEE-754 bit patterns (`to_bits`/`from_bits`), so
+//! every value — including NaN payloads — round-trips exactly.
+
+use crate::error::WireError;
+use predict_algorithms::{NeighborhoodSketch, SemiCluster, SemiClusterList, TopKState};
+use predict_bsp::{Aggregates, AggregatorKind, WorkerCounters};
+use predict_graph::{ShardedCsr, VertexId};
+use std::collections::BTreeMap;
+
+/// Version every [`WireBatch`] and frame body leads with; decoders reject
+/// anything else. Bump on any incompatible change to an encoding.
+pub const WIRE_VERSION: u16 = 1;
+
+/// Cursor over a byte payload being decoded.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Starts reading at the beginning of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when every byte has been consumed — decoders of whole frame
+    /// bodies check this so trailing garbage is rejected, not ignored.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated { what });
+        }
+        let bytes = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(bytes)
+    }
+}
+
+/// A value that can be encoded to and decoded from the wire format.
+pub trait Wire: Sized {
+    /// Appends this value's encoding to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+    /// Decodes one value from the reader, consuming exactly its bytes.
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError>;
+}
+
+/// Encodes `value` into a fresh buffer.
+pub fn encode_to_vec<T: Wire>(value: &T) -> Vec<u8> {
+    let mut out = Vec::new();
+    value.encode(&mut out);
+    out
+}
+
+/// Decodes a value that must span the whole buffer (trailing bytes are an
+/// error).
+pub fn decode_exact<T: Wire>(buf: &[u8]) -> Result<T, WireError> {
+    let mut r = Reader::new(buf);
+    let value = T::decode(&mut r)?;
+    if !r.is_empty() {
+        return Err(WireError::Invalid(format!(
+            "{} trailing bytes after value",
+            r.remaining()
+        )));
+    }
+    Ok(value)
+}
+
+macro_rules! wire_le_primitive {
+    ($ty:ty, $what:literal) => {
+        impl Wire for $ty {
+            fn encode(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+            fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+                let bytes = r.take(std::mem::size_of::<$ty>(), $what)?;
+                Ok(<$ty>::from_le_bytes(bytes.try_into().expect("sized take")))
+            }
+        }
+    };
+}
+
+wire_le_primitive!(u8, "u8");
+wire_le_primitive!(u16, "u16");
+wire_le_primitive!(u32, "u32");
+wire_le_primitive!(u64, "u64");
+
+impl Wire for bool {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(*self as u8);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            tag => Err(WireError::BadTag { what: "bool", tag }),
+        }
+    }
+}
+
+/// `usize` travels as `u64` so 32- and 64-bit builds interoperate.
+impl Wire for usize {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (*self as u64).encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let v = u64::decode(r)?;
+        usize::try_from(v).map_err(|_| WireError::Invalid(format!("usize {v} overflows")))
+    }
+}
+
+impl Wire for f32 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.to_bits().encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(f32::from_bits(u32::decode(r)?))
+    }
+}
+
+impl Wire for f64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.to_bits().encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(f64::from_bits(u64::decode(r)?))
+    }
+}
+
+impl Wire for String {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).encode(out);
+        out.extend_from_slice(self.as_bytes());
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let len = u32::decode(r)? as usize;
+        let bytes = r.take(len, "string bytes")?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| WireError::Invalid("string is not UTF-8".into()))
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).encode(out);
+        for item in self {
+            item.encode(out);
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let len = u32::decode(r)? as usize;
+        // Cap the pre-allocation by what the payload could possibly hold, so
+        // a corrupted length cannot force a huge allocation before the
+        // truncation is noticed.
+        let mut items = Vec::with_capacity(len.min(r.remaining()).min(1 << 16));
+        for _ in 0..len {
+            items.push(T::decode(r)?);
+        }
+        Ok(items)
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.encode(out);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            tag => Err(WireError::BadTag {
+                what: "option",
+                tag,
+            }),
+        }
+    }
+}
+
+impl<A: Wire, B: Wire> Wire for (A, B) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok((A::decode(r)?, B::decode(r)?))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Workload message and value types.
+// ---------------------------------------------------------------------------
+
+impl Wire for TopKState {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.own_rank.encode(out);
+        self.entries.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Self {
+            own_rank: f64::decode(r)?,
+            entries: Vec::decode(r)?,
+        })
+    }
+}
+
+impl Wire for SemiCluster {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.vertices.encode(out);
+        self.internal_weight.encode(out);
+        self.boundary_weight.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Self {
+            vertices: Vec::decode(r)?,
+            internal_weight: f64::decode(r)?,
+            boundary_weight: f64::decode(r)?,
+        })
+    }
+}
+
+impl Wire for SemiClusterList {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.clusters.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Self {
+            clusters: Vec::decode(r)?,
+        })
+    }
+}
+
+impl Wire for NeighborhoodSketch {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.bitmasks.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Self {
+            bitmasks: Vec::decode(r)?,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runtime types.
+// ---------------------------------------------------------------------------
+
+impl Wire for WorkerCounters {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.active_vertices.encode(out);
+        self.total_vertices.encode(out);
+        self.local_messages.encode(out);
+        self.remote_messages.encode(out);
+        self.local_message_bytes.encode(out);
+        self.remote_message_bytes.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Self {
+            active_vertices: u64::decode(r)?,
+            total_vertices: u64::decode(r)?,
+            local_messages: u64::decode(r)?,
+            remote_messages: u64::decode(r)?,
+            local_message_bytes: u64::decode(r)?,
+            remote_message_bytes: u64::decode(r)?,
+        })
+    }
+}
+
+fn aggregator_kind_tag(kind: AggregatorKind) -> u8 {
+    match kind {
+        AggregatorKind::Sum => 0,
+        AggregatorKind::Min => 1,
+        AggregatorKind::Max => 2,
+    }
+}
+
+impl Wire for AggregatorKind {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(aggregator_kind_tag(*self));
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            0 => Ok(Self::Sum),
+            1 => Ok(Self::Min),
+            2 => Ok(Self::Max),
+            tag => Err(WireError::BadTag {
+                what: "aggregator kind",
+                tag,
+            }),
+        }
+    }
+}
+
+/// Aggregates travel as `(name, kind, f64 bits)` triples in the set's own
+/// lexicographic iteration order and are reconstructed through
+/// [`Aggregates::combine`] — values are exact, no text round-trip.
+impl Wire for Aggregates {
+    fn encode(&self, out: &mut Vec<u8>) {
+        let entries: Vec<(&str, AggregatorKind, f64)> = self.entries().collect();
+        (entries.len() as u32).encode(out);
+        for (name, kind, value) in entries {
+            name.to_string().encode(out);
+            kind.encode(out);
+            value.encode(out);
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let len = u32::decode(r)? as usize;
+        let mut aggregates = Aggregates::new();
+        for _ in 0..len {
+            let name = String::decode(r)?;
+            let kind = AggregatorKind::decode(r)?;
+            let value = f64::decode(r)?;
+            if aggregates.get(&name).is_some() {
+                return Err(WireError::Invalid(format!("duplicate aggregator '{name}'")));
+            }
+            aggregates.combine(&name, kind, value);
+        }
+        Ok(aggregates)
+    }
+}
+
+/// A whole graph shard: the payload of the `Init` frame. Decoding revalidates
+/// every structural invariant through
+/// [`ShardedCsr::from_parts`], so a corrupted shard is rejected before it can
+/// misroute a single message.
+impl Wire for ShardedCsr {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.worker().encode(out);
+        self.num_workers().encode(out);
+        self.global_vertices().encode(out);
+        self.global_edges().encode(out);
+        self.owned().to_vec().encode(out);
+        self.out_offsets().to_vec().encode(out);
+        self.out_targets().to_vec().encode(out);
+        self.out_weights().map(<[f32]>::to_vec).encode(out);
+        let cut: Vec<Vec<u32>> = (0..self.num_workers())
+            .map(|p| self.cut_to(p).to_vec())
+            .collect();
+        cut.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let worker = usize::decode(r)?;
+        let num_workers = usize::decode(r)?;
+        let global_vertices = usize::decode(r)?;
+        let global_edges = usize::decode(r)?;
+        let owned: Vec<VertexId> = Vec::decode(r)?;
+        let out_offsets: Vec<usize> = Vec::decode(r)?;
+        let out_targets: Vec<VertexId> = Vec::decode(r)?;
+        let out_weights: Option<Vec<f32>> = Option::decode(r)?;
+        let cut: Vec<Vec<u32>> = Vec::decode(r)?;
+        ShardedCsr::from_parts(
+            worker,
+            num_workers,
+            global_vertices,
+            global_edges,
+            owned,
+            out_offsets,
+            out_targets,
+            out_weights,
+            cut,
+        )
+        .map_err(WireError::Invalid)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Superstep message batches.
+// ---------------------------------------------------------------------------
+
+/// All messages one worker produced for one destination worker in one
+/// superstep.
+///
+/// Delivery order across a whole superstep is fixed by `(src, seq)` — the
+/// driver forwards batches to their destination in ascending source-worker
+/// order, which is exactly the order the in-memory delivery phase consumes
+/// inbound buffers in. `runs` are sorted by destination vertex id; within a
+/// run, messages keep production order (see the [module docs](self)).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireBatch<M> {
+    /// Superstep the messages were produced in.
+    pub superstep: u64,
+    /// Worker that produced the messages.
+    pub src: u32,
+    /// Worker that owns every destination vertex in `runs`.
+    pub dst: u32,
+    /// Sequence number of this batch within `(src, dst)` — the superstep
+    /// again today (one batch per pair per superstep), carried separately so
+    /// a future multi-batch flush keeps a total order.
+    pub seq: u64,
+    /// Per-destination-vertex message runs, sorted by vertex id.
+    pub runs: Vec<(VertexId, Vec<M>)>,
+}
+
+impl<M> WireBatch<M> {
+    /// Total number of messages across all runs.
+    pub fn num_messages(&self) -> usize {
+        self.runs.iter().map(|(_, msgs)| msgs.len()).sum()
+    }
+}
+
+impl<M: Wire> Wire for WireBatch<M> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        WIRE_VERSION.encode(out);
+        self.superstep.encode(out);
+        self.src.encode(out);
+        self.dst.encode(out);
+        self.seq.encode(out);
+        self.runs.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let version = u16::decode(r)?;
+        if version != WIRE_VERSION {
+            return Err(WireError::VersionMismatch {
+                expected: WIRE_VERSION,
+                got: version,
+            });
+        }
+        Ok(Self {
+            superstep: u64::decode(r)?,
+            src: u32::decode(r)?,
+            dst: u32::decode(r)?,
+            seq: u64::decode(r)?,
+            runs: Vec::decode(r)?,
+        })
+    }
+}
+
+/// Builds the batch for `(src, dst, superstep)` by draining a routed outbox
+/// buffer — `(destination vertex, message)` pairs in production order — into
+/// destination-vertex runs. The grouping is stable: each vertex's messages
+/// keep their relative order, which is all the per-vertex inboxes can
+/// observe.
+pub fn batch_from_routed<M>(
+    superstep: u64,
+    src: u32,
+    dst: u32,
+    routed: &mut Vec<(VertexId, M)>,
+) -> WireBatch<M> {
+    let mut runs: BTreeMap<VertexId, Vec<M>> = BTreeMap::new();
+    for (vertex, message) in routed.drain(..) {
+        runs.entry(vertex).or_default().push(message);
+    }
+    WireBatch {
+        superstep,
+        src,
+        dst,
+        seq: superstep,
+        runs: runs.into_iter().collect(),
+    }
+}
+
+/// Flattens a batch back into a delivery buffer of `(destination vertex,
+/// message)` pairs, run by run — the inverse of [`batch_from_routed`] up to
+/// the (inbox-invisible) regrouping.
+pub fn batch_into_row<M>(batch: WireBatch<M>) -> Vec<(VertexId, M)> {
+    let mut row = Vec::with_capacity(batch.num_messages());
+    for (vertex, messages) in batch.runs {
+        for message in messages {
+            row.push((vertex, message));
+        }
+    }
+    row
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut out = Vec::new();
+        42u8.encode(&mut out);
+        7u16.encode(&mut out);
+        1234u32.encode(&mut out);
+        (u64::MAX - 3).encode(&mut out);
+        true.encode(&mut out);
+        (-0.0f64).encode(&mut out);
+        f64::NAN.encode(&mut out);
+        "héllo".to_string().encode(&mut out);
+
+        let mut r = Reader::new(&out);
+        assert_eq!(u8::decode(&mut r).unwrap(), 42);
+        assert_eq!(u16::decode(&mut r).unwrap(), 7);
+        assert_eq!(u32::decode(&mut r).unwrap(), 1234);
+        assert_eq!(u64::decode(&mut r).unwrap(), u64::MAX - 3);
+        assert!(bool::decode(&mut r).unwrap());
+        assert_eq!(f64::decode(&mut r).unwrap().to_bits(), (-0.0f64).to_bits());
+        assert!(f64::decode(&mut r).unwrap().is_nan());
+        assert_eq!(String::decode(&mut r).unwrap(), "héllo");
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn truncated_primitive_is_rejected() {
+        let bytes = encode_to_vec(&123456789u64);
+        for cut in 0..bytes.len() {
+            let err = decode_exact::<u64>(&bytes[..cut]).unwrap_err();
+            assert!(matches!(err, WireError::Truncated { .. }), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = encode_to_vec(&7u32);
+        bytes.push(0);
+        assert!(matches!(
+            decode_exact::<u32>(&bytes),
+            Err(WireError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn aggregates_round_trip_exactly() {
+        let mut a = Aggregates::new();
+        a.add("delta", 0.1 + 0.2);
+        a.combine("lo", AggregatorKind::Min, -1.5e-300);
+        a.combine("hi", AggregatorKind::Max, f64::MAX);
+        let back: Aggregates = decode_exact(&encode_to_vec(&a)).unwrap();
+        assert_eq!(a, back);
+    }
+
+    #[test]
+    fn sharded_csr_round_trips_and_rejects_corruption() {
+        use predict_graph::generators::{generate_rmat, RmatConfig};
+        let g = generate_rmat(&RmatConfig::new(7, 4).with_seed(13));
+        let shards = predict_graph::shard_csr(&g, 3, |v| v as usize % 3);
+        for shard in &shards {
+            let bytes = encode_to_vec(shard);
+            let back: ShardedCsr = decode_exact(&bytes).unwrap();
+            assert_eq!(back.owned(), shard.owned());
+            assert_eq!(back.out_targets(), shard.out_targets());
+            assert_eq!(back.cut_to(1), shard.cut_to(1));
+            // Any truncation is rejected (either as Truncated or Invalid).
+            assert!(decode_exact::<ShardedCsr>(&bytes[..bytes.len() - 1]).is_err());
+        }
+    }
+
+    #[test]
+    fn batch_grouping_is_stable_and_sorted() {
+        let mut routed: Vec<(VertexId, u64)> = vec![(5, 10), (2, 20), (5, 11), (2, 21), (9, 30)];
+        let batch = batch_from_routed(3, 0, 1, &mut routed);
+        assert!(routed.is_empty(), "routed buffer must be drained");
+        assert_eq!(
+            batch.runs,
+            vec![(2, vec![20, 21]), (5, vec![10, 11]), (9, vec![30])]
+        );
+        assert_eq!(batch.num_messages(), 5);
+        let row = batch_into_row(batch);
+        assert_eq!(row, vec![(2, 20), (2, 21), (5, 10), (5, 11), (9, 30)]);
+    }
+
+    #[test]
+    fn batch_version_mismatch_is_rejected() {
+        let batch: WireBatch<f64> = WireBatch {
+            superstep: 0,
+            src: 0,
+            dst: 1,
+            seq: 0,
+            runs: vec![(3, vec![1.0])],
+        };
+        let mut bytes = encode_to_vec(&batch);
+        bytes[0] = 0xFF; // clobber the leading version
+        bytes[1] = 0xFF;
+        assert!(matches!(
+            decode_exact::<WireBatch<f64>>(&bytes),
+            Err(WireError::VersionMismatch { got: 0xFFFF, .. })
+        ));
+    }
+}

@@ -1,0 +1,303 @@
+//! End-to-end cluster tests: transported runs must be byte-identical to
+//! in-memory runs, and worker failures must surface as structured errors.
+//!
+//! These live in `tests/` of the `predict_cluster` package (not in a
+//! downstream crate) so cargo builds the `cluster_worker` binary before
+//! running them — the Process-transport tests spawn it.
+
+use predict_algorithms::{
+    PageRank, PageRankParams, SemiClustering, SemiClusteringParams, TopKWorkload, Workload,
+};
+use predict_bsp::{BspConfig, BspEngine, HaltReason, TransportMode};
+use predict_cluster::{
+    drive, run_workload, ClusterError, DriveOptions, FaultSpec, ProgramSpec, TransportKind,
+};
+use predict_graph::generators::{generate_rmat, RmatConfig};
+use predict_graph::CsrGraph;
+use std::time::Duration;
+
+fn test_graph() -> CsrGraph {
+    generate_rmat(&RmatConfig::new(8, 6).with_seed(11))
+}
+
+fn test_config() -> BspConfig {
+    BspConfig {
+        num_workers: 4,
+        ..BspConfig::default()
+    }
+}
+
+/// Drives `program` on both the in-memory engine and the given transport and
+/// asserts byte-identical values, profiles and halt reasons.
+fn assert_transport_matches_in_memory<P>(
+    program: &P,
+    spec: &ProgramSpec,
+    graph: &CsrGraph,
+    kind: TransportKind,
+    value_bits: impl Fn(&P::VertexValue) -> Vec<u64>,
+) where
+    P: predict_bsp::VertexProgram,
+    P::Message: predict_cluster::Wire,
+    P::VertexValue: predict_cluster::Wire,
+{
+    let config = test_config();
+    let engine = BspEngine::new(config.clone());
+    let in_memory = engine.run(graph, program);
+
+    let opts = DriveOptions::new(kind);
+    let mut transported =
+        drive(program, spec, &[], graph, &config, &opts).expect("cluster drive succeeds");
+
+    assert_eq!(transported.halt_reason, in_memory.halt_reason);
+    assert_eq!(transported.values.len(), in_memory.values.len());
+    for (t, m) in transported.values.iter().zip(&in_memory.values) {
+        assert_eq!(
+            value_bits(t),
+            value_bits(m),
+            "values must match bit for bit"
+        );
+    }
+
+    // The transported profile carries measured timings the in-memory profile
+    // cannot have; everything else must be identical.
+    let measured = transported
+        .profile
+        .measured
+        .take()
+        .expect("measured timings recorded");
+    assert_eq!(transported.profile, in_memory.profile);
+    assert_eq!(measured.transport, kind.name());
+    assert_eq!(
+        measured.supersteps.len(),
+        transported.profile.supersteps.len()
+    );
+    assert!(measured.total_wall_ns > 0);
+    assert!(
+        measured
+            .supersteps
+            .iter()
+            .any(|s| s.wire_bytes.iter().sum::<u64>() > 0),
+        "a multi-worker run moves bytes over the wire"
+    );
+    for s in &measured.supersteps {
+        assert_eq!(s.worker_compute_ns.len(), config.num_workers);
+        assert_eq!(s.wire_bytes.len(), config.num_workers);
+    }
+}
+
+#[test]
+fn pagerank_inproc_is_byte_identical_to_in_memory() {
+    let graph = test_graph();
+    let params = PageRankParams::with_epsilon(0.01, graph.num_vertices());
+    assert_transport_matches_in_memory(
+        &PageRank::new(params),
+        &ProgramSpec::PageRank { params },
+        &graph,
+        TransportKind::InProc,
+        |v: &f64| vec![v.to_bits()],
+    );
+}
+
+#[test]
+fn pagerank_process_is_byte_identical_to_in_memory() {
+    let graph = test_graph();
+    let params = PageRankParams::with_epsilon(0.01, graph.num_vertices());
+    assert_transport_matches_in_memory(
+        &PageRank::new(params),
+        &ProgramSpec::PageRank { params },
+        &graph,
+        TransportKind::Process,
+        |v: &f64| vec![v.to_bits()],
+    );
+}
+
+/// Semi-clustering exercises variable-size messages (vectors of cluster
+/// structs) and runs on the undirected graph, like its workload does.
+fn semi_cluster_bits(v: &predict_algorithms::SemiClusterList) -> Vec<u64> {
+    let mut bits = Vec::new();
+    for c in &v.clusters {
+        bits.push(c.vertices.len() as u64);
+        bits.extend(c.vertices.iter().map(|&x| x as u64));
+        bits.push(c.internal_weight.to_bits());
+        bits.push(c.boundary_weight.to_bits());
+    }
+    bits
+}
+
+#[test]
+fn semi_clustering_inproc_is_byte_identical_to_in_memory() {
+    let graph = predict_algorithms::to_undirected(&test_graph());
+    let params = SemiClusteringParams::default();
+    assert_transport_matches_in_memory(
+        &SemiClustering::new(params),
+        &ProgramSpec::SemiClustering { params },
+        &graph,
+        TransportKind::InProc,
+        semi_cluster_bits,
+    );
+}
+
+#[test]
+fn semi_clustering_process_is_byte_identical_to_in_memory() {
+    let graph = predict_algorithms::to_undirected(&test_graph());
+    let params = SemiClusteringParams::default();
+    assert_transport_matches_in_memory(
+        &SemiClustering::new(params),
+        &ProgramSpec::SemiClustering { params },
+        &graph,
+        TransportKind::Process,
+        semi_cluster_bits,
+    );
+}
+
+/// The workload-level entry point must agree with `Workload::run` for a
+/// two-phase workload (TOP-K: PageRank pre-pass feeding the ranking phase),
+/// and must count both phases as engine runs like the in-memory path does.
+#[test]
+fn topk_workload_runs_identically_over_the_cluster() {
+    let graph = test_graph();
+    let workload = TopKWorkload::default();
+
+    let in_memory_engine = BspEngine::new(test_config());
+    let in_memory = workload.run(&in_memory_engine, &graph);
+
+    let cluster_engine = BspEngine::new(BspConfig {
+        transport: TransportMode::InProc,
+        ..test_config()
+    });
+    let transported =
+        run_workload(&cluster_engine, &workload, &graph, None).expect("cluster run succeeds");
+
+    assert_eq!(transported.halt_reason, in_memory.halt_reason);
+    let mut profile = transported.profile;
+    assert!(profile.measured.take().is_some());
+    assert_eq!(profile, in_memory.profile);
+    assert_eq!(
+        cluster_engine.runs_executed(),
+        in_memory_engine.runs_executed(),
+        "both executors must count the pre-pass and the ranking phase"
+    );
+}
+
+#[test]
+fn crashed_process_worker_reports_superstep_and_stderr() {
+    let graph = test_graph();
+    let params = PageRankParams::with_epsilon(0.01, graph.num_vertices());
+    let opts = DriveOptions {
+        fault: Some((
+            2,
+            FaultSpec {
+                crash_at: Some(1),
+                hang_at: None,
+            },
+        )),
+        ..DriveOptions::new(TransportKind::Process)
+    };
+    let err = drive(
+        &PageRank::new(params),
+        &ProgramSpec::PageRank { params },
+        &[],
+        &graph,
+        &test_config(),
+        &opts,
+    )
+    .expect_err("a crashed worker must fail the drive");
+    match err {
+        ClusterError::WorkerDied {
+            worker,
+            superstep,
+            stderr_tail,
+        } => {
+            assert_eq!(worker, 2);
+            assert_eq!(superstep, Some(1));
+            assert!(
+                stderr_tail.contains("injected crash at superstep 1"),
+                "stderr tail must quote the worker's last words, got: {stderr_tail:?}"
+            );
+        }
+        other => panic!("expected WorkerDied, got: {other}"),
+    }
+}
+
+#[test]
+fn crashed_inproc_worker_reports_a_death_too() {
+    let graph = test_graph();
+    let params = PageRankParams::with_epsilon(0.01, graph.num_vertices());
+    let opts = DriveOptions {
+        fault: Some((
+            0,
+            FaultSpec {
+                crash_at: Some(0),
+                hang_at: None,
+            },
+        )),
+        ..DriveOptions::new(TransportKind::InProc)
+    };
+    let err = drive(
+        &PageRank::new(params),
+        &ProgramSpec::PageRank { params },
+        &[],
+        &graph,
+        &test_config(),
+        &opts,
+    )
+    .expect_err("a crashed worker must fail the drive");
+    assert!(
+        matches!(
+            err,
+            ClusterError::WorkerDied {
+                worker: 0,
+                superstep: Some(0),
+                ..
+            }
+        ),
+        "expected WorkerDied at superstep 0, got: {err}"
+    );
+}
+
+#[test]
+fn hung_worker_times_out_instead_of_hanging_the_driver() {
+    let graph = test_graph();
+    let params = PageRankParams::with_epsilon(0.01, graph.num_vertices());
+    let opts = DriveOptions {
+        timeout: Duration::from_millis(250),
+        fault: Some((
+            1,
+            FaultSpec {
+                crash_at: None,
+                hang_at: Some(1),
+            },
+        )),
+        ..DriveOptions::new(TransportKind::InProc)
+    };
+    let err = drive(
+        &PageRank::new(params),
+        &ProgramSpec::PageRank { params },
+        &[],
+        &graph,
+        &test_config(),
+        &opts,
+    )
+    .expect_err("a hung worker must time the drive out");
+    match err {
+        ClusterError::Timeout {
+            worker, superstep, ..
+        } => {
+            assert_eq!(worker, 1);
+            assert_eq!(superstep, Some(1));
+        }
+        other => panic!("expected Timeout, got: {other}"),
+    }
+}
+
+/// Sanity: runs converge for the configured graph (guards against a silent
+/// max-supersteps truncation making the identity tests vacuous).
+#[test]
+fn test_runs_actually_converge() {
+    let graph = test_graph();
+    let params = PageRankParams::with_epsilon(0.01, graph.num_vertices());
+    let engine = BspEngine::new(test_config());
+    let result = engine.run(&graph, &PageRank::new(params));
+    assert_eq!(result.halt_reason, HaltReason::MasterConverged);
+    assert!(result.profile.supersteps.len() > 2);
+}

@@ -67,6 +67,91 @@ pub struct ShardedCsr {
 }
 
 impl ShardedCsr {
+    /// Reassembles a shard from its raw parts — the decode half of a wire
+    /// format (`predict_cluster` ships shards to worker processes this way).
+    /// Validates the structural invariants the builders guarantee so a
+    /// corrupted or truncated payload is rejected instead of producing a
+    /// shard that would misroute messages.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        worker: usize,
+        num_workers: usize,
+        global_vertices: usize,
+        global_edges: usize,
+        owned: Vec<VertexId>,
+        out_offsets: Vec<usize>,
+        out_targets: Vec<VertexId>,
+        out_weights: Option<Vec<f32>>,
+        cut: Vec<Vec<u32>>,
+    ) -> Result<Self, String> {
+        if num_workers == 0 {
+            return Err("at least one worker is required".into());
+        }
+        if worker >= num_workers {
+            return Err(format!(
+                "worker {worker} out of range for {num_workers} workers"
+            ));
+        }
+        if owned.windows(2).any(|w| w[0] >= w[1]) {
+            return Err("owned vertex ids must be strictly ascending".into());
+        }
+        if owned.iter().any(|&v| v as usize >= global_vertices) {
+            return Err("owned vertex id exceeds global vertex count".into());
+        }
+        if out_offsets.len() != owned.len() + 1 {
+            return Err(format!(
+                "expected {} offsets for {} owned vertices, got {}",
+                owned.len() + 1,
+                owned.len(),
+                out_offsets.len(),
+            ));
+        }
+        if out_offsets.first() != Some(&0) || out_offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err("offsets must start at 0 and be non-decreasing".into());
+        }
+        if out_offsets.last() != Some(&out_targets.len()) {
+            return Err("last offset must equal the local edge count".into());
+        }
+        if out_targets.len() > global_edges {
+            return Err("shard holds more edges than the whole graph".into());
+        }
+        if out_targets.iter().any(|&t| t as usize >= global_vertices) {
+            return Err("edge target exceeds global vertex count".into());
+        }
+        if let Some(ws) = &out_weights {
+            if ws.len() != out_targets.len() {
+                return Err("weights must align with targets".into());
+            }
+        }
+        if cut.len() != num_workers {
+            return Err(format!(
+                "expected {num_workers} cut lists, got {}",
+                cut.len()
+            ));
+        }
+        if !cut[worker].is_empty() {
+            return Err("the cut list to the shard's own worker must be empty".into());
+        }
+        if cut
+            .iter()
+            .flatten()
+            .any(|&i| i as usize >= out_targets.len())
+        {
+            return Err("cut position exceeds the local edge count".into());
+        }
+        Ok(Self {
+            worker,
+            num_workers,
+            global_vertices,
+            global_edges,
+            owned,
+            out_offsets,
+            out_targets,
+            out_weights,
+            cut,
+        })
+    }
+
     /// Index of the worker this shard belongs to.
     pub fn worker(&self) -> usize {
         self.worker
@@ -123,6 +208,24 @@ impl ShardedCsr {
     /// Out-degree of the owned vertex at `slot`.
     pub fn out_degree_at(&self, slot: usize) -> usize {
         self.out_offsets[slot + 1] - self.out_offsets[slot]
+    }
+
+    /// Slot-indexed prefix offsets into [`Self::out_targets`]
+    /// (`num_local_vertices() + 1` entries). The raw-parts counterpart of
+    /// [`Self::from_parts`], used by the cluster wire encoder.
+    pub fn out_offsets(&self) -> &[usize] {
+        &self.out_offsets
+    }
+
+    /// All out-neighbors (global ids) of the owned vertices, grouped by slot.
+    pub fn out_targets(&self) -> &[VertexId] {
+        &self.out_targets
+    }
+
+    /// All out-edge weights aligned with [`Self::out_targets`], `None` when
+    /// the graph is unweighted.
+    pub fn out_weights(&self) -> Option<&[f32]> {
+        self.out_weights.as_deref()
     }
 
     /// Positions (indices into the shard's edge array) of the out-edges cut
@@ -533,5 +636,136 @@ mod tests {
     fn out_of_range_owner_panics() {
         let el = diamond();
         let _ = shard_edge_list(&el, 2, |_| 7);
+    }
+
+    #[test]
+    fn from_parts_round_trips_a_built_shard() {
+        let g = generate_rmat(&RmatConfig::new(7, 4).with_seed(11));
+        for shard in shard_csr(&g, 3, modulo(3)) {
+            let rebuilt = ShardedCsr::from_parts(
+                shard.worker(),
+                shard.num_workers(),
+                shard.global_vertices(),
+                shard.global_edges(),
+                shard.owned().to_vec(),
+                shard.out_offsets().to_vec(),
+                shard.out_targets().to_vec(),
+                shard.out_weights().map(<[f32]>::to_vec),
+                (0..shard.num_workers())
+                    .map(|p| shard.cut_to(p).to_vec())
+                    .collect(),
+            )
+            .expect("built shards satisfy the invariants");
+            assert_eq!(rebuilt.owned(), shard.owned());
+            assert_eq!(rebuilt.out_offsets, shard.out_offsets);
+            assert_eq!(rebuilt.out_targets, shard.out_targets);
+            assert_eq!(rebuilt.cut, shard.cut);
+        }
+    }
+
+    #[test]
+    fn from_parts_rejects_malformed_payloads() {
+        // Well-formed baseline: worker 0 of 2 owns vertex 0 with edge 0 -> 1.
+        let ok = ShardedCsr::from_parts(
+            0,
+            2,
+            2,
+            1,
+            vec![0],
+            vec![0, 1],
+            vec![1],
+            None,
+            vec![vec![], vec![0]],
+        );
+        assert!(ok.is_ok());
+        let cases: Vec<(&str, Result<ShardedCsr, String>)> = vec![
+            (
+                "worker out of range",
+                ShardedCsr::from_parts(
+                    2,
+                    2,
+                    2,
+                    1,
+                    vec![0],
+                    vec![0, 1],
+                    vec![1],
+                    None,
+                    vec![vec![], vec![0]],
+                ),
+            ),
+            (
+                "offsets truncated",
+                ShardedCsr::from_parts(
+                    0,
+                    2,
+                    2,
+                    1,
+                    vec![0],
+                    vec![0],
+                    vec![1],
+                    None,
+                    vec![vec![], vec![0]],
+                ),
+            ),
+            (
+                "target out of range",
+                ShardedCsr::from_parts(
+                    0,
+                    2,
+                    2,
+                    1,
+                    vec![0],
+                    vec![0, 1],
+                    vec![9],
+                    None,
+                    vec![vec![], vec![0]],
+                ),
+            ),
+            (
+                "own cut list not empty",
+                ShardedCsr::from_parts(
+                    0,
+                    2,
+                    2,
+                    1,
+                    vec![0],
+                    vec![0, 1],
+                    vec![1],
+                    None,
+                    vec![vec![0], vec![]],
+                ),
+            ),
+            (
+                "cut position out of range",
+                ShardedCsr::from_parts(
+                    0,
+                    2,
+                    2,
+                    1,
+                    vec![0],
+                    vec![0, 1],
+                    vec![1],
+                    None,
+                    vec![vec![], vec![5]],
+                ),
+            ),
+            (
+                "misaligned weights",
+                ShardedCsr::from_parts(
+                    0,
+                    2,
+                    2,
+                    1,
+                    vec![0],
+                    vec![0, 1],
+                    vec![1],
+                    Some(vec![1.0, 2.0]),
+                    vec![vec![], vec![0]],
+                ),
+            ),
+        ];
+        for (what, result) in cases {
+            assert!(result.is_err(), "{what} must be rejected");
+        }
     }
 }

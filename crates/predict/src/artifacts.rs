@@ -285,11 +285,16 @@ impl SampleRunArtifact {
         let sample_workload = transform.apply(workload, ratio);
         // Under sharded storage, run against the sample's cached shards so
         // repeated runs (training ratios, warm service batches) skip the
-        // per-run shard construction. Byte-identical either way.
-        let run = match sample.storage_for(engine) {
-            Some(storage) => sample_workload.run_storage(engine, &sample.sample.graph, &storage),
-            None => sample_workload.run(engine, &sample.sample.graph),
-        };
+        // per-run shard construction. Byte-identical either way — and
+        // byte-identical again under a cluster transport (the dispatch in
+        // [`crate::exec`]).
+        let storage = sample.storage_for(engine);
+        let run = crate::exec::execute_workload(
+            engine,
+            sample_workload.as_ref(),
+            &sample.sample.graph,
+            storage.as_deref(),
+        );
         Self {
             sample_key: sample.key.clone(),
             workload: workload.cache_token(),

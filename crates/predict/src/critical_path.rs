@@ -146,6 +146,7 @@ mod tests {
             read_ms: 0.0,
             write_ms: 0.0,
             supersteps: vec![superstep()],
+            measured: None,
         };
         let obs = observations_from_profile(&profile, WorkerSelection::SlowestWorker);
         assert_eq!(obs.len(), 1);

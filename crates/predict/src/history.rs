@@ -135,6 +135,7 @@ mod tests {
                     aggregates: Aggregates::new(),
                 })
                 .collect(),
+            measured: None,
         }
     }
 

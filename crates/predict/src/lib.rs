@@ -75,6 +75,7 @@ pub mod bounds;
 pub mod cost_model;
 pub mod critical_path;
 pub mod error;
+pub mod exec;
 pub mod extrapolator;
 pub mod feature_selection;
 pub mod features;

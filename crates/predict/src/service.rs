@@ -29,7 +29,7 @@ use crate::error::PredictError;
 use crate::session::{Evaluation, Prediction, PredictionSession, PredictorConfig};
 use crate::Predictor;
 use predict_algorithms::Workload;
-use predict_bsp::{BspEngine, ExecutionMode, StorageMode};
+use predict_bsp::{BspEngine, ExecutionMode, StorageMode, TransportMode};
 use predict_graph::CsrGraph;
 use predict_sampling::Sampler;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -102,6 +102,14 @@ pub struct PredictServiceConfig {
     /// `predict_bsp::storage`). `None` keeps the engine as passed. Never
     /// changes results.
     pub storage: Option<StorageMode>,
+    /// Engine transport override applied at construction: `Some(mode)`
+    /// makes every session's sample and actual runs execute on the chosen
+    /// executor — the in-memory runtime or a `predict_cluster` worker group
+    /// (see `predict_bsp::remote`). `None` keeps the engine as passed
+    /// (which itself defaults to honoring `PREDICT_TRANSPORT`). Never
+    /// changes results; transported runs additionally carry measured
+    /// per-superstep timings in their profiles.
+    pub transport: Option<TransportMode>,
 }
 
 impl Default for PredictServiceConfig {
@@ -112,6 +120,7 @@ impl Default for PredictServiceConfig {
             predictor: PredictorConfig::default(),
             execution: None,
             storage: None,
+            transport: None,
         }
     }
 }
@@ -172,6 +181,10 @@ impl PredictService {
         };
         let engine = match config.storage {
             Some(mode) => Arc::new(engine.with_storage(mode)),
+            None => engine,
+        };
+        let engine = match config.transport {
+            Some(mode) => Arc::new(engine.with_transport(mode)),
             None => engine,
         };
         Self {

@@ -53,7 +53,7 @@ use crate::history::HistoryStore;
 use crate::metrics::signed_relative_error;
 use crate::transform::TransformFunction;
 use predict_algorithms::{Workload, WorkloadRun};
-use predict_bsp::{BspEngine, ExecutionMode, RunProfile, StorageMode};
+use predict_bsp::{BspEngine, ExecutionMode, RunProfile, StorageMode, TransportMode};
 use predict_graph::CsrGraph;
 use predict_sampling::{BiasedRandomJump, Sampler, ScratchPool};
 use serde::Serialize;
@@ -485,14 +485,19 @@ fn stage_actual(ctx: &StageCtx<'_>, workload: &dyn Workload) -> Arc<WorkloadRun>
         caches.record(false);
     }
     // Sharded engines run against the session's cached full-graph storage,
-    // so back-to-back actual runs skip the per-run shard construction.
+    // so back-to-back actual runs skip the per-run shard construction. The
+    // dispatch in [`crate::exec`] routes to the in-memory runtime or a
+    // cluster transport per the engine's transport mode; results are
+    // byte-identical either way.
     let storage = ctx
         .caches
         .and_then(|caches| caches.storage.get_or_shard(ctx.engine, ctx.graph));
-    let run = Arc::new(match storage {
-        Some(storage) => workload.run_storage(ctx.engine, ctx.graph, &storage),
-        None => workload.run(ctx.engine, ctx.graph),
-    });
+    let run = Arc::new(crate::exec::execute_workload(
+        ctx.engine,
+        workload,
+        ctx.graph,
+        storage.as_deref(),
+    ));
     if let Some(caches) = ctx.caches {
         return Arc::clone(cache_lock(&caches.actuals).entry(key).or_insert(run));
     }
@@ -605,6 +610,7 @@ pub struct PredictorBuilder {
     config: PredictorConfig,
     execution: Option<ExecutionMode>,
     storage: Option<StorageMode>,
+    transport: Option<TransportMode>,
 }
 
 impl Default for PredictorBuilder {
@@ -622,6 +628,7 @@ impl PredictorBuilder {
             config: PredictorConfig::default(),
             execution: None,
             storage: None,
+            transport: None,
         }
     }
 
@@ -650,6 +657,20 @@ impl PredictorBuilder {
     /// layout cache.
     pub fn storage(mut self, storage: StorageMode) -> Self {
         self.storage = Some(storage);
+        self
+    }
+
+    /// Overrides which executor runs the session's workloads: the in-memory
+    /// runtime or a `predict_cluster` worker group (in-process threads or
+    /// worker OS processes). Like [`PredictorBuilder::execution`], this
+    /// never changes prediction output — the cluster driver replays the
+    /// in-memory executor's merge and clock order, so profiles are
+    /// byte-identical under every transport (determinism contract point 8);
+    /// only where the supersteps physically run differs, and transported
+    /// runs additionally carry measured per-superstep timings. The derived
+    /// engine shares the original's run counter and layout cache.
+    pub fn transport(mut self, transport: TransportMode) -> Self {
+        self.transport = Some(transport);
         self
     }
 
@@ -694,6 +715,10 @@ impl PredictorBuilder {
         };
         let engine = match self.storage {
             Some(mode) => Arc::new(engine.with_storage(mode)),
+            None => engine,
+        };
+        let engine = match self.transport {
+            Some(mode) => Arc::new(engine.with_transport(mode)),
             None => engine,
         };
         PredictionSession {

@@ -15,6 +15,9 @@
 //! * [`algorithms`] — PageRank, top-k ranking, semi-clustering, connected
 //!   components, neighborhood estimation, SSSP and the
 //!   [`Workload`](algorithms::Workload) trait;
+//! * [`cluster`] — out-of-process BSP workers behind a transport
+//!   abstraction (wire format, worker protocol, measured superstep
+//!   timings);
 //! * [`predict`] — the PREDIcT pipeline itself (transform functions,
 //!   extrapolation, cost models), decomposed into cached prediction
 //!   sessions and the concurrent `PredictService` front-end.
@@ -62,6 +65,11 @@ pub use predict_bsp as bsp;
 /// `predict-algorithms`).
 pub use predict_algorithms as algorithms;
 
+/// Out-of-process BSP workers over the cut lists: wire format, transports
+/// and the measured-superstep cluster driver (re-export of
+/// `predict-cluster`).
+pub use predict_cluster as cluster;
+
 /// The PREDIcT prediction pipeline (re-export of `predict-core`).
 pub use predict_core as predict;
 
@@ -73,7 +81,7 @@ pub mod prelude {
     };
     pub use predict_bsp::{
         BspConfig, BspEngine, ClusterCostConfig, ExecutionMode, GraphStorage, PoolMode, RunProfile,
-        StorageMode, WorkerPool,
+        StorageMode, TransportMode, WorkerPool,
     };
     pub use predict_core::{
         Evaluation, HistoryStore, KeyFeature, PredictError, PredictRequest, PredictService,
