@@ -13,6 +13,7 @@ use predict_sampling::{BiasedRandomJump, Sampler};
 use std::sync::Arc;
 
 fn main() {
+    let _obs = predict_bench::observability_guard();
     let sampler: Arc<dyn Sampler> = Arc::new(BiasedRandomJump::default());
     let ratios = [0.05, 0.1, 0.2];
     let datasets = [Dataset::Wikipedia, Dataset::Uk2002];

@@ -15,6 +15,10 @@
 //! wall-clock numbers vary run to run and machine to machine, so this
 //! binary is deliberately **not** one of the golden `scenario_runner`
 //! scenarios — it is a report, not a regression artifact.
+//!
+//! Pass `--json` to dump the full per-transport [`MeasuredRun`]s (plus the
+//! derived timing summaries) as machine-readable JSON on stdout instead of
+//! the table, so measured timings can be diffed across runs and machines.
 
 use predict_algorithms::{PageRank, PageRankParams};
 use predict_bench::{experiment_scale, load_dataset, ResultTable};
@@ -22,6 +26,14 @@ use predict_bsp::{BspConfig, MeasuredRun, RunProfile};
 use predict_cluster::{drive, DriveOptions, ProgramSpec, TransportKind};
 use predict_graph::datasets::Dataset;
 use serde::Serialize;
+
+/// One transport's entry in the `--json` dump: the derived summary plus the
+/// raw measured run it came from.
+#[derive(Debug, Serialize)]
+struct JsonEntry {
+    timing: TransportTiming,
+    measured: MeasuredRun,
+}
 
 /// Everything the report records for one transport's run.
 #[derive(Debug, Serialize)]
@@ -59,6 +71,8 @@ fn timing_of(profile: &RunProfile, measured: &MeasuredRun) -> TransportTiming {
 }
 
 fn main() {
+    let _obs = predict_bench::observability_guard();
+    let json = std::env::args().skip(1).any(|a| a == "--json");
     let scale = experiment_scale();
     let graph = load_dataset(Dataset::LiveJournal, scale);
     let params = PageRankParams::with_epsilon(0.01, graph.num_vertices());
@@ -78,6 +92,7 @@ fn main() {
         ],
     );
     let mut points: Vec<TransportTiming> = Vec::new();
+    let mut measured_runs: Vec<MeasuredRun> = Vec::new();
 
     for kind in [TransportKind::InProc, TransportKind::Process] {
         let opts = DriveOptions::new(kind);
@@ -98,6 +113,7 @@ fn main() {
             format!("{:.1}", timing.wire_bytes as f64 / 1024.0),
         ]);
         points.push(timing);
+        measured_runs.push(measured.clone());
     }
 
     // The determinism contract makes the simulated columns transport-
@@ -108,5 +124,15 @@ fn main() {
     );
     assert_eq!(points[0].supersteps, points[1].supersteps);
 
-    table.emit("cluster_timing", &points);
+    if json {
+        let entries: Vec<JsonEntry> = points
+            .into_iter()
+            .zip(measured_runs)
+            .map(|(timing, measured)| JsonEntry { timing, measured })
+            .collect();
+        let payload = serde_json::to_string_pretty(&entries).expect("measured timings serialize");
+        println!("{payload}");
+    } else {
+        table.emit("cluster_timing", &points);
+    }
 }

@@ -17,6 +17,7 @@ use predict_sampling::{BiasedRandomJump, Sampler};
 use std::sync::Arc;
 
 fn main() {
+    let _obs = predict_bench::observability_guard();
     let sampler: Arc<dyn Sampler> = Arc::new(BiasedRandomJump::default());
     let datasets = [Dataset::LiveJournal, Dataset::Wikipedia, Dataset::Uk2002];
     let mut all_points: Vec<(f64, Vec<PredictionPoint>)> = Vec::new();

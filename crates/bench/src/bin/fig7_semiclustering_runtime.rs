@@ -42,6 +42,7 @@ fn sweep(history: HistoryMode) -> Vec<PredictionPoint> {
 }
 
 fn main() {
+    let _obs = predict_bench::observability_guard();
     let without_history = sweep(HistoryMode::SampleRunsOnly);
     let with_history = sweep(HistoryMode::WithHistory);
 

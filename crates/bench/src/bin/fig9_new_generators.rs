@@ -38,6 +38,7 @@ fn sweep(sampler: Arc<dyn Sampler>) -> Vec<PredictionPoint> {
 }
 
 fn main() {
+    let _obs = predict_bench::observability_guard();
     let samplers: [(&str, Arc<dyn Sampler>); 3] = [
         ("BRJ", Arc::new(BiasedRandomJump::default())),
         ("RJ", Arc::new(RandomJump::default())),

@@ -33,6 +33,7 @@ fn sweep(
 }
 
 fn main() {
+    let _obs = predict_bench::observability_guard();
     let samplers: [(&str, Arc<dyn Sampler>); 3] = [
         ("BRJ", Arc::new(BiasedRandomJump::default())),
         ("RJ", Arc::new(RandomJump::default())),

@@ -282,6 +282,32 @@ fn run_probes() -> Vec<ProbeResult> {
         push("pool_warm_batch_spawns", "rmat_s11_d8", warm_spawns);
     }
 
+    // Observability probes: the disabled tracer and the metrics counters sit
+    // on the engine's hottest paths (every superstep, every pool task), so
+    // the gate pins their cost. Each repeat batches 1000 operations — the
+    // per-op cost is a handful of nanoseconds, far below timer resolution.
+    {
+        push(
+            "span_noop",
+            "disabled_x1000",
+            median_ns(reps, || {
+                for _ in 0..1000 {
+                    black_box(predict_obs::trace::span("probe.noop"));
+                }
+            }),
+        );
+        let counter = predict_obs::registry().counter("probe.counter");
+        push(
+            "counter_incr",
+            "cached_x1000",
+            median_ns(reps, || {
+                for _ in 0..1000 {
+                    counter.incr();
+                }
+            }),
+        );
+    }
+
     // Cluster transport probes: the wire format's encode/decode cost on a
     // representative PageRank message batch, and the channel transport's
     // whole-run overhead against the in-memory executor on an identical

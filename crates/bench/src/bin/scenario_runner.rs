@@ -156,7 +156,7 @@ fn main() {
         .filter(|name| filters.is_empty() || filters.iter().any(|f| name.contains(f.as_str())))
         .collect();
     if selected.is_empty() {
-        eprintln!("no scenario matches the given filters");
+        predict_obs::diag!(Error, "no scenario matches the given filters");
         std::process::exit(1);
     }
 

@@ -9,6 +9,7 @@ use predict_bench::{experiment_scale, ResultTable};
 use predict_graph::datasets::table2_summary;
 
 fn main() {
+    let _obs = predict_bench::observability_guard();
     let scale = experiment_scale();
     let rows = table2_summary(scale);
 

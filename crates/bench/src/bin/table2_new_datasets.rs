@@ -12,6 +12,7 @@ use predict_bench::{experiment_scale, ResultTable};
 use predict_graph::datasets::{dataset_summary, Dataset};
 
 fn main() {
+    let _obs = predict_bench::observability_guard();
     let scale = experiment_scale();
     let rows = dataset_summary(&Dataset::EXTENDED, scale);
 

@@ -17,6 +17,7 @@ use predict_sampling::BiasedRandomJump;
 use std::sync::Arc;
 
 fn main() {
+    let _obs = predict_bench::observability_guard();
     let scale = experiment_scale();
     let service = PredictService::new(experiment_engine(), Arc::new(BiasedRandomJump::default()));
     let damping = 0.85;

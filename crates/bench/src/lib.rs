@@ -16,7 +16,8 @@
 use predict_algorithms::{Workload, WorkloadRun};
 use predict_bsp::{BspConfig, BspEngine};
 use predict_core::{
-    observations_from_profile, PredictService, Prediction, PredictorConfig, WorkerSelection,
+    observations_from_profile, PredictRequest, PredictService, Prediction, PredictorConfig,
+    WorkerSelection,
 };
 use predict_graph::datasets::{Dataset, DatasetConfig, DatasetScale};
 use predict_graph::CsrGraph;
@@ -49,6 +50,24 @@ pub fn experiment_scale() -> DatasetScale {
 /// default (hidden) simulated cluster cost model.
 pub fn experiment_engine() -> BspEngine {
     BspEngine::new(BspConfig::with_workers(8))
+}
+
+/// Honors the `PREDICT_TRACE` knob for this process: when set to a path,
+/// enables span tracing and returns a guard that writes the Chrome
+/// trace-event file (with the final metrics snapshot embedded) when it
+/// drops. Call first thing in `main` and keep the guard alive for the whole
+/// run:
+///
+/// ```no_run
+/// let _obs = predict_bench::observability_guard();
+/// ```
+///
+/// Returns `None` (tracing stays disabled, spans cost one atomic load) when
+/// the knob is unset. This lives in the bench harness rather than
+/// `predict_obs` because the knob parser sits in `predict_bsp::knobs`,
+/// *above* `predict_obs` in the dependency graph.
+pub fn observability_guard() -> Option<predict_obs::TraceGuard> {
+    predict_bsp::env_trace_path().map(predict_obs::trace::start_file)
 }
 
 /// Loads one dataset analog at the experiment scale.
@@ -167,7 +186,10 @@ pub fn prediction_sweep(
 
     // Sessions and actual runs, one per dataset. The actual run is executed
     // through the session so later evaluations of the same workload reuse it.
+    // The graphs are kept so the per-point requests below clone the same
+    // `Arc` — session reuse in the service is keyed on pointer identity.
     let mut sessions = Vec::new();
+    let mut graphs = Vec::new();
     let mut actual_runs = Vec::new();
     for &dataset in datasets {
         let graph = Arc::new(load_dataset(dataset, scale));
@@ -176,6 +198,7 @@ pub fn prediction_sweep(
         eprintln!("[actual run] {} on {}", workload.name(), dataset.prefix());
         actual_runs.push(session.actual_run(workload.as_ref()));
         sessions.push(session);
+        graphs.push(graph);
     }
 
     // History: the actual runs of every *other* dataset.
@@ -196,8 +219,7 @@ pub fn prediction_sweep(
 
     let mut points = Vec::new();
     for (i, &dataset) in datasets.iter().enumerate() {
-        let session = &sessions[i];
-        let workload = make_workload(session.graph());
+        let workload: Arc<dyn Workload> = Arc::from(make_workload(sessions[i].graph()));
         for &ratio in ratios {
             let config = make_config(ratio);
             eprintln!(
@@ -206,7 +228,17 @@ pub fn prediction_sweep(
                 dataset.prefix(),
                 ratio
             );
-            match session.predict_with(workload.as_ref(), &config) {
+            // Through the service front door (not the raw session), so each
+            // sweep point is a counted, traced `service.request`. The request
+            // clones the dataset's own graph `Arc`, so the service cache-hits
+            // on the session warmed above: identical bytes, no extra work.
+            let request = PredictRequest::new(
+                dataset.prefix(),
+                Arc::clone(&graphs[i]),
+                Arc::clone(&workload),
+            )
+            .with_config(config);
+            match service.submit(&request) {
                 Ok(prediction) => points.push(PredictionPoint::from_prediction(
                     dataset,
                     ratio,

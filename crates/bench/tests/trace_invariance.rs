@@ -1,0 +1,142 @@
+//! Golden invariance of observability: `PREDICT_TRACE` on or off must
+//! leave experiment output byte-identical, while the trace itself must be a
+//! valid Chrome trace-event file with the full span nesting
+//! (service → session → stage, run → superstep → phase).
+//!
+//! This lives in an integration test (own process) because it flips the
+//! process-global tracer flag; unit tests sharing the test binary's threads
+//! could otherwise observe each other's spans.
+
+use predict_algorithms::PageRankWorkload;
+use predict_bench::{prediction_sweep, HistoryMode, EXPERIMENT_SEED};
+use predict_core::PredictorConfig;
+use predict_graph::datasets::Dataset;
+use predict_sampling::BiasedRandomJump;
+use serde_json::Value;
+use std::sync::Arc;
+
+/// One small-scale sweep, serialized exactly as the experiment bins save it.
+fn sweep_json() -> String {
+    let points = prediction_sweep(
+        &[Dataset::Wikipedia],
+        &[0.1, 0.2],
+        Arc::new(BiasedRandomJump::default()),
+        HistoryMode::SampleRunsOnly,
+        &|g| Box::new(PageRankWorkload::with_epsilon(0.01, g.num_vertices())),
+        &|ratio| PredictorConfig::single_ratio(ratio).with_seed(EXPERIMENT_SEED),
+    );
+    serde_json::to_string_pretty(&points).expect("points serialize")
+}
+
+/// Decoded essentials of one trace event.
+struct Span {
+    name: String,
+    tid: u64,
+    start: f64,
+    end: f64,
+}
+
+fn lookup<'a>(map: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    map.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn number(value: &Value) -> f64 {
+    match value {
+        Value::UInt(v) => *v as f64,
+        Value::Int(v) => *v as f64,
+        Value::Float(v) => *v,
+        other => panic!("expected a number, got {other:?}"),
+    }
+}
+
+fn decode_spans(trace: &Value) -> Vec<Span> {
+    let Value::Map(root) = trace else {
+        panic!("trace top level must be an object");
+    };
+    let Some(Value::Seq(events)) = lookup(root, "traceEvents") else {
+        panic!("trace must have a traceEvents array");
+    };
+    events
+        .iter()
+        .map(|event| {
+            let Value::Map(map) = event else {
+                panic!("every trace event must be an object");
+            };
+            assert_eq!(
+                lookup(map, "ph"),
+                Some(&Value::Str("X".to_string())),
+                "spans export as complete events"
+            );
+            let ts = number(lookup(map, "ts").expect("ts"));
+            let dur = number(lookup(map, "dur").expect("dur"));
+            Span {
+                name: match lookup(map, "name").expect("name") {
+                    Value::Str(s) => s.clone(),
+                    other => panic!("name must be a string, got {other:?}"),
+                },
+                tid: number(lookup(map, "tid").expect("tid")) as u64,
+                start: ts,
+                end: ts + dur,
+            }
+        })
+        .collect()
+}
+
+/// True when some `inner`-named span nests inside some `outer`-named span on
+/// the same thread.
+fn nests_within(spans: &[Span], inner: &str, outer: &str) -> bool {
+    spans.iter().any(|i| {
+        i.name == inner
+            && spans
+                .iter()
+                .any(|o| o.name == outer && o.tid == i.tid && o.start <= i.start && i.end <= o.end)
+    })
+}
+
+#[test]
+fn tracing_on_and_off_produce_byte_identical_results() {
+    std::env::set_var("PREDICT_SCALE", "small");
+    let baseline = sweep_json();
+
+    let dir = std::env::temp_dir().join(format!("predict_trace_invariance_{}", std::process::id()));
+    let trace_path = dir.join("sweep.trace.json");
+    let traced = {
+        let _guard = predict_obs::trace::start_file(&trace_path);
+        sweep_json()
+    };
+    std::env::remove_var("PREDICT_SCALE");
+
+    // The tentpole contract: a traced run's experiment output is the same
+    // bytes as an untraced run's.
+    assert_eq!(baseline, traced, "PREDICT_TRACE changed experiment output");
+
+    // The flushed file is valid Chrome trace JSON carrying the whole span
+    // hierarchy plus the embedded metrics snapshot.
+    let text = std::fs::read_to_string(&trace_path).expect("trace file written");
+    let trace: Value = serde_json::from_str(&text).expect("trace file is valid JSON");
+    let spans = decode_spans(&trace);
+    assert!(!spans.is_empty(), "a traced sweep records spans");
+    for (inner, outer) in [
+        ("session.predict", "service.request"),
+        ("predict.stage.sample", "session.predict"),
+        ("predict.stage.sample_run", "session.predict"),
+        ("predict.stage.train", "session.predict"),
+        ("bsp.superstep", "bsp.run"),
+        ("bsp.compute", "bsp.superstep"),
+        ("bsp.deliver", "bsp.superstep"),
+    ] {
+        assert!(
+            nests_within(&spans, inner, outer),
+            "expected a `{inner}` span nested inside a `{outer}` span"
+        );
+    }
+    let Value::Map(root) = &trace else {
+        unreachable!()
+    };
+    assert!(
+        lookup(root, "metrics").is_some(),
+        "the trace embeds the metrics snapshot"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}

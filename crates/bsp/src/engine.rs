@@ -247,6 +247,7 @@ impl BspEngine {
         program: &P,
     ) -> BspRunResult<P::VertexValue> {
         self.runs.fetch_add(1, Ordering::Relaxed);
+        predict_obs::registry().counter("bsp.runs").incr();
         let num_workers = self.config.num_workers.max(1);
         let layout = self.layouts.get_or_build(
             storage.num_vertices(),

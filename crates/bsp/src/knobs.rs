@@ -1,10 +1,11 @@
 //! Centralized parsing of the `PREDICT_*` environment knobs.
 //!
-//! Four environment variables tune how the engine executes a run without
+//! Five environment variables tune how the engine executes a run without
 //! changing its results: `PREDICT_THREADS` (superstep-phase thread count),
 //! `PREDICT_STORAGE` (unified vs sharded graph layout), `PREDICT_POOL`
-//! (persistent worker pool vs scoped threads) and `PREDICT_TRANSPORT`
-//! (in-memory executor vs the out-of-process cluster driver). They used to
+//! (persistent worker pool vs scoped threads), `PREDICT_TRANSPORT`
+//! (in-memory executor vs the out-of-process cluster driver) and
+//! `PREDICT_TRACE` (Chrome-trace span export path). They used to
 //! be parsed ad hoc at each `resolve_*` site, and an invalid value —
 //! `PREDICT_THREADS=fast`, `PREDICT_STORAGE=shard` — was silently ignored,
 //! which made typos indistinguishable from defaults. This module is the one
@@ -18,6 +19,7 @@
 //! concurrently running tests.
 
 use std::collections::BTreeSet;
+use std::path::PathBuf;
 use std::sync::Mutex;
 
 /// Thread-count knob honored by
@@ -31,6 +33,10 @@ pub const POOL_VAR: &str = "PREDICT_POOL";
 /// Transport knob honored by
 /// [`TransportMode::Auto`](crate::remote::TransportMode).
 pub const TRANSPORT_VAR: &str = "PREDICT_TRANSPORT";
+/// Trace-output knob honored by `predict_bench::observability_guard`: a
+/// file path that, when set, receives a Chrome trace-event JSON dump of
+/// every span recorded during the process.
+pub const TRACE_VAR: &str = "PREDICT_TRACE";
 
 /// Variables that have already produced an invalid-value warning in this
 /// process. One warning per variable keeps a scenario sweep (thousands of
@@ -45,8 +51,9 @@ fn warned() -> &'static Mutex<BTreeSet<String>> {
 fn warn_invalid(var: &str, value: &str, expected: &str) {
     let mut seen = warned().lock().unwrap_or_else(|e| e.into_inner());
     if seen.insert(var.to_string()) {
-        eprintln!(
-            "warning: ignoring invalid {var}={value:?} (expected {expected}); \
+        predict_obs::diag!(
+            Warn,
+            "ignoring invalid {var}={value:?} (expected {expected}); \
              using the default"
         );
     }
@@ -137,6 +144,17 @@ fn parse_transport(var: &str, value: Option<&str>) -> TransportChoice {
     }
 }
 
+/// Parses the trace knob: a non-empty path selects Chrome-trace export to
+/// that file; unset or blank disables tracing. Any non-blank string is a
+/// legal path, so this parser has no invalid-value warning.
+fn parse_trace(value: Option<&str>) -> Option<PathBuf> {
+    let raw = value?.trim();
+    if raw.is_empty() {
+        return None;
+    }
+    Some(PathBuf::from(raw))
+}
+
 fn env(var: &str) -> Option<String> {
     std::env::var(var).ok()
 }
@@ -160,6 +178,12 @@ pub fn env_pool_enabled() -> bool {
 /// The transport `PREDICT_TRANSPORT` selects.
 pub fn env_transport() -> TransportChoice {
     parse_transport(TRANSPORT_VAR, env(TRANSPORT_VAR).as_deref())
+}
+
+/// The Chrome-trace output path `PREDICT_TRACE` selects, `None` when
+/// tracing is disabled.
+pub fn env_trace_path() -> Option<PathBuf> {
+    parse_trace(env(TRACE_VAR).as_deref())
 }
 
 #[cfg(test)]
@@ -226,6 +250,21 @@ mod tests {
         assert_eq!(
             parse_transport("X_TYPO", Some("processes")),
             TransportChoice::InMemory
+        );
+    }
+
+    #[test]
+    fn trace_accepts_paths_and_ignores_blanks() {
+        assert_eq!(parse_trace(None), None);
+        assert_eq!(parse_trace(Some("")), None);
+        assert_eq!(parse_trace(Some("   ")), None);
+        assert_eq!(
+            parse_trace(Some("trace.json")),
+            Some(PathBuf::from("trace.json"))
+        );
+        assert_eq!(
+            parse_trace(Some(" target/out.trace.json ")),
+            Some(PathBuf::from("target/out.trace.json"))
         );
     }
 

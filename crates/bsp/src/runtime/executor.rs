@@ -141,6 +141,11 @@ pub fn execute_pooled<P: VertexProgram>(
     pool: Option<&WorkerPool>,
 ) -> BspRunResult<P::VertexValue> {
     let num_workers = layout.num_workers();
+    let _run_span = predict_obs::trace::span("bsp.run")
+        .arg("algorithm", program.name())
+        .arg("workers", num_workers)
+        .arg("threads", threads);
+    let superstep_ns = predict_obs::registry().histogram("bsp.superstep_ns");
     let mut clock = ClusterClock::new(config.cost.clone());
 
     // Setup and read phases.
@@ -168,10 +173,14 @@ pub fn execute_pooled<P: VertexProgram>(
     let mut halt_reason = HaltReason::MaxSupersteps;
 
     for superstep in 0..config.max_supersteps {
+        let _superstep_span =
+            predict_obs::trace::span("bsp.superstep").arg("superstep", superstep as u64);
+        let superstep_start = std::time::Instant::now();
         // Compute phase: every shard processes its vertices against its own
         // view of the graph. Shards are disjoint; the fan-out cannot reorder
         // anything observable.
         {
+            let _compute_span = predict_obs::trace::span("bsp.compute");
             let previous_aggregates = &previous_aggregates;
             for_each_chunked(&mut shards, threads, pool, |shard| {
                 shard.run_superstep(
@@ -206,6 +215,7 @@ pub fn execute_pooled<P: VertexProgram>(
         // Delivery phase: every destination shard pulls its inbound row
         // (ascending source worker, production order within a source).
         {
+            let _deliver_span = predict_obs::trace::span("bsp.deliver");
             let mut pairs: Vec<(&mut WorkerShard<P>, &mut MessageRow<P::Message>)> =
                 shards.iter_mut().zip(inbound.iter_mut()).collect();
             for_each_chunked(&mut pairs, threads, pool, |(shard, row)| {
@@ -223,6 +233,7 @@ pub fn execute_pooled<P: VertexProgram>(
             wall_time_ms,
             aggregates: aggregates.clone(),
         });
+        superstep_ns.record(superstep_start.elapsed().as_nanos() as u64);
 
         // Termination checks, in the same priority order as Giraph: the
         // algorithm's global convergence condition first, then the
@@ -237,6 +248,9 @@ pub fn execute_pooled<P: VertexProgram>(
         }
         previous_aggregates = aggregates;
     }
+    predict_obs::registry()
+        .counter("bsp.supersteps")
+        .add(supersteps.len() as u64);
 
     let n = storage.num_vertices();
     let write_ms = clock.write_time_ms(n, num_workers);

@@ -182,6 +182,14 @@ impl PoolState {
     /// Runs one task, catching its panic into the scope latch, then closes
     /// its slot in the latch (notifying if that completed the scope).
     fn run_task(&self, task: Task) {
+        // The counter handle is cached process-wide: this is the pool's
+        // hottest path and must not take the registry lock per task.
+        static TASKS: std::sync::OnceLock<std::sync::Arc<predict_obs::metrics::Counter>> =
+            std::sync::OnceLock::new();
+        TASKS
+            .get_or_init(|| predict_obs::registry().counter("pool.tasks"))
+            .incr();
+        let _task_span = predict_obs::trace::span("pool.task");
         let Task { run, scope } = task;
         if let Err(payload) = catch_unwind(AssertUnwindSafe(run)) {
             let mut slot = lock(&scope.panic);

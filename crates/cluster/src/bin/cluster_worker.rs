@@ -12,7 +12,7 @@ fn main() {
     let stdout = std::io::stdout();
     let mut ep = StdioEndpoint::new(stdin.lock(), stdout.lock());
     if let Err(message) = serve(&mut ep, true) {
-        eprintln!("cluster_worker: {message}");
+        predict_obs::diag!(Error, "cluster_worker: {message}");
         std::process::exit(2);
     }
 }

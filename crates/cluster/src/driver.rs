@@ -133,6 +133,11 @@ where
     let n = graph.num_vertices();
     let layout = ShardLayout::build(n, num_workers, config.partition_strategy);
     let run_start = Instant::now();
+    let _run_span = predict_obs::trace::span("cluster.run")
+        .arg("transport", opts.kind.name())
+        .arg("workers", num_workers);
+    let step_ns = predict_obs::registry().histogram("cluster.step_ns");
+    let wire_bytes_counter = predict_obs::registry().counter("cluster.wire_bytes");
 
     // Same clock call order as the in-memory executor: setup, read, one
     // superstep call per superstep, write — so simulated times (including
@@ -178,6 +183,8 @@ where
     let mut halt_reason = HaltReason::MaxSupersteps;
 
     for superstep in 0..config.max_supersteps {
+        let mut step_span =
+            predict_obs::trace::span("cluster.step").arg("superstep", superstep as u64);
         let step_start = Instant::now();
         let mut wire_bytes = vec![0u64; num_workers];
 
@@ -237,8 +244,15 @@ where
             wall_time_ms,
             aggregates: aggregates.clone(),
         });
+        // Join the driver-side round-trip with the per-worker compute times
+        // the STEP_DONE frames carried back.
+        step_span.set_arg("worker_compute_ns", format!("{worker_compute_ns:?}"));
+        let wall_ns = step_start.elapsed().as_nanos() as u64;
+        step_ns.record(wall_ns);
+        wire_bytes_counter.add(wire_bytes.iter().sum());
+        predict_obs::registry().counter("cluster.steps").incr();
         measured.push(MeasuredSuperstep {
-            wall_ns: step_start.elapsed().as_nanos() as u64,
+            wall_ns,
             worker_compute_ns,
             wire_bytes,
         });

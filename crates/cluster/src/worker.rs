@@ -244,7 +244,10 @@ fn inject_fault(fault: &FaultSpec, superstep: usize, standalone: bool) -> Result
     }
     if fault.crash_at == Some(superstep) {
         if standalone {
-            eprintln!("cluster_worker: injected crash at superstep {superstep}");
+            predict_obs::diag!(
+                Warn,
+                "cluster_worker: injected crash at superstep {superstep}"
+            );
             std::process::exit(3);
         }
         // In-process: die without an Error frame, so the driver sees an

@@ -281,8 +281,24 @@ impl PredictService {
         session
     }
 
+    /// Opens the `service.request` span with a process-unique request id,
+    /// and counts the request. Ids are generated even when tracing is off so
+    /// a trace started mid-process still shows where its requests sit in the
+    /// service's lifetime order.
+    fn request_span(&self, op: &'static str, dataset: &str) -> predict_obs::SpanGuard {
+        static NEXT_REQUEST_ID: AtomicU64 = AtomicU64::new(1);
+        let id = NEXT_REQUEST_ID.fetch_add(1, Ordering::Relaxed);
+        predict_obs::registry().counter("service.requests").incr();
+        predict_obs::trace::span("service.request")
+            .arg("request_id", id)
+            .arg("op", op)
+            .arg("dataset", dataset)
+    }
+
     /// Evaluates one prediction request.
     pub fn submit(&self, request: &PredictRequest) -> Result<Prediction, PredictError> {
+        let _span = self.request_span("predict", &request.dataset);
+        let _timer = predict_obs::metrics::time_scope("service.request_ns");
         let session = self.session_for(&request.dataset, &request.graph);
         match &request.config {
             Some(config) => session.predict_with(request.workload.as_ref(), config),
@@ -293,11 +309,27 @@ impl PredictService {
     /// Evaluates one request against the measured actual run (cached in the
     /// session after the first evaluation).
     pub fn evaluate(&self, request: &PredictRequest) -> Result<Evaluation, PredictError> {
+        let _span = self.request_span("evaluate", &request.dataset);
+        let _timer = predict_obs::metrics::time_scope("service.request_ns");
         let session = self.session_for(&request.dataset, &request.graph);
         match &request.config {
             Some(config) => session.evaluate_with(request.workload.as_ref(), config),
             None => session.evaluate(request.workload.as_ref()),
         }
+    }
+
+    /// Freezes the process-wide metrics registry: request counts, per-stage
+    /// latency histograms (`predict.stage.*_ns`), BSP/pool/cluster counters —
+    /// deterministically ordered and serializable. p50/p90/p99 derive from
+    /// the histogram buckets
+    /// ([`HistogramSnapshot::quantile`](predict_obs::metrics::HistogramSnapshot::quantile)).
+    ///
+    /// The registry is process-global (instruments are cheap atomics shared
+    /// by every layer), so the snapshot also covers activity outside this
+    /// service instance; within one service process it is the service's
+    /// telemetry view.
+    pub fn metrics_snapshot(&self) -> predict_obs::MetricsSnapshot {
+        predict_obs::registry().snapshot()
     }
 
     /// Evaluates one request with panics contained to the request boundary:
@@ -506,6 +538,59 @@ mod tests {
             .map(|r| r.as_ref().unwrap().workload.clone())
             .collect();
         assert_eq!(names, vec!["PR", "TOP-K", "CC"]);
+    }
+
+    #[test]
+    fn metrics_snapshot_covers_every_request_in_a_warm_batch() {
+        let svc = service();
+        let g = graph(9);
+        let n = g.num_vertices();
+        let requests: Vec<PredictRequest> = vec![
+            PredictRequest::new(
+                "Metrics",
+                Arc::clone(&g),
+                Arc::new(PageRankWorkload::with_epsilon(0.01, n)),
+            ),
+            PredictRequest::new("Metrics", Arc::clone(&g), Arc::new(TopKWorkload::default())),
+            PredictRequest::new(
+                "Metrics",
+                Arc::clone(&g),
+                Arc::new(ConnectedComponentsWorkload),
+            ),
+        ];
+        // Warm the session cache, then snapshot deltas around a warm batch.
+        // The registry is process-global, so assertions compare before/after
+        // rather than absolute values (other tests run concurrently).
+        let _ = svc.submit_batch(&requests, 2);
+        let before = svc.metrics_snapshot();
+        let results = svc.submit_batch(&requests, 2);
+        assert!(results.iter().all(Result::is_ok));
+        let after = svc.metrics_snapshot();
+        let delta =
+            |name: &str| after.counter(name).unwrap_or(0) - before.counter(name).unwrap_or(0);
+        assert!(delta("service.requests") >= requests.len() as u64);
+        let hist_count = |snap: &predict_obs::MetricsSnapshot, name: &str| {
+            snap.histogram(name).map_or(0, |h| h.count)
+        };
+        // Every request in the batch landed in the request-latency histogram
+        // and in the per-stage histograms (warm hits included — the stage
+        // timers wrap cache lookups too).
+        for name in [
+            "service.request_ns",
+            "session.predict_ns",
+            "predict.stage.sample_ns",
+            "predict.stage.sample_run_ns",
+            "predict.stage.train_ns",
+        ] {
+            assert!(
+                hist_count(&after, name) >= hist_count(&before, name) + requests.len() as u64,
+                "histogram {name} did not cover the warm batch"
+            );
+        }
+        // Quantiles are derivable from the snapshot buckets.
+        let request_ns = after.histogram("service.request_ns").unwrap();
+        assert!(request_ns.p50().is_some());
+        assert!(request_ns.p99().unwrap() >= request_ns.p50().unwrap());
     }
 
     #[test]

@@ -322,6 +322,8 @@ fn stage_sample(
     ratio: f64,
     seed: u64,
 ) -> Result<Arc<SampleArtifact>, PredictError> {
+    let _span = predict_obs::trace::span("predict.stage.sample").arg("ratio", ratio);
+    let _timer = predict_obs::metrics::time_scope("predict.stage.sample_ns");
     let key = SampleKey::new(ctx.sampler.name(), ratio, seed);
     if let Some(caches) = ctx.caches {
         if let Some(hit) = cache_lock(&caches.samples).get(&key) {
@@ -363,6 +365,9 @@ fn stage_run(
     transform: TransformFunction,
     sample: &SampleArtifact,
 ) -> Arc<SampleRunArtifact> {
+    let _span =
+        predict_obs::trace::span("predict.stage.sample_run").arg("workload", workload.name());
+    let _timer = predict_obs::metrics::time_scope("predict.stage.sample_run_ns");
     let key = RunKey::new(&sample.key, workload, transform);
     if let Some(caches) = ctx.caches {
         if let Some(hit) = cache_lock(&caches.runs).get(&key) {
@@ -398,6 +403,8 @@ fn stage_model(
     history: &HistoryStore,
     history_version: u64,
 ) -> Result<Arc<TrainedModel>, PredictError> {
+    let _span = predict_obs::trace::span("predict.stage.train").arg("workload", workload.name());
+    let _timer = predict_obs::metrics::time_scope("predict.stage.train_ns");
     let key = ModelKey {
         workload: workload.cache_token(),
         config_fingerprint: config.fingerprint(),
@@ -476,6 +483,8 @@ fn stage_model(
 
 /// Executes (or reuses) the actual run of `workload` on the full graph.
 fn stage_actual(ctx: &StageCtx<'_>, workload: &dyn Workload) -> Arc<WorkloadRun> {
+    let _span = predict_obs::trace::span("predict.stage.actual").arg("workload", workload.name());
+    let _timer = predict_obs::metrics::time_scope("predict.stage.actual_ns");
     let key = workload.cache_token();
     if let Some(caches) = ctx.caches {
         if let Some(hit) = cache_lock(&caches.actuals).get(&key) {
@@ -512,6 +521,8 @@ pub(crate) fn predict_stages(
     history: &HistoryStore,
     history_version: u64,
 ) -> Result<Prediction, PredictError> {
+    let _span = predict_obs::trace::span("session.predict").arg("workload", workload.name());
+    let _timer = predict_obs::metrics::time_scope("session.predict_ns");
     config.validate()?;
     let transform = config
         .transform
@@ -578,6 +589,8 @@ pub(crate) fn evaluate_stages(
     history: &HistoryStore,
     history_version: u64,
 ) -> Result<Evaluation, PredictError> {
+    let _span = predict_obs::trace::span("session.evaluate").arg("workload", workload.name());
+    let _timer = predict_obs::metrics::time_scope("session.evaluate_ns");
     let prediction = predict_stages(ctx, workload, config, history, history_version)?;
     let actual = stage_actual(ctx, workload);
     let actual_remote_message_bytes: f64 = actual
