@@ -21,7 +21,11 @@ use predict_graph::CsrGraph;
 use serde::{Deserialize, Serialize};
 
 /// Result of executing a workload on one graph.
-#[derive(Debug, Clone)]
+///
+/// Serializable so the persistent artifact store can cache actual runs
+/// across process restarts (a warm-restarted service replays the stored
+/// profile instead of re-executing the workload).
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct WorkloadRun {
     /// Profile of the run (per-superstep features and simulated times).
     pub profile: RunProfile,

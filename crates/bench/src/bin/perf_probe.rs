@@ -308,6 +308,71 @@ fn run_probes() -> Vec<ProbeResult> {
         );
     }
 
+    // Persistent-store probes: artifact publish/read on a pinned sample-graph
+    // payload, and the warm-restart path — a fresh session answering a
+    // prediction entirely from a populated store (provenance bind + four
+    // disk reads, zero engine runs). `warm_restart_predict` is the perf
+    // contract behind `PREDICT_STORE`: restarting a service must be
+    // disk-read cheap, not recompute expensive.
+    {
+        use predict_core::{ArtifactKind, ArtifactStore, Predictor};
+        use std::sync::Arc;
+        let dir = std::env::temp_dir().join(format!("predict_perf_store_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = Arc::new(ArtifactStore::open(&dir).expect("open probe store"));
+        let graph = Arc::new(generate_rmat(&RmatConfig::new(11, 8).with_seed(PROBE_SEED)));
+        push(
+            "store_put",
+            "rmat_s11_d8",
+            median_ns(reps, || {
+                store
+                    .put(ArtifactKind::Sample, "probe", 1, graph.as_ref())
+                    .expect("probe put succeeds")
+            }),
+        );
+        push(
+            "store_get",
+            "rmat_s11_d8",
+            median_ns(reps, || {
+                store
+                    .get_typed::<CsrGraph>(ArtifactKind::Sample, "probe", 1)
+                    .expect("probe get hits")
+            }),
+        );
+
+        let workload = PageRankWorkload::with_epsilon(0.01, graph.num_vertices());
+        let config = PredictorConfig::single_ratio(0.1);
+        let session = |engine: BspEngine| {
+            Predictor::builder()
+                .engine(engine)
+                .sampler(BiasedRandomJump::default())
+                .config(config.clone())
+                .store_arc(Arc::clone(&store))
+                .bind(Arc::clone(&graph), "probe_restart")
+        };
+        // Populate the store once, then time restarts: every repeat is a
+        // brand-new engine and session, warm only through the filesystem.
+        session(BspEngine::new(BspConfig::with_workers(4)))
+            .predict(&workload)
+            .expect("cold populate succeeds");
+        let warm_engine = BspEngine::new(BspConfig::with_workers(4));
+        push(
+            "warm_restart_predict",
+            "rmat_s11_d8",
+            median_ns(reps, || {
+                session(warm_engine.clone())
+                    .predict(&workload)
+                    .expect("warm restart predict succeeds")
+            }),
+        );
+        assert_eq!(
+            warm_engine.runs_executed(),
+            0,
+            "warm restarts must execute zero engine runs"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
     // Cluster transport probes: the wire format's encode/decode cost on a
     // representative PageRank message batch, and the channel transport's
     // whole-run overhead against the in-memory executor on an identical

@@ -12,10 +12,18 @@
 //! Usage:
 //!
 //! ```text
-//! scenario_runner              # run all scenarios, diff against goldens
-//! scenario_runner --bless      # run all scenarios, (re)write the goldens
-//! scenario_runner fig4 table3  # only scenarios whose name contains a filter
+//! scenario_runner                # run all scenarios, diff against goldens
+//! scenario_runner --bless        # run all scenarios, (re)write the goldens
+//! scenario_runner fig4 table3    # only scenarios whose name contains a filter
+//! scenario_runner --expect-warm  # additionally assert a warm store answered
 //! ```
+//!
+//! `--expect-warm` requires `PREDICT_STORE` to point at a directory a prior
+//! pass already populated: every scenario must still match its golden *and*
+//! its `[store-summary]` stderr line (emitted by the experiment harness when
+//! the knob is set) must report zero engine runs — the warm pass answered
+//! entirely from the persistent artifact store, byte-identically, without
+//! re-executing a single stored sample or actual run.
 //!
 //! Scenarios execute at `PREDICT_SCALE=small` (goldens are small-scale
 //! artifacts; override by exporting `PREDICT_SCALE` yourself) and honor
@@ -64,7 +72,14 @@ fn golden_dir() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("golden")
 }
 
-fn run_scenario(name: &str) -> Result<String, String> {
+/// A finished scenario child: its experiment JSON plus its stderr (which
+/// carries the `[store-summary]` line when `PREDICT_STORE` is set).
+struct ScenarioRun {
+    json: String,
+    stderr: String,
+}
+
+fn run_scenario(name: &str) -> Result<ScenarioRun, String> {
     let bin = bin_dir().join(name);
     let scale = std::env::var("PREDICT_SCALE").unwrap_or_else(|_| "small".to_string());
     let output = Command::new(&bin)
@@ -87,8 +102,32 @@ fn run_scenario(name: &str) -> Result<String, String> {
         ));
     }
     let json_path = predict_bench::output_dir().join(format!("{name}.json"));
-    std::fs::read_to_string(&json_path)
-        .map_err(|e| format!("{name} produced no {}: {e}", json_path.display()))
+    let json = std::fs::read_to_string(&json_path)
+        .map_err(|e| format!("{name} produced no {}: {e}", json_path.display()))?;
+    Ok(ScenarioRun {
+        json,
+        stderr: String::from_utf8_lossy(&output.stderr).into_owned(),
+    })
+}
+
+/// The engine-run count a child's `[store-summary]` stderr line reported,
+/// or an error when the line is absent or unparseable (the harness only
+/// emits it when `PREDICT_STORE` is set).
+fn summary_bsp_runs(stderr: &str) -> Result<u64, String> {
+    let line = stderr
+        .lines()
+        .rev()
+        .find_map(|l| l.trim().strip_prefix("[store-summary] "))
+        .ok_or_else(|| "no [store-summary] line on stderr (is PREDICT_STORE set?)".to_string())?;
+    let runs = line
+        .split("\"bsp_runs\":")
+        .nth(1)
+        .and_then(|rest| {
+            let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+            digits.parse::<u64>().ok()
+        })
+        .ok_or_else(|| format!("unparseable store summary: {line}"))?;
+    Ok(runs)
 }
 
 /// First line on which two strings differ, for a readable mismatch report.
@@ -149,6 +188,11 @@ fn print_summary(outcomes: &[Outcome], transport: &str) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let bless = args.iter().any(|a| a == "--bless");
+    let expect_warm = args.iter().any(|a| a == "--expect-warm");
+    if expect_warm && predict_bsp::env_store_path().is_none() {
+        predict_obs::diag!(Error, "--expect-warm requires PREDICT_STORE to be set");
+        std::process::exit(1);
+    }
     let filters: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
     let selected: Vec<&str> = SCENARIOS
         .iter()
@@ -175,8 +219,8 @@ fn main() {
     // a non-zero exit when anything diverged.
     let mut outcomes: Vec<Outcome> = Vec::with_capacity(selected.len());
     for name in &selected {
-        let actual = match run_scenario(name) {
-            Ok(json) => json,
+        let run = match run_scenario(name) {
+            Ok(run) => run,
             Err(e) => {
                 println!("[FAIL] {name}: {e}");
                 outcomes.push(Outcome {
@@ -187,6 +231,32 @@ fn main() {
                 continue;
             }
         };
+        let actual = run.json;
+        // Warm-store assertion: a pass against a populated store must not
+        // have executed a single engine run — all artifacts came from disk.
+        if expect_warm {
+            match summary_bsp_runs(&run.stderr) {
+                Ok(0) => {}
+                Ok(runs) => {
+                    println!("[FAIL] {name}: warm pass executed {runs} engine run(s)");
+                    outcomes.push(Outcome {
+                        name,
+                        status: format!("warm pass executed {runs} engine run(s)"),
+                        failed: true,
+                    });
+                    continue;
+                }
+                Err(e) => {
+                    println!("[FAIL] {name}: {e}");
+                    outcomes.push(Outcome {
+                        name,
+                        status: e,
+                        failed: true,
+                    });
+                    continue;
+                }
+            }
+        }
         let golden_path = golden.join(format!("{name}.json"));
         if bless {
             std::fs::write(&golden_path, &actual).expect("write golden");

@@ -52,22 +52,66 @@ pub fn experiment_engine() -> BspEngine {
     BspEngine::new(BspConfig::with_workers(8))
 }
 
-/// Honors the `PREDICT_TRACE` knob for this process: when set to a path,
-/// enables span tracing and returns a guard that writes the Chrome
-/// trace-event file (with the final metrics snapshot embedded) when it
-/// drops. Call first thing in `main` and keep the guard alive for the whole
-/// run:
+/// Honors the observability knobs for this process. Call first thing in
+/// `main` and keep the guard alive for the whole run:
 ///
 /// ```no_run
 /// let _obs = predict_bench::observability_guard();
 /// ```
 ///
-/// Returns `None` (tracing stays disabled, spans cost one atomic load) when
-/// the knob is unset. This lives in the bench harness rather than
-/// `predict_obs` because the knob parser sits in `predict_bsp::knobs`,
-/// *above* `predict_obs` in the dependency graph.
-pub fn observability_guard() -> Option<predict_obs::TraceGuard> {
-    predict_bsp::env_trace_path().map(predict_obs::trace::start_file)
+/// * `PREDICT_TRACE=<path>` enables span tracing; the guard writes the
+///   Chrome trace-event file (with the final metrics snapshot embedded)
+///   when it drops. Unset, tracing stays disabled and spans cost one atomic
+///   load.
+/// * `PREDICT_STORE=<dir>` (artifact persistence, consumed by the service
+///   layer) additionally makes the guard print one machine-readable
+///   `[store-summary] {...}` line to stderr on drop, reporting the engine
+///   runs this process executed and the store's read/hit/write/quarantine
+///   counters — what the scenario runner's `--expect-warm` mode and the CI
+///   warm-start step parse to assert a warm pass recomputed nothing.
+///
+/// This lives in the bench harness rather than `predict_obs` because the
+/// knob parsers sit in `predict_bsp::knobs`, *above* `predict_obs` in the
+/// dependency graph.
+pub fn observability_guard() -> ObsGuard {
+    ObsGuard {
+        trace: predict_bsp::env_trace_path().map(predict_obs::trace::start_file),
+        store_summary: predict_bsp::env_store_path().is_some(),
+    }
+}
+
+/// Guard returned by [`observability_guard`]; emits the configured
+/// end-of-run reports when dropped.
+pub struct ObsGuard {
+    trace: Option<predict_obs::TraceGuard>,
+    store_summary: bool,
+}
+
+impl Drop for ObsGuard {
+    fn drop(&mut self) {
+        if self.store_summary {
+            eprintln!("{}", store_summary_line());
+        }
+        // `trace` drops afterwards, writing the trace file (it embeds its
+        // own metrics snapshot, taken after the summary above).
+        self.trace.take();
+    }
+}
+
+/// Renders the `[store-summary]` stderr line: a stable prefix plus a JSON
+/// object of the process-global run and store counters.
+pub fn store_summary_line() -> String {
+    let snapshot = predict_obs::registry().snapshot();
+    let counter = |name: &str| snapshot.counter(name).unwrap_or(0);
+    format!(
+        "[store-summary] {{\"bsp_runs\":{},\"store_reads\":{},\"store_hits\":{},\
+         \"store_writes\":{},\"store_quarantined\":{}}}",
+        counter("bsp.runs"),
+        counter("store.reads"),
+        counter("store.hits"),
+        counter("store.writes"),
+        counter("store.quarantined"),
+    )
 }
 
 /// Loads one dataset analog at the experiment scale.

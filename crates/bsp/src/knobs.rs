@@ -1,11 +1,12 @@
 //! Centralized parsing of the `PREDICT_*` environment knobs.
 //!
-//! Five environment variables tune how the engine executes a run without
+//! Six environment variables tune how the engine executes a run without
 //! changing its results: `PREDICT_THREADS` (superstep-phase thread count),
 //! `PREDICT_STORAGE` (unified vs sharded graph layout), `PREDICT_POOL`
 //! (persistent worker pool vs scoped threads), `PREDICT_TRANSPORT`
-//! (in-memory executor vs the out-of-process cluster driver) and
-//! `PREDICT_TRACE` (Chrome-trace span export path). They used to
+//! (in-memory executor vs the out-of-process cluster driver),
+//! `PREDICT_TRACE` (Chrome-trace span export path) and `PREDICT_STORE`
+//! (persistent artifact-store directory). They used to
 //! be parsed ad hoc at each `resolve_*` site, and an invalid value —
 //! `PREDICT_THREADS=fast`, `PREDICT_STORAGE=shard` — was silently ignored,
 //! which made typos indistinguishable from defaults. This module is the one
@@ -37,6 +38,11 @@ pub const TRANSPORT_VAR: &str = "PREDICT_TRANSPORT";
 /// file path that, when set, receives a Chrome trace-event JSON dump of
 /// every span recorded during the process.
 pub const TRACE_VAR: &str = "PREDICT_TRACE";
+/// Artifact-store knob honored by `predict_core`'s
+/// `PredictServiceConfig`: a directory that, when set, persists stage
+/// artifacts (samples, sample runs, models, actual runs) across process
+/// restarts so a restarted service answers warm.
+pub const STORE_VAR: &str = "PREDICT_STORE";
 
 /// Variables that have already produced an invalid-value warning in this
 /// process. One warning per variable keeps a scenario sweep (thousands of
@@ -155,6 +161,18 @@ fn parse_trace(value: Option<&str>) -> Option<PathBuf> {
     Some(PathBuf::from(raw))
 }
 
+/// Parses the store knob: a non-empty path selects a persistent artifact
+/// store rooted at that directory; unset or blank keeps artifacts in memory
+/// only. Like the trace knob, any non-blank string is a legal path, so
+/// there is no invalid-value warning.
+fn parse_store(value: Option<&str>) -> Option<PathBuf> {
+    let raw = value?.trim();
+    if raw.is_empty() {
+        return None;
+    }
+    Some(PathBuf::from(raw))
+}
+
 fn env(var: &str) -> Option<String> {
     std::env::var(var).ok()
 }
@@ -184,6 +202,12 @@ pub fn env_transport() -> TransportChoice {
 /// tracing is disabled.
 pub fn env_trace_path() -> Option<PathBuf> {
     parse_trace(env(TRACE_VAR).as_deref())
+}
+
+/// The artifact-store directory `PREDICT_STORE` selects, `None` when
+/// persistence is disabled.
+pub fn env_store_path() -> Option<PathBuf> {
+    parse_store(env(STORE_VAR).as_deref())
 }
 
 #[cfg(test)]
@@ -265,6 +289,17 @@ mod tests {
         assert_eq!(
             parse_trace(Some(" target/out.trace.json ")),
             Some(PathBuf::from("target/out.trace.json"))
+        );
+    }
+
+    #[test]
+    fn store_accepts_paths_and_ignores_blanks() {
+        assert_eq!(parse_store(None), None);
+        assert_eq!(parse_store(Some("")), None);
+        assert_eq!(parse_store(Some("  ")), None);
+        assert_eq!(
+            parse_store(Some(" target/store ")),
+            Some(PathBuf::from("target/store"))
         );
     }
 

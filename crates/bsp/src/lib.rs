@@ -81,7 +81,7 @@ pub use config::{BspConfig, ExecutionMode, PoolMode};
 pub use cost::{ClusterClock, ClusterCostConfig};
 pub use counters::{sum_counters, WorkerCounters};
 pub use engine::{BspEngine, BspRunResult, HaltReason};
-pub use knobs::{env_trace_path, env_transport, TransportChoice};
+pub use knobs::{env_store_path, env_trace_path, env_transport, TransportChoice};
 pub use partition::{PartitionStrategy, Partitioning};
 pub use profile::{RunProfile, SuperstepProfile};
 pub use program::{ComputeContext, InitContext, VertexProgram};

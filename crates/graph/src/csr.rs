@@ -8,7 +8,7 @@
 
 use crate::edge_list::EdgeList;
 use crate::types::{Edge, VertexId};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::sync::OnceLock;
 
 /// Immutable directed graph in compressed-sparse-row form.
@@ -22,7 +22,11 @@ use std::sync::OnceLock;
 /// placed by a two-pass counting build (degree histogram → prefix offsets →
 /// direct placement), and the degree ordering consumed by Biased Random Jump
 /// seed selection is produced by a counting-bucket pass cached on the graph.
-#[derive(Debug, Clone, Serialize)]
+///
+/// `Deserialize` exists for the persistent artifact store (`predict_store`),
+/// which round-trips sampled subgraphs across process restarts; the skipped
+/// degree-order cache starts empty and is rebuilt on first use.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CsrGraph {
     num_vertices: usize,
     out_offsets: Vec<usize>,

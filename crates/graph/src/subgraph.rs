@@ -10,11 +10,11 @@
 
 use crate::csr::CsrGraph;
 use crate::types::VertexId;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// Mapping between the dense vertex ids of an induced subgraph and the vertex
 /// ids of the graph it was extracted from.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SubgraphMapping {
     /// `to_original[new_id] = original_id`.
     to_original: Vec<VertexId>,

@@ -29,7 +29,7 @@ use predict_algorithms::Workload;
 use predict_bsp::{BspEngine, GraphStorage, HaltReason, PartitionStrategy, RunProfile};
 use predict_graph::CsrGraph;
 use predict_sampling::{GraphSample, Sampler};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -100,7 +100,7 @@ impl StorageCache {
 /// `(technique, ratio, seed)` triple, so two draws with equal keys produce
 /// identical samples. The ratio is stored by its bit pattern so the key is
 /// hashable and exact (no epsilon comparisons).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct SampleKey {
     sampler: String,
     ratio_bits: u64,
@@ -131,11 +131,20 @@ impl SampleKey {
     pub fn seed(&self) -> u64 {
         self.seed
     }
+
+    /// Stable textual rendering of this key for the persistent artifact
+    /// store: exact (ratio by bit pattern) and process-independent.
+    pub fn store_key(&self) -> String {
+        format!(
+            "{}:{:016x}:{:016x}",
+            self.sampler, self.ratio_bits, self.seed
+        )
+    }
 }
 
 /// Stage-1 artifact: a drawn sample of the bound dataset, with enough
 /// provenance to rebuild the extrapolation factors without the full graph.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SampleArtifact {
     /// The `(sampler, ratio, seed)` triple that produced this artifact.
     pub key: SampleKey,
@@ -254,11 +263,22 @@ impl RunKey {
             transform: format!("{transform:?}"),
         }
     }
+
+    /// Stable textual rendering of this key for the persistent artifact
+    /// store.
+    pub fn store_key(&self) -> String {
+        format!(
+            "{}|{}|{}",
+            self.sample.store_key(),
+            self.workload,
+            self.transform
+        )
+    }
 }
 
 /// Stage-2 artifact: the profile of one transformed workload execution on a
 /// sample graph — the "sample run" the paper's methodology revolves around.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SampleRunArtifact {
     /// Key of the sample the run executed on.
     pub sample_key: SampleKey,
@@ -317,7 +337,7 @@ impl SampleRunArtifact {
 }
 
 /// What a [`TrainedModel`] was trained on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum TrainingSource {
     /// Sample runs at the configured training ratios only.
     SampleRuns,
@@ -332,7 +352,7 @@ pub enum TrainingSource {
 }
 
 /// Provenance of a trained cost model: where its training rows came from.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TrainingProvenance {
     /// Which data sources contributed training rows.
     pub source: TrainingSource,
@@ -348,7 +368,7 @@ pub struct TrainingProvenance {
 }
 
 /// Stage-3 artifact: a trained cost model plus its training provenance.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TrainedModel {
     /// The fitted cost model.
     pub cost_model: CostModel,
@@ -376,6 +396,18 @@ pub struct ModelKey {
     pub config_fingerprint: u64,
     /// Version of the session's history store.
     pub history_version: u64,
+}
+
+impl ModelKey {
+    /// Stable textual rendering of this key for the persistent artifact
+    /// store. History replay is deterministic, so equal versions identify
+    /// equal training sets across restarts.
+    pub fn store_key(&self) -> String {
+        format!(
+            "{}|{:016x}|{:016x}",
+            self.workload, self.config_fingerprint, self.history_version
+        )
+    }
 }
 
 /// Stable FNV-1a hash used for configuration fingerprints — deterministic

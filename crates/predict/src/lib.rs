@@ -104,6 +104,7 @@ pub use metrics::{
     absolute_relative_error, r_squared, signed_relative_error, ErrorSample, ErrorSummary,
 };
 pub use pipeline::Predictor;
+pub use predict_store::{ArtifactKind, ArtifactStore};
 pub use regression::{LinearModel, RegressionError};
 pub use service::{PredictRequest, PredictService, PredictServiceConfig};
 pub use session::{

@@ -114,6 +114,7 @@ impl<'a> Predictor<'a> {
             graph,
             dataset: dataset_label,
             caches: None,
+            store: None,
         };
         predict_stages(&ctx, workload, &self.config, history, 0)
     }
@@ -134,6 +135,7 @@ impl<'a> Predictor<'a> {
             graph,
             dataset: dataset_label,
             caches: None,
+            store: None,
         };
         evaluate_stages(&ctx, workload, &self.config, history, 0)
     }

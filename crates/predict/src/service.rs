@@ -31,7 +31,10 @@ use crate::Predictor;
 use predict_algorithms::Workload;
 use predict_bsp::{BspEngine, ExecutionMode, StorageMode, TransportMode};
 use predict_graph::CsrGraph;
+use predict_obs::diag;
 use predict_sampling::Sampler;
+use predict_store::ArtifactStore;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
@@ -110,6 +113,18 @@ pub struct PredictServiceConfig {
     /// changes results; transported runs additionally carry measured
     /// per-superstep timings in their profiles.
     pub transport: Option<TransportMode>,
+    /// Root directory of the persistent artifact store. `Some(path)` opens
+    /// (creating on first use) a [`predict_store::ArtifactStore`] there and
+    /// attaches it to every session the service binds: artifacts missing
+    /// from a session's in-memory cache are read from disk before being
+    /// recomputed, and freshly computed artifacts are written through. A
+    /// warm-restarted service therefore answers with byte-identical
+    /// predictions without re-executing stored sample runs. `None` falls
+    /// back to the `PREDICT_STORE` environment variable
+    /// ([`predict_bsp::knobs::STORE_VAR`]); when that is unset too, the
+    /// service is memory-only. Opening failures degrade to memory-only with
+    /// a diagnostic — they never fail construction.
+    pub store: Option<PathBuf>,
 }
 
 impl Default for PredictServiceConfig {
@@ -121,7 +136,17 @@ impl Default for PredictServiceConfig {
             execution: None,
             storage: None,
             transport: None,
+            store: None,
         }
+    }
+}
+
+impl PredictServiceConfig {
+    /// Sets the persistent artifact-store directory (see the
+    /// [`store`](Self::store) field).
+    pub fn store(mut self, path: impl Into<PathBuf>) -> Self {
+        self.store = Some(path.into());
+        self
     }
 }
 
@@ -157,6 +182,7 @@ pub struct PredictService {
     engine: Arc<BspEngine>,
     sampler: Arc<dyn Sampler>,
     config: PredictServiceConfig,
+    store: Option<Arc<ArtifactStore>>,
     shards: Vec<RwLock<Shard>>,
     clock: AtomicU64,
 }
@@ -187,9 +213,30 @@ impl PredictService {
             Some(mode) => Arc::new(engine.with_transport(mode)),
             None => engine,
         };
+        // Resolve the store directory (explicit config wins over the
+        // `PREDICT_STORE` environment knob) and open it once; every session
+        // the service binds shares this handle. An unopenable store is a
+        // degradation, not an outage: warn and serve memory-only.
+        let store = config
+            .store
+            .clone()
+            .or_else(predict_bsp::knobs::env_store_path)
+            .and_then(|path| match ArtifactStore::open(&path) {
+                Ok(store) => Some(Arc::new(store)),
+                Err(err) => {
+                    diag!(
+                        Warn,
+                        "service: failed to open artifact store at `{}` ({err}); \
+                         continuing memory-only",
+                        path.display()
+                    );
+                    None
+                }
+            });
         Self {
             engine,
             sampler,
+            store,
             shards: (0..shards).map(|_| RwLock::new(Shard::default())).collect(),
             config,
             clock: AtomicU64::new(0),
@@ -199,6 +246,12 @@ impl PredictService {
     /// The engine shared by every session of this service.
     pub fn engine(&self) -> &Arc<BspEngine> {
         &self.engine
+    }
+
+    /// The persistent artifact store shared by every session of this
+    /// service, when one was configured and opened successfully.
+    pub fn artifact_store(&self) -> Option<&Arc<ArtifactStore>> {
+        self.store.as_ref()
     }
 
     /// Stable shard assignment of a dataset label.
@@ -240,13 +293,14 @@ impl PredictService {
         // Build the session before taking the write lock: construction is
         // cheap (binding is lazy), and keeping panic-prone code outside the
         // critical section means the lock is never poisoned mid-mutation.
-        let session = Arc::new(
-            Predictor::builder()
-                .engine(Arc::clone(&self.engine))
-                .sampler_arc(Arc::clone(&self.sampler))
-                .config(self.config.predictor.clone())
-                .bind(Arc::clone(graph), dataset),
-        );
+        let mut builder = Predictor::builder()
+            .engine(Arc::clone(&self.engine))
+            .sampler_arc(Arc::clone(&self.sampler))
+            .config(self.config.predictor.clone());
+        if let Some(store) = &self.store {
+            builder = builder.store_arc(Arc::clone(store));
+        }
+        let session = Arc::new(builder.bind(Arc::clone(graph), dataset));
 
         let mut guard = shard_write(shard);
         // Double-checked: another writer may have created the session while
@@ -794,5 +848,157 @@ mod tests {
             .unwrap();
         assert!((default.achieved_sampling_ratio - 0.1).abs() < 0.05);
         assert!((coarse.achieved_sampling_ratio - 0.3).abs() < 0.05);
+    }
+
+    /// Fresh per-test store directory; best-effort cleanup on drop.
+    struct TempStoreDir(std::path::PathBuf);
+
+    impl TempStoreDir {
+        fn new() -> Self {
+            static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+            let path = std::env::temp_dir().join(format!(
+                "predict_service_store_{}_{}",
+                std::process::id(),
+                DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+            ));
+            std::fs::create_dir_all(&path).unwrap();
+            TempStoreDir(path)
+        }
+    }
+
+    impl Drop for TempStoreDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn service_with_store(dir: &std::path::Path) -> PredictService {
+        PredictService::with_config(
+            BspEngine::new(BspConfig::with_workers(4)),
+            Arc::new(BiasedRandomJump::default()),
+            PredictServiceConfig {
+                predictor: PredictorConfig::single_ratio(0.1),
+                ..PredictServiceConfig::default()
+            }
+            .store(dir),
+        )
+    }
+
+    #[test]
+    fn warm_restart_is_byte_identical_and_executes_zero_runs() {
+        let dir = TempStoreDir::new();
+        let g = graph(31);
+        let n = g.num_vertices();
+        let requests: Vec<PredictRequest> = vec![
+            PredictRequest::new(
+                "Warm",
+                Arc::clone(&g),
+                Arc::new(PageRankWorkload::with_epsilon(0.01, n)),
+            ),
+            PredictRequest::new("Warm", Arc::clone(&g), Arc::new(TopKWorkload::default())),
+        ];
+
+        // Cold service: computes everything and writes it through to disk.
+        let cold = service_with_store(&dir.0);
+        assert!(cold.artifact_store().is_some(), "store failed to open");
+        let cold_predictions: Vec<String> = requests
+            .iter()
+            .map(|r| serde_json::to_string(&cold.submit(r).unwrap()).unwrap())
+            .collect();
+        let cold_eval = serde_json::to_string(&cold.evaluate(&requests[0]).unwrap()).unwrap();
+        assert!(cold.engine().runs_executed() > 0);
+        drop(cold);
+
+        // Warm restart: new service, new engine, same directory. Every
+        // artifact — samples, sample runs, models, the actual run — must
+        // come from disk: byte-identical output, zero engine executions.
+        let warm = service_with_store(&dir.0);
+        let warm_predictions: Vec<String> = requests
+            .iter()
+            .map(|r| serde_json::to_string(&warm.submit(r).unwrap()).unwrap())
+            .collect();
+        let warm_eval = serde_json::to_string(&warm.evaluate(&requests[0]).unwrap()).unwrap();
+        assert_eq!(cold_predictions, warm_predictions, "warm restart diverged");
+        assert_eq!(cold_eval, warm_eval, "warm evaluation diverged");
+        assert_eq!(
+            warm.engine().runs_executed(),
+            0,
+            "warm restart re-executed a stored run"
+        );
+    }
+
+    #[test]
+    fn store_hits_are_counted_separately_from_memory_hits() {
+        let dir = TempStoreDir::new();
+        let g = graph(32);
+        let workload: Arc<dyn Workload> =
+            Arc::new(PageRankWorkload::with_epsilon(0.01, g.num_vertices()));
+        let req = PredictRequest::new("Hits", Arc::clone(&g), Arc::clone(&workload));
+
+        // Cold pass: everything is computed, so no store hits.
+        let cold = service_with_store(&dir.0);
+        cold.submit(&req).unwrap();
+        let cold_session = cold.session_for("Hits", &g);
+        assert_eq!(cold_session.stats().store_hits, 0);
+        drop(cold);
+
+        // Warm pass: disk answers, and the counter says so.
+        let warm = service_with_store(&dir.0);
+        warm.submit(&req).unwrap();
+        let warm_session = warm.session_for("Hits", &g);
+        let after_first = warm_session.stats().store_hits;
+        assert!(after_first > 0, "warm pass reported zero store hits");
+        // A repeat of the same request is a pure in-memory hit: the store
+        // counter must not move.
+        warm.submit(&req).unwrap();
+        assert_eq!(warm_session.stats().store_hits, after_first);
+    }
+
+    #[test]
+    fn corrupted_store_degrades_to_recompute() {
+        let dir = TempStoreDir::new();
+        let g = graph(33);
+        let workload: Arc<dyn Workload> =
+            Arc::new(PageRankWorkload::with_epsilon(0.01, g.num_vertices()));
+        let req = PredictRequest::new("Corrupt", Arc::clone(&g), Arc::clone(&workload));
+
+        let cold = service_with_store(&dir.0);
+        let expected = serde_json::to_string(&cold.submit(&req).unwrap()).unwrap();
+        drop(cold);
+
+        // Flip one byte in every stored artifact.
+        let mut flipped = 0;
+        for kind_dir in std::fs::read_dir(&dir.0).unwrap() {
+            let kind_dir = kind_dir.unwrap().path();
+            if !kind_dir.is_dir() {
+                continue;
+            }
+            for file in std::fs::read_dir(&kind_dir).unwrap() {
+                let file = file.unwrap().path();
+                if file.extension().is_some_and(|e| e == "art") {
+                    let mut bytes = std::fs::read(&file).unwrap();
+                    let mid = bytes.len() / 2;
+                    bytes[mid] ^= 0xFF;
+                    std::fs::write(&file, bytes).unwrap();
+                    flipped += 1;
+                }
+            }
+        }
+        assert!(flipped > 0, "cold pass stored no artifacts");
+
+        // The service must answer identically by recomputing, and the store
+        // must have quarantined the damaged files rather than panic.
+        let recovered = service_with_store(&dir.0);
+        let actual = serde_json::to_string(&recovered.submit(&req).unwrap()).unwrap();
+        assert_eq!(expected, actual, "recovery changed the prediction");
+        assert!(
+            recovered.engine().runs_executed() > 0,
+            "corrupt store should force recomputation"
+        );
+        let store = recovered.artifact_store().unwrap();
+        assert!(
+            store.quarantined_files() > 0,
+            "corrupt artifacts were not quarantined"
+        );
     }
 }

@@ -55,7 +55,9 @@ use crate::transform::TransformFunction;
 use predict_algorithms::{Workload, WorkloadRun};
 use predict_bsp::{BspEngine, ExecutionMode, RunProfile, StorageMode, TransportMode};
 use predict_graph::CsrGraph;
+use predict_obs::diag;
 use predict_sampling::{BiasedRandomJump, Sampler, ScratchPool};
+use predict_store::{ArtifactKind, ArtifactStore};
 use serde::Serialize;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -296,6 +298,98 @@ impl ArtifactCaches {
     }
 }
 
+/// A session's handle on the persistent artifact store: the shared
+/// [`ArtifactStore`] plus the provenance hash binding this session's
+/// dataset to its stored artifacts (see [`dataset_provenance`]).
+///
+/// The store sits *behind* the in-memory caches: a stage consults memory
+/// first, then the store, then computes — and every computed artifact is
+/// written through so a restarted process finds it warm. Store I/O errors
+/// degrade to recomputation with a [`diag!`] warning; they never fail a
+/// prediction.
+pub(crate) struct StoreBinding {
+    store: Arc<ArtifactStore>,
+    /// Dataset label, prefixed onto every store key. Stage keys identify an
+    /// artifact only *within* one dataset (a `SampleKey` is `(sampler,
+    /// ratio, seed)`, an actual run is keyed by its workload token); the
+    /// sessions of different datasets would otherwise publish to the same
+    /// file and invalidate each other on every pass via the provenance
+    /// check.
+    dataset: String,
+    provenance: u64,
+    /// Artifacts served from disk rather than recomputed — surfaced as
+    /// [`SessionStats::store_hits`], deliberately separate from the
+    /// in-memory `hits` counter so a load driver's hit-rate is honest about
+    /// *which* tier answered.
+    hits: AtomicU64,
+}
+
+impl StoreBinding {
+    pub(crate) fn new(store: Arc<ArtifactStore>, dataset: &str, graph: &CsrGraph) -> Self {
+        Self {
+            provenance: dataset_provenance(dataset, graph),
+            dataset: dataset.to_string(),
+            store,
+            hits: AtomicU64::new(0),
+        }
+    }
+
+    /// The shared store this binding writes through to.
+    pub(crate) fn store(&self) -> &Arc<ArtifactStore> {
+        &self.store
+    }
+
+    /// Artifacts this session has served from disk.
+    pub(crate) fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// The full store key of a stage key: namespaced by dataset label.
+    fn full_key(&self, key: &str) -> String {
+        format!("{}|{key}", self.dataset)
+    }
+
+    fn load<T: serde::Deserialize>(&self, kind: ArtifactKind, key: &str) -> Option<T> {
+        let loaded = self
+            .store
+            .get_typed::<T>(kind, &self.full_key(key), self.provenance);
+        if loaded.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        loaded
+    }
+
+    fn save<T: Serialize>(&self, kind: ArtifactKind, key: &str, artifact: &T) {
+        let key = self.full_key(key);
+        if let Err(err) = self.store.put(kind, &key, self.provenance, artifact) {
+            diag!(
+                Warn,
+                "store: failed to persist {} artifact `{key}` ({err}); continuing in memory",
+                kind.name()
+            );
+        }
+    }
+}
+
+/// Provenance hash binding stored artifacts to the dataset they were
+/// computed from: the label plus the full out-adjacency structure of the
+/// graph. A relabeled or regenerated dataset therefore invalidates every
+/// stored artifact (stale miss → recompute) instead of silently serving
+/// artifacts of the wrong graph. O(V + E), computed once per store-bound
+/// session.
+fn dataset_provenance(dataset: &str, graph: &CsrGraph) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut hasher = crate::artifacts::Fnv1a::new();
+    dataset.hash(&mut hasher);
+    graph.num_vertices().hash(&mut hasher);
+    graph.num_edges().hash(&mut hasher);
+    graph.is_weighted().hash(&mut hasher);
+    for v in graph.vertices() {
+        graph.out_neighbors(v).hash(&mut hasher);
+    }
+    hasher.finish()
+}
+
 /// Acquires a cache mutex, recovering the guard if a previous holder
 /// panicked. Cache maps stay internally consistent under panic (inserts are
 /// single `entry().or_insert` calls; a torn value is never published), and a
@@ -314,6 +408,9 @@ pub(crate) struct StageCtx<'a> {
     pub graph: &'a CsrGraph,
     pub dataset: &'a str,
     pub caches: Option<&'a ArtifactCaches>,
+    /// Persistent artifact store, consulted between the in-memory cache and
+    /// recomputation (`None` = memory-only, the historical behavior).
+    pub store: Option<&'a StoreBinding>,
 }
 
 /// Stage 1: draw (or reuse) the sample for `(ratio, seed)`.
@@ -331,6 +428,18 @@ fn stage_sample(
             return Ok(Arc::clone(hit));
         }
         caches.record(false);
+        // Memory miss: a store-backed session may still have the artifact
+        // on disk from a previous process.
+        if let Some(store) = ctx.store {
+            if let Some(artifact) =
+                store.load::<SampleArtifact>(ArtifactKind::Sample, &key.store_key())
+            {
+                let artifact = Arc::new(artifact);
+                return Ok(Arc::clone(
+                    cache_lock(&caches.samples).entry(key).or_insert(artifact),
+                ));
+            }
+        }
     }
     let artifact = match ctx.caches {
         Some(caches) => {
@@ -347,6 +456,9 @@ fn stage_sample(
         }
         None => Arc::new(SampleArtifact::draw(ctx.sampler, ctx.graph, ratio, seed)?),
     };
+    if let Some(store) = ctx.store {
+        store.save(ArtifactKind::Sample, &key.store_key(), artifact.as_ref());
+    }
     if let Some(caches) = ctx.caches {
         // Concurrent misses may race here; both computed the same
         // deterministic artifact, so keeping the first insert is fine.
@@ -375,10 +487,21 @@ fn stage_run(
             return Arc::clone(hit);
         }
         caches.record(false);
+        if let Some(store) = ctx.store {
+            if let Some(artifact) =
+                store.load::<SampleRunArtifact>(ArtifactKind::SampleRun, &key.store_key())
+            {
+                let artifact = Arc::new(artifact);
+                return Arc::clone(cache_lock(&caches.runs).entry(key).or_insert(artifact));
+            }
+        }
     }
     let artifact = Arc::new(SampleRunArtifact::execute(
         ctx.engine, workload, transform, sample,
     ));
+    if let Some(store) = ctx.store {
+        store.save(ArtifactKind::SampleRun, &key.store_key(), artifact.as_ref());
+    }
     if let Some(caches) = ctx.caches {
         return Arc::clone(cache_lock(&caches.runs).entry(key).or_insert(artifact));
     }
@@ -410,12 +533,28 @@ fn stage_model(
         config_fingerprint: config.fingerprint(),
         history_version,
     };
+    // The persistent key additionally carries the sampler: a model is
+    // trained on *this sampler's* sample runs, which `ModelKey` never had
+    // to say because an in-memory cache lives inside one single-sampler
+    // session, while the store is shared by every session of a process.
+    let store_key = format!("{}|{}", ctx.sampler.name(), key.store_key());
     if let Some(caches) = ctx.caches {
         if let Some(hit) = cache_lock(&caches.models).get(&key) {
             caches.record(true);
             return Ok(Arc::clone(hit));
         }
         caches.record(false);
+        // A store-hit model skips the whole training-set assembly below —
+        // including the training-ratio sample runs — which is what lets a
+        // warm restart answer with zero engine executions.
+        if let Some(store) = ctx.store {
+            if let Some(model) = store.load::<TrainedModel>(ArtifactKind::Model, &store_key) {
+                let model = Arc::new(model);
+                return Ok(Arc::clone(
+                    cache_lock(&caches.models).entry(key).or_insert(model),
+                ));
+            }
+        }
     }
 
     let mut training: Vec<IterationObservation> = Vec::new();
@@ -473,6 +612,9 @@ fn stage_model(
             training_ratios: config.training_ratios.clone(),
         },
     });
+    if let Some(store) = ctx.store {
+        store.save(ArtifactKind::Model, &store_key, model.as_ref());
+    }
     if let Some(caches) = ctx.caches {
         return Ok(Arc::clone(
             cache_lock(&caches.models).entry(key).or_insert(model),
@@ -492,6 +634,14 @@ fn stage_actual(ctx: &StageCtx<'_>, workload: &dyn Workload) -> Arc<WorkloadRun>
             return Arc::clone(hit);
         }
         caches.record(false);
+        // Actual runs are the most expensive artifact of all; persisting
+        // them is what makes a warm evaluation pass execute zero runs.
+        if let Some(store) = ctx.store {
+            if let Some(run) = store.load::<WorkloadRun>(ArtifactKind::ActualRun, &key) {
+                let run = Arc::new(run);
+                return Arc::clone(cache_lock(&caches.actuals).entry(key).or_insert(run));
+            }
+        }
     }
     // Sharded engines run against the session's cached full-graph storage,
     // so back-to-back actual runs skip the per-run shard construction. The
@@ -507,6 +657,9 @@ fn stage_actual(ctx: &StageCtx<'_>, workload: &dyn Workload) -> Arc<WorkloadRun>
         ctx.graph,
         storage.as_deref(),
     ));
+    if let Some(store) = ctx.store {
+        store.save(ArtifactKind::ActualRun, &key, run.as_ref());
+    }
     if let Some(caches) = ctx.caches {
         return Arc::clone(cache_lock(&caches.actuals).entry(key).or_insert(run));
     }
@@ -624,6 +777,7 @@ pub struct PredictorBuilder {
     execution: Option<ExecutionMode>,
     storage: Option<StorageMode>,
     transport: Option<TransportMode>,
+    store: Option<Arc<ArtifactStore>>,
 }
 
 impl Default for PredictorBuilder {
@@ -642,6 +796,7 @@ impl PredictorBuilder {
             execution: None,
             storage: None,
             transport: None,
+            store: None,
         }
     }
 
@@ -684,6 +839,17 @@ impl PredictorBuilder {
     /// engine shares the original's run counter and layout cache.
     pub fn transport(mut self, transport: TransportMode) -> Self {
         self.transport = Some(transport);
+        self
+    }
+
+    /// Attaches a persistent artifact store (shared; typically one store
+    /// serves every session of a service). Store-backed sessions consult the
+    /// store after an in-memory cache miss and write every computed artifact
+    /// through, so a session bound to the same dataset in a later process
+    /// answers warm — byte-identically, without re-executing stored sample
+    /// runs.
+    pub fn store_arc(mut self, store: Arc<ArtifactStore>) -> Self {
+        self.store = Some(store);
         self
     }
 
@@ -734,13 +900,20 @@ impl PredictorBuilder {
             Some(mode) => Arc::new(engine.with_transport(mode)),
             None => engine,
         };
+        let graph = graph.into();
+        // Provenance (an O(V + E) graph hash) is computed here, once per
+        // store-bound session, not per lookup.
+        let store = self
+            .store
+            .map(|store| StoreBinding::new(store, dataset, &graph));
         PredictionSession {
             engine,
             sampler: self.sampler,
             config: self.config,
-            graph: graph.into(),
+            graph,
             dataset: dataset.to_string(),
             caches: ArtifactCaches::default(),
+            store,
             history: RwLock::new(HistoryState {
                 store: Arc::new(history),
                 version: 0,
@@ -779,6 +952,11 @@ pub struct SessionStats {
     /// Shard constructions of the session's full graph (sharded storage
     /// only) — at most one per engine configuration the session has seen.
     pub full_storage_builds: u64,
+    /// Artifacts served from the persistent store rather than recomputed —
+    /// counted separately from the in-memory `hits` so a warm-restart
+    /// hit-rate cannot be confused with same-process cache reuse (always 0
+    /// for sessions without a store).
+    pub store_hits: u64,
 }
 
 /// A thread-safe prediction session bound to one dataset.
@@ -793,6 +971,7 @@ pub struct PredictionSession {
     graph: Arc<CsrGraph>,
     dataset: String,
     caches: ArtifactCaches,
+    store: Option<StoreBinding>,
     history: RwLock<HistoryState>,
 }
 
@@ -804,6 +983,7 @@ impl PredictionSession {
             graph: &self.graph,
             dataset: &self.dataset,
             caches: Some(&self.caches),
+            store: self.store.as_ref(),
         }
     }
 
@@ -966,7 +1146,14 @@ impl PredictionSession {
             misses: self.caches.misses.load(Ordering::Relaxed),
             scratch_allocations: self.caches.scratch.allocations(),
             full_storage_builds: self.caches.storage.builds(),
+            store_hits: self.store.as_ref().map_or(0, StoreBinding::hits),
         }
+    }
+
+    /// The persistent artifact store this session writes through, when one
+    /// was attached at bind time.
+    pub fn artifact_store(&self) -> Option<&Arc<ArtifactStore>> {
+        self.store.as_ref().map(StoreBinding::store)
     }
 }
 

@@ -52,7 +52,7 @@ pub use mhrw::Mhrw;
 pub use quality::{rank_samplers, SampleQualityReport};
 pub use random_jump::RandomJump;
 pub use random_node::{RandomEdge, RandomNode};
-pub use traits::{target_sample_size, GraphSample, Sampler};
+pub use traits::{target_sample_size, technique_from_name, GraphSample, Sampler};
 pub use visited::{SampleScratch, ScratchGuard, ScratchPool, VisitedSet};
 
 /// All sampling techniques evaluated in the paper's Figure 9 sensitivity

@@ -7,10 +7,18 @@
 
 use crate::visited::SampleScratch;
 use predict_graph::{induced_subgraph, CsrGraph, SubgraphMapping, VertexId};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// A vertex sample of a graph: the induced subgraph plus the mapping back to
 /// the original vertex ids and the ratio that was requested.
+///
+/// `Deserialize` is hand-written (see [`technique_from_name`]) because
+/// `technique` is a `&'static str`: the persistent artifact store
+/// round-trips samples through serialization, and the stored name is mapped
+/// back onto the canonical static name of a known technique. A sample
+/// recorded by an unknown (out-of-tree) technique fails deserialization,
+/// which the store treats as a miss — the sample is recomputed, never
+/// mislabeled.
 #[derive(Debug, Clone, Serialize)]
 pub struct GraphSample {
     /// The induced subgraph over the selected vertices (dense ids).
@@ -41,6 +49,37 @@ impl GraphSample {
             return 0.0;
         }
         full.num_edges() as f64 / self.graph.num_edges() as f64
+    }
+}
+
+/// Maps a stored technique name back onto the canonical `&'static str` of a
+/// known in-tree technique, or `None` for out-of-tree names.
+///
+/// Keep in sync with the [`Sampler::name`] implementations in this crate;
+/// adding a technique without registering it here makes its persisted
+/// samples deserialize as store misses (safe, but wasteful).
+pub fn technique_from_name(name: &str) -> Option<&'static str> {
+    ["BRJ", "RJ", "RN", "RE", "FF", "MHRW"]
+        .into_iter()
+        .find(|&t| t == name)
+}
+
+impl Deserialize for GraphSample {
+    fn deserialize_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let entries = value
+            .as_map()
+            .ok_or_else(|| serde::Error::msg("GraphSample: expected a map"))?;
+        let technique_name = String::deserialize_value(serde::get_field(entries, "technique")?)?;
+        let technique = technique_from_name(&technique_name).ok_or_else(|| {
+            serde::Error::msg(format!("GraphSample: unknown technique `{technique_name}`"))
+        })?;
+        Ok(GraphSample {
+            graph: CsrGraph::deserialize_value(serde::get_field(entries, "graph")?)?,
+            mapping: SubgraphMapping::deserialize_value(serde::get_field(entries, "mapping")?)?,
+            requested_ratio: f64::deserialize_value(serde::get_field(entries, "requested_ratio")?)?,
+            achieved_ratio: f64::deserialize_value(serde::get_field(entries, "achieved_ratio")?)?,
+            technique,
+        })
     }
 }
 

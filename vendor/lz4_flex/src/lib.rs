@@ -1,0 +1,370 @@
+//! Offline stand-in for the `lz4_flex 0.11` block API surface used by this
+//! workspace.
+//!
+//! Implements only the size-prepended block functions the artifact store
+//! consumes:
+//!
+//! * [`compress_prepend_size`] — compress a byte slice, prefixing the
+//!   uncompressed length as a little-endian `u32`;
+//! * [`decompress_size_prepended`] — the inverse, validating the prefix and
+//!   returning [`block::DecompressError`] on any malformed input (never
+//!   panicking), which is what lets the store quarantine corrupt artifacts
+//!   instead of crashing.
+//!
+//! The wire format is an LZ77/LZSS-style token stream (greedy hash-chain
+//! matcher, 64 KiB window) and is **not** compatible with real LZ4 frames.
+//! That is safe here: the only producer and consumer is the artifact store,
+//! and a store file written by a different codec simply fails checksum or
+//! decode validation and is quarantined + recomputed. Compression is fully
+//! deterministic — identical input bytes always produce identical compressed
+//! bytes — which the store's byte-identity tests rely on.
+//!
+//! Token stream grammar (after the 4-byte size prefix):
+//!
+//! ```text
+//! block   := literal | match
+//! literal := 0x00 varint(len) byte{len}
+//! match   := 0x01 varint(distance) varint(length)     ; length >= MIN_MATCH
+//! varint  := LEB128 (7 bits per byte, high bit = continue)
+//! ```
+
+/// Block (headerless) compression format, mirroring `lz4_flex::block`.
+pub mod block {
+    use std::fmt;
+
+    /// Error returned by the block decompression functions.
+    ///
+    /// Mirrors `lz4_flex::block::DecompressError` in spirit: one opaque
+    /// error type; the variants carry enough detail for diagnostics.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum DecompressError {
+        /// Input shorter than the 4-byte uncompressed-size prefix.
+        MissingSizePrefix,
+        /// Token stream ended mid-block or declared lengths overran it.
+        TruncatedInput,
+        /// A match referenced bytes before the start of the output.
+        OffsetOutOfBounds,
+        /// Unknown block tag byte.
+        InvalidToken(u8),
+        /// Decompressed output did not match the size prefix.
+        UncompressedSizeMismatch {
+            /// Size declared by the prefix.
+            expected: usize,
+            /// Size actually produced.
+            actual: usize,
+        },
+    }
+
+    impl fmt::Display for DecompressError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                DecompressError::MissingSizePrefix => {
+                    write!(f, "input shorter than the 4-byte size prefix")
+                }
+                DecompressError::TruncatedInput => write!(f, "compressed stream is truncated"),
+                DecompressError::OffsetOutOfBounds => {
+                    write!(f, "match distance points before the start of output")
+                }
+                DecompressError::InvalidToken(t) => write!(f, "invalid block token {t:#04x}"),
+                DecompressError::UncompressedSizeMismatch { expected, actual } => write!(
+                    f,
+                    "size prefix declared {expected} bytes but stream produced {actual}"
+                ),
+            }
+        }
+    }
+
+    impl std::error::Error for DecompressError {}
+}
+
+use block::DecompressError;
+
+const TAG_LITERAL: u8 = 0x00;
+const TAG_MATCH: u8 = 0x01;
+/// Matches shorter than this cost more to encode than the literals they
+/// replace (tag + two varints >= 3 bytes).
+const MIN_MATCH: usize = 4;
+/// Longest match the greedy matcher will emit in one token.
+const MAX_MATCH: usize = 0xFFFF;
+/// Back-reference window; distances never exceed this.
+const WINDOW: usize = 64 * 1024;
+/// Number of hash-table buckets (power of two).
+const HASH_BUCKETS: usize = 1 << 14;
+
+fn hash4(bytes: &[u8]) -> usize {
+    // Multiplicative hash of the next four bytes (Fibonacci constant),
+    // folded to the bucket count.
+    let v = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+    (v.wrapping_mul(2654435761) >> 18) as usize & (HASH_BUCKETS - 1)
+}
+
+fn push_varint(out: &mut Vec<u8>, mut v: usize) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            break;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn read_varint(input: &[u8], pos: &mut usize) -> Result<usize, DecompressError> {
+    let mut value: usize = 0;
+    let mut shift = 0u32;
+    loop {
+        let byte = *input.get(*pos).ok_or(DecompressError::TruncatedInput)?;
+        *pos += 1;
+        // Cap at 5 bytes (35 bits): lengths and distances are bounded well
+        // below that, so anything longer is corruption, not a big value.
+        if shift > 28 {
+            return Err(DecompressError::TruncatedInput);
+        }
+        value |= ((byte & 0x7F) as usize) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+    }
+}
+
+fn flush_literals(out: &mut Vec<u8>, input: &[u8], start: usize, end: usize) {
+    if end > start {
+        out.push(TAG_LITERAL);
+        push_varint(out, end - start);
+        out.extend_from_slice(&input[start..end]);
+    }
+}
+
+/// Compresses `input`, prepending the uncompressed size as a little-endian
+/// `u32` (the `lz4_flex::compress_prepend_size` convention).
+pub fn compress_prepend_size(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + input.len() / 2);
+    out.extend_from_slice(&(input.len() as u32).to_le_bytes());
+
+    // head[bucket] is the most recent input position whose 4-byte prefix
+    // hashed to `bucket` (usize::MAX = empty).
+    let mut head = vec![usize::MAX; HASH_BUCKETS];
+    let mut pos = 0usize;
+    let mut literal_start = 0usize;
+
+    while pos + MIN_MATCH <= input.len() {
+        let bucket = hash4(&input[pos..]);
+        let candidate = head[bucket];
+        head[bucket] = pos;
+
+        let mut match_len = 0usize;
+        if candidate != usize::MAX && pos - candidate <= WINDOW {
+            let limit = (input.len() - pos).min(MAX_MATCH);
+            while match_len < limit && input[candidate + match_len] == input[pos + match_len] {
+                match_len += 1;
+            }
+        }
+
+        if match_len >= MIN_MATCH {
+            flush_literals(&mut out, input, literal_start, pos);
+            out.push(TAG_MATCH);
+            push_varint(&mut out, pos - candidate);
+            push_varint(&mut out, match_len);
+            // Seed the hash table across the matched span so later data can
+            // reference positions inside it (skip a few for speed; greedy
+            // matching does not need every position).
+            let match_end = pos + match_len;
+            pos += 1;
+            while pos < match_end && pos + MIN_MATCH <= input.len() {
+                head[hash4(&input[pos..])] = pos;
+                pos += 2;
+            }
+            pos = match_end;
+            literal_start = pos;
+        } else {
+            pos += 1;
+        }
+    }
+    flush_literals(&mut out, input, literal_start, input.len());
+    out
+}
+
+/// Decompresses a buffer produced by [`compress_prepend_size`], validating
+/// the little-endian `u32` uncompressed-size prefix.
+///
+/// Never panics on malformed input — every corruption mode maps to a
+/// [`block::DecompressError`].
+pub fn decompress_size_prepended(input: &[u8]) -> Result<Vec<u8>, DecompressError> {
+    if input.len() < 4 {
+        return Err(DecompressError::MissingSizePrefix);
+    }
+    let expected = u32::from_le_bytes([input[0], input[1], input[2], input[3]]) as usize;
+    let mut out = Vec::with_capacity(expected);
+    let mut pos = 4usize;
+
+    while pos < input.len() {
+        let tag = input[pos];
+        pos += 1;
+        match tag {
+            TAG_LITERAL => {
+                let len = read_varint(input, &mut pos)?;
+                let end = pos
+                    .checked_add(len)
+                    .ok_or(DecompressError::TruncatedInput)?;
+                if end > input.len() || out.len() + len > expected {
+                    return Err(DecompressError::TruncatedInput);
+                }
+                out.extend_from_slice(&input[pos..end]);
+                pos = end;
+            }
+            TAG_MATCH => {
+                let distance = read_varint(input, &mut pos)?;
+                let length = read_varint(input, &mut pos)?;
+                if distance == 0 || distance > out.len() {
+                    return Err(DecompressError::OffsetOutOfBounds);
+                }
+                if out.len() + length > expected {
+                    return Err(DecompressError::TruncatedInput);
+                }
+                // Byte-at-a-time copy: overlapping matches (distance <
+                // length) intentionally re-read bytes written earlier in
+                // this same match, which is how runs are encoded.
+                let start = out.len() - distance;
+                for i in 0..length {
+                    let b = out[start + i];
+                    out.push(b);
+                }
+            }
+            other => return Err(DecompressError::InvalidToken(other)),
+        }
+    }
+
+    if out.len() != expected {
+        return Err(DecompressError::UncompressedSizeMismatch {
+            expected,
+            actual: out.len(),
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) {
+        let compressed = compress_prepend_size(data);
+        let restored = decompress_size_prepended(&compressed).expect("roundtrip");
+        assert_eq!(restored, data);
+    }
+
+    #[test]
+    fn roundtrip_empty() {
+        roundtrip(b"");
+    }
+
+    #[test]
+    fn roundtrip_short_literals() {
+        roundtrip(b"abc");
+        roundtrip(b"a");
+    }
+
+    #[test]
+    fn roundtrip_repetitive() {
+        let data: Vec<u8> = std::iter::repeat_n(b"abcdefgh".as_slice(), 500)
+            .flatten()
+            .copied()
+            .collect();
+        let compressed = compress_prepend_size(&data);
+        assert!(
+            compressed.len() < data.len() / 4,
+            "repetitive data must shrink"
+        );
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn roundtrip_runs_overlapping_match() {
+        let data = vec![0u8; 10_000];
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn roundtrip_pseudorandom() {
+        // SplitMix64 byte stream: incompressible, exercises the all-literal
+        // path and bucket collisions.
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut data = Vec::new();
+        for _ in 0..4096 {
+            state = state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            data.extend_from_slice(&(z ^ (z >> 31)).to_le_bytes());
+        }
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let data = b"the quick brown fox jumps over the lazy dog, the quick brown fox";
+        assert_eq!(compress_prepend_size(data), compress_prepend_size(data));
+    }
+
+    #[test]
+    fn rejects_truncated_prefix() {
+        assert_eq!(
+            decompress_size_prepended(&[1, 2, 3]),
+            Err(DecompressError::MissingSizePrefix)
+        );
+    }
+
+    #[test]
+    fn rejects_truncated_stream() {
+        let mut compressed = compress_prepend_size(b"hello world, hello world, hello world");
+        compressed.truncate(compressed.len() - 3);
+        assert!(decompress_size_prepended(&compressed).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_token() {
+        let mut buf = 1u32.to_le_bytes().to_vec();
+        buf.push(0x7F);
+        assert_eq!(
+            decompress_size_prepended(&buf),
+            Err(DecompressError::InvalidToken(0x7F))
+        );
+    }
+
+    #[test]
+    fn rejects_size_mismatch() {
+        let mut compressed = compress_prepend_size(b"abcdef");
+        // Claim a larger uncompressed size than the stream produces.
+        compressed[0..4].copy_from_slice(&100u32.to_le_bytes());
+        assert!(matches!(
+            decompress_size_prepended(&compressed),
+            Err(DecompressError::UncompressedSizeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_out_of_window_offset() {
+        let mut buf = 4u32.to_le_bytes().to_vec();
+        buf.push(TAG_MATCH);
+        buf.push(8); // distance 8 with empty output
+        buf.push(4);
+        assert_eq!(
+            decompress_size_prepended(&buf),
+            Err(DecompressError::OffsetOutOfBounds)
+        );
+    }
+
+    #[test]
+    fn flipped_bits_never_panic() {
+        let data: Vec<u8> = (0u8..=255).cycle().take(2048).collect();
+        let compressed = compress_prepend_size(&data);
+        for i in 0..compressed.len() {
+            let mut corrupt = compressed.clone();
+            corrupt[i] ^= 0x40;
+            // Either decodes to *something* or errors; must not panic.
+            let _ = decompress_size_prepended(&corrupt);
+        }
+    }
+}
