@@ -48,6 +48,9 @@ struct TransportTiming {
     measured_total_ms: f64,
     /// Total serialized bytes that crossed the wire.
     wire_bytes: u64,
+    /// Raw remote message payload bytes from the Table 1 counters — the
+    /// bytes the simulated clock's network term charges for.
+    remote_payload_bytes: u64,
     /// Per-superstep `(simulated_ms, measured_ms)` pairs.
     per_superstep: Vec<(f64, f64)>,
 }
@@ -59,6 +62,12 @@ fn timing_of(profile: &RunProfile, measured: &MeasuredRun) -> TransportTiming {
         .zip(&measured.supersteps)
         .map(|(sim, m)| (sim.wall_time_ms, m.wall_ns as f64 / 1e6))
         .collect();
+    let remote_payload_bytes = profile
+        .supersteps
+        .iter()
+        .flat_map(|s| &s.workers)
+        .map(|w| w.remote_message_bytes)
+        .sum();
     TransportTiming {
         transport: measured.transport.clone(),
         supersteps: profile.supersteps.len(),
@@ -66,6 +75,7 @@ fn timing_of(profile: &RunProfile, measured: &MeasuredRun) -> TransportTiming {
         measured_superstep_ms: measured.superstep_phase_ms(),
         measured_total_ms: measured.total_wall_ns as f64 / 1e6,
         wire_bytes: measured.total_wire_bytes(),
+        remote_payload_bytes,
         per_superstep,
     }
 }
@@ -94,7 +104,11 @@ fn main() {
     let mut points: Vec<TransportTiming> = Vec::new();
     let mut measured_runs: Vec<MeasuredRun> = Vec::new();
 
-    for kind in [TransportKind::InProc, TransportKind::Process] {
+    for kind in [
+        TransportKind::InProc,
+        TransportKind::Process,
+        TransportKind::Socket,
+    ] {
         let opts = DriveOptions::new(kind);
         let result =
             drive(&program, &spec, &[], &graph, &config, &opts).expect("cluster drive succeeds");
@@ -118,11 +132,43 @@ fn main() {
 
     // The determinism contract makes the simulated columns transport-
     // independent; assert it so the report can't silently drift.
-    assert_eq!(
-        points[0].simulated_superstep_ms, points[1].simulated_superstep_ms,
-        "simulated timings must be identical across transports"
+    for p in &points[1..] {
+        assert_eq!(
+            points[0].simulated_superstep_ms, p.simulated_superstep_ms,
+            "simulated timings must be identical across transports"
+        );
+        assert_eq!(points[0].supersteps, p.supersteps);
+        // Serialized frames are deterministic, so measured wire bytes are a
+        // transport-independent property of the run — pipes and sockets must
+        // report the same count, superstep by superstep.
+        assert_eq!(
+            points[0].wire_bytes, p.wire_bytes,
+            "measured wire bytes must be identical across transports"
+        );
+        assert_eq!(points[0].remote_payload_bytes, p.remote_payload_bytes);
+    }
+    // Network-term validation: the bytes the simulated clock charges for
+    // (raw remote message payloads) must be covered by — and never exceed —
+    // what actually crossed the socket; framing, counters and aggregates
+    // only ever add bytes on top of the payload.
+    for p in &points {
+        assert!(
+            p.wire_bytes >= p.remote_payload_bytes,
+            "{}: measured wire bytes ({}) below the simulated network term's \
+             payload bytes ({})",
+            p.transport,
+            p.wire_bytes,
+            p.remote_payload_bytes
+        );
+    }
+    eprintln!(
+        "[cluster_timing] network term: {} remote payload bytes, {} measured wire bytes \
+         ({:.2}x framing overhead), identical across {} transports",
+        points[0].remote_payload_bytes,
+        points[0].wire_bytes,
+        points[0].wire_bytes as f64 / points[0].remote_payload_bytes.max(1) as f64,
+        points.len()
     );
-    assert_eq!(points[0].supersteps, points[1].supersteps);
 
     if json {
         let entries: Vec<JsonEntry> = points

@@ -410,6 +410,44 @@ fn run_probes() -> Vec<ProbeResult> {
             }),
         );
 
+        // One framed round trip of that batch over a Unix-domain socket
+        // pair (send the payload, read a tiny ack): the per-frame kernel
+        // cost the socket backend adds on top of encode/decode. An echo
+        // thread plays the worker so the single-threaded probe can never
+        // deadlock on a full socket buffer.
+        {
+            use predict_cluster::protocol::{read_frame, tag, write_frame};
+            use std::io::BufReader;
+            use std::os::unix::net::UnixStream;
+
+            let (driver_side, worker_side) = UnixStream::pair().expect("socket pair");
+            let echo = std::thread::spawn(move || {
+                let mut reader =
+                    BufReader::new(worker_side.try_clone().expect("clone echo socket"));
+                let mut writer = worker_side;
+                while let Ok(Some((frame_tag, _))) = read_frame(&mut reader) {
+                    if frame_tag == tag::SHUTDOWN {
+                        break;
+                    }
+                    write_frame(&mut writer, frame_tag, &[1]).expect("echo ack");
+                }
+            });
+            let mut reader = BufReader::new(driver_side.try_clone().expect("clone probe socket"));
+            let mut writer = driver_side;
+            push(
+                "wire_roundtrip_socket",
+                "pagerank_4096x4",
+                median_ns(reps, || {
+                    write_frame(&mut writer, tag::VALUES, &bytes).expect("frame sent");
+                    read_frame(&mut reader)
+                        .expect("ack read")
+                        .expect("ack frame")
+                }),
+            );
+            write_frame(&mut writer, tag::SHUTDOWN, &[]).expect("shutdown echo thread");
+            echo.join().expect("echo thread exits");
+        }
+
         let graph = generate_rmat(&RmatConfig::new(10, 8).with_seed(PROBE_SEED));
         let params = PageRankParams::with_epsilon(0.01, graph.num_vertices());
         let program = PageRank::new(params);
@@ -429,6 +467,21 @@ fn run_probes() -> Vec<ProbeResult> {
         eprintln!(
             "[probe] inproc/in-memory run overhead on rmat_s10_d8: {:.2}x",
             inproc_ns as f64 / inmem_ns.max(1) as f64
+        );
+        // The identical run over Unix-domain socket workers: real processes,
+        // real kernel round trips per superstep. Warmed so the pooled group
+        // (not process spawns) is what gets timed.
+        let socket_opts = DriveOptions::new(TransportKind::Socket);
+        drive(&program, &spec, &[], &graph, &config, &socket_opts)
+            .expect("warm-up socket drive succeeds");
+        let socket_ns = median_ns(reps, || {
+            drive(&program, &spec, &[], &graph, &config, &socket_opts)
+                .expect("socket drive succeeds")
+        });
+        push("bsp_run_socket", "rmat_s10_d8", socket_ns);
+        eprintln!(
+            "[probe] socket/in-memory run overhead on rmat_s10_d8: {:.2}x",
+            socket_ns as f64 / inmem_ns.max(1) as f64
         );
     }
     results

@@ -28,8 +28,8 @@
 //! Scenarios execute at `PREDICT_SCALE=small` (goldens are small-scale
 //! artifacts; override by exporting `PREDICT_SCALE` yourself) and honor
 //! `PREDICT_THREADS` and `PREDICT_TRANSPORT`, so CI can assert that 1-thread
-//! and 4-thread sweeps — and the in-memory, in-process and OS-process
-//! transports — all produce the same goldens. The summary table carries a
+//! and 4-thread sweeps — and the in-memory, in-process, OS-process and
+//! Unix-domain-socket transports — all produce the same goldens. The summary table carries a
 //! transport column recording which transport each scenario ran under, and a
 //! scenario that dies mid-run (e.g. a killed cluster worker) surfaces the
 //! tail of its stderr, which includes the worker id, superstep and worker

@@ -119,6 +119,9 @@ pub enum TransportChoice {
     InProc,
     /// Long-lived OS worker processes speaking the wire format over pipes.
     Process,
+    /// Long-lived OS worker processes speaking the wire format over
+    /// length-prefixed frame streams on Unix-domain sockets.
+    Socket,
 }
 
 impl TransportChoice {
@@ -128,13 +131,15 @@ impl TransportChoice {
             Self::InMemory => "inmem",
             Self::InProc => "inproc",
             Self::Process => "process",
+            Self::Socket => "socket",
         }
     }
 }
 
 /// Parses the transport knob: `inmem`/`inmemory` (or unset) selects the
 /// in-memory executor, `inproc` the channel transport, `process` the OS
-/// process transport; anything else warns and stays in memory.
+/// process transport, `socket` the Unix-domain socket transport; anything
+/// else warns and stays in memory.
 fn parse_transport(var: &str, value: Option<&str>) -> TransportChoice {
     let Some(raw) = value else {
         return TransportChoice::InMemory;
@@ -143,8 +148,9 @@ fn parse_transport(var: &str, value: Option<&str>) -> TransportChoice {
         "" | "inmem" | "inmemory" => TransportChoice::InMemory,
         "inproc" => TransportChoice::InProc,
         "process" => TransportChoice::Process,
+        "socket" => TransportChoice::Socket,
         _ => {
-            warn_invalid(var, raw, "`inmem`, `inproc` or `process`");
+            warn_invalid(var, raw, "`inmem`, `inproc`, `process` or `socket`");
             TransportChoice::InMemory
         }
     }
@@ -253,7 +259,7 @@ mod tests {
     }
 
     #[test]
-    fn transport_recognizes_all_three_backends() {
+    fn transport_recognizes_all_four_backends() {
         assert_eq!(
             parse_transport("X_MEM", Some("inmem")),
             TransportChoice::InMemory
@@ -270,6 +276,11 @@ mod tests {
             parse_transport("X_OS", Some("process")),
             TransportChoice::Process
         );
+        assert_eq!(
+            parse_transport("X_SOCK", Some("socket")),
+            TransportChoice::Socket
+        );
+        assert_eq!(TransportChoice::Socket.name(), "socket");
         assert_eq!(parse_transport("X_UNSET", None), TransportChoice::InMemory);
         assert_eq!(
             parse_transport("X_TYPO", Some("processes")),

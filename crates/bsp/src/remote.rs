@@ -43,8 +43,8 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum TransportMode {
     /// Honor the `PREDICT_TRANSPORT` environment variable (`inmem`,
-    /// `inproc` or `process`; unset or invalid values fall back to the
-    /// in-memory executor, invalid ones with a warning).
+    /// `inproc`, `process` or `socket`; unset or invalid values fall back
+    /// to the in-memory executor, invalid ones with a warning).
     #[default]
     Auto,
     /// The in-memory executor (`crate::runtime`) — no transport boundary.
@@ -55,6 +55,9 @@ pub enum TransportMode {
     /// One long-lived OS worker process per shard (the `cluster_worker`
     /// binary), speaking the wire format over pipes.
     Process,
+    /// One long-lived OS worker process per shard, speaking the wire
+    /// format over a Unix-domain socket stream instead of pipes.
+    Socket,
 }
 
 impl TransportMode {
@@ -64,6 +67,7 @@ impl TransportMode {
             Self::InMemory => TransportChoice::InMemory,
             Self::InProc => TransportChoice::InProc,
             Self::Process => TransportChoice::Process,
+            Self::Socket => TransportChoice::Socket,
             Self::Auto => knobs::env_transport(),
         }
     }
@@ -126,6 +130,7 @@ mod tests {
         assert_eq!(TransportMode::InMemory.resolve(), TransportChoice::InMemory);
         assert_eq!(TransportMode::InProc.resolve(), TransportChoice::InProc);
         assert_eq!(TransportMode::Process.resolve(), TransportChoice::Process);
+        assert_eq!(TransportMode::Socket.resolve(), TransportChoice::Socket);
     }
 
     #[test]

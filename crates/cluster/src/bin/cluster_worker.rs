@@ -1,18 +1,48 @@
 //! Long-lived BSP worker process.
 //!
-//! Speaks the framed cluster protocol over stdin/stdout (which is why
-//! nothing here may ever print to stdout) and serves episodes until the
-//! driver closes the pipe or sends `Shutdown`. Diagnostics go to stderr,
-//! where the driver tails them into failure reports.
+//! By default speaks the framed cluster protocol over stdin/stdout (which
+//! is why nothing here may ever print to stdout); `--socket <path>`
+//! connects to a driver's Unix-domain listener instead, and `--tcp
+//! <host:port>` to a TCP listener — the same serve loop over a different
+//! byte stream. Serves episodes until the driver closes the connection or
+//! sends `Shutdown`. Diagnostics go to stderr, where the driver tails them
+//! into failure reports.
 
+use predict_cluster::socket::{SocketStream, CONNECT_TIMEOUT};
 use predict_cluster::{serve, StdioEndpoint};
 
 fn main() {
-    let stdin = std::io::stdin();
-    let stdout = std::io::stdout();
-    let mut ep = StdioEndpoint::new(stdin.lock(), stdout.lock());
-    if let Err(message) = serve(&mut ep, true) {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.as_slice() {
+        [] => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            serve(&mut StdioEndpoint::new(stdin.lock(), stdout.lock()), true)
+        }
+        [flag, addr] if flag == "--socket" || flag == "--tcp" => serve_socket(addr),
+        _ => {
+            predict_obs::diag!(
+                Error,
+                "cluster_worker: usage: cluster_worker [--socket <path> | --tcp <host:port>]"
+            );
+            std::process::exit(2);
+        }
+    };
+    if let Err(message) = result {
         predict_obs::diag!(Error, "cluster_worker: {message}");
         std::process::exit(2);
     }
+}
+
+/// Connects back to the driver's listener and serves frames over the
+/// stream. The driver binds before spawning this process, so the connect
+/// normally succeeds on the first try; `CONNECT_TIMEOUT` bounds the retry
+/// loop on a loaded machine.
+fn serve_socket(addr: &str) -> Result<(), String> {
+    let stream = SocketStream::connect(addr, CONNECT_TIMEOUT)
+        .map_err(|e| format!("connecting to driver at {addr}: {e}"))?;
+    let reader = stream
+        .try_clone()
+        .map_err(|e| format!("cloning socket stream: {e}"))?;
+    serve(&mut StdioEndpoint::new(reader, stream), true)
 }

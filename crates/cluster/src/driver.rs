@@ -15,6 +15,7 @@
 //! returned [`RunProfile`] as a [`MeasuredRun`].
 
 use crate::error::ClusterError;
+use crate::fault::FaultSchedule;
 use crate::protocol::{self, tag, FaultSpec, InitHeader, ProgramSpec, StepBody, StepDoneBody};
 use crate::transport::{self, Connection, TransportKind, WorkerGroup};
 use crate::wire::{decode_exact, encode_to_vec, Wire, WireBatch};
@@ -39,6 +40,12 @@ pub struct DriveOptions {
     /// only. Faulted drives always use a fresh worker group and never
     /// return it to the pool.
     pub fault: Option<(usize, FaultSpec)>,
+    /// Deterministic transport-level fault schedule wrapped around one
+    /// worker's endpoint `(worker, schedule)` — the fault-injection test
+    /// battery. In-process transport only (the wrapper sits between the
+    /// serve loop and its channels); like [`DriveOptions::fault`], such
+    /// drives always use a fresh group and never repool it.
+    pub endpoint_fault: Option<(usize, FaultSchedule)>,
 }
 
 impl DriveOptions {
@@ -48,7 +55,14 @@ impl DriveOptions {
             kind,
             timeout: Duration::from_secs(120),
             fault: None,
+            endpoint_fault: None,
         }
+    }
+
+    /// True when this drive injects any fault — such drives must run on a
+    /// fresh worker group and may never return it to the pool.
+    fn faulted(&self) -> bool {
+        self.fault.is_some() || self.endpoint_fault.is_some()
     }
 }
 
@@ -76,18 +90,53 @@ where
 {
     // Faulted groups die by design; never take one from (or return one to)
     // the shared pool.
-    let mut group = if opts.fault.is_some() {
+    let mut group = if let Some((fw, schedule)) = &opts.endpoint_fault {
+        if opts.kind != TransportKind::InProc {
+            return Err(ClusterError::Spawn {
+                worker: *fw,
+                detail: "endpoint fault schedules require the in-process transport".into(),
+            });
+        }
+        let (fw, schedule) = (*fw, schedule.clone());
+        WorkerGroup::spawn_with(opts.kind, config.num_workers, |w| {
+            Ok(if w == fw {
+                Connection::spawn_inproc_faulty(w, schedule.clone())
+            } else {
+                Connection::spawn_inproc(w)
+            })
+        })?
+    } else if opts.fault.is_some() {
         WorkerGroup::spawn(opts.kind, config.num_workers)?
     } else {
         transport::checkout(opts.kind, config.num_workers)?
     };
     let result = drive_on_group(program, spec, ranks, graph, config, opts, &mut group);
-    if result.is_ok() && opts.fault.is_none() {
+    if result.is_ok() && !opts.faulted() {
         transport::checkin(group);
     }
     // On error (or after a faulted drive) the group drops here, killing its
     // workers; its protocol state is unknown and must not be reused.
     result
+}
+
+/// Runs one drive on a caller-provided worker group — for tests and tools
+/// that build groups through custom spawns (e.g. the loopback-TCP socket
+/// variant). The group is consumed: healthy or not, it is never pooled.
+pub fn drive_on<P>(
+    program: &P,
+    spec: &ProgramSpec,
+    ranks: &[f64],
+    graph: &CsrGraph,
+    config: &BspConfig,
+    opts: &DriveOptions,
+    mut group: WorkerGroup,
+) -> Result<BspRunResult<P::VertexValue>, ClusterError>
+where
+    P: VertexProgram,
+    P::Message: Wire,
+    P::VertexValue: Wire,
+{
+    drive_on_group(program, spec, ranks, graph, config, opts, &mut group)
 }
 
 /// Receives one frame from `conn`, requiring tag `want`; `Error` frames
@@ -216,6 +265,16 @@ where
             *wire += body.len() as u64;
             let done: StepDoneBody<P::Message> =
                 decode_exact(&body).map_err(|e| ClusterError::from_wire(w, e))?;
+            if done.superstep != superstep as u64 {
+                return Err(ClusterError::Protocol {
+                    worker: w,
+                    detail: format!(
+                        "step-done for superstep {} while collecting superstep {superstep} \
+                         (duplicated or reordered barrier frame)",
+                        done.superstep
+                    ),
+                });
+            }
             worker_counters.push(done.counters);
             worker_compute_ns.push(done.compute_ns);
             aggregates.merge(&done.partial_aggregates);

@@ -1,0 +1,445 @@
+//! Deterministic fault injection for the frame protocol.
+//!
+//! Kill-based robustness tests ([`FaultSpec`](crate::protocol::FaultSpec))
+//! exercise *whole-worker* failure; this module exercises the *transport*:
+//! truncated bodies, partial writes, delayed and duplicated frames, hard
+//! disconnects — each at an exact frame index, from a schedule that is pure
+//! data. The same schedule always injects the same faults, so every driver
+//! error path is pinned by a repeatable test instead of kill timing.
+//!
+//! [`FaultEndpoint`] wraps any [`Endpoint`] — it is the worker-side
+//! endpoint with a saboteur in the middle. Frames are counted per
+//! direction ([`Direction::Outbound`] = worker→driver, inbound the
+//! reverse), and when a direction's counter hits a scheduled index the
+//! [`FaultAction`] fires. Schedules come from an explicit builder
+//! ([`FaultSchedule::at`]) or a seeded generator
+//! ([`FaultSchedule::seeded`], splitmix64 — no dependencies, stable
+//! forever).
+//!
+//! [`FaultStream`] is the byte-level sibling: a `Write` wrapper that cuts
+//! the stream mid-frame after a byte budget, for true short-read /
+//! torn-frame coverage under the framed codecs.
+
+use crate::endpoint::{Endpoint, Frame};
+use std::collections::VecDeque;
+use std::io::{self, Write};
+
+/// Which way a counted frame is travelling, from the worker's perspective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Driver → worker frames (what the worker receives).
+    Inbound,
+    /// Worker → driver frames (what the worker sends).
+    Outbound,
+}
+
+/// What happens to the frame at a scheduled index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Deliver the frame with its body cut to `keep` bytes — a well-framed
+    /// but semantically truncated payload, surfacing as a
+    /// [`WireError::Truncated`](crate::WireError::Truncated) decode failure
+    /// at the receiver.
+    TruncateBody {
+        /// Body bytes to keep.
+        keep: usize,
+    },
+    /// Deliver the body cut to `keep` bytes, then kill the connection — a
+    /// peer that died mid-write.
+    PartialWrite {
+        /// Body bytes that make it out before the cut.
+        keep: usize,
+    },
+    /// Hold the frame back until `frames` more frames pass in the same
+    /// direction (if the episode ends first, the frame is simply lost and
+    /// the peer's read deadline fires).
+    Delay {
+        /// Frames that must pass before release.
+        frames: usize,
+    },
+    /// Deliver the frame twice.
+    Duplicate,
+    /// Drop the connection instead of transferring this frame.
+    Disconnect,
+}
+
+/// A deterministic list of `(direction, frame index, action)` injections.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultSchedule {
+    faults: Vec<(Direction, u64, FaultAction)>,
+}
+
+impl FaultSchedule {
+    /// An empty schedule (injects nothing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `action` against the `index`-th frame in `direction`
+    /// (0-based, counted per direction).
+    pub fn at(mut self, direction: Direction, index: u64, action: FaultAction) -> Self {
+        self.faults.push((direction, index, action));
+        self
+    }
+
+    /// A reproducible pseudo-random schedule: `count` faults over the first
+    /// `horizon` frame indices of either direction. Same seed, same
+    /// schedule, on every platform.
+    pub fn seeded(seed: u64, count: usize, horizon: u64) -> Self {
+        let mut state = seed;
+        let mut next = move || splitmix64(&mut state);
+        let mut schedule = Self::new();
+        for _ in 0..count {
+            let direction = if next() % 2 == 0 {
+                Direction::Inbound
+            } else {
+                Direction::Outbound
+            };
+            let index = next() % horizon.max(1);
+            let action = match next() % 5 {
+                0 => FaultAction::TruncateBody {
+                    keep: (next() % 9) as usize,
+                },
+                1 => FaultAction::PartialWrite {
+                    keep: (next() % 9) as usize,
+                },
+                2 => FaultAction::Delay {
+                    frames: 1 + (next() % 3) as usize,
+                },
+                3 => FaultAction::Duplicate,
+                _ => FaultAction::Disconnect,
+            };
+            schedule = schedule.at(direction, index, action);
+        }
+        schedule
+    }
+
+    /// True when the schedule injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    fn action_at(&self, direction: Direction, index: u64) -> Option<FaultAction> {
+        self.faults
+            .iter()
+            .find(|(d, i, _)| *d == direction && *i == index)
+            .map(|(_, _, a)| *a)
+    }
+}
+
+/// The splitmix64 mixer — 8 lines, stable, plenty for fault schedules.
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// An [`Endpoint`] with a deterministic saboteur in the middle.
+///
+/// Wraps the worker's real endpoint; the serve loop neither knows nor
+/// cares. After a [`FaultAction::Disconnect`] or
+/// [`FaultAction::PartialWrite`] the wrapped endpoint is dropped — every
+/// later operation behaves like a dead peer (send errors, recv reports a
+/// clean close), exactly as a real torn connection would.
+pub struct FaultEndpoint<E: Endpoint> {
+    inner: Option<E>,
+    schedule: FaultSchedule,
+    sent: u64,
+    received: u64,
+    /// Outbound frames held by a `Delay`, keyed by the send-counter value
+    /// at which they release.
+    delayed_out: VecDeque<(u64, Frame)>,
+    /// Inbound frames owed to the worker before reading from the wire
+    /// again (duplicates and released delays).
+    pending_in: VecDeque<Frame>,
+    /// Inbound frames held by a `Delay`, keyed by the recv-counter value
+    /// at which they release.
+    delayed_in: VecDeque<(u64, Frame)>,
+}
+
+impl<E: Endpoint> FaultEndpoint<E> {
+    /// Wraps `inner`, injecting `schedule`.
+    pub fn new(inner: E, schedule: FaultSchedule) -> Self {
+        Self {
+            inner: Some(inner),
+            schedule,
+            sent: 0,
+            received: 0,
+            delayed_out: VecDeque::new(),
+            pending_in: VecDeque::new(),
+            delayed_in: VecDeque::new(),
+        }
+    }
+
+    fn dead() -> io::Error {
+        io::Error::new(io::ErrorKind::ConnectionReset, "injected disconnect")
+    }
+
+    /// Releases delayed outbound frames that are due before the frame at
+    /// `index` goes out.
+    fn flush_due_out(&mut self, index: u64) -> io::Result<()> {
+        while let Some((due, _)) = self.delayed_out.front() {
+            if *due > index {
+                break;
+            }
+            let (_, (tag, body)) = self.delayed_out.pop_front().expect("front exists");
+            let inner = self.inner.as_mut().ok_or_else(Self::dead)?;
+            inner.send(tag, &body)?;
+        }
+        Ok(())
+    }
+}
+
+impl<E: Endpoint> Endpoint for FaultEndpoint<E> {
+    fn send(&mut self, tag: u8, body: &[u8]) -> io::Result<()> {
+        let index = self.sent;
+        self.sent += 1;
+        self.flush_due_out(index)?;
+        let action = self.schedule.action_at(Direction::Outbound, index);
+        let inner = self.inner.as_mut().ok_or_else(Self::dead)?;
+        match action {
+            None => inner.send(tag, body),
+            Some(FaultAction::TruncateBody { keep }) => {
+                inner.send(tag, &body[..keep.min(body.len())])
+            }
+            Some(FaultAction::PartialWrite { keep }) => {
+                let _ = inner.send(tag, &body[..keep.min(body.len())]);
+                self.inner = None;
+                Err(Self::dead())
+            }
+            Some(FaultAction::Delay { frames }) => {
+                self.delayed_out
+                    .push_back((index + 1 + frames as u64, (tag, body.to_vec())));
+                Ok(())
+            }
+            Some(FaultAction::Duplicate) => {
+                inner.send(tag, body)?;
+                inner.send(tag, body)
+            }
+            Some(FaultAction::Disconnect) => {
+                self.inner = None;
+                Err(Self::dead())
+            }
+        }
+    }
+
+    fn recv(&mut self) -> io::Result<Option<Frame>> {
+        // Frames owed from duplicates / released delays go first.
+        if let Some(frame) = self.pending_in.pop_front() {
+            return Ok(Some(frame));
+        }
+        loop {
+            if let Some((due, _)) = self.delayed_in.front() {
+                if *due <= self.received {
+                    let (_, frame) = self.delayed_in.pop_front().expect("front exists");
+                    return Ok(Some(frame));
+                }
+            }
+            let Some(inner) = self.inner.as_mut() else {
+                // Torn connection: the peer is gone, report a clean close so
+                // the worker exits the way it does on a real hangup.
+                return Ok(None);
+            };
+            let Some((tag, body)) = inner.recv()? else {
+                return Ok(None);
+            };
+            let index = self.received;
+            self.received += 1;
+            match self.schedule.action_at(Direction::Inbound, index) {
+                None => return Ok(Some((tag, body))),
+                Some(FaultAction::TruncateBody { keep }) => {
+                    let mut body = body;
+                    body.truncate(keep);
+                    return Ok(Some((tag, body)));
+                }
+                Some(FaultAction::PartialWrite { keep }) => {
+                    let mut body = body;
+                    body.truncate(keep);
+                    self.inner = None;
+                    return Ok(Some((tag, body)));
+                }
+                Some(FaultAction::Delay { frames }) => {
+                    self.delayed_in
+                        .push_back((index + 1 + frames as u64, (tag, body)));
+                    // Loop: read the next frame in its place.
+                }
+                Some(FaultAction::Duplicate) => {
+                    self.pending_in.push_back((tag, body.clone()));
+                    return Ok(Some((tag, body)));
+                }
+                Some(FaultAction::Disconnect) => {
+                    self.inner = None;
+                    return Err(Self::dead());
+                }
+            }
+        }
+    }
+}
+
+/// A `Write` that cuts the stream after a byte budget — the byte-level
+/// fault: frames tear *mid-encoding*, producing the short reads and torn
+/// length prefixes [`read_frame`](crate::protocol::read_frame) must treat
+/// as corruption, never as clean EOF.
+pub struct FaultStream<W: Write> {
+    inner: W,
+    remaining: usize,
+}
+
+impl<W: Write> FaultStream<W> {
+    /// Passes through the first `budget` bytes, then fails every write.
+    pub fn cut_after(inner: W, budget: usize) -> Self {
+        Self {
+            inner,
+            remaining: budget,
+        }
+    }
+}
+
+impl<W: Write> Write for FaultStream<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if self.remaining == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "injected stream cut",
+            ));
+        }
+        let n = buf.len().min(self.remaining);
+        let written = self.inner.write(&buf[..n])?;
+        self.remaining -= written;
+        Ok(written)
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::endpoint::ChannelEndpoint;
+    use crate::protocol::{read_frame, tag, write_frame};
+    use std::sync::mpsc::{self, Receiver, Sender};
+
+    fn pair() -> (FaultEndpointHarness, ChannelEndpoint) {
+        let (to_worker, worker_rx) = mpsc::channel::<Frame>();
+        let (worker_tx, from_worker) = mpsc::channel::<Frame>();
+        (
+            FaultEndpointHarness {
+                to_worker,
+                from_worker,
+            },
+            ChannelEndpoint {
+                rx: worker_rx,
+                tx: worker_tx,
+            },
+        )
+    }
+
+    /// The driver's two channel ends in tests.
+    struct FaultEndpointHarness {
+        to_worker: Sender<Frame>,
+        from_worker: Receiver<Frame>,
+    }
+
+    #[test]
+    fn seeded_schedules_are_reproducible() {
+        let a = FaultSchedule::seeded(42, 4, 16);
+        let b = FaultSchedule::seeded(42, 4, 16);
+        assert_eq!(a, b);
+        assert_ne!(a, FaultSchedule::seeded(43, 4, 16));
+        assert_eq!(a.faults.len(), 4);
+    }
+
+    #[test]
+    fn truncate_cuts_the_body_and_keeps_the_stream() {
+        let (driver, worker) = pair();
+        let schedule = FaultSchedule::new().at(
+            Direction::Outbound,
+            0,
+            FaultAction::TruncateBody { keep: 2 },
+        );
+        let mut ep = FaultEndpoint::new(worker, schedule);
+        ep.send(tag::STEP_DONE, &[1, 2, 3, 4]).unwrap();
+        ep.send(tag::STEP_DONE, &[9, 9]).unwrap();
+        assert_eq!(
+            driver.from_worker.recv().unwrap(),
+            (tag::STEP_DONE, vec![1, 2])
+        );
+        assert_eq!(
+            driver.from_worker.recv().unwrap(),
+            (tag::STEP_DONE, vec![9, 9])
+        );
+    }
+
+    #[test]
+    fn disconnect_kills_both_directions() {
+        let (driver, worker) = pair();
+        let schedule = FaultSchedule::new().at(Direction::Outbound, 1, FaultAction::Disconnect);
+        let mut ep = FaultEndpoint::new(worker, schedule);
+        ep.send(tag::STEP_DONE, &[1]).unwrap();
+        assert!(ep.send(tag::STEP_DONE, &[2]).is_err());
+        assert!(ep.send(tag::STEP_DONE, &[3]).is_err(), "stays dead");
+        assert_eq!(ep.recv().unwrap(), None, "reads like a hangup");
+        // The driver got the first frame, then the channel closed.
+        assert_eq!(
+            driver.from_worker.recv().unwrap(),
+            (tag::STEP_DONE, vec![1])
+        );
+        assert!(driver.from_worker.recv().is_err());
+    }
+
+    #[test]
+    fn delay_reorders_outbound_frames() {
+        let (driver, worker) = pair();
+        let schedule =
+            FaultSchedule::new().at(Direction::Outbound, 0, FaultAction::Delay { frames: 2 });
+        let mut ep = FaultEndpoint::new(worker, schedule);
+        ep.send(0x10, &[0]).unwrap(); // delayed until after frame 2
+        ep.send(0x11, &[1]).unwrap();
+        ep.send(0x12, &[2]).unwrap();
+        ep.send(0x13, &[3]).unwrap();
+        let order: Vec<u8> = (0..4)
+            .map(|_| driver.from_worker.recv().unwrap().0)
+            .collect();
+        assert_eq!(order, vec![0x11, 0x12, 0x10, 0x13]);
+    }
+
+    #[test]
+    fn duplicate_delivers_inbound_frames_twice() {
+        let (driver, worker) = pair();
+        let schedule = FaultSchedule::new().at(Direction::Inbound, 0, FaultAction::Duplicate);
+        let mut ep = FaultEndpoint::new(worker, schedule);
+        driver.to_worker.send((tag::STEP, vec![7])).unwrap();
+        driver.to_worker.send((tag::FINISH, vec![])).unwrap();
+        assert_eq!(ep.recv().unwrap(), Some((tag::STEP, vec![7])));
+        assert_eq!(ep.recv().unwrap(), Some((tag::STEP, vec![7])));
+        assert_eq!(ep.recv().unwrap(), Some((tag::FINISH, vec![])));
+    }
+
+    #[test]
+    fn inbound_delay_holds_a_frame_back() {
+        let (driver, worker) = pair();
+        let schedule =
+            FaultSchedule::new().at(Direction::Inbound, 0, FaultAction::Delay { frames: 2 });
+        let mut ep = FaultEndpoint::new(worker, schedule);
+        for i in 0..3u8 {
+            driver.to_worker.send((0x20 + i, vec![])).unwrap();
+        }
+        let order: Vec<u8> = (0..3).map(|_| ep.recv().unwrap().unwrap().0).collect();
+        assert_eq!(order, vec![0x21, 0x22, 0x20]);
+    }
+
+    #[test]
+    fn fault_stream_tears_a_frame_mid_write() {
+        let mut buf = Vec::new();
+        {
+            let mut cut = FaultStream::cut_after(&mut buf, 7);
+            assert!(write_frame(&mut cut, tag::STEP, b"hello world").is_err());
+        }
+        // The receiver sees a torn frame: an error, never a clean EOF.
+        let mut cursor = &buf[..];
+        assert!(read_frame(&mut cursor).is_err());
+    }
+}

@@ -17,12 +17,15 @@
 //!   everything that crosses a worker boundary: message batches as sorted
 //!   per-vertex runs ([`WireBatch`]), counters, aggregates, shards, values.
 //!   Pure bytes; no transport anywhere in sight.
-//! * [`protocol`] + [`transport`] + [`endpoint`] — framed star-topology
-//!   superstep protocol (`Init`/`Step`/`StepDone`/`Finish`), spoken over two
-//!   interchangeable backends: in-process worker threads over channels
-//!   ([`TransportKind::InProc`]) and long-lived `cluster_worker` OS
-//!   processes over stdin/stdout pipes ([`TransportKind::Process`]).
-//!   Barrier, halt voting and aggregate exchange ride the same frames.
+//! * [`protocol`] + [`transport`] + [`endpoint`] + [`socket`] — framed
+//!   star-topology superstep protocol (`Init`/`Step`/`StepDone`/`Finish`),
+//!   spoken over three interchangeable backends: in-process worker threads
+//!   over channels ([`TransportKind::InProc`]), long-lived `cluster_worker`
+//!   OS processes over stdin/stdout pipes ([`TransportKind::Process`]), and
+//!   the same processes over Unix-domain socket streams
+//!   ([`TransportKind::Socket`]; loopback TCP rides the identical code
+//!   path). Barrier, halt voting and aggregate exchange ride the same
+//!   frames.
 //! * [`driver`] + [`runner`] — the BSP master over a worker group, mirroring
 //!   the in-memory executor's merge and clock order so results are
 //!   *byte-identical* to in-memory runs (the engine's determinism contract,
@@ -33,22 +36,30 @@
 //!
 //! Failure is structured, not silent: a worker that dies or hangs
 //! mid-superstep surfaces as a [`ClusterError`] naming the worker, the
-//! superstep and the tail of its stderr.
+//! superstep and the tail of its stderr. The [`fault`] module makes those
+//! failure paths *testable*: a deterministic [`FaultEndpoint`] injects
+//! truncations, partial writes, delayed/duplicated frames and hard
+//! disconnects at scheduled frame indices, so every error path is pinned by
+//! a repeatable test instead of kill timing.
 
 pub mod driver;
 pub mod endpoint;
 pub mod error;
+pub mod fault;
 pub mod protocol;
 pub mod runner;
+pub mod socket;
 pub mod transport;
 pub mod wire;
 pub mod worker;
 
-pub use driver::{drive, shard_for, DriveOptions};
+pub use driver::{drive, drive_on, shard_for, DriveOptions};
 pub use endpoint::{ChannelEndpoint, Endpoint, StdioEndpoint};
 pub use error::{ClusterError, WireError};
+pub use fault::{Direction, FaultAction, FaultEndpoint, FaultSchedule, FaultStream};
 pub use protocol::{FaultSpec, InitHeader, ProgramSpec, StepBody, StepDoneBody, PROTOCOL_VERSION};
-pub use runner::{run_spec, run_workload};
+pub use runner::{clear_chaos, install_chaos, run_spec, run_workload, ChaosPlan};
+pub use socket::{SocketListener, SocketStream};
 pub use transport::{checkin, checkout, worker_bin_path, Connection, TransportKind, WorkerGroup};
 pub use wire::{
     batch_from_routed, batch_into_row, decode_exact, encode_to_vec, Wire, WireBatch, WIRE_VERSION,

@@ -261,6 +261,11 @@ impl<M: Wire> Wire for StepBody<M> {
 /// barrier arrival and the halt vote.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StepDoneBody<M> {
+    /// Echo of the superstep this reply answers. The driver rejects a
+    /// mismatch, so a duplicated or reordered barrier frame (a fault, a
+    /// confused worker) surfaces as a protocol error instead of silently
+    /// feeding one superstep's results into the next.
+    pub superstep: u64,
     /// Table 1 counters of the superstep.
     pub counters: WorkerCounters,
     /// The worker's partial aggregates.
@@ -275,6 +280,7 @@ pub struct StepDoneBody<M> {
 
 impl<M: Wire> Wire for StepDoneBody<M> {
     fn encode(&self, out: &mut Vec<u8>) {
+        self.superstep.encode(out);
         self.counters.encode(out);
         self.partial_aggregates.encode(out);
         self.all_halted.encode(out);
@@ -283,6 +289,7 @@ impl<M: Wire> Wire for StepDoneBody<M> {
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         Ok(Self {
+            superstep: u64::decode(r)?,
             counters: WorkerCounters::decode(r)?,
             partial_aggregates: Aggregates::decode(r)?,
             all_halted: bool::decode(r)?,
@@ -379,6 +386,7 @@ mod tests {
         assert_eq!(back, step);
 
         let done = StepDoneBody::<f64> {
+            superstep: 4,
             counters: WorkerCounters::new(10),
             partial_aggregates: aggs,
             all_halted: false,

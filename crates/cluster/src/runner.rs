@@ -6,7 +6,8 @@
 //! [`TransportMode`](predict_bsp::TransportMode) (honoring the
 //! `PREDICT_TRANSPORT` env knob under `Auto`); `InMemory` — and any workload
 //! without a [`WorkloadSpec`] — dispatches straight to the in-memory trait
-//! method, while `InProc`/`Process` replays the workload's preparation steps
+//! method, while `InProc`/`Process`/`Socket` replays the workload's
+//! preparation steps
 //! (undirected conversion for SC and CC, the PageRank pre-pass for TOP-K)
 //! around [`drive`] calls, so the cluster path runs exactly the graph and
 //! program sequence the in-memory path runs. Every cluster drive is counted
@@ -16,7 +17,8 @@
 
 use crate::driver::{drive, DriveOptions};
 use crate::error::ClusterError;
-use crate::protocol::ProgramSpec;
+use crate::fault::splitmix64;
+use crate::protocol::{FaultSpec, ProgramSpec};
 use crate::transport::TransportKind;
 use predict_algorithms::{
     to_undirected, ConnectedComponents, NeighborhoodEstimation, PageRank, PageRankParams,
@@ -24,6 +26,59 @@ use predict_algorithms::{
 };
 use predict_bsp::{BspEngine, BspRunResult, GraphStorage};
 use predict_graph::CsrGraph;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Ambient chaos for soak tests: deterministically fault a fraction of the
+/// cluster drives [`run_workload`] issues, process-wide.
+///
+/// While a plan is installed (see [`install_chaos`]), every workload run
+/// hashes `(seed, drive counter)` through splitmix64; runs landing under
+/// `fault_percent` get a worker crash injected via
+/// [`FaultSpec`] — which also forces the drive
+/// onto a fresh, never-repooled worker group. The schedule depends only on
+/// the seed and the order runs are issued, so a soak's fault mix is
+/// reproducible.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosPlan {
+    /// Seed of the per-drive fault hash.
+    pub seed: u64,
+    /// Percentage (0–100) of workload runs that get a fault.
+    pub fault_percent: u8,
+}
+
+static CHAOS: Mutex<Option<ChaosPlan>> = Mutex::new(None);
+static CHAOS_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Installs `plan` process-wide and resets the drive counter.
+pub fn install_chaos(plan: ChaosPlan) {
+    CHAOS_COUNTER.store(0, Ordering::SeqCst);
+    *CHAOS.lock().unwrap() = Some(plan);
+}
+
+/// Removes any installed chaos plan; subsequent runs are fault-free.
+pub fn clear_chaos() {
+    *CHAOS.lock().unwrap() = None;
+}
+
+/// The fault (if any) the installed chaos plan assigns to the next run.
+fn chaos_fault(num_workers: usize) -> Option<(usize, FaultSpec)> {
+    let plan = (*CHAOS.lock().unwrap())?;
+    let n = CHAOS_COUNTER.fetch_add(1, Ordering::SeqCst);
+    let mut state = plan.seed ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    if splitmix64(&mut state) % 100 >= plan.fault_percent as u64 {
+        return None;
+    }
+    let worker = (splitmix64(&mut state) % num_workers.max(1) as u64) as usize;
+    let superstep = (splitmix64(&mut state) % 3) as usize;
+    Some((
+        worker,
+        FaultSpec {
+            crash_at: Some(superstep),
+            hang_at: None,
+        },
+    ))
+}
 
 /// Runs `workload` on `graph` under the engine's resolved transport.
 ///
@@ -44,7 +99,8 @@ pub fn run_workload(
             None => workload.run(engine, graph),
         });
     };
-    let opts = DriveOptions::new(kind);
+    let mut opts = DriveOptions::new(kind);
+    opts.fault = chaos_fault(engine.config().num_workers);
     run_spec(engine, &spec, graph, &opts)
 }
 

@@ -1,7 +1,8 @@
-//! Driver-side transports: in-process worker threads and worker OS processes.
+//! Driver-side transports: in-process worker threads, worker OS processes
+//! over pipes, and worker OS processes over sockets.
 //!
-//! A [`Connection`] is the driver's handle to one worker. Both backends
-//! expose the same three operations — send a frame, receive a frame with a
+//! A [`Connection`] is the driver's handle to one worker. Every backend
+//! exposes the same three operations — send a frame, receive a frame with a
 //! deadline, read the worker's stderr tail — so the cluster driver
 //! ([`crate::driver`]) is transport-agnostic:
 //!
@@ -14,14 +15,23 @@
 //!   thread pumps stdout frames into a channel (so receives can time out
 //!   without platform-specific pipe tricks) and a second thread tails stderr
 //!   into a bounded ring buffer that failure reports quote.
+//! * [`TransportKind::Socket`] spawns the same binary pointed at a
+//!   per-worker Unix-domain socket (`cluster_worker --socket <path>`); the
+//!   driver binds and accepts with a deadline, then the identical
+//!   pump/ring/frame machinery runs over the socket stream. A loopback TCP
+//!   variant ([`Connection::spawn_socket_tcp`]) rides the same code path
+//!   through [`SocketStream`].
 //!
 //! Workers survive across runs — after serving one episode they loop back to
 //! waiting for the next `Init` — so [`WorkerGroup`]s are pooled globally,
-//! keyed by `(kind, num_workers)`, and process spawn cost is paid once, not
-//! per prediction run. A group that errors is dropped, never re-pooled.
+//! keyed by `(kind, num_workers)`, and process/socket spawn cost is paid
+//! once, not per prediction run. A group that errors is dropped, never
+//! re-pooled.
 
 use crate::endpoint::{ChannelEndpoint, Frame};
 use crate::error::ClusterError;
+use crate::fault::{FaultEndpoint, FaultSchedule};
+use crate::socket::{fresh_socket_path, SocketListener, SocketStream, ACCEPT_TIMEOUT};
 use crate::worker::serve;
 use predict_bsp::TransportChoice;
 use std::collections::{HashMap, VecDeque};
@@ -44,6 +54,8 @@ pub enum TransportKind {
     InProc,
     /// Worker OS processes, talking over stdin/stdout pipes.
     Process,
+    /// Worker OS processes, talking over Unix-domain socket streams.
+    Socket,
 }
 
 impl TransportKind {
@@ -54,6 +66,7 @@ impl TransportKind {
             TransportChoice::InMemory => None,
             TransportChoice::InProc => Some(Self::InProc),
             TransportChoice::Process => Some(Self::Process),
+            TransportChoice::Socket => Some(Self::Socket),
         }
     }
 
@@ -62,6 +75,7 @@ impl TransportKind {
         match self {
             Self::InProc => "inproc",
             Self::Process => "process",
+            Self::Socket => "socket",
         }
     }
 }
@@ -104,23 +118,56 @@ enum ConnInner {
         rx: Receiver<Frame>,
         stderr: Arc<Mutex<StderrRing>>,
     },
+    Socket {
+        /// The worker process, when this connection spawned one (`None` for
+        /// connections built from a raw accepted stream in tests).
+        child: Option<Child>,
+        writer: BufWriter<SocketStream>,
+        /// A second handle to the stream, shut down on drop to unblock the
+        /// pump thread.
+        stream: SocketStream,
+        /// Frames pumped off the socket; closed on EOF or read error.
+        rx: Receiver<Frame>,
+        stderr: Arc<Mutex<StderrRing>>,
+        /// Socket file unlinked on drop (`None` for TCP).
+        path: Option<PathBuf>,
+    },
 }
 
 impl Connection {
     /// Spawns an in-process worker thread serving the standard loop.
     pub fn spawn_inproc(worker: usize) -> Self {
+        Self::spawn_inproc_with(worker, None)
+    }
+
+    /// Spawns an in-process worker whose endpoint is wrapped in a
+    /// deterministic [`FaultSchedule`] — the repeatable-saboteur variant
+    /// the fault-injection battery drives.
+    pub fn spawn_inproc_faulty(worker: usize, schedule: FaultSchedule) -> Self {
+        Self::spawn_inproc_with(worker, Some(schedule))
+    }
+
+    fn spawn_inproc_with(worker: usize, schedule: Option<FaultSchedule>) -> Self {
         let (to_worker, worker_rx) = mpsc::channel::<Frame>();
         let (worker_tx, from_worker) = mpsc::channel::<Frame>();
         std::thread::Builder::new()
             .name(format!("cluster-worker-{worker}"))
             .spawn(move || {
-                let mut ep = ChannelEndpoint {
+                let ep = ChannelEndpoint {
                     rx: worker_rx,
                     tx: worker_tx,
                 };
                 // An Err return just drops the endpoint: the driver sees a
                 // disconnect, exactly like a process death.
-                let _ = serve(&mut ep, false);
+                match schedule {
+                    Some(schedule) => {
+                        let _ = serve(&mut FaultEndpoint::new(ep, schedule), false);
+                    }
+                    None => {
+                        let mut ep = ep;
+                        let _ = serve(&mut ep, false);
+                    }
+                }
             })
             .expect("spawning an OS thread");
         Self {
@@ -187,6 +234,150 @@ impl Connection {
         })
     }
 
+    /// Spawns a `cluster_worker` process connected over a fresh Unix-domain
+    /// socket: bind, spawn `cluster_worker --socket <path>`, accept with a
+    /// deadline.
+    pub fn spawn_socket(worker: usize) -> Result<Self, ClusterError> {
+        let path = fresh_socket_path(worker);
+        let listener = SocketListener::bind_unix(&path).map_err(|e| ClusterError::Spawn {
+            worker,
+            detail: format!("binding {}: {e}", path.display()),
+        })?;
+        Self::spawn_socket_on(worker, listener, "--socket")
+    }
+
+    /// Spawns a `cluster_worker` process connected over loopback TCP — the
+    /// same frame stream on the other address family.
+    pub fn spawn_socket_tcp(worker: usize) -> Result<Self, ClusterError> {
+        let listener = SocketListener::bind_tcp_loopback().map_err(|e| ClusterError::Spawn {
+            worker,
+            detail: format!("binding loopback TCP: {e}"),
+        })?;
+        Self::spawn_socket_on(worker, listener, "--tcp")
+    }
+
+    fn spawn_socket_on(
+        worker: usize,
+        listener: SocketListener,
+        flag: &str,
+    ) -> Result<Self, ClusterError> {
+        let path = listener.unix_path().map(PathBuf::from);
+        let addr = listener.connect_addr().map_err(|e| ClusterError::Spawn {
+            worker,
+            detail: format!("reading listener address: {e}"),
+        })?;
+        let cleanup_path = |path: &Option<PathBuf>| {
+            if let Some(p) = path {
+                let _ = std::fs::remove_file(p);
+            }
+        };
+        let bin = worker_bin_path().map_err(|detail| {
+            cleanup_path(&path);
+            ClusterError::Spawn { worker, detail }
+        })?;
+        let mut child = Command::new(&bin)
+            .arg(flag)
+            .arg(&addr)
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::piped())
+            .spawn()
+            .map_err(|e| {
+                cleanup_path(&path);
+                ClusterError::Spawn {
+                    worker,
+                    detail: format!("{}: {e}", bin.display()),
+                }
+            })?;
+        let child_stderr = child.stderr.take().expect("piped stderr");
+        let stderr = Arc::new(Mutex::new(StderrRing::default()));
+        let ring = Arc::clone(&stderr);
+        std::thread::Builder::new()
+            .name(format!("cluster-stderr-{worker}"))
+            .spawn(move || {
+                for line in BufReader::new(child_stderr).lines() {
+                    match line {
+                        Ok(line) => ring.lock().unwrap().push(line),
+                        Err(_) => break,
+                    }
+                }
+            })
+            .expect("spawning an OS thread");
+
+        // The worker was told where to connect; give it ACCEPT_TIMEOUT to
+        // show up, then clean up the child we spawned for nothing.
+        let stream = match listener.accept_timeout(ACCEPT_TIMEOUT) {
+            Ok(stream) => stream,
+            Err(e) => {
+                let _ = child.kill();
+                let _ = child.wait();
+                cleanup_path(&path);
+                return Err(ClusterError::Spawn {
+                    worker,
+                    detail: format!(
+                        "worker never connected to {addr}: {e}; stderr tail:\n{}",
+                        stderr.lock().unwrap().tail()
+                    ),
+                });
+            }
+        };
+        Self::from_stream(worker, stream, Some(child), stderr, path)
+    }
+
+    /// Wraps an already-accepted socket stream as a connection with no
+    /// child process behind it — lifecycle tests use this to play the
+    /// driver against hand-rolled fake workers.
+    pub fn from_socket_stream(worker: usize, stream: SocketStream) -> Result<Self, ClusterError> {
+        Self::from_stream(
+            worker,
+            stream,
+            None,
+            Arc::new(Mutex::new(StderrRing::default())),
+            None,
+        )
+    }
+
+    fn from_stream(
+        worker: usize,
+        stream: SocketStream,
+        child: Option<Child>,
+        stderr: Arc<Mutex<StderrRing>>,
+        path: Option<PathBuf>,
+    ) -> Result<Self, ClusterError> {
+        let reader = stream.try_clone().map_err(|e| ClusterError::Spawn {
+            worker,
+            detail: format!("cloning socket stream: {e}"),
+        })?;
+        let writer = stream.try_clone().map_err(|e| ClusterError::Spawn {
+            worker,
+            detail: format!("cloning socket stream: {e}"),
+        })?;
+        let (frame_tx, rx) = mpsc::channel::<Frame>();
+        std::thread::Builder::new()
+            .name(format!("cluster-socket-{worker}"))
+            .spawn(move || {
+                let mut reader = BufReader::new(reader);
+                while let Ok(Some(frame)) = read_frame(&mut reader) {
+                    if frame_tx.send(frame).is_err() {
+                        break; // driver dropped the connection
+                    }
+                }
+                // EOF or read error: dropping frame_tx signals disconnect.
+            })
+            .expect("spawning an OS thread");
+        Ok(Self {
+            worker,
+            inner: ConnInner::Socket {
+                child,
+                writer: BufWriter::new(writer),
+                stream,
+                rx,
+                stderr,
+                path,
+            },
+        })
+    }
+
     /// Worker index this connection leads to.
     pub fn worker(&self) -> usize {
         self.worker
@@ -197,7 +388,20 @@ impl Connection {
     pub fn stderr_tail(&self) -> String {
         match &self.inner {
             ConnInner::InProc { .. } => String::new(),
-            ConnInner::Process { stderr, .. } => stderr.lock().unwrap().tail(),
+            ConnInner::Process { stderr, .. } | ConnInner::Socket { stderr, .. } => {
+                stderr.lock().unwrap().tail()
+            }
+        }
+    }
+
+    /// OS process id of the worker, when one exists (process and socket
+    /// backends). Lets tests verify spawn-failure cleanup actually reaped
+    /// the children.
+    pub fn process_id(&self) -> Option<u32> {
+        match &self.inner {
+            ConnInner::InProc { .. } => None,
+            ConnInner::Process { child, .. } => Some(child.id()),
+            ConnInner::Socket { child, .. } => child.as_ref().map(Child::id),
         }
     }
 
@@ -207,6 +411,7 @@ impl Connection {
         let sent = match &mut self.inner {
             ConnInner::InProc { tx, .. } => tx.send((tag, body.to_vec())).is_ok(),
             ConnInner::Process { stdin, .. } => write_frame(stdin, tag, body).is_ok(),
+            ConnInner::Socket { writer, .. } => write_frame(writer, tag, body).is_ok(),
         };
         if sent {
             Ok(())
@@ -229,6 +434,7 @@ impl Connection {
         let received = match &self.inner {
             ConnInner::InProc { rx, .. } => rx.recv_timeout(timeout),
             ConnInner::Process { rx, .. } => rx.recv_timeout(timeout),
+            ConnInner::Socket { rx, .. } => rx.recv_timeout(timeout),
         };
         match received {
             Ok(frame) => Ok(frame),
@@ -240,7 +446,12 @@ impl Connection {
             Err(RecvTimeoutError::Timeout) => {
                 // A process that died instants ago may still race the pump
                 // thread; report a death as a death, not a timeout.
-                if let ConnInner::Process { child, .. } = &mut self.inner {
+                let child = match &mut self.inner {
+                    ConnInner::Process { child, .. } => Some(child),
+                    ConnInner::Socket { child, .. } => child.as_mut(),
+                    ConnInner::InProc { .. } => None,
+                };
+                if let Some(child) = child {
                     if matches!(child.try_wait(), Ok(Some(_))) {
                         return Err(ClusterError::WorkerDied {
                             worker: self.worker,
@@ -274,6 +485,25 @@ impl Drop for Connection {
                 // (a worker that honored Shutdown is already gone) and reap.
                 let _ = child.kill();
                 let _ = child.wait();
+            }
+            ConnInner::Socket {
+                child,
+                writer,
+                stream,
+                path,
+                ..
+            } => {
+                let _ = write_frame(writer, tag::SHUTDOWN, &[]);
+                let _ = writer.flush();
+                // Unblock the pump thread's read, then reap and unlink.
+                let _ = stream.shutdown();
+                if let Some(child) = child {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                }
+                if let Some(path) = path {
+                    let _ = std::fs::remove_file(path);
+                }
             }
         }
     }
@@ -327,12 +557,36 @@ pub struct WorkerGroup {
 impl WorkerGroup {
     /// Spawns a fresh group of `num_workers` workers on `kind`.
     pub fn spawn(kind: TransportKind, num_workers: usize) -> Result<Self, ClusterError> {
+        Self::spawn_with(kind, num_workers, |w| match kind {
+            TransportKind::InProc => Ok(Connection::spawn_inproc(w)),
+            TransportKind::Process => Connection::spawn_process(w),
+            TransportKind::Socket => Connection::spawn_socket(w),
+        })
+    }
+
+    /// Spawns a group through `factory` (one call per worker index,
+    /// ascending). If worker `k` of `N` fails to spawn, the `k` workers
+    /// already running are shut down and reaped before the error is
+    /// returned — a failed group never leaks processes, threads or socket
+    /// files.
+    pub fn spawn_with(
+        kind: TransportKind,
+        num_workers: usize,
+        mut factory: impl FnMut(usize) -> Result<Connection, ClusterError>,
+    ) -> Result<Self, ClusterError> {
         let mut connections = Vec::with_capacity(num_workers);
         for w in 0..num_workers {
-            connections.push(match kind {
-                TransportKind::InProc => Connection::spawn_inproc(w),
-                TransportKind::Process => Connection::spawn_process(w)?,
-            });
+            match factory(w) {
+                Ok(conn) => connections.push(conn),
+                Err(e) => {
+                    // Tear down in reverse spawn order; Connection::drop
+                    // sends Shutdown, kills and reaps each worker.
+                    while let Some(conn) = connections.pop() {
+                        drop(conn);
+                    }
+                    return Err(e);
+                }
+            }
         }
         Ok(Self { kind, connections })
     }

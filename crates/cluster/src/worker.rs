@@ -142,6 +142,11 @@ where
     // superstep at the worker's own position in the source order.
     let mut pending_local: Vec<(VertexId, P::Message)> = Vec::new();
 
+    // Supersteps are strictly sequential; a `Step` that skips ahead or
+    // repeats (duplicated/reordered frame) is a protocol violation, not
+    // something to silently recompute.
+    let mut expected_superstep: u64 = 0;
+
     ep.send(tag::INIT_OK, &[])
         .map_err(|e| format!("sending init-ok: {e}"))?;
 
@@ -161,6 +166,15 @@ where
                         return Err(msg);
                     }
                 };
+                if step.superstep != expected_superstep {
+                    let msg = format!(
+                        "step frame for superstep {} while expecting {expected_superstep}",
+                        step.superstep
+                    );
+                    report(ep, msg.clone());
+                    return Err(msg);
+                }
+                expected_superstep += 1;
                 let superstep = step.superstep as usize;
                 inject_fault(&fault, superstep, standalone)?;
 
@@ -208,6 +222,7 @@ where
                 }
 
                 let done = StepDoneBody {
+                    superstep: step.superstep,
                     counters: state.counters,
                     partial_aggregates: state.partial_aggregates.clone(),
                     all_halted: state.all_halted(),

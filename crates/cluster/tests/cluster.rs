@@ -10,7 +10,8 @@ use predict_algorithms::{
 };
 use predict_bsp::{BspConfig, BspEngine, HaltReason, TransportMode};
 use predict_cluster::{
-    drive, run_workload, ClusterError, DriveOptions, FaultSpec, ProgramSpec, TransportKind,
+    drive, drive_on, run_workload, ClusterError, Connection, DriveOptions, FaultSpec, ProgramSpec,
+    TransportKind, WorkerGroup,
 };
 use predict_graph::generators::{generate_rmat, RmatConfig};
 use predict_graph::CsrGraph;
@@ -111,6 +112,54 @@ fn pagerank_process_is_byte_identical_to_in_memory() {
     );
 }
 
+#[test]
+fn pagerank_socket_is_byte_identical_to_in_memory() {
+    let graph = test_graph();
+    let params = PageRankParams::with_epsilon(0.01, graph.num_vertices());
+    assert_transport_matches_in_memory(
+        &PageRank::new(params),
+        &ProgramSpec::PageRank { params },
+        &graph,
+        TransportKind::Socket,
+        |v: &f64| vec![v.to_bits()],
+    );
+}
+
+/// Loopback TCP rides the same stream abstraction as Unix sockets; a drive
+/// over a hand-spawned TCP group must still match the in-memory run bit for
+/// bit.
+#[test]
+fn pagerank_tcp_loopback_is_byte_identical_to_in_memory() {
+    let graph = test_graph();
+    let config = test_config();
+    let params = PageRankParams::with_epsilon(0.01, graph.num_vertices());
+    let program = PageRank::new(params);
+
+    let engine = BspEngine::new(config.clone());
+    let in_memory = engine.run(&graph, &program);
+
+    let group = WorkerGroup::spawn_with(
+        TransportKind::Socket,
+        config.num_workers,
+        Connection::spawn_socket_tcp,
+    )
+    .expect("TCP worker group spawns");
+    let transported = drive_on(
+        &program,
+        &ProgramSpec::PageRank { params },
+        &[],
+        &graph,
+        &config,
+        &DriveOptions::new(TransportKind::Socket),
+        group,
+    )
+    .expect("TCP drive succeeds");
+
+    assert_eq!(transported.halt_reason, in_memory.halt_reason);
+    let bits = |vals: &[f64]| vals.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+    assert_eq!(bits(&transported.values), bits(&in_memory.values));
+}
+
 /// Semi-clustering exercises variable-size messages (vectors of cluster
 /// structs) and runs on the undirected graph, like its workload does.
 fn semi_cluster_bits(v: &predict_algorithms::SemiClusterList) -> Vec<u64> {
@@ -146,6 +195,19 @@ fn semi_clustering_process_is_byte_identical_to_in_memory() {
         &ProgramSpec::SemiClustering { params },
         &graph,
         TransportKind::Process,
+        semi_cluster_bits,
+    );
+}
+
+#[test]
+fn semi_clustering_socket_is_byte_identical_to_in_memory() {
+    let graph = predict_algorithms::to_undirected(&test_graph());
+    let params = SemiClusteringParams::default();
+    assert_transport_matches_in_memory(
+        &SemiClustering::new(params),
+        &ProgramSpec::SemiClustering { params },
+        &graph,
+        TransportKind::Socket,
         semi_cluster_bits,
     );
 }
@@ -209,6 +271,46 @@ fn crashed_process_worker_reports_superstep_and_stderr() {
             stderr_tail,
         } => {
             assert_eq!(worker, 2);
+            assert_eq!(superstep, Some(1));
+            assert!(
+                stderr_tail.contains("injected crash at superstep 1"),
+                "stderr tail must quote the worker's last words, got: {stderr_tail:?}"
+            );
+        }
+        other => panic!("expected WorkerDied, got: {other}"),
+    }
+}
+
+#[test]
+fn crashed_socket_worker_reports_superstep_and_stderr() {
+    let graph = test_graph();
+    let params = PageRankParams::with_epsilon(0.01, graph.num_vertices());
+    let opts = DriveOptions {
+        fault: Some((
+            3,
+            FaultSpec {
+                crash_at: Some(1),
+                hang_at: None,
+            },
+        )),
+        ..DriveOptions::new(TransportKind::Socket)
+    };
+    let err = drive(
+        &PageRank::new(params),
+        &ProgramSpec::PageRank { params },
+        &[],
+        &graph,
+        &test_config(),
+        &opts,
+    )
+    .expect_err("a crashed worker must fail the drive");
+    match err {
+        ClusterError::WorkerDied {
+            worker,
+            superstep,
+            stderr_tail,
+        } => {
+            assert_eq!(worker, 3);
             assert_eq!(superstep, Some(1));
             assert!(
                 stderr_tail.contains("injected crash at superstep 1"),

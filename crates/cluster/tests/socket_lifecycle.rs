@@ -1,0 +1,246 @@
+//! Socket-transport lifecycle tests: what the driver reports when a socket
+//! worker misbehaves *around* the protocol rather than inside it.
+//!
+//! Fake peers stand in for workers via [`Connection::from_socket_stream`],
+//! so each failure mode is exact and repeatable: a peer that connects and
+//! dies before `INIT` must surface as [`ClusterError::WorkerDied`], a peer
+//! that connects and never speaks must surface as [`ClusterError::Timeout`],
+//! and a group whose spawn fails partway must reap every process and socket
+//! file it already created. (Stale socket-file reclaim on bind and the
+//! two-drivers-one-path race are pinned by unit tests in
+//! `src/socket.rs`.)
+//!
+//! Lives in `tests/` of the `predict_cluster` package so cargo builds the
+//! `cluster_worker` binary first — the partial-failure tests spawn real
+//! workers.
+
+use predict_algorithms::{PageRank, PageRankParams};
+use predict_bsp::BspConfig;
+use predict_cluster::socket::fresh_socket_path;
+use predict_cluster::{
+    drive_on, ClusterError, Connection, DriveOptions, ProgramSpec, SocketListener, SocketStream,
+    TransportKind, WorkerGroup,
+};
+use predict_graph::generators::{generate_rmat, RmatConfig};
+use predict_graph::CsrGraph;
+use std::sync::mpsc;
+use std::time::Duration;
+
+fn test_graph() -> CsrGraph {
+    generate_rmat(&RmatConfig::new(7, 5).with_seed(3))
+}
+
+fn single_worker_config() -> BspConfig {
+    BspConfig {
+        num_workers: 1,
+        ..BspConfig::default()
+    }
+}
+
+/// Accepts one fake-peer connection on a fresh Unix socket and wraps it as a
+/// one-worker group; `peer` runs on its own thread with the connected stream.
+fn group_with_fake_peer(
+    peer: impl FnOnce(SocketStream) + Send + 'static,
+) -> (WorkerGroup, std::thread::JoinHandle<()>) {
+    let path = fresh_socket_path(0);
+    let listener = SocketListener::bind_unix(&path).expect("binding a fresh socket path");
+    let addr = listener.connect_addr().expect("reading listener address");
+    let handle = std::thread::spawn(move || {
+        let stream =
+            SocketStream::connect(&addr, Duration::from_secs(5)).expect("fake peer connects");
+        peer(stream);
+    });
+    let stream = listener
+        .accept_timeout(Duration::from_secs(5))
+        .expect("accepting the fake peer");
+    let conn = Connection::from_socket_stream(0, stream).expect("wrapping the accepted stream");
+    let mut conn = Some(conn);
+    let group = WorkerGroup::spawn_with(TransportKind::Socket, 1, |_| {
+        Ok(conn.take().expect("single worker"))
+    })
+    .expect("building a one-connection group");
+    // The listener (and with it the socket file) drops here; the accepted
+    // stream stays live.
+    drop(listener);
+    let _ = std::fs::remove_file(&path);
+    (group, handle)
+}
+
+/// A worker that connects and dies before ever answering `INIT` must be
+/// reported as a death, not a timeout or a hang.
+#[test]
+fn peer_death_before_init_surfaces_as_worker_died() {
+    let (group, handle) = group_with_fake_peer(|stream| {
+        // Connect, then vanish: close both directions and exit.
+        let _ = stream.shutdown();
+    });
+
+    let graph = test_graph();
+    let params = PageRankParams::with_epsilon(0.01, graph.num_vertices());
+    let opts = DriveOptions::new(TransportKind::Socket);
+    let err = drive_on(
+        &PageRank::new(params),
+        &ProgramSpec::PageRank { params },
+        &[],
+        &graph,
+        &single_worker_config(),
+        &opts,
+        group,
+    )
+    .expect_err("a dead peer cannot complete a drive");
+    handle.join().expect("fake peer thread exits");
+
+    match err {
+        ClusterError::WorkerDied { worker, .. } => assert_eq!(worker, 0),
+        other => panic!("expected WorkerDied, got {other:?}"),
+    }
+}
+
+/// A worker that accepts the connection but never responds must trip the
+/// driver's recv timeout — and be reported as a timeout, since the peer is
+/// still alive.
+#[test]
+fn unresponsive_peer_surfaces_as_timeout() {
+    let (release_tx, release_rx) = mpsc::channel::<()>();
+    let (group, handle) = group_with_fake_peer(move |stream| {
+        // Hold the stream open without reading or writing until released.
+        let _ = release_rx.recv();
+        drop(stream);
+    });
+
+    let graph = test_graph();
+    let params = PageRankParams::with_epsilon(0.01, graph.num_vertices());
+    let mut opts = DriveOptions::new(TransportKind::Socket);
+    opts.timeout = Duration::from_millis(300);
+    let err = drive_on(
+        &PageRank::new(params),
+        &ProgramSpec::PageRank { params },
+        &[],
+        &graph,
+        &single_worker_config(),
+        &opts,
+        group,
+    )
+    .expect_err("a mute peer cannot complete a drive");
+    release_tx.send(()).expect("releasing the fake peer");
+    handle.join().expect("fake peer thread exits");
+
+    match err {
+        ClusterError::Timeout {
+            worker, timeout, ..
+        } => {
+            assert_eq!(worker, 0);
+            assert_eq!(timeout, Duration::from_millis(300));
+        }
+        other => panic!("expected Timeout, got {other:?}"),
+    }
+}
+
+/// Waits for `/proc/<pid>` to disappear; panics if the process is still
+/// around after ~2s. `Drop` kills *and reaps* children, so a clean group
+/// teardown leaves no trace in the process table.
+fn assert_process_gone(pid: u32) {
+    let path = format!("/proc/{pid}");
+    for _ in 0..200 {
+        if !std::path::Path::new(&path).exists() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    panic!("worker process {pid} still exists after group spawn failure");
+}
+
+/// Pins the `WorkerGroup::spawn` partial-failure fix: when spawning worker N
+/// fails, workers 0..N that already started must be killed and reaped, not
+/// leaked.
+#[test]
+fn partial_spawn_failure_reaps_already_spawned_processes() {
+    let mut pids = Vec::new();
+    let group = WorkerGroup::spawn_with(TransportKind::Process, 3, |w| {
+        if w == 2 {
+            return Err(ClusterError::Spawn {
+                worker: 2,
+                detail: "injected spawn failure".into(),
+            });
+        }
+        let conn = Connection::spawn_process(w)?;
+        pids.push(conn.process_id().expect("process transport has a pid"));
+        Ok(conn)
+    });
+    let err = match group {
+        Err(e) => e,
+        Ok(_) => panic!("factory failure must fail the group"),
+    };
+
+    match err {
+        ClusterError::Spawn { worker, detail } => {
+            assert_eq!(worker, 2);
+            assert!(detail.contains("injected spawn failure"));
+        }
+        other => panic!("expected Spawn, got {other:?}"),
+    }
+    assert_eq!(pids.len(), 2, "two workers spawned before the failure");
+    for pid in pids {
+        assert_process_gone(pid);
+    }
+}
+
+/// Same property for the socket backend, including its on-disk footprint: a
+/// failed group must unlink every socket file its spawned workers bound.
+#[test]
+fn partial_spawn_failure_unlinks_socket_files() {
+    let prefix = format!("predict-cw-{}-", std::process::id());
+    let leftover_sockets = || -> Vec<std::path::PathBuf> {
+        std::fs::read_dir(std::env::temp_dir())
+            .expect("listing the temp dir")
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with(&prefix))
+            })
+            .collect()
+    };
+
+    let mut pids = Vec::new();
+    let group = WorkerGroup::spawn_with(TransportKind::Socket, 3, |w| {
+        if w == 2 {
+            return Err(ClusterError::Spawn {
+                worker: 2,
+                detail: "injected spawn failure".into(),
+            });
+        }
+        let conn = Connection::spawn_socket(w)?;
+        pids.push(
+            conn.process_id()
+                .expect("socket transport spawns a process"),
+        );
+        Ok(conn)
+    });
+    let err = match group {
+        Err(e) => e,
+        Ok(_) => panic!("factory failure must fail the group"),
+    };
+
+    assert!(matches!(err, ClusterError::Spawn { worker: 2, .. }));
+    assert_eq!(pids.len(), 2, "two workers spawned before the failure");
+    for pid in pids {
+        assert_process_gone(pid);
+    }
+    // Other tests in this binary create (and clean up) socket files with the
+    // same pid prefix concurrently; poll briefly so a transient neighbor
+    // doesn't read as a leak.
+    let mut leftovers = leftover_sockets();
+    for _ in 0..200 {
+        if leftovers.is_empty() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+        leftovers = leftover_sockets();
+    }
+    assert!(
+        leftovers.is_empty(),
+        "socket files must be unlinked on group failure: {leftovers:?}"
+    );
+}

@@ -1,0 +1,162 @@
+//! Socket-transport soak: 200 mixed predict/evaluate requests through a
+//! socket-backed [`PredictService`] while a deterministic chaos plan crashes
+//! ~10% of the underlying cluster drives.
+//!
+//! What the soak pins down, end to end:
+//!
+//! * no request ever wedges — every submission returns, batch threads join;
+//! * every chaos-induced failure surfaces as a *structured*
+//!   [`PredictError::WorkerPanicked`] carrying the cluster transport report,
+//!   scoped to its own request;
+//! * the service keeps serving: once the chaos plan is cleared, a clean
+//!   batch over fresh datasets succeeds outright;
+//! * the metrics registry stays consistent — exactly one `service.requests`
+//!   tick per submission, faulted or not.
+//!
+//! `#[ignore]`d by default: it spawns real `cluster_worker` processes (built
+//! by `cargo build -p predict_cluster`) and runs for tens of seconds. CI
+//! runs it explicitly (`cargo test -p predict_core --test soak -- --ignored`)
+//! after building the worker binary.
+
+use predict_algorithms::{PageRankWorkload, TopKWorkload, Workload};
+use predict_bsp::{BspConfig, BspEngine, TransportMode};
+use predict_cluster::{clear_chaos, install_chaos, ChaosPlan};
+use predict_core::{
+    PredictError, PredictRequest, PredictService, PredictServiceConfig, PredictorConfig,
+};
+use predict_graph::generators::{generate_rmat, RmatConfig};
+use predict_sampling::BiasedRandomJump;
+use std::sync::Arc;
+
+/// 160 predicts + 40 evaluates.
+const PREDICTS: usize = 160;
+const EVALUATES: usize = 40;
+
+fn soak_service() -> PredictService {
+    let engine = BspEngine::new(BspConfig {
+        num_workers: 4,
+        ..BspConfig::default()
+    });
+    PredictService::with_config(
+        engine,
+        Arc::new(BiasedRandomJump::default()),
+        PredictServiceConfig {
+            transport: Some(TransportMode::Socket),
+            ..PredictServiceConfig::default()
+        },
+    )
+}
+
+/// Builds `count` requests over `datasets` distinct dataset labels
+/// (prefixed by `tag`), alternating PageRank and top-k workloads. Spreading
+/// requests over more datasets than the session cache holds keeps real
+/// cluster drives flowing for the whole soak instead of stopping once every
+/// artifact is cached.
+fn build_requests(tag: &str, count: usize, datasets: usize) -> Vec<PredictRequest> {
+    let graph = Arc::new(generate_rmat(&RmatConfig::new(8, 6).with_seed(11)));
+    let workloads: [Arc<dyn Workload>; 2] = [
+        Arc::new(PageRankWorkload::with_epsilon(0.01, graph.num_vertices())),
+        Arc::new(TopKWorkload::default()),
+    ];
+    (0..count)
+        .map(|i| {
+            PredictRequest::new(
+                &format!("{tag}-{}", i % datasets),
+                Arc::clone(&graph),
+                Arc::clone(&workloads[i % 2]),
+            )
+            .with_config(PredictorConfig::single_ratio(0.1).with_seed(7 + (i / datasets) as u64))
+        })
+        .collect()
+}
+
+fn counter(service: &PredictService, name: &str) -> u64 {
+    service.metrics_snapshot().counter(name).unwrap_or(0)
+}
+
+#[test]
+#[ignore = "soak: spawns real socket workers and runs for tens of seconds; CI runs it with --ignored"]
+fn socket_service_survives_chaos_soak() {
+    let service = soak_service();
+    let requests_before = counter(&service, "service.requests");
+
+    // ~10% of cluster drives crash a worker, deterministically by seed.
+    install_chaos(ChaosPlan {
+        seed: 0xC0FFEE,
+        fault_percent: 10,
+    });
+
+    // Predicts run through the panic-contained batch path, four wide — the
+    // same shape a loaded service sees.
+    let predicts = build_requests("soak", PREDICTS, 48);
+    let predict_results = service.submit_batch(&predicts, 4);
+    assert_eq!(predict_results.len(), PREDICTS, "every slot reports back");
+
+    // Evaluates exercise the actual-run path; the service does not contain
+    // their panics, so the soak holds the request boundary itself.
+    let evaluates = build_requests("soak-eval", EVALUATES, 16);
+    let evaluate_results: Vec<Result<(), PredictError>> = evaluates
+        .iter()
+        .map(|request| {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| service.evaluate(request)))
+                .unwrap_or_else(|payload| Err(PredictError::from_panic(payload)))
+                .map(|_| ())
+        })
+        .collect();
+
+    clear_chaos();
+
+    let mut failures = 0usize;
+    let mut successes = 0usize;
+    for result in predict_results
+        .iter()
+        .map(|r| r.as_ref().map(|_| ()))
+        .chain(evaluate_results.iter().map(|r| r.as_ref().map(|_| ())))
+    {
+        match result {
+            Ok(()) => successes += 1,
+            Err(PredictError::WorkerPanicked { message }) => {
+                assert!(
+                    message.contains("cluster transport failed"),
+                    "chaos failures carry the structured cluster report, got: {message}"
+                );
+                failures += 1;
+            }
+            Err(other) => panic!("chaos must only surface as WorkerPanicked, got {other:?}"),
+        }
+    }
+    assert_eq!(successes + failures, PREDICTS + EVALUATES);
+    assert!(
+        failures > 0,
+        "a 10% fault schedule over hundreds of drives must hit at least once"
+    );
+    assert!(
+        successes > (PREDICTS + EVALUATES) / 2,
+        "most requests succeed despite the chaos ({successes} of {})",
+        PREDICTS + EVALUATES
+    );
+
+    // Metrics stayed consistent through every unwind: one tick per request.
+    let soaked = counter(&service, "service.requests");
+    assert_eq!(
+        soaked - requests_before,
+        (PREDICTS + EVALUATES) as u64,
+        "exactly one service.requests tick per submission, faulted or not"
+    );
+
+    // With chaos cleared the same service serves a clean batch outright —
+    // no wedged pool state, no poisoned sessions blocking fresh datasets.
+    let clean = build_requests("soak-clean", 16, 8);
+    let clean_results = service.submit_batch(&clean, 4);
+    for (i, result) in clean_results.iter().enumerate() {
+        assert!(
+            result.is_ok(),
+            "clean request {i} after chaos must succeed, got {:?}",
+            result.as_ref().err()
+        );
+    }
+    assert_eq!(
+        counter(&service, "service.requests") - soaked,
+        clean.len() as u64
+    );
+}
